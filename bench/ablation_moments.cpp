@@ -1,0 +1,67 @@
+// Ablation (ours): fidelity of the closed-form moment propagation against
+// brute-force Monte-Carlo over dropout masks, as a function of the dropout
+// rate. Validates the layer-wise Gaussian approximation (Section III) far
+// beyond the paper's single training configuration.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/apdeepsense.h"
+#include "stats/running_stats.h"
+
+int main() {
+  using namespace apds;
+  using namespace apds::bench;
+  try {
+    Rng rng(99);
+    MlpSpec spec;
+    spec.dims = {16, 64, 64, 64, 4};
+    spec.hidden_act = Activation::kRelu;
+    Mlp mlp = Mlp::make(spec, rng);
+
+    Matrix x(1, 16);
+    for (double& v : x.flat()) v = rng.normal();
+
+    TablePrinter table({"keep prob p", "mean rel err (%)",
+                        "stddev rel err (%)", "MC passes"});
+    constexpr int kPasses = 40000;
+    for (double keep : {0.95, 0.9, 0.8, 0.7, 0.6, 0.5}) {
+      for (std::size_t l = 1; l < mlp.num_layers(); ++l)
+        mlp.mutable_layer(l).keep_prob = keep;
+
+      const ApDeepSense apd(mlp);
+      const MeanVar analytic = apd.propagate(x);
+
+      RunningVectorStats stats(4);
+      Rng mc_rng(7);
+      for (int s = 0; s < kPasses; ++s)
+        stats.add(mlp.forward_stochastic(x, mc_rng).row(0));
+      const auto mc_var = stats.variance();
+
+      double mean_err = 0.0;
+      double sd_err = 0.0;
+      for (std::size_t j = 0; j < 4; ++j) {
+        const double scale = std::sqrt(mc_var[j]) + 1e-9;
+        mean_err +=
+            std::fabs(analytic.mean(0, j) - stats.mean()[j]) / scale;
+        sd_err += std::fabs(std::sqrt(analytic.var(0, j)) -
+                            std::sqrt(mc_var[j])) /
+                  scale;
+      }
+      table.add_row({format_double(keep, 2),
+                     format_double(mean_err / 4.0 * 100.0, 1),
+                     format_double(sd_err / 4.0 * 100.0, 1),
+                     std::to_string(kPasses)});
+    }
+    std::cout << "Ablation: closed-form moments vs Monte-Carlo ground "
+                 "truth across dropout rates (untrained 5-layer ReLU net)\n";
+    table.print(std::cout);
+    std::cout << "Errors are in units of the output stddev; small values "
+                 "mean the analytic pass is a faithful stand-in for "
+                 "sampling at any practical dropout rate.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "bench failed: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,70 @@
+// Extension experiment (ours): regression calibration curves. NLL (the
+// paper's metric) mixes sharpness and calibration; coverage curves show
+// directly whether each estimator's claimed intervals hold their nominal
+// frequency. Well-calibrated rows read ~50/80/90/95.
+#include <iostream>
+
+#include "bench_common.h"
+#include "metrics/calibration.h"
+#include "uncertainty/apd_estimator.h"
+#include "uncertainty/mcdrop.h"
+#include "uncertainty/rdeepsense.h"
+
+int main() {
+  using namespace apds;
+  using namespace apds::bench;
+  try {
+    ModelZoo zoo = make_zoo();
+    const double levels[] = {0.5, 0.8, 0.9, 0.95};
+
+    for (TaskId task : {TaskId::kGasSen, TaskId::kBpest}) {
+      const TaskData& td = zoo.data(task);
+      const Mlp& mlp = zoo.dropout_model(task, Activation::kRelu);
+      const Mlp& rds_mlp = zoo.rdeepsense_model(task, Activation::kRelu);
+
+      auto unscale = [&](PredictiveGaussian pred) {
+        pred.mean = td.y_scaler.inverse_transform(pred.mean);
+        pred.var = td.y_scaler.inverse_transform_variance(pred.var);
+        return pred;
+      };
+
+      TablePrinter table({"estimator", "cov@50%", "cov@80%", "cov@90%",
+                          "cov@95%", "ECE"});
+      auto add = [&](const std::string& name,
+                     const PredictiveGaussian& pred) {
+        const auto curve =
+            calibration_curve(pred, td.y_test_natural, levels);
+        table.add_row({name,
+                       format_double(curve[0].empirical * 100.0, 1),
+                       format_double(curve[1].empirical * 100.0, 1),
+                       format_double(curve[2].empirical * 100.0, 1),
+                       format_double(curve[3].empirical * 100.0, 1),
+                       format_double(expected_calibration_error(
+                                         pred, td.y_test_natural, levels),
+                                     3)});
+      };
+
+      const ApdEstimator apd(mlp);
+      add("ApDeepSense", unscale(apd.predict_regression(td.x_test)));
+      for (std::size_t k : {3, 50}) {
+        McDrop mc(mlp, k, /*seed=*/5);
+        add("MCDrop-" + std::to_string(k),
+            unscale(mc.predict_regression(td.x_test)));
+      }
+      const RDeepSense rds(rds_mlp, td.kind, td.output_dim);
+      add("RDeepSense", unscale(rds.predict_regression(td.x_test)));
+
+      std::cout << "Calibration (empirical coverage of centered intervals) — "
+                << "task " << task_name(task) << ", DNN-ReLU\n";
+      table.print(std::cout);
+      std::cout << "\n";
+    }
+    std::cout << "MCDrop-3's collapsed sample variances show up here as "
+                 "coverage far below nominal (overconfidence), the same "
+                 "pathology the paper's NLL columns expose.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "bench failed: " << e.what() << "\n";
+    return 1;
+  }
+}

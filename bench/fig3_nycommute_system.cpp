@@ -1,0 +1,4 @@
+// Regenerates the paper's Figure 3: inference time and energy on NYCommute.
+#include "system_main.h"
+
+int main() { return apds::bench::run_system_bench(apds::TaskId::kNyCommute); }

@@ -1,0 +1,4 @@
+// Regenerates the paper's Figure 4: inference time and energy on GasSen.
+#include "system_main.h"
+
+int main() { return apds::bench::run_system_bench(apds::TaskId::kGasSen); }

@@ -1,0 +1,4 @@
+// Regenerates the paper's Figure 5: inference time and energy on HHAR.
+#include "system_main.h"
+
+int main() { return apds::bench::run_system_bench(apds::TaskId::kHhar); }

@@ -1,0 +1,4 @@
+// Regenerates the paper's Figure 8: energy-vs-NLL tradeoff on GasSen.
+#include "tradeoff_main.h"
+
+int main() { return apds::bench::run_tradeoff_bench(apds::TaskId::kGasSen); }

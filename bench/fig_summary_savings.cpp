@@ -1,0 +1,42 @@
+// The Section IV-E headline numbers: average time/energy savings of
+// ApDeepSense vs MCDrop-50 across all four tasks, for both activations
+// (paper: ~94.1%/83.6% time and ~94.2%/85.7% energy for ReLU/Tanh; overall
+// "~88.9% execution time and ~90.0% energy" in the abstract).
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace apds;
+  using namespace apds::bench;
+  try {
+    ModelZoo zoo = make_zoo();
+    ExperimentOptions opt;
+
+    TablePrinter table({"task", "ReLU time/energy saved (%)",
+                        "Tanh time/energy saved (%)"});
+    double relu_acc = 0.0;
+    double tanh_acc = 0.0;
+    for (TaskId task : all_tasks()) {
+      const Savings r =
+          apdeepsense_savings(zoo, task, Activation::kRelu, opt);
+      const Savings t =
+          apdeepsense_savings(zoo, task, Activation::kTanh, opt);
+      relu_acc += r.time_fraction;
+      tanh_acc += t.time_fraction;
+      table.add_row({task_name(task),
+                     format_double(r.time_fraction * 100.0, 1),
+                     format_double(t.time_fraction * 100.0, 1)});
+    }
+    table.add_row({"average", format_double(relu_acc / 4.0 * 100.0, 1),
+                   format_double(tanh_acc / 4.0 * 100.0, 1)});
+    table.print(std::cout);
+    std::cout << "overall average saving: "
+              << format_double((relu_acc + tanh_acc) / 8.0 * 100.0, 1)
+              << "% (paper abstract: ~88.9% time, ~90.0% energy)\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "bench failed: " << e.what() << "\n";
+    return 1;
+  }
+}

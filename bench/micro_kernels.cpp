@@ -1,0 +1,131 @@
+// google-benchmark microbenchmarks of the numeric kernels underlying every
+// inference path: GEMM, the dropout-linear moment map, the closed-form
+// activation moments, and whole-network ApDeepSense vs MCDrop passes.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/apdeepsense.h"
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using namespace apds;
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (double& v : m.flat()) v = rng.normal();
+  return m;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const Matrix a = random_matrix(n, n, rng);
+  const Matrix b = random_matrix(n, n, rng);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    gemm(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_GemmRowVector(benchmark::State& state) {
+  // The single-input inference shape: [1, 512] x [512, 512].
+  Rng rng(2);
+  const Matrix a = random_matrix(1, 512, rng);
+  const Matrix b = random_matrix(512, 512, rng);
+  Matrix c(1, 512);
+  for (auto _ : state) {
+    gemm(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmRowVector);
+
+void BM_MomentLinear(benchmark::State& state) {
+  Rng rng(3);
+  DenseLayer layer;
+  layer.weight = random_matrix(512, 512, rng);
+  layer.bias = random_matrix(1, 512, rng);
+  layer.keep_prob = 0.9;
+  const Matrix w2 = square(layer.weight);
+  MeanVar input(1, 512);
+  for (double& v : input.mean.flat()) v = rng.normal();
+  for (double& v : input.var.flat()) v = std::fabs(rng.normal());
+  for (auto _ : state) {
+    MeanVar out =
+        moment_linear(input, layer.weight, w2, layer.bias, layer.keep_prob);
+    benchmark::DoNotOptimize(out.mean.data());
+  }
+}
+BENCHMARK(BM_MomentLinear);
+
+void BM_ActivationMoments(benchmark::State& state) {
+  const auto pieces = static_cast<std::size_t>(state.range(0));
+  const auto f = PiecewiseLinear::fit_tanh(pieces);
+  Rng rng(4);
+  MeanVar mv(1, 512);
+  for (double& v : mv.mean.flat()) v = rng.normal();
+  for (double& v : mv.var.flat()) v = std::fabs(rng.normal());
+  for (auto _ : state) {
+    MeanVar copy = mv;
+    moment_activation_inplace(f, copy);
+    benchmark::DoNotOptimize(copy.mean.data());
+  }
+}
+BENCHMARK(BM_ActivationMoments)->Arg(3)->Arg(7)->Arg(15);
+
+Mlp paper_mlp(Activation act, Rng& rng) {
+  MlpSpec spec;
+  spec.dims = {250, 512, 512, 512, 512, 250};
+  spec.hidden_act = act;
+  spec.hidden_keep_prob = 0.9;
+  return Mlp::make(spec, rng);
+}
+
+void BM_ApDeepSensePass(benchmark::State& state) {
+  Rng rng(5);
+  const Mlp mlp = paper_mlp(
+      state.range(0) == 0 ? Activation::kRelu : Activation::kTanh, rng);
+  const ApDeepSense apd(mlp);
+  const Matrix x = random_matrix(1, 250, rng);
+  for (auto _ : state) {
+    MeanVar out = apd.propagate(x);
+    benchmark::DoNotOptimize(out.mean.data());
+  }
+}
+BENCHMARK(BM_ApDeepSensePass)->Arg(0)->Arg(1);
+
+void BM_McDropPass(benchmark::State& state) {
+  // One stochastic forward pass; MCDrop-k costs k of these.
+  Rng rng(6);
+  const Mlp mlp = paper_mlp(Activation::kRelu, rng);
+  const Matrix x = random_matrix(1, 250, rng);
+  Rng pass_rng(7);
+  for (auto _ : state) {
+    Matrix out = mlp.forward_stochastic(x, pass_rng);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_McDropPass);
+
+void BM_DeterministicPass(benchmark::State& state) {
+  Rng rng(8);
+  const Mlp mlp = paper_mlp(Activation::kRelu, rng);
+  const Matrix x = random_matrix(1, 250, rng);
+  for (auto _ : state) {
+    Matrix out = mlp.forward_deterministic(x);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_DeterministicPass);
+
+}  // namespace
+
+BENCHMARK_MAIN();

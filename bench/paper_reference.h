@@ -1,0 +1,91 @@
+// The numbers the paper reports in Tables I-IV, transcribed for
+// side-by-side "paper vs measured" output and for EXPERIMENTS.md.
+#pragma once
+
+#include <vector>
+
+#include "bench_common.h"
+
+namespace apds::bench {
+
+inline const std::vector<PaperRow>& paper_table1_bpest() {
+  static const std::vector<PaperRow> rows = {
+      {"DNN-ReLU-ApDeepSense", 13.41, 4.56},
+      {"DNN-ReLU-MCDrop-3", 13.91, 57.72},
+      {"DNN-ReLU-MCDrop-5", 13.68, 7.89},
+      {"DNN-ReLU-MCDrop-10", 13.50, 5.74},
+      {"DNN-ReLU-MCDrop-30", 13.38, 5.14},
+      {"DNN-ReLU-MCDrop-50", 13.35, 5.06},
+      {"DNN-ReLU-RDeepSense", 14.18, 3.46},
+      {"DNN-Tanh-ApDeepSense", 19.38, 5.39},
+      {"DNN-Tanh-MCDrop-3", 19.61, 520.30},
+      {"DNN-Tanh-MCDrop-5", 19.51, 56.74},
+      {"DNN-Tanh-MCDrop-10", 19.39, 32.68},
+      {"DNN-Tanh-MCDrop-30", 19.32, 25.19},
+      {"DNN-Tanh-MCDrop-50", 19.30, 23.99},
+      {"DNN-Tanh-RDeepSense", 19.38, 4.53},
+  };
+  return rows;
+}
+
+inline const std::vector<PaperRow>& paper_table2_nycommute() {
+  static const std::vector<PaperRow> rows = {
+      {"DNN-ReLU-ApDeepSense", 5.44, 135.19},
+      {"DNN-ReLU-MCDrop-3", 5.54, 6569.04},
+      {"DNN-ReLU-MCDrop-5", 5.50, 1898.79},
+      {"DNN-ReLU-MCDrop-10", 5.47, 1140.90},
+      {"DNN-ReLU-MCDrop-30", 5.45, 889.60},
+      {"DNN-ReLU-MCDrop-50", 5.44, 838.94},
+      {"DNN-ReLU-RDeepSense", 5.64, 7.7},
+      {"DNN-Tanh-ApDeepSense", 6.41, 123.75},
+      {"DNN-Tanh-MCDrop-3", 6.59, 7517.95},
+      {"DNN-Tanh-MCDrop-5", 6.54, 892.34},
+      {"DNN-Tanh-MCDrop-10", 6.51, 443.04},
+      {"DNN-Tanh-MCDrop-30", 6.48, 332.42},
+      {"DNN-Tanh-MCDrop-50", 6.47, 321.73},
+      {"DNN-Tanh-RDeepSense", 6.59, 14.11},
+  };
+  return rows;
+}
+
+inline const std::vector<PaperRow>& paper_table3_gassen() {
+  static const std::vector<PaperRow> rows = {
+      {"DNN-ReLU-ApDeepSense", 19.42, 1.02},
+      {"DNN-ReLU-MCDrop-3", 21.17, 1.479},
+      {"DNN-ReLU-MCDrop-5", 20.36, 1.476},
+      {"DNN-ReLU-MCDrop-10", 19.66, 1.475},
+      {"DNN-ReLU-MCDrop-30", 19.27, 1.475},
+      {"DNN-ReLU-MCDrop-50", 19.15, 1.476},
+      {"DNN-ReLU-RDeepSense", 15.25, 0.16},
+      {"DNN-Tanh-ApDeepSense", 39.20, 0.23},
+      {"DNN-Tanh-MCDrop-3", 35.74, 1.45},
+      {"DNN-Tanh-MCDrop-5", 32.76, 1.38},
+      {"DNN-Tanh-MCDrop-10", 32.30, 1.33},
+      {"DNN-Tanh-MCDrop-30", 31.71, 1.31},
+      {"DNN-Tanh-MCDrop-50", 31.57, 1.29},
+      {"DNN-Tanh-RDeepSense", 19.36, 0.21},
+  };
+  return rows;
+}
+
+inline const std::vector<PaperRow>& paper_table4_hhar() {
+  static const std::vector<PaperRow> rows = {
+      {"DNN-ReLU-ApDeepSense", 79.12, 40.21},
+      {"DNN-ReLU-MCDrop-3", 73.79, 456.59},
+      {"DNN-ReLU-MCDrop-5", 75.34, 342.13},
+      {"DNN-ReLU-MCDrop-10", 76.38, 333.52},
+      {"DNN-ReLU-MCDrop-30", 76.24, 303.66},
+      {"DNN-ReLU-MCDrop-50", 76.72, 290.51},
+      {"DNN-ReLU-RDeepSense", 83.98, 3.77},
+      {"DNN-Tanh-ApDeepSense", 73.57, 6.32},
+      {"DNN-Tanh-MCDrop-3", 70.43, 103.73},
+      {"DNN-Tanh-MCDrop-5", 71.07, 41.67},
+      {"DNN-Tanh-MCDrop-10", 71.68, 25.13},
+      {"DNN-Tanh-MCDrop-30", 72.81, 19.74},
+      {"DNN-Tanh-MCDrop-50", 73.29, 18.81},
+      {"DNN-Tanh-RDeepSense", 86.78, 4.23},
+  };
+  return rows;
+}
+
+}  // namespace apds::bench

@@ -1,0 +1,35 @@
+// Shared main() body for the Figure 2–5 (inference time + energy) benches.
+#pragma once
+
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace apds::bench {
+
+inline int run_system_bench(TaskId task) {
+  try {
+    ModelZoo zoo = make_zoo();
+    ExperimentOptions opt;
+    const auto rows = run_system_perf(zoo, task, opt);
+    print_system_perf(std::cout, task, rows);
+
+    // The Section IV-E headline: savings of ApDeepSense vs MCDrop-50.
+    for (Activation act : {Activation::kRelu, Activation::kTanh}) {
+      const Savings s = apdeepsense_savings(zoo, task, act, opt);
+      std::cout << "ApDeepSense vs MCDrop-50 ("
+                << (act == Activation::kRelu ? "ReLU" : "Tanh")
+                << "): time saved " << format_double(s.time_fraction * 100, 1)
+                << "%, energy saved "
+                << format_double(s.energy_fraction * 100, 1) << "%\n";
+    }
+    std::cout << "(paper reports ~94.1%/83.6% time and ~94.2%/85.7% energy "
+                 "savings for ReLU/Tanh averaged over tasks)\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "bench failed: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace apds::bench

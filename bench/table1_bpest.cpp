@@ -1,0 +1,8 @@
+// Regenerates the paper's Table I: MAE and NLL on the BPEst task for
+// DNN-ReLU / DNN-Tanh x {ApDeepSense, MCDrop-k, RDeepSense}.
+#include "table_main.h"
+
+int main() {
+  using namespace apds::bench;
+  return run_table_bench(apds::TaskId::kBpest, paper_table1_bpest());
+}

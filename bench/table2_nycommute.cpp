@@ -1,0 +1,7 @@
+// Regenerates the paper's Table II: MAE and NLL on the NYCommute task.
+#include "table_main.h"
+
+int main() {
+  using namespace apds::bench;
+  return run_table_bench(apds::TaskId::kNyCommute, paper_table2_nycommute());
+}

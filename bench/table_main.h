@@ -1,0 +1,27 @@
+// Shared main() body for the Table I–IV benches.
+#pragma once
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "paper_reference.h"
+
+namespace apds::bench {
+
+inline int run_table_bench(TaskId task, const std::vector<PaperRow>& paper) {
+  try {
+    ModelZoo zoo = make_zoo();
+    ExperimentOptions opt;
+    const auto rows = run_model_perf(zoo, task, opt);
+    print_with_paper(std::cout, task, rows, paper, task_kind(task));
+    std::cout << "\nNote: 'ours' runs on synthetic substitute data "
+                 "(DESIGN.md §2); compare orderings and ratios, not "
+                 "absolute values.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "bench failed: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace apds::bench

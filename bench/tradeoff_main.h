@@ -1,0 +1,67 @@
+// Shared main() body for the Figure 6–9 (energy vs NLL tradeoff) benches,
+// including an ASCII rendering of the scatter the paper plots.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace apds::bench {
+
+inline void ascii_scatter(std::ostream& os, const TradeoffSeries& s) {
+  // Render points on a log-NLL x axis and linear energy y axis.
+  if (s.points.empty()) return;
+  constexpr int kWidth = 72;
+  constexpr int kHeight = 14;
+  double min_nll = 1e300;
+  double max_nll = -1e300;
+  double max_e = 0.0;
+  for (const auto& p : s.points) {
+    const double n = std::log10(std::max(p.nll, 1e-3));
+    min_nll = std::min(min_nll, n);
+    max_nll = std::max(max_nll, n);
+    max_e = std::max(max_e, p.energy_mj);
+  }
+  if (max_nll - min_nll < 1e-9) max_nll = min_nll + 1.0;
+
+  std::vector<std::string> grid(kHeight, std::string(kWidth, ' '));
+  for (const auto& p : s.points) {
+    const double nx = (std::log10(std::max(p.nll, 1e-3)) - min_nll) /
+                      (max_nll - min_nll);
+    const double ny = p.energy_mj / (max_e + 1e-12);
+    const int col = std::clamp(static_cast<int>(nx * (kWidth - 1)), 0,
+                               kWidth - 1);
+    const int row = std::clamp(
+        kHeight - 1 - static_cast<int>(ny * (kHeight - 1)), 0, kHeight - 1);
+    grid[row][col] =
+        p.config.find("ApDeepSense") != std::string::npos ? 'A' : 'o';
+  }
+  os << "energy (mJ, up) vs log10 NLL (right); A = ApDeepSense, o = MCDrop-k\n";
+  for (const auto& line : grid) os << "  |" << line << "\n";
+  os << "  +" << std::string(kWidth, '-') << "\n";
+}
+
+inline int run_tradeoff_bench(TaskId task) {
+  try {
+    ModelZoo zoo = make_zoo();
+    ExperimentOptions opt;
+    opt.measure_host = false;
+    const auto series = run_tradeoff(zoo, task, opt);
+    print_tradeoff(std::cout, task, series);
+    for (const auto& s : series) {
+      std::cout << (s.act == Activation::kRelu ? "DNN-ReLU" : "DNN-Tanh")
+                << ":\n";
+      ascii_scatter(std::cout, s);
+    }
+    std::cout << "The paper's claim: ApDeepSense sits in the lower-left "
+                 "(cheap AND well-calibrated).\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "bench failed: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace apds::bench

@@ -1,0 +1,61 @@
+// Error handling primitives for the apds library.
+//
+// Library errors are reported with exceptions derived from apds::Error.
+// Precondition checks use APDS_CHECK / APDS_REQUIRE which throw rather than
+// abort, so callers (examples, benches, tests) can report context.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace apds {
+
+/// Base class of all errors thrown by the apds library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a function argument or operand violates a precondition
+/// (shape mismatch, out-of-range parameter, ...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on I/O failures (model files, CSV files).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvalidArgument(os.str());
+}
+}  // namespace detail
+
+}  // namespace apds
+
+/// Precondition check that throws apds::InvalidArgument with location info.
+#define APDS_CHECK(expr)                                                     \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::apds::detail::throw_check_failure(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+/// Precondition check with an explanatory message (streamable).
+#define APDS_CHECK_MSG(expr, msg)                                            \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      std::ostringstream apds_check_os_;                                     \
+      apds_check_os_ << msg;                                                 \
+      ::apds::detail::throw_check_failure(#expr, __FILE__, __LINE__,         \
+                                          apds_check_os_.str());             \
+    }                                                                        \
+  } while (0)

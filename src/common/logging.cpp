@@ -1,0 +1,33 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace apds {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "[apds %s] %s\n", level_name(level), msg.c_str());
+}
+}  // namespace detail
+
+}  // namespace apds

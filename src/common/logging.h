@@ -1,0 +1,39 @@
+// Minimal leveled logging to stderr.
+//
+// The library itself logs sparingly (training progress, model-cache events);
+// benches and examples use it for progress lines. Controlled by a process-wide
+// level so `ctest` output stays quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace apds {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Set the process-wide minimum level that is emitted (default: kInfo).
+void set_log_level(LogLevel level);
+
+/// Current minimum emitted level.
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}  // namespace detail
+
+}  // namespace apds
+
+#define APDS_LOG_AT(level, msg)                                       \
+  do {                                                                \
+    if (static_cast<int>(level) >= static_cast<int>(::apds::log_level())) { \
+      std::ostringstream apds_log_os_;                                \
+      apds_log_os_ << msg;                                            \
+      ::apds::detail::log_line(level, apds_log_os_.str());            \
+    }                                                                 \
+  } while (0)
+
+#define APDS_DEBUG(msg) APDS_LOG_AT(::apds::LogLevel::kDebug, msg)
+#define APDS_INFO(msg) APDS_LOG_AT(::apds::LogLevel::kInfo, msg)
+#define APDS_WARN(msg) APDS_LOG_AT(::apds::LogLevel::kWarn, msg)
+#define APDS_ERROR(msg) APDS_LOG_AT(::apds::LogLevel::kError, msg)

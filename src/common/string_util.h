@@ -1,0 +1,25 @@
+// Small string helpers shared by CSV parsing and table printing.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace apds {
+
+/// Split `s` on `delim`, keeping empty fields.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Strip ASCII whitespace from both ends.
+std::string trim(std::string_view s);
+
+/// printf-style number formatting helpers used by the table printers.
+std::string format_double(double v, int precision);
+
+/// Left-pad `s` with spaces to at least `width` characters.
+std::string pad_left(const std::string& s, std::size_t width);
+
+/// Right-pad `s` with spaces to at least `width` characters.
+std::string pad_right(const std::string& s, std::size_t width);
+
+}  // namespace apds

@@ -1,0 +1,66 @@
+// 1-D convolutional substrate (the paper's future-work direction,
+// Section VI: "extend the solution to convolutional neural networks by
+// replacing the original dropout operation with convolutional dropout").
+//
+// Data layout: a batch row stores a time-series channel-interleaved,
+// x[t * in_channels + c], so a convolution window of `kernel` consecutive
+// time steps is a contiguous span of kernel * in_channels values.
+//
+// Convolutional dropout (Gal & Ghahramani 2015): one Bernoulli keep-mask
+// per INPUT CHANNEL per sample, shared across all time steps — the channel
+// is either present for the whole window or absent. This is what makes the
+// closed-form variance (moment_conv.h) interesting: terms that share a
+// channel mask are correlated, so the paper's Eq. 10 independence argument
+// needs the cross-tap covariance correction derived there.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/activation.h"
+#include "tensor/matrix.h"
+
+namespace apds {
+
+/// One 1-D convolution layer: out[t, oc] =
+///   f( sum_{k, c} x[(t*stride + k), c] * z_c * W[k, c, oc] + b[oc] ).
+struct Conv1dLayer {
+  /// Weights flattened to [kernel * in_channels, out_channels]; row
+  /// (k * in_channels + c) holds tap k of input channel c.
+  Matrix weight;
+  Matrix bias;  ///< [1, out_channels]
+  std::size_t kernel = 3;
+  std::size_t in_channels = 1;
+  std::size_t out_channels = 1;
+  std::size_t stride = 1;
+  Activation act = Activation::kRelu;
+  /// Convolutional-dropout keep probability of each input channel.
+  double channel_keep_prob = 1.0;
+
+  /// Number of output time steps for an input with `in_len` steps.
+  std::size_t out_len(std::size_t in_len) const;
+
+  /// Validate dimensions; throws InvalidArgument on inconsistency.
+  void check() const;
+};
+
+/// Build a conv layer with He/Glorot-style initialization.
+Conv1dLayer make_conv1d(std::size_t kernel, std::size_t in_channels,
+                        std::size_t out_channels, std::size_t stride,
+                        Activation act, double channel_keep_prob, Rng& rng);
+
+/// Deterministic forward pass (dropout expectation folded in: inputs scaled
+/// by the keep probability). Input [batch, in_len * in_channels], output
+/// [batch, out_len * out_channels].
+Matrix conv1d_forward(const Conv1dLayer& layer, const Matrix& input,
+                      std::size_t in_len);
+
+/// One stochastic pass with a fresh per-sample, per-channel dropout mask.
+Matrix conv1d_forward_stochastic(const Conv1dLayer& layer, const Matrix& input,
+                                 std::size_t in_len, Rng& rng);
+
+/// A small convolutional network: conv stack, then the flattened features
+/// feed a fully-connected head (an Mlp-style dense layer list is kept by
+/// the caller; see ConvNet in conv_net.h).
+}  // namespace apds

@@ -1,0 +1,26 @@
+#include "conv/conv_apdeepsense.h"
+
+namespace apds {
+
+ConvApDeepSense::ConvApDeepSense(const ConvNet& net, ApDeepSenseConfig config)
+    : net_(&net), config_(config), head_(net.head(), config) {
+  conv_surrogates_.reserve(net.num_conv_layers());
+  for (std::size_t l = 0; l < net.num_conv_layers(); ++l)
+    conv_surrogates_.push_back(PiecewiseLinear::for_activation(
+        net.conv(l).act, config_.saturating_pieces));
+}
+
+MeanVar ConvApDeepSense::propagate(const Matrix& x) const {
+  return propagate(MeanVar::point(x));
+}
+
+MeanVar ConvApDeepSense::propagate(const MeanVar& input) const {
+  MeanVar h = input;
+  for (std::size_t l = 0; l < net_->num_conv_layers(); ++l) {
+    h = moment_conv1d(net_->conv(l), h, net_->layer_in_len(l),
+                      conv_surrogates_[l]);
+  }
+  return head_.propagate(h);
+}
+
+}  // namespace apds

@@ -1,0 +1,272 @@
+#include "conv/conv_net.h"
+
+#include <numeric>
+
+#include "common/error.h"
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+
+namespace apds {
+
+namespace {
+// Apply a [batch, channels] mask (or scalar keep prob) to a channel-
+// interleaved series, across all time steps.
+Matrix apply_channel_mask(const Matrix& x, const Matrix& mask,
+                          std::size_t channels) {
+  Matrix out = x;
+  const std::size_t steps = x.cols() / channels;
+  for (std::size_t b = 0; b < x.rows(); ++b)
+    for (std::size_t t = 0; t < steps; ++t)
+      for (std::size_t c = 0; c < channels; ++c)
+        out(b, t * channels + c) *= mask(b, c);
+  return out;
+}
+
+// Pre-activation convolution of an already-masked input.
+Matrix conv_preact(const Conv1dLayer& layer, const Matrix& masked,
+                   std::size_t in_len) {
+  const std::size_t out_t = layer.out_len(in_len);
+  const std::size_t window = layer.kernel * layer.in_channels;
+  Matrix pre(masked.rows(), out_t * layer.out_channels);
+  for (std::size_t b = 0; b < masked.rows(); ++b) {
+    const double* row = masked.data() + b * masked.cols();
+    for (std::size_t t = 0; t < out_t; ++t) {
+      const double* win = row + t * layer.stride * layer.in_channels;
+      double* out_pos = pre.data() + b * pre.cols() + t * layer.out_channels;
+      for (std::size_t oc = 0; oc < layer.out_channels; ++oc) {
+        double acc = layer.bias(0, oc);
+        for (std::size_t i = 0; i < window; ++i)
+          acc += win[i] * layer.weight(i, oc);
+        out_pos[oc] = acc;
+      }
+    }
+  }
+  return pre;
+}
+}  // namespace
+
+ConvNet::ConvNet(std::size_t input_len, std::size_t input_channels,
+                 std::vector<Conv1dLayer> convs, Mlp head)
+    : input_len_(input_len),
+      input_channels_(input_channels),
+      convs_(std::move(convs)),
+      head_(std::move(head)) {
+  APDS_CHECK(input_len_ > 0 && input_channels_ > 0);
+  std::size_t len = input_len_;
+  std::size_t channels = input_channels_;
+  for (std::size_t i = 0; i < convs_.size(); ++i) {
+    convs_[i].check();
+    APDS_CHECK_MSG(convs_[i].in_channels == channels,
+                   "ConvNet: conv layer " << i << " channel mismatch");
+    len = convs_[i].out_len(len);
+    channels = convs_[i].out_channels;
+  }
+  APDS_CHECK_MSG(head_.input_dim() == len * channels,
+                 "ConvNet: head expects " << head_.input_dim()
+                                          << " features, conv stack yields "
+                                          << len * channels);
+}
+
+const Conv1dLayer& ConvNet::conv(std::size_t i) const {
+  APDS_CHECK(i < convs_.size());
+  return convs_[i];
+}
+
+std::size_t ConvNet::layer_in_len(std::size_t i) const {
+  APDS_CHECK(i <= convs_.size());
+  std::size_t len = input_len_;
+  for (std::size_t l = 0; l < i; ++l) len = convs_[l].out_len(len);
+  return len;
+}
+
+std::size_t ConvNet::flat_dim() const {
+  return convs_.empty()
+             ? input_len_ * input_channels_
+             : layer_in_len(convs_.size()) * convs_.back().out_channels;
+}
+
+Matrix ConvNet::forward_deterministic(const Matrix& x) const {
+  Matrix h = x;
+  std::size_t len = input_len_;
+  for (const auto& layer : convs_) {
+    h = conv1d_forward(layer, h, len);
+    len = layer.out_len(len);
+  }
+  return head_.forward_deterministic(h);
+}
+
+Matrix ConvNet::forward_stochastic(const Matrix& x, Rng& rng) const {
+  Matrix h = x;
+  std::size_t len = input_len_;
+  for (const auto& layer : convs_) {
+    h = conv1d_forward_stochastic(layer, h, len, rng);
+    len = layer.out_len(len);
+  }
+  return head_.forward_stochastic(h, rng);
+}
+
+Matrix ConvNet::forward_train(const Matrix& x, Rng& rng,
+                              ConvForwardCache& cache) const {
+  cache.masked_inputs.clear();
+  cache.masks.clear();
+  cache.preacts.clear();
+
+  Matrix h = x;
+  std::size_t len = input_len_;
+  for (const auto& layer : convs_) {
+    Matrix mask(h.rows(), layer.in_channels, 1.0);
+    if (layer.channel_keep_prob < 1.0)
+      for (double& v : mask.flat())
+        v = rng.bernoulli(layer.channel_keep_prob) ? 1.0 : 0.0;
+    Matrix masked = apply_channel_mask(h, mask, layer.in_channels);
+    Matrix pre = conv_preact(layer, masked, len);
+    h = apply_activation(layer.act, pre);
+    cache.masks.push_back(std::move(mask));
+    cache.masked_inputs.push_back(std::move(masked));
+    cache.preacts.push_back(std::move(pre));
+    len = layer.out_len(len);
+  }
+  return head_.forward_train(h, rng, cache.head);
+}
+
+ConvNetGradients ConvNet::backward(const ConvForwardCache& cache,
+                                   const Matrix& grad_output) const {
+  APDS_CHECK(cache.preacts.size() == convs_.size());
+  ConvNetGradients grads;
+  grads.head = head_.backward(cache.head, grad_output);
+
+  // Gradient w.r.t. the flattened conv features = gradient w.r.t. the
+  // head's first masked input, pushed back through the head's first
+  // dropout mask.
+  Matrix delta_flat(grad_output.rows(), head_.input_dim());
+  {
+    // Recompute the head's first-layer delta exactly as Mlp::backward does.
+    const DenseLayer& first = head_.layer(0);
+    Matrix delta = hadamard(grad_output, activation_grad_matrix(
+                                             head_.layer(head_.num_layers() - 1)
+                                                 .act,
+                                             cache.head.preacts.back()));
+    for (std::size_t l = head_.num_layers(); l-- > 1;) {
+      Matrix dmasked(delta.rows(), head_.layer(l).in_dim());
+      gemm_nt(delta, head_.layer(l).weight, dmasked);
+      hadamard_inplace(dmasked, cache.head.masks[l]);
+      delta = hadamard(dmasked,
+                       activation_grad_matrix(head_.layer(l - 1).act,
+                                              cache.head.preacts[l - 1]));
+    }
+    gemm_nt(delta, first.weight, delta_flat);
+    hadamard_inplace(delta_flat, cache.head.masks[0]);
+  }
+
+  grads.dconv_weight.resize(convs_.size());
+  grads.dconv_bias.resize(convs_.size());
+
+  Matrix delta = std::move(delta_flat);  // dL/d conv-stack output
+  for (std::size_t l = convs_.size(); l-- > 0;) {
+    const Conv1dLayer& layer = convs_[l];
+    const std::size_t in_len = layer_in_len(l);
+    const std::size_t out_t = layer.out_len(in_len);
+    const std::size_t window = layer.kernel * layer.in_channels;
+
+    // Through the activation.
+    Matrix dpre =
+        hadamard(delta, activation_grad_matrix(layer.act, cache.preacts[l]));
+
+    Matrix dw(window, layer.out_channels);
+    Matrix db(1, layer.out_channels);
+    Matrix dmasked(dpre.rows(), in_len * layer.in_channels);
+
+    const Matrix& masked = cache.masked_inputs[l];
+    for (std::size_t b = 0; b < dpre.rows(); ++b) {
+      const double* in_row = masked.data() + b * masked.cols();
+      double* din_row = dmasked.data() + b * dmasked.cols();
+      for (std::size_t t = 0; t < out_t; ++t) {
+        const std::size_t base = t * layer.stride * layer.in_channels;
+        const double* d =
+            dpre.data() + b * dpre.cols() + t * layer.out_channels;
+        for (std::size_t oc = 0; oc < layer.out_channels; ++oc) {
+          const double g = d[oc];
+          if (g == 0.0) continue;
+          db(0, oc) += g;
+          for (std::size_t i = 0; i < window; ++i) {
+            dw(i, oc) += in_row[base + i] * g;
+            din_row[base + i] += layer.weight(i, oc) * g;
+          }
+        }
+      }
+    }
+    // Through the channel mask.
+    for (std::size_t b = 0; b < dmasked.rows(); ++b)
+      for (std::size_t t = 0; t < in_len; ++t)
+        for (std::size_t c = 0; c < layer.in_channels; ++c)
+          dmasked(b, t * layer.in_channels + c) *= cache.masks[l](b, c);
+
+    grads.dconv_weight[l] = std::move(dw);
+    grads.dconv_bias[l] = std::move(db);
+    delta = std::move(dmasked);
+  }
+  return grads;
+}
+
+std::vector<Matrix*> ConvNet::parameters() {
+  std::vector<Matrix*> ps;
+  for (auto& layer : convs_) {
+    ps.push_back(&layer.weight);
+    ps.push_back(&layer.bias);
+  }
+  for (Matrix* p : head_.parameters()) ps.push_back(p);
+  return ps;
+}
+
+std::vector<Matrix*> ConvNet::gradient_ptrs(ConvNetGradients& g) {
+  std::vector<Matrix*> ps;
+  for (std::size_t l = 0; l < g.dconv_weight.size(); ++l) {
+    ps.push_back(&g.dconv_weight[l]);
+    ps.push_back(&g.dconv_bias[l]);
+  }
+  for (Matrix* p : Mlp::gradient_ptrs(g.head)) ps.push_back(p);
+  return ps;
+}
+
+ConvTrainReport train_conv_net(ConvNet& net, const Matrix& x, const Matrix& y,
+                               const Loss& loss, std::size_t epochs,
+                               std::size_t batch_size, double learning_rate,
+                               Rng& rng) {
+  APDS_CHECK(x.rows() == y.rows() && batch_size > 0);
+  Adam optimizer(learning_rate);
+  const auto params = net.parameters();
+
+  std::vector<std::size_t> order(x.rows());
+  std::iota(order.begin(), order.end(), 0);
+
+  ConvTrainReport report;
+  ConvForwardCache cache;
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < order.size(); start += batch_size) {
+      const std::size_t end = std::min(order.size(), start + batch_size);
+      Matrix xb(end - start, x.cols());
+      Matrix yb(end - start, y.cols());
+      for (std::size_t r = start; r < end; ++r) {
+        std::copy(x.row(order[r]).begin(), x.row(order[r]).end(),
+                  xb.row(r - start).begin());
+        std::copy(y.row(order[r]).begin(), y.row(order[r]).end(),
+                  yb.row(r - start).begin());
+      }
+      const Matrix out = net.forward_train(xb, rng, cache);
+      const LossResult lr = loss.value_and_grad(out, yb);
+      ConvNetGradients grads = net.backward(cache, lr.grad);
+      optimizer.step(params, ConvNet::gradient_ptrs(grads));
+      epoch_loss += lr.value;
+      ++batches;
+    }
+    report.final_train_loss =
+        epoch_loss / static_cast<double>(std::max<std::size_t>(batches, 1));
+    report.epochs_run = epoch + 1;
+  }
+  return report;
+}
+
+}  // namespace apds

@@ -1,0 +1,83 @@
+// A small convolutional network: a stack of Conv1dLayer followed by a
+// fully-connected Mlp head over the flattened features. Supports training
+// (backprop through both parts) so "pre-trained convolutional networks
+// with dropout" exist for the extension experiments, mirroring how the
+// dense substrate supports the paper's original experiments.
+#pragma once
+
+#include <vector>
+
+#include "conv/conv1d.h"
+#include "nn/loss.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+
+namespace apds {
+
+/// Forward cache for ConvNet::backward.
+struct ConvForwardCache {
+  std::vector<Matrix> masked_inputs;  ///< per conv layer: x ∘ channel mask
+  std::vector<Matrix> masks;          ///< per conv layer: [batch, in_ch]
+  std::vector<Matrix> preacts;        ///< per conv layer: pre-activation
+  ForwardCache head;                  ///< dense head cache
+};
+
+/// Parameter gradients for ConvNet.
+struct ConvNetGradients {
+  std::vector<Matrix> dconv_weight;
+  std::vector<Matrix> dconv_bias;
+  MlpGradients head;
+};
+
+class ConvNet {
+ public:
+  /// `input_len` time steps of `input_channels` channels feed the conv
+  /// stack; the flattened conv output must match head.input_dim().
+  ConvNet(std::size_t input_len, std::size_t input_channels,
+          std::vector<Conv1dLayer> convs, Mlp head);
+
+  std::size_t input_len() const { return input_len_; }
+  std::size_t input_channels() const { return input_channels_; }
+  std::size_t num_conv_layers() const { return convs_.size(); }
+  const Conv1dLayer& conv(std::size_t i) const;
+  const Mlp& head() const { return head_; }
+
+  /// Length (time steps) of the features entering conv layer `i`.
+  std::size_t layer_in_len(std::size_t i) const;
+
+  /// Flattened feature width after the conv stack.
+  std::size_t flat_dim() const;
+
+  Matrix forward_deterministic(const Matrix& x) const;
+  Matrix forward_stochastic(const Matrix& x, Rng& rng) const;
+
+  /// Training pass: samples dropout masks, fills `cache`.
+  Matrix forward_train(const Matrix& x, Rng& rng,
+                       ConvForwardCache& cache) const;
+
+  /// Backprop dL/d output through the cached pass.
+  ConvNetGradients backward(const ConvForwardCache& cache,
+                            const Matrix& grad_output) const;
+
+  std::vector<Matrix*> parameters();
+  static std::vector<Matrix*> gradient_ptrs(ConvNetGradients& g);
+
+ private:
+  std::size_t input_len_;
+  std::size_t input_channels_;
+  std::vector<Conv1dLayer> convs_;
+  Mlp head_;
+};
+
+/// Minibatch training loop (Adam), mirroring train_mlp.
+struct ConvTrainReport {
+  std::size_t epochs_run = 0;
+  double final_train_loss = 0.0;
+};
+
+ConvTrainReport train_conv_net(ConvNet& net, const Matrix& x, const Matrix& y,
+                               const Loss& loss, std::size_t epochs,
+                               std::size_t batch_size, double learning_rate,
+                               Rng& rng);
+
+}  // namespace apds

@@ -1,0 +1,88 @@
+#include "conv/moment_pool.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "stats/gaussian.h"
+
+namespace apds {
+
+MaxMoments max_of_gaussians(double mu1, double var1, double mu2,
+                            double var2) {
+  APDS_CHECK(var1 >= 0.0 && var2 >= 0.0);
+  const double a2 = var1 + var2;
+  MaxMoments out;
+  if (a2 < 1e-24) {
+    // Both (near-)deterministic.
+    out.mean = std::max(mu1, mu2);
+    out.var = 0.0;
+    return out;
+  }
+  const double a = std::sqrt(a2);
+  const double alpha = (mu1 - mu2) / a;
+  const double cdf = std_normal_cdf(alpha);
+  const double cdf_neg = std_normal_cdf(-alpha);
+  const double pdf = std_normal_pdf(alpha);
+
+  out.mean = mu1 * cdf + mu2 * cdf_neg + a * pdf;
+  const double second = (mu1 * mu1 + var1) * cdf +
+                        (mu2 * mu2 + var2) * cdf_neg +
+                        (mu1 + mu2) * a * pdf;
+  out.var = std::max(0.0, second - out.mean * out.mean);
+  return out;
+}
+
+std::size_t MaxPool1d::out_len(std::size_t in_len) const {
+  APDS_CHECK(window > 0 && channels > 0);
+  APDS_CHECK_MSG(in_len % window == 0,
+                 "maxpool1d: input length not a multiple of the window");
+  return in_len / window;
+}
+
+Matrix maxpool1d_forward(const MaxPool1d& pool, const Matrix& input,
+                         std::size_t in_len) {
+  APDS_CHECK_MSG(input.cols() == in_len * pool.channels,
+                 "maxpool1d: input width");
+  const std::size_t out_t = pool.out_len(in_len);
+  Matrix out(input.rows(), out_t * pool.channels);
+  for (std::size_t b = 0; b < input.rows(); ++b) {
+    for (std::size_t t = 0; t < out_t; ++t) {
+      for (std::size_t c = 0; c < pool.channels; ++c) {
+        double m = -std::numeric_limits<double>::infinity();
+        for (std::size_t k = 0; k < pool.window; ++k)
+          m = std::max(m, input(b, (t * pool.window + k) * pool.channels + c));
+        out(b, t * pool.channels + c) = m;
+      }
+    }
+  }
+  return out;
+}
+
+MeanVar moment_maxpool1d(const MaxPool1d& pool, const MeanVar& input,
+                         std::size_t in_len) {
+  APDS_CHECK_MSG(input.dim() == in_len * pool.channels, "maxpool1d: width");
+  const std::size_t out_t = pool.out_len(in_len);
+  MeanVar out(input.batch(), out_t * pool.channels);
+  for (std::size_t b = 0; b < input.batch(); ++b) {
+    for (std::size_t t = 0; t < out_t; ++t) {
+      for (std::size_t c = 0; c < pool.channels; ++c) {
+        const std::size_t base = (t * pool.window) * pool.channels + c;
+        double mu = input.mean(b, base);
+        double var = input.var(b, base);
+        for (std::size_t k = 1; k < pool.window; ++k) {
+          const std::size_t i = base + k * pool.channels;
+          const MaxMoments m =
+              max_of_gaussians(mu, var, input.mean(b, i), input.var(b, i));
+          mu = m.mean;
+          var = m.var;
+        }
+        out.mean(b, t * pool.channels + c) = mu;
+        out.var(b, t * pool.channels + c) = var;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace apds

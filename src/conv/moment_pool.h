@@ -1,0 +1,42 @@
+// Closed-form moments of 1-D max pooling over Gaussian inputs — the last
+// basic CNN operation the paper's future-work direction needs. Uses
+// Clark's classic recursion (Clark, 1961): for independent X1 ~ N(mu1,
+// s1^2), X2 ~ N(mu2, s2^2), with a^2 = s1^2 + s2^2 and
+// alpha = (mu1 - mu2) / a,
+//   E[max]   = mu1 Phi(alpha) + mu2 Phi(-alpha) + a phi(alpha)
+//   E[max^2] = (mu1^2 + s1^2) Phi(alpha) + (mu2^2 + s2^2) Phi(-alpha)
+//            + (mu1 + mu2) a phi(alpha)
+// The running max is re-approximated as a Gaussian and folded with the
+// next window element (moment matching at every step — the same KL-optimal
+// projection as the rest of the pipeline, Lemma 1).
+#pragma once
+
+#include "core/gaussian_vec.h"
+
+namespace apds {
+
+/// Moments of max(X1, X2) for independent Gaussians.
+struct MaxMoments {
+  double mean = 0.0;
+  double var = 0.0;
+};
+MaxMoments max_of_gaussians(double mu1, double var1, double mu2, double var2);
+
+/// Pooling geometry: non-overlapping windows of `window` steps (stride ==
+/// window), per channel, channel-interleaved layout as in conv1d.h.
+struct MaxPool1d {
+  std::size_t window = 2;
+  std::size_t channels = 1;
+
+  std::size_t out_len(std::size_t in_len) const;
+};
+
+/// Deterministic max pooling of a batch of series.
+Matrix maxpool1d_forward(const MaxPool1d& pool, const Matrix& input,
+                         std::size_t in_len);
+
+/// Closed-form pooled moments of Gaussian inputs (Clark recursion).
+MeanVar moment_maxpool1d(const MaxPool1d& pool, const MeanVar& input,
+                         std::size_t in_len);
+
+}  // namespace apds

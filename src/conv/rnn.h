@@ -1,0 +1,59 @@
+// Recurrent extension (paper Section VI future work): an Elman-style RNN
+// cell with recurrent dropout, plus closed-form moment propagation.
+//
+//   h_t = f( x_t U + (h_{t-1} ∘ z_t) V + b ),   z_t ~ Bernoulli(p)
+//
+// Dropout variant: we resample the recurrent mask at every step (per-step
+// dropout). Gal & Ghahramani's recurrent dropout shares one mask across
+// all steps of a sequence; with a shared mask the step-to-step terms are
+// strongly correlated and no per-step closed form exists, so the tractable
+// per-step variant is what the analytic extension models — the same kind
+// of independence assumption the paper already makes across units.
+// Moments propagate step by step: the recurrent linear part uses the
+// paper's dropout-linear formulas (moment_linear), the input part is an
+// exact affine map of the (deterministic) input, and the activation uses
+// the PWL closed form. Temporal correlation of h_t is ignored
+// (diagonal-Gaussian state), mirroring the paper's diagonal assumption.
+#pragma once
+
+#include "common/rng.h"
+#include "core/gaussian_vec.h"
+#include "core/piecewise_linear.h"
+#include "nn/activation.h"
+#include "tensor/matrix.h"
+
+namespace apds {
+
+struct RnnCell {
+  Matrix w_in;   ///< [input_dim, hidden]
+  Matrix w_rec;  ///< [hidden, hidden]
+  Matrix bias;   ///< [1, hidden]
+  Activation act = Activation::kTanh;
+  /// Keep-probability of each recurrent unit (the dropout is on h_{t-1}).
+  double rec_keep_prob = 0.9;
+
+  std::size_t input_dim() const { return w_in.rows(); }
+  std::size_t hidden_dim() const { return w_in.cols(); }
+  void check() const;
+};
+
+/// Build a cell with Glorot-style initialization.
+RnnCell make_rnn_cell(std::size_t input_dim, std::size_t hidden_dim,
+                      Activation act, double rec_keep_prob, Rng& rng);
+
+/// Deterministic pass over a sequence stored step-interleaved
+/// ([batch, steps * input_dim]); dropout expectation folded in. Returns the
+/// final hidden state [batch, hidden].
+Matrix rnn_forward(const RnnCell& cell, const Matrix& x_seq,
+                   std::size_t steps);
+
+/// One stochastic pass with fresh per-step recurrent masks.
+Matrix rnn_forward_stochastic(const RnnCell& cell, const Matrix& x_seq,
+                              std::size_t steps, Rng& rng);
+
+/// Closed-form moments of the final hidden state under per-step recurrent
+/// dropout, using `surrogate` for the activation.
+MeanVar moment_rnn(const RnnCell& cell, const Matrix& x_seq,
+                   std::size_t steps, const PiecewiseLinear& surrogate);
+
+}  // namespace apds

@@ -1,0 +1,69 @@
+#include "core/adaptive_surrogate.h"
+
+#include <cmath>
+
+#include "stats/running_stats.h"
+#include "stats/special.h"
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+
+namespace apds {
+
+std::vector<PreactStats> collect_preact_stats(const Mlp& mlp,
+                                              const Matrix& x) {
+  APDS_CHECK_MSG(x.rows() > 0 && x.cols() == mlp.input_dim(),
+                 "collect_preact_stats: calibration batch shape");
+  std::vector<PreactStats> stats;
+  stats.reserve(mlp.num_layers());
+
+  Matrix h = x;
+  for (std::size_t l = 0; l < mlp.num_layers(); ++l) {
+    const DenseLayer& layer = mlp.layer(l);
+    if (layer.keep_prob < 1.0) scale_inplace(h, layer.keep_prob);
+    Matrix pre(h.rows(), layer.out_dim());
+    gemm(h, layer.weight, pre);
+    add_row_broadcast(pre, layer.bias);
+
+    RunningStats rs;
+    for (double v : pre.flat()) rs.add(v);
+    stats.push_back({rs.mean(), rs.stddev()});
+
+    h = apply_activation(layer.act, pre);
+  }
+  return stats;
+}
+
+std::vector<PiecewiseLinear> calibrate_surrogates(const Mlp& mlp,
+                                                  const Matrix& calib_x,
+                                                  std::size_t pieces,
+                                                  double min_sigma) {
+  APDS_CHECK(min_sigma > 0.0);
+  const auto stats = collect_preact_stats(mlp, calib_x);
+  std::vector<PiecewiseLinear> surrogates;
+  surrogates.reserve(mlp.num_layers());
+  for (std::size_t l = 0; l < mlp.num_layers(); ++l) {
+    const Activation act = mlp.layer(l).act;
+    if (act == Activation::kIdentity || act == Activation::kRelu) {
+      surrogates.push_back(PiecewiseLinear::for_activation(act, pieces));
+      continue;
+    }
+    const double sigma = std::max(stats[l].stddev, min_sigma);
+    // Cover the calibration distribution out to ~4 sigma. Deliberately NOT
+    // widened to the default +-3 range: a layer operating near zero wants
+    // all of its piece budget there, with the constant tails covering the
+    // (rare, by construction) excursions beyond.
+    const double range = std::fabs(stats[l].mean) + 4.0 * sigma;
+    if (act == Activation::kTanh) {
+      surrogates.push_back(PiecewiseLinear::fit_saturating_weighted(
+          [](double v) { return std::tanh(v); }, pieces, range,
+          stats[l].mean, sigma));
+    } else {
+      surrogates.push_back(PiecewiseLinear::fit_saturating_weighted(
+          [](double v) { return sigmoid(v); }, pieces, range, stats[l].mean,
+          sigma));
+    }
+  }
+  return surrogates;
+}
+
+}  // namespace apds

@@ -1,0 +1,42 @@
+// Adaptive surrogate calibration (our extension to Section III-D).
+//
+// The paper fits one fixed piece-wise linear surrogate per activation
+// function. But the surrogate's approximation error is paid where a
+// layer's PRE-ACTIVATIONS actually live, and that distribution varies by
+// layer and by network: a near-linear regression head keeps tanh inputs
+// within ±0.3, while a saturating classifier pushes them past ±2. This
+// module runs one deterministic pass over a calibration batch, records
+// each layer's pre-activation mean and spread, and refits that layer's
+// surrogate with the fit weight centered on the observed distribution.
+// Same piece count, same inference cost — only the offline fit changes.
+// The `ablation_surrogate` bench quantifies the gain on DNN-Tanh tasks.
+#pragma once
+
+#include <vector>
+
+#include "core/piecewise_linear.h"
+#include "nn/mlp.h"
+
+namespace apds {
+
+/// Observed pre-activation statistics of one layer.
+struct PreactStats {
+  double mean = 0.0;
+  double stddev = 1.0;
+};
+
+/// Deterministic-pass pre-activation statistics for every layer of `mlp`
+/// over the calibration batch `x`.
+std::vector<PreactStats> collect_preact_stats(const Mlp& mlp,
+                                              const Matrix& x);
+
+/// Per-layer surrogates: exact for identity/ReLU; for tanh/sigmoid a
+/// `pieces`-piece fit whose weighting matches the layer's observed
+/// pre-activation distribution (stddev floored at `min_sigma` so layers
+/// with collapsed pre-activations still get a usable fit).
+std::vector<PiecewiseLinear> calibrate_surrogates(const Mlp& mlp,
+                                                  const Matrix& calib_x,
+                                                  std::size_t pieces = 7,
+                                                  double min_sigma = 0.05);
+
+}  // namespace apds

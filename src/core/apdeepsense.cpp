@@ -1,0 +1,69 @@
+#include "core/apdeepsense.h"
+
+#include "tensor/ops.h"
+
+namespace apds {
+
+ApDeepSense::ApDeepSense(const Mlp& mlp, ApDeepSenseConfig config)
+    : mlp_(&mlp), config_(config) {
+  APDS_CHECK(config_.saturating_pieces >= 3);
+  surrogates_.reserve(mlp.num_layers());
+  weight_sq_.reserve(mlp.num_layers());
+  for (std::size_t l = 0; l < mlp.num_layers(); ++l) {
+    surrogates_.push_back(PiecewiseLinear::for_activation(
+        mlp.layer(l).act, config_.saturating_pieces));
+    weight_sq_.push_back(square(mlp.layer(l).weight));
+  }
+}
+
+ApDeepSense::ApDeepSense(const Mlp& mlp,
+                         std::vector<PiecewiseLinear> surrogates)
+    : mlp_(&mlp), surrogates_(std::move(surrogates)) {
+  APDS_CHECK_MSG(surrogates_.size() == mlp.num_layers(),
+                 "ApDeepSense: one surrogate per layer required");
+  weight_sq_.reserve(mlp.num_layers());
+  for (std::size_t l = 0; l < mlp.num_layers(); ++l)
+    weight_sq_.push_back(square(mlp.layer(l).weight));
+}
+
+MeanVar ApDeepSense::propagate(const Matrix& x) const {
+  return propagate(MeanVar::point(x));
+}
+
+MeanVar ApDeepSense::propagate(const MeanVar& input) const {
+  MeanVar h = input;
+  for (std::size_t l = 0; l < mlp_->num_layers(); ++l) {
+    const DenseLayer& layer = mlp_->layer(l);
+    h = moment_linear(h, layer.weight, weight_sq_[l], layer.bias,
+                      layer.keep_prob);
+    moment_activation_inplace(surrogates_[l], h);
+  }
+  return h;
+}
+
+GaussianVec ApDeepSense::propagate_one(std::span<const double> x) const {
+  const MeanVar out = propagate(MeanVar::point(Matrix::row_vector(x)));
+  return out.row(0);
+}
+
+MeanVar ApDeepSense::propagate_recording(
+    const MeanVar& input, std::vector<MeanVar>& layer_outputs) const {
+  layer_outputs.clear();
+  layer_outputs.reserve(mlp_->num_layers());
+  MeanVar h = input;
+  for (std::size_t l = 0; l < mlp_->num_layers(); ++l) {
+    const DenseLayer& layer = mlp_->layer(l);
+    h = moment_linear(h, layer.weight, weight_sq_[l], layer.bias,
+                      layer.keep_prob);
+    moment_activation_inplace(surrogates_[l], h);
+    layer_outputs.push_back(h);
+  }
+  return h;
+}
+
+const PiecewiseLinear& ApDeepSense::surrogate(std::size_t l) const {
+  APDS_CHECK(l < surrogates_.size());
+  return surrogates_[l];
+}
+
+}  // namespace apds

@@ -1,0 +1,68 @@
+// ApDeepSense: sampling-free uncertainty propagation through a pre-trained
+// dropout MLP (the paper's primary contribution, Section III).
+//
+// A single analytic pass alternates the closed-form dropout-linear moments
+// (moment_linear) with the closed-form PWL activation moments
+// (moment_activation), producing the full diagonal-Gaussian predictive
+// distribution at the output. No retraining, no sampling.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/gaussian_vec.h"
+#include "core/moment_activation.h"
+#include "core/moment_linear.h"
+#include "core/piecewise_linear.h"
+#include "nn/mlp.h"
+
+namespace apds {
+
+struct ApDeepSenseConfig {
+  /// Piece count for the tanh/sigmoid surrogates (paper uses 7).
+  std::size_t saturating_pieces = 7;
+};
+
+/// Analytic uncertainty propagator bound to one network.
+///
+/// The surrogate PWL functions are resolved once per distinct activation at
+/// construction, so propagate() is allocation-light and branch-free over
+/// layer structure.
+class ApDeepSense {
+ public:
+  explicit ApDeepSense(const Mlp& mlp, ApDeepSenseConfig config = {});
+
+  /// Bind with explicit per-layer surrogates (one per weight layer), e.g.
+  /// from calibrate_surrogates() in adaptive_surrogate.h.
+  ApDeepSense(const Mlp& mlp, std::vector<PiecewiseLinear> surrogates);
+
+  /// Propagate a deterministic input batch; returns the Gaussian output.
+  MeanVar propagate(const Matrix& x) const;
+
+  /// Propagate an uncertain (Gaussian) input batch — e.g. sensor noise
+  /// models feeding uncertainty in at the input.
+  MeanVar propagate(const MeanVar& input) const;
+
+  /// Single-input convenience.
+  GaussianVec propagate_one(std::span<const double> x) const;
+
+  /// Propagate and also record the per-layer post-activation Gaussians
+  /// (used by the Fig. 1 toy validation and by tests). layer_outputs[l]
+  /// is the distribution after layer l's activation.
+  MeanVar propagate_recording(const MeanVar& input,
+                              std::vector<MeanVar>& layer_outputs) const;
+
+  const Mlp& network() const { return *mlp_; }
+  const ApDeepSenseConfig& config() const { return config_; }
+
+  /// The PWL surrogate used for layer l's activation.
+  const PiecewiseLinear& surrogate(std::size_t l) const;
+
+ private:
+  const Mlp* mlp_;  ///< non-owning; must outlive this object
+  ApDeepSenseConfig config_;
+  std::vector<PiecewiseLinear> surrogates_;  ///< one per layer
+  std::vector<Matrix> weight_sq_;            ///< cached W∘W per layer
+};
+
+}  // namespace apds

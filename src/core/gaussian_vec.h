@@ -1,0 +1,69 @@
+// Diagonal-Gaussian value types flowing through ApDeepSense.
+//
+// The paper approximates every intermediate layer output by a multivariate
+// Gaussian with diagonal covariance (Section III-A); GaussianVec is that
+// object for a single input, MeanVar the batched form.
+#pragma once
+
+#include <vector>
+
+#include "common/error.h"
+#include "tensor/matrix.h"
+
+namespace apds {
+
+/// A diagonal Gaussian over a vector: per-element mean and variance.
+struct GaussianVec {
+  std::vector<double> mean;
+  std::vector<double> var;
+
+  GaussianVec() = default;
+
+  explicit GaussianVec(std::size_t dim) : mean(dim, 0.0), var(dim, 0.0) {}
+
+  /// Deterministic point (zero variance).
+  static GaussianVec point(std::vector<double> values) {
+    GaussianVec g;
+    g.var.assign(values.size(), 0.0);
+    g.mean = std::move(values);
+    return g;
+  }
+
+  std::size_t dim() const { return mean.size(); }
+
+  void check_consistent() const {
+    APDS_CHECK_MSG(mean.size() == var.size(), "GaussianVec: mean/var dims");
+    for (double v : var) APDS_CHECK_MSG(v >= 0.0, "GaussianVec: negative var");
+  }
+};
+
+/// Batched diagonal Gaussians: row i of `mean`/`var` describes sample i.
+struct MeanVar {
+  Matrix mean;  ///< [batch, dim]
+  Matrix var;   ///< [batch, dim]
+
+  MeanVar() = default;
+  MeanVar(std::size_t batch, std::size_t dim)
+      : mean(batch, dim), var(batch, dim) {}
+
+  /// Deterministic batch (zero variance).
+  static MeanVar point(Matrix values) {
+    MeanVar mv;
+    mv.var = Matrix(values.rows(), values.cols());
+    mv.mean = std::move(values);
+    return mv;
+  }
+
+  std::size_t batch() const { return mean.rows(); }
+  std::size_t dim() const { return mean.cols(); }
+
+  /// Extract row r as a GaussianVec.
+  GaussianVec row(std::size_t r) const {
+    GaussianVec g;
+    g.mean.assign(mean.row(r).begin(), mean.row(r).end());
+    g.var.assign(var.row(r).begin(), var.row(r).end());
+    return g;
+  }
+};
+
+}  // namespace apds

@@ -1,0 +1,60 @@
+#include "core/moment_activation.h"
+
+#include <cmath>
+
+#include "stats/gaussian.h"
+
+namespace apds {
+
+ScalarMoments activation_moments(const PiecewiseLinear& f, double mu,
+                                 double var) {
+  APDS_CHECK_MSG(var >= 0.0, "activation_moments: negative variance");
+  ScalarMoments out;
+  if (var < kDeterministicVar) {
+    // Local linearization around a (near-)point mass.
+    for (const auto& p : f.pieces()) {
+      if (mu < p.hi || &p == &f.pieces().back()) {
+        out.mean = p.eval(mu);
+        out.var = p.k * p.k * var;
+        break;
+      }
+    }
+    return out;
+  }
+
+  const double sigma = std::sqrt(var);
+  double ey = 0.0;
+  double ey2 = 0.0;
+  for (const auto& p : f.pieces()) {
+    const PartialMoments pm = truncated_moments(p.lo, p.hi, mu, sigma);
+    if (pm.mass <= 0.0 && pm.first == 0.0 && pm.second == 0.0) continue;
+    // E[X 1] and E[X^2 1] from central partial moments.
+    const double ex1 = mu * pm.mass + pm.first;
+    const double ex2 = pm.second + 2.0 * mu * pm.first + mu * mu * pm.mass;
+    ey += p.k * ex1 + p.c * pm.mass;
+    ey2 += p.k * p.k * ex2 + 2.0 * p.k * p.c * ex1 + p.c * p.c * pm.mass;
+  }
+  out.mean = ey;
+  out.var = std::max(0.0, ey2 - ey * ey);
+  return out;
+}
+
+void moment_activation_inplace(const PiecewiseLinear& f, MeanVar& mv) {
+  double* m = mv.mean.data();
+  double* v = mv.var.data();
+  for (std::size_t i = 0; i < mv.mean.size(); ++i) {
+    const ScalarMoments sm = activation_moments(f, m[i], v[i]);
+    m[i] = sm.mean;
+    v[i] = sm.var;
+  }
+}
+
+void moment_activation_inplace(const PiecewiseLinear& f, GaussianVec& g) {
+  for (std::size_t i = 0; i < g.dim(); ++i) {
+    const ScalarMoments sm = activation_moments(f, g.mean[i], g.var[i]);
+    g.mean[i] = sm.mean;
+    g.var[i] = sm.var;
+  }
+}
+
+}  // namespace apds

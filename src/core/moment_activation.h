@@ -1,0 +1,39 @@
+// Closed-form moments of a piece-wise linear activation of a Gaussian
+// (paper Section III-D, Eq. 11–26).
+//
+// For X ~ N(mu, sigma^2) and a PWL function f with pieces y = k_p x + c_p on
+// (a_p, b_p), the output moments decompose over pieces using the truncated-
+// Gaussian partial moments D_p (mass), M_p (first) and V_p (second):
+//   E[Y]   = sum_p  k_p (mu D_p + M_p) + c_p D_p
+//   E[Y^2] = sum_p  k_p^2 (V_p + 2 mu M_p + mu^2 D_p)
+//                 + 2 k_p c_p (mu D_p + M_p) + c_p^2 D_p
+//   Var[Y] = E[Y^2] - E[Y]^2
+// This is algebraically identical to the paper's Eq. 18/20/21/22 route but
+// evaluated in x-space, which avoids the k_p = 0 special case blowing up.
+#pragma once
+
+#include "core/gaussian_vec.h"
+#include "core/piecewise_linear.h"
+
+namespace apds {
+
+/// Mean and variance of f(X) for X ~ N(mu, sigma^2). A near-deterministic
+/// input (sigma^2 below `kDeterministicVar`) short-circuits to a local
+/// linearization: mean f(mu), variance k^2 sigma^2 of the piece containing mu.
+struct ScalarMoments {
+  double mean = 0.0;
+  double var = 0.0;
+};
+
+inline constexpr double kDeterministicVar = 1e-18;
+
+ScalarMoments activation_moments(const PiecewiseLinear& f, double mu,
+                                 double var);
+
+/// Apply activation_moments elementwise across a batch, in place.
+void moment_activation_inplace(const PiecewiseLinear& f, MeanVar& mv);
+
+/// Single-vector variant, in place.
+void moment_activation_inplace(const PiecewiseLinear& f, GaussianVec& g);
+
+}  // namespace apds

@@ -1,0 +1,54 @@
+#include "core/moment_linear.h"
+
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+
+namespace apds {
+
+MeanVar moment_linear(const MeanVar& input, const Matrix& weight,
+                      const Matrix& weight_sq, const Matrix& bias,
+                      double keep_prob) {
+  APDS_CHECK_MSG(input.dim() == weight.rows(), "moment_linear: input dim");
+  APDS_CHECK_MSG(weight_sq.same_shape(weight), "moment_linear: weight_sq");
+  APDS_CHECK(keep_prob > 0.0 && keep_prob <= 1.0);
+  const double p = keep_prob;
+
+  MeanVar out(input.batch(), weight.cols());
+
+  // E[y] = (mu * p) W + b.
+  Matrix scaled_mean = scale(input.mean, p);
+  gemm(scaled_mean, weight, out.mean);
+  add_row_broadcast(out.mean, bias);
+
+  // Var[y] = ((mu^2 + sigma^2) p - mu^2 p^2) W^2.
+  Matrix mu2 = square(input.mean);
+  Matrix second = add(mu2, input.var);  // E[x^2]
+  scale_inplace(second, p);
+  scale_inplace(mu2, p * p);
+  sub_inplace(second, mu2);  // now: variance contribution per input unit
+  gemm(second, weight_sq, out.var);
+
+  // Clamp tiny negative values caused by floating-point cancellation when
+  // p == 1 and sigma == 0.
+  for (double& v : out.var.flat())
+    if (v < 0.0) v = 0.0;
+  return out;
+}
+
+MeanVar moment_linear(const MeanVar& input, const Matrix& weight,
+                      const Matrix& bias, double keep_prob) {
+  return moment_linear(input, weight, square(weight), bias, keep_prob);
+}
+
+MeanVar moment_linear(const MeanVar& input, const DenseLayer& layer) {
+  return moment_linear(input, layer.weight, layer.bias, layer.keep_prob);
+}
+
+GaussianVec moment_linear(const GaussianVec& input, const DenseLayer& layer) {
+  MeanVar batch(1, input.dim());
+  std::copy(input.mean.begin(), input.mean.end(), batch.mean.row(0).begin());
+  std::copy(input.var.begin(), input.var.end(), batch.var.row(0).begin());
+  return moment_linear(batch, layer).row(0);
+}
+
+}  // namespace apds

@@ -1,0 +1,34 @@
+// Closed-form moments of a dropout linear layer (paper Eq. 6–10).
+//
+// Given independent inputs x_i ~ N(mu_i, sigma_i^2), Bernoulli keep-masks
+// z_i ~ Bern(p), weights W and bias b, the output y = (x ∘ z) W + b has
+//   E[y]   = (mu ∘ p) W + b
+//   Var[y] = ((mu^2 + sigma^2) ∘ p  -  mu^2 ∘ p^2) W^2
+// where W^2 is the elementwise square (paper's notation). Both are plain
+// matrix products, which is the source of ApDeepSense's efficiency.
+#pragma once
+
+#include "core/gaussian_vec.h"
+#include "nn/mlp.h"
+
+namespace apds {
+
+/// Propagate a batch of diagonal Gaussians through one dense layer's linear
+/// part (weights, bias, dropout) — activation NOT applied. `weight_sq` must
+/// be the elementwise square of `weight`; callers that propagate repeatedly
+/// (ApDeepSense) precompute it once per model.
+MeanVar moment_linear(const MeanVar& input, const Matrix& weight,
+                      const Matrix& weight_sq, const Matrix& bias,
+                      double keep_prob);
+
+/// Convenience overload that squares the weights on the fly.
+MeanVar moment_linear(const MeanVar& input, const Matrix& weight,
+                      const Matrix& bias, double keep_prob);
+
+/// Convenience overload taking the layer struct.
+MeanVar moment_linear(const MeanVar& input, const DenseLayer& layer);
+
+/// Single-vector variant.
+GaussianVec moment_linear(const GaussianVec& input, const DenseLayer& layer);
+
+}  // namespace apds

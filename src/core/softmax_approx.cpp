@@ -1,0 +1,34 @@
+#include "core/softmax_approx.h"
+
+#include <cmath>
+
+#include "stats/special.h"
+
+namespace apds {
+
+std::vector<double> softmax_meanfield(const GaussianVec& logits) {
+  logits.check_consistent();
+  std::vector<double> shrunk(logits.dim());
+  constexpr double kLambda = M_PI / 8.0;
+  for (std::size_t i = 0; i < shrunk.size(); ++i)
+    shrunk[i] = logits.mean[i] / std::sqrt(1.0 + kLambda * logits.var[i]);
+  return softmax(shrunk);
+}
+
+std::vector<double> softmax_monte_carlo(const GaussianVec& logits,
+                                        std::size_t samples, Rng& rng) {
+  logits.check_consistent();
+  APDS_CHECK(samples > 0);
+  std::vector<double> acc(logits.dim(), 0.0);
+  std::vector<double> draw(logits.dim());
+  for (std::size_t s = 0; s < samples; ++s) {
+    for (std::size_t i = 0; i < draw.size(); ++i)
+      draw[i] = rng.normal(logits.mean[i], std::sqrt(logits.var[i]));
+    const auto p = softmax(draw);
+    for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += p[i];
+  }
+  for (double& v : acc) v /= static_cast<double>(samples);
+  return acc;
+}
+
+}  // namespace apds

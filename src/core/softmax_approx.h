@@ -1,0 +1,27 @@
+// Class probabilities from Gaussian logits.
+//
+// For classification, ApDeepSense's analytic pass ends with a diagonal
+// Gaussian over logits. The expected softmax has no closed form; we use the
+// standard mean-field probit approximation — each logit is shrunk by its own
+// uncertainty before a regular softmax:
+//   p ∝ softmax( mu_i / sqrt(1 + (pi/8) var_i) )
+// An explicit Monte-Carlo variant over the output Gaussian (cheap: only the
+// last layer is sampled) is provided for validation/ablation.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/gaussian_vec.h"
+
+namespace apds {
+
+/// Mean-field probit-corrected softmax of Gaussian logits.
+std::vector<double> softmax_meanfield(const GaussianVec& logits);
+
+/// Monte-Carlo expected softmax over the Gaussian logits (ground truth for
+/// validating the mean-field approximation).
+std::vector<double> softmax_monte_carlo(const GaussianVec& logits,
+                                        std::size_t samples, Rng& rng);
+
+}  // namespace apds

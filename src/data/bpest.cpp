@@ -1,0 +1,71 @@
+#include "data/bpest.h"
+
+#include <cmath>
+
+namespace apds {
+
+namespace {
+// One cardiac pulse shape on phase u in [0, 1): fast rise, exponential-ish
+// decay, optional dicrotic (secondary) bump. Returns a value in [0, ~1].
+double pulse_shape(double u, double rise, double decay, double dicrotic) {
+  // Primary wave: gamma-like bump peaking near u = rise.
+  const double primary =
+      std::exp(-0.5 * std::pow((u - rise) / (0.35 * rise + 0.02), 2.0)) +
+      std::exp(-(u - rise) / decay) * (u > rise ? 0.55 : 0.0);
+  // Dicrotic wave around u = rise + 0.25.
+  const double d_center = rise + 0.25;
+  const double dic =
+      dicrotic * std::exp(-0.5 * std::pow((u - d_center) / 0.06, 2.0));
+  return std::min(1.4, primary + dic);
+}
+}  // namespace
+
+Dataset generate_bpest(std::size_t n, Rng& rng, const BpestConfig& config) {
+  const std::size_t len = config.window_len;
+  Dataset data;
+  data.name = "bpest";
+  data.kind = TaskKind::kRegression;
+  data.x = Matrix(n, len);
+  data.y = Matrix(n, len);
+
+  const double dt = 1.0 / config.sample_rate_hz;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Latent cardiac state for this window.
+    const double hr = rng.uniform(55.0, 95.0);        // beats per minute
+    const double period = 60.0 / hr;                  // seconds
+    const double phase0 = rng.uniform(0.0, 1.0);      // beat phase offset
+    const double rise = rng.uniform(0.10, 0.22);      // pulse rise fraction
+    const double decay = rng.uniform(0.15, 0.35);     // decay constant
+    const double dicrotic = rng.uniform(0.05, 0.45);  // notch strength
+    const double amp = rng.uniform(0.7, 1.0);         // optical coupling
+
+    // Blood pressure is a nonlinear function of the same morphology:
+    // stiffer (fast-decay, weak-dicrotic) pulses ride at higher pressure.
+    const double sbp = 95.0 + 55.0 * (1.0 - dicrotic) + 60.0 * (0.35 - decay) +
+                       40.0 * (hr - 75.0) / 75.0 +
+                       rng.normal(0.0, config.sbp_jitter_mmhg);
+    const double dbp = 55.0 + 28.0 * (1.0 - dicrotic) +
+                       15.0 * (hr - 75.0) / 75.0 +
+                       rng.normal(0.0, config.dbp_jitter_mmhg);
+    const double pulse_pressure = std::max(20.0, sbp - dbp);
+
+    for (std::size_t t = 0; t < len; ++t) {
+      const double time = static_cast<double>(t) * dt;
+      double u = time / period + phase0;
+      u -= std::floor(u);  // phase within the current beat
+
+      const double shape = pulse_shape(u, rise, decay, dicrotic);
+      data.x(i, t) =
+          amp * shape / 1.4 + rng.normal(0.0, config.ppg_noise);
+      // ABP shares the beat shape but with a sharper systolic upstroke.
+      const double abp_shape =
+          pulse_shape(u, rise * 0.8, decay * 1.2, dicrotic * 0.6) / 1.4;
+      data.y(i, t) =
+          dbp + pulse_pressure * abp_shape +
+          rng.normal(0.0, config.abp_noise_mmhg);
+    }
+  }
+  return data;
+}
+
+}  // namespace apds

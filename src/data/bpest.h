@@ -1,0 +1,31 @@
+// BPEst — synthetic cuff-less blood-pressure task (substitute for the UCI
+// PPG/ABP dataset; see DESIGN.md §2).
+//
+// Each sample is a 2-second window at 125 Hz (250 samples). A latent cardiac
+// state (heart rate, pulse rise/decay shape, dicrotic-notch strength) drives
+// BOTH waveforms: the input PPG is a normalized pulse train with optical
+// noise, and the target ABP is the pressure waveform whose systolic and
+// diastolic levels are nonlinear functions of the same latent morphology
+// plus physiological noise. A network can therefore recover ABP from PPG up
+// to an irreducible noise floor, exactly the structure the real task has.
+#pragma once
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace apds {
+
+struct BpestConfig {
+  std::size_t window_len = 250;     ///< samples per 2-second window
+  double sample_rate_hz = 125.0;
+  double ppg_noise = 0.03;          ///< optical measurement noise (normalized)
+  double abp_noise_mmhg = 2.0;      ///< cuff reference noise
+  double sbp_jitter_mmhg = 5.0;     ///< irreducible systolic spread
+  double dbp_jitter_mmhg = 4.0;     ///< irreducible diastolic spread
+};
+
+/// Generate `n` PPG→ABP window pairs. x: [n, window_len] PPG in [0, ~1];
+/// y: [n, window_len] ABP in mmHg (~60–180).
+Dataset generate_bpest(std::size_t n, Rng& rng, const BpestConfig& config = {});
+
+}  // namespace apds

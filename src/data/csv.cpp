@@ -1,0 +1,57 @@
+#include "data/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace apds {
+
+void write_csv(const std::string& path, const Matrix& m,
+               std::span<const std::string> header) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) throw IoError("write_csv: cannot open " + path);
+  if (!header.empty()) {
+    APDS_CHECK_MSG(header.size() == m.cols(), "write_csv: header width");
+    for (std::size_t c = 0; c < header.size(); ++c)
+      os << header[c] << (c + 1 < header.size() ? "," : "\n");
+  }
+  os.precision(12);
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c)
+      os << m(r, c) << (c + 1 < m.cols() ? "," : "\n");
+  if (!os) throw IoError("write_csv: write failure on " + path);
+}
+
+Matrix read_csv(const std::string& path, bool skip_header) {
+  std::ifstream is(path);
+  if (!is) throw IoError("read_csv: cannot open " + path);
+  std::string line;
+  if (skip_header && !std::getline(is, line))
+    throw IoError("read_csv: empty file " + path);
+
+  std::vector<double> values;
+  std::size_t cols = 0;
+  std::size_t rows = 0;
+  while (std::getline(is, line)) {
+    if (trim(line).empty()) continue;
+    const auto fields = split(line, ',');
+    if (cols == 0)
+      cols = fields.size();
+    else if (fields.size() != cols)
+      throw IoError("read_csv: ragged row in " + path);
+    for (const auto& f : fields) {
+      char* end = nullptr;
+      const std::string t = trim(f);
+      const double v = std::strtod(t.c_str(), &end);
+      if (end == t.c_str() || *end != '\0')
+        throw IoError("read_csv: non-numeric cell '" + t + "' in " + path);
+      values.push_back(v);
+    }
+    ++rows;
+  }
+  return Matrix::from_data(rows, cols, std::move(values));
+}
+
+}  // namespace apds

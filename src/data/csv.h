@@ -1,0 +1,19 @@
+// Numeric CSV reading/writing, so datasets and results can be exported for
+// plotting and so users can load their own recorded sensor data.
+#pragma once
+
+#include <string>
+
+#include "tensor/matrix.h"
+
+namespace apds {
+
+/// Write a matrix as CSV with an optional header row.
+void write_csv(const std::string& path, const Matrix& m,
+               std::span<const std::string> header = {});
+
+/// Read a numeric CSV. If `skip_header` the first line is ignored. Throws
+/// IoError on unreadable files or non-numeric cells.
+Matrix read_csv(const std::string& path, bool skip_header = false);
+
+}  // namespace apds

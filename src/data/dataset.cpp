@@ -1,0 +1,58 @@
+#include "data/dataset.h"
+
+#include <numeric>
+
+#include "common/error.h"
+
+namespace apds {
+
+Dataset Dataset::subset(std::span<const std::size_t> idx) const {
+  Dataset out;
+  out.name = name;
+  out.kind = kind;
+  out.x = Matrix(idx.size(), x.cols());
+  out.y = Matrix(idx.size(), y.cols());
+  for (std::size_t r = 0; r < idx.size(); ++r) {
+    APDS_CHECK(idx[r] < size());
+    std::copy(x.row(idx[r]).begin(), x.row(idx[r]).end(),
+              out.x.row(r).begin());
+    std::copy(y.row(idx[r]).begin(), y.row(idx[r]).end(),
+              out.y.row(r).begin());
+  }
+  return out;
+}
+
+DataSplit split_dataset(const Dataset& data, double val_frac, double test_frac,
+                        Rng& rng) {
+  APDS_CHECK(val_frac >= 0.0 && test_frac >= 0.0 &&
+             val_frac + test_frac < 1.0);
+  APDS_CHECK(data.size() >= 3);
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+
+  const auto n = data.size();
+  const auto n_val = static_cast<std::size_t>(val_frac * static_cast<double>(n));
+  const auto n_test =
+      static_cast<std::size_t>(test_frac * static_cast<double>(n));
+  const std::size_t n_train = n - n_val - n_test;
+
+  const std::span<const std::size_t> all(order);
+  DataSplit split;
+  split.train = data.subset(all.subspan(0, n_train));
+  split.val = data.subset(all.subspan(n_train, n_val));
+  split.test = data.subset(all.subspan(n_train + n_val, n_test));
+  return split;
+}
+
+Matrix labels_to_onehot(std::span<const std::size_t> labels,
+                        std::size_t num_classes) {
+  Matrix y(labels.size(), num_classes);
+  for (std::size_t r = 0; r < labels.size(); ++r) {
+    APDS_CHECK_MSG(labels[r] < num_classes, "label out of range");
+    y(r, labels[r]) = 1.0;
+  }
+  return y;
+}
+
+}  // namespace apds

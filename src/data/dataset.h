@@ -1,0 +1,44 @@
+// Dataset container and splitting utilities.
+#pragma once
+
+#include <string>
+
+#include "common/rng.h"
+#include "tensor/matrix.h"
+#include "uncertainty/predictive.h"
+
+namespace apds {
+
+/// An in-memory supervised dataset. For classification tasks `y` holds
+/// one-hot rows; for regression, raw target values.
+struct Dataset {
+  std::string name;
+  TaskKind kind = TaskKind::kRegression;
+  Matrix x;  ///< [n, input_dim]
+  Matrix y;  ///< [n, output_dim] (one-hot columns for classification)
+
+  std::size_t size() const { return x.rows(); }
+  std::size_t input_dim() const { return x.cols(); }
+  std::size_t output_dim() const { return y.cols(); }
+
+  /// Subset by row indices.
+  Dataset subset(std::span<const std::size_t> idx) const;
+};
+
+/// Train/validation/test partition of one dataset.
+struct DataSplit {
+  Dataset train;
+  Dataset val;
+  Dataset test;
+};
+
+/// Shuffle and partition: `val_frac` and `test_frac` of rows go to the
+/// validation and test sets respectively, the rest to train.
+DataSplit split_dataset(const Dataset& data, double val_frac, double test_frac,
+                        Rng& rng);
+
+/// Encode class indices as one-hot rows.
+Matrix labels_to_onehot(std::span<const std::size_t> labels,
+                        std::size_t num_classes);
+
+}  // namespace apds

@@ -1,0 +1,52 @@
+#include "data/gassen.h"
+
+#include <cmath>
+
+namespace apds {
+
+Dataset generate_gassen(std::size_t n, Rng& rng, const GasSenConfig& config) {
+  const std::size_t s = config.num_sensors;
+  Dataset data;
+  data.name = "gassen";
+  data.kind = TaskKind::kRegression;
+  data.x = Matrix(n, s);
+  data.y = Matrix(n, 2);
+
+  // Fixed sensor personalities: every run of the generator sees the same
+  // physical array, only the mixtures and noise vary with `rng`.
+  Rng sensor_rng(config.sensor_seed);
+  std::vector<double> base(s), sens_eth(s), sens_co(s), cross(s), gamma_eth(s),
+      gamma_co(s);
+  for (std::size_t j = 0; j < s; ++j) {
+    base[j] = sensor_rng.uniform(0.1, 0.4);
+    sens_eth[j] = sensor_rng.uniform(0.2, 1.0);
+    sens_co[j] = sensor_rng.uniform(0.2, 1.0);
+    cross[j] = sensor_rng.uniform(-0.15, 0.15);
+    gamma_eth[j] = sensor_rng.uniform(0.5, 0.8);
+    gamma_co[j] = sensor_rng.uniform(0.5, 0.8);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double c_eth =
+        rng.bernoulli(config.zero_prob) ? 0.0 : rng.uniform(0.0, config.max_ppm);
+    const double c_co =
+        rng.bernoulli(config.zero_prob) ? 0.0 : rng.uniform(0.0, config.max_ppm);
+    const double drift = rng.normal(0.0, config.drift_sigma);
+
+    const double ue = c_eth / config.max_ppm;
+    const double uc = c_co / config.max_ppm;
+    for (std::size_t j = 0; j < s; ++j) {
+      const double response = base[j] + drift +
+                              sens_eth[j] * std::pow(ue, gamma_eth[j]) +
+                              sens_co[j] * std::pow(uc, gamma_co[j]) +
+                              cross[j] * ue * uc +
+                              rng.normal(0.0, config.noise_sigma);
+      data.x(i, j) = response;
+    }
+    data.y(i, 0) = c_eth;
+    data.y(i, 1) = c_co;
+  }
+  return data;
+}
+
+}  // namespace apds

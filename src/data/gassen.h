@@ -1,0 +1,29 @@
+// GasSen — synthetic dynamic gas-mixture task (substitute for the UCI
+// gas-sensor-array dataset; see DESIGN.md §2).
+//
+// 16 low-cost metal-oxide sensors respond to an Ethylene + CO mixture with
+// per-sensor power-law sensitivities, cross-sensitivity between the two
+// gases, shared baseline drift, and measurement noise. The learning problem
+// is the 16-sensor reading -> (C_ethylene, C_co) inverse map on 0–600 ppm.
+#pragma once
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace apds {
+
+struct GasSenConfig {
+  std::size_t num_sensors = 16;
+  double max_ppm = 600.0;
+  double zero_prob = 0.15;       ///< chance a gas is absent from the mixture
+  double drift_sigma = 0.04;     ///< shared per-sample baseline drift
+  double noise_sigma = 0.03;     ///< per-sensor measurement noise
+  std::uint64_t sensor_seed = 0xfaceb00cULL;  ///< fixed sensor personalities
+};
+
+/// Generate `n` mixture readings. x: [n, 16] sensor responses;
+/// y: [n, 2] = (C_ethylene, C_co) in ppm.
+Dataset generate_gassen(std::size_t n, Rng& rng,
+                        const GasSenConfig& config = {});
+
+}  // namespace apds

@@ -1,0 +1,72 @@
+#include "data/hhar.h"
+
+#include "common/error.h"
+
+namespace apds {
+
+namespace {
+struct UserTransform {
+  std::vector<double> gain;
+  std::vector<double> offset;
+};
+}  // namespace
+
+HharSplit generate_hhar(std::size_t n_train, std::size_t n_test,
+                        std::size_t test_user, Rng& rng,
+                        const HharConfig& config) {
+  APDS_CHECK_MSG(test_user < config.num_users, "test_user out of range");
+  const std::size_t d = config.feature_dim;
+  const std::size_t classes = config.num_activities;
+
+  // Fixed activity prototypes — the "physics" of each movement.
+  Rng proto_rng(config.prototype_seed);
+  std::vector<std::vector<double>> prototypes(classes,
+                                              std::vector<double>(d));
+  for (auto& proto : prototypes)
+    for (double& v : proto) v = proto_rng.normal(0.0, 1.0);
+
+  // Per-user affine distortions, drawn from the experiment RNG so different
+  // dataset seeds model different user populations.
+  std::vector<UserTransform> users(config.num_users);
+  for (auto& u : users) {
+    u.gain.resize(d);
+    u.offset.resize(d);
+    for (std::size_t j = 0; j < d; ++j) {
+      u.gain[j] = 1.0 + rng.normal(0.0, config.user_gain_sigma);
+      u.offset[j] = rng.normal(0.0, config.user_offset_sigma);
+    }
+  }
+
+  auto sample_into = [&](Dataset& out, std::size_t row, std::size_t user,
+                         std::size_t activity) {
+    const auto& proto = prototypes[activity];
+    const auto& u = users[user];
+    for (std::size_t j = 0; j < d; ++j) {
+      const double raw =
+          proto[j] + rng.normal(0.0, config.within_class_sigma);
+      out.x(row, j) = u.gain[j] * raw + u.offset[j];
+    }
+    out.y(row, activity) = 1.0;
+  };
+
+  HharSplit split;
+  split.train.name = "hhar-train";
+  split.train.kind = TaskKind::kClassification;
+  split.train.x = Matrix(n_train, d);
+  split.train.y = Matrix(n_train, classes);
+  split.test.name = "hhar-test";
+  split.test.kind = TaskKind::kClassification;
+  split.test.x = Matrix(n_test, d);
+  split.test.y = Matrix(n_test, classes);
+
+  for (std::size_t i = 0; i < n_train; ++i) {
+    std::size_t user = rng.uniform_index(config.num_users - 1);
+    if (user >= test_user) ++user;  // skip the held-out user
+    sample_into(split.train, i, user, rng.uniform_index(classes));
+  }
+  for (std::size_t i = 0; i < n_test; ++i)
+    sample_into(split.test, i, test_user, rng.uniform_index(classes));
+  return split;
+}
+
+}  // namespace apds

@@ -1,0 +1,53 @@
+#include "data/nycommute.h"
+
+#include <cmath>
+
+namespace apds {
+
+namespace {
+double gaussian_bump(double x, double center, double width) {
+  const double z = (x - center) / width;
+  return std::exp(-0.5 * z * z);
+}
+}  // namespace
+
+Dataset generate_nycommute(std::size_t n, Rng& rng,
+                           const NyCommuteConfig& config) {
+  Dataset data;
+  data.name = "nycommute";
+  data.kind = TaskKind::kRegression;
+  data.x = Matrix(n, 5);
+  data.y = Matrix(n, 1);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double plon = rng.uniform();
+    const double plat = rng.uniform();
+    const double dlon = rng.uniform();
+    const double dlat = rng.uniform();
+    const double hour = rng.uniform(0.0, 24.0);
+
+    // Morning and evening rush hours slow traffic down.
+    const double rush = gaussian_bump(hour, 8.5, 1.5) +
+                        gaussian_bump(hour, 17.5, 2.0);
+    const double speed =
+        config.base_speed_kmh * (1.0 - config.rush_slowdown *
+                                           std::min(1.0, rush));
+
+    const double dist_km =
+        (std::fabs(plon - dlon) + std::fabs(plat - dlat)) *
+        config.city_extent_km;
+    const double congestion = rng.lognormal(0.0, config.congestion_sigma);
+    const double minutes =
+        config.overhead_min + dist_km / speed * 60.0 * congestion;
+
+    data.x(i, 0) = plon;
+    data.x(i, 1) = plat;
+    data.x(i, 2) = dlon;
+    data.x(i, 3) = dlat;
+    data.x(i, 4) = hour;
+    data.y(i, 0) = minutes;
+  }
+  return data;
+}
+
+}  // namespace apds

@@ -1,0 +1,29 @@
+// NYCommute — synthetic taxi commute-time task (substitute for the NYC TLC
+// trip records; see DESIGN.md §2).
+//
+// A grid city with time-of-day congestion: commute time is Manhattan
+// distance divided by a rush-hour-modulated speed, multiplied by log-normal
+// congestion noise. The multiplicative heavy-tailed noise is the feature
+// that makes NLL values large for every estimator in the paper's Table II.
+#pragma once
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace apds {
+
+struct NyCommuteConfig {
+  double city_extent_km = 18.0;     ///< grid side length
+  double base_speed_kmh = 26.0;     ///< free-flow average speed
+  double rush_slowdown = 0.55;      ///< fractional slowdown at rush peak
+  double congestion_sigma = 0.30;   ///< log-normal noise scale
+  double overhead_min = 2.5;        ///< pickup/dropoff fixed overhead
+};
+
+/// Generate `n` trips. x: [n, 5] = (pickup lon, pickup lat, dropoff lon,
+/// dropoff lat — all in [0,1] grid units — and pickup hour in [0,24));
+/// y: [n, 1] commute time in minutes.
+Dataset generate_nycommute(std::size_t n, Rng& rng,
+                           const NyCommuteConfig& config = {});
+
+}  // namespace apds

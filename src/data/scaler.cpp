@@ -1,0 +1,46 @@
+#include "data/scaler.h"
+
+#include "common/error.h"
+#include "tensor/ops.h"
+
+namespace apds {
+
+StandardScaler StandardScaler::fit(const Matrix& data) {
+  APDS_CHECK(data.rows() > 0);
+  StandardScaler s;
+  s.mean_ = col_means(data);
+  s.scale_ = col_stddevs(data);
+  for (double& v : s.scale_.flat())
+    if (v < 1e-12) v = 1.0;
+  return s;
+}
+
+Matrix StandardScaler::transform(const Matrix& data) const {
+  APDS_CHECK_MSG(fitted() && data.cols() == mean_.cols(), "scaler transform");
+  Matrix out = data;
+  for (std::size_t r = 0; r < out.rows(); ++r)
+    for (std::size_t c = 0; c < out.cols(); ++c)
+      out(r, c) = (out(r, c) - mean_(0, c)) / scale_(0, c);
+  return out;
+}
+
+Matrix StandardScaler::inverse_transform(const Matrix& data) const {
+  APDS_CHECK_MSG(fitted() && data.cols() == mean_.cols(), "scaler inverse");
+  Matrix out = data;
+  for (std::size_t r = 0; r < out.rows(); ++r)
+    for (std::size_t c = 0; c < out.cols(); ++c)
+      out(r, c) = out(r, c) * scale_(0, c) + mean_(0, c);
+  return out;
+}
+
+Matrix StandardScaler::inverse_transform_variance(const Matrix& var) const {
+  APDS_CHECK_MSG(fitted() && var.cols() == mean_.cols(),
+                 "scaler inverse variance");
+  Matrix out = var;
+  for (std::size_t r = 0; r < out.rows(); ++r)
+    for (std::size_t c = 0; c < out.cols(); ++c)
+      out(r, c) *= scale_(0, c) * scale_(0, c);
+  return out;
+}
+
+}  // namespace apds

@@ -1,0 +1,37 @@
+// Per-column standardization (zero mean, unit variance), fit on training
+// data and applied to every split — plus the inverse transforms needed to
+// report predictions (and predictive variances) in natural units.
+#pragma once
+
+#include "tensor/matrix.h"
+
+namespace apds {
+
+class StandardScaler {
+ public:
+  StandardScaler() = default;
+
+  /// Fit per-column mean and stddev; columns with stddev < 1e-12 are left
+  /// unscaled (scale 1) so constant features survive.
+  static StandardScaler fit(const Matrix& data);
+
+  /// (x - mean) / scale, columnwise.
+  Matrix transform(const Matrix& data) const;
+
+  /// x * scale + mean, columnwise.
+  Matrix inverse_transform(const Matrix& data) const;
+
+  /// var * scale^2, columnwise — maps predictive variances back to natural
+  /// units alongside inverse_transform on the means.
+  Matrix inverse_transform_variance(const Matrix& var) const;
+
+  bool fitted() const { return !mean_.empty(); }
+  const Matrix& mean() const { return mean_; }
+  const Matrix& scale() const { return scale_; }
+
+ private:
+  Matrix mean_;   ///< [1, d]
+  Matrix scale_;  ///< [1, d]
+};
+
+}  // namespace apds

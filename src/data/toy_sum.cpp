@@ -1,0 +1,23 @@
+#include "data/toy_sum.h"
+
+namespace apds {
+
+Dataset generate_toy_sum(std::size_t n, std::size_t dim, Rng& rng) {
+  Dataset data;
+  data.name = "toy-sum";
+  data.kind = TaskKind::kRegression;
+  data.x = Matrix(n, dim);
+  data.y = Matrix(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < dim; ++j) {
+      const double v = rng.normal();
+      data.x(i, j) = v;
+      acc += v;
+    }
+    data.y(i, 0) = acc;
+  }
+  return data;
+}
+
+}  // namespace apds

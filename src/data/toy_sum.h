@@ -1,0 +1,14 @@
+// Toy task from the paper's Fig. 1: learn the sum of 200 independent
+// standard Gaussian variables with a deep (20-layer) network, then inspect
+// the dropout-induced distributions of individual hidden units.
+#pragma once
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace apds {
+
+/// x: [n, dim] iid N(0,1); y: [n, 1] = row sums.
+Dataset generate_toy_sum(std::size_t n, std::size_t dim, Rng& rng);
+
+}  // namespace apds

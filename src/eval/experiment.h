@@ -1,0 +1,87 @@
+// Experiment runners that regenerate the paper's tables and figures.
+//
+// Three products per task:
+//  * model-performance rows (Tables I–IV: MAE/ACC + NLL per estimator),
+//  * system-performance rows (Figs. 2–5: inference time + energy),
+//  * tradeoff points (Figs. 6–9: energy vs NLL scatter).
+// MCDrop-k rows for every k share one k_max-pass sample collection, so a
+// table costs one MCDrop-50 evaluation rather than a 3+5+10+30+50 one.
+#pragma once
+
+#include <iosfwd>
+
+#include "eval/model_zoo.h"
+#include "platform/cost_model.h"
+#include "platform/edison.h"
+
+namespace apds {
+
+struct ExperimentOptions {
+  std::vector<std::size_t> mcdrop_ks = {3, 5, 10, 30, 50};
+  std::size_t saturating_pieces = 7;  ///< Tanh PWL pieces (paper: 7)
+  std::uint64_t eval_seed = 7;        ///< dropout masks during evaluation
+  EdisonModel edison;
+  CostConstants cost;
+  /// Also measure host wall-clock for the system tables (slower).
+  bool measure_host = true;
+};
+
+/// One line of a Table I–IV style report.
+struct ModelPerfRow {
+  std::string config;   ///< e.g. "DNN-ReLU-MCDrop-10"
+  double primary = 0.0; ///< MAE (regression) or ACC in % (classification)
+  double nll = 0.0;
+};
+
+/// One line of a Fig. 2–5 style report.
+struct SystemRow {
+  std::string config;
+  double flops = 0.0;
+  double edison_ms = 0.0;
+  double edison_mj = 0.0;
+  double host_ms = 0.0;  ///< measured on this machine (0 if not measured)
+};
+
+/// One point of a Fig. 6–9 energy-vs-NLL scatter.
+struct TradeoffPoint {
+  std::string config;
+  double energy_mj = 0.0;
+  double nll = 0.0;
+};
+
+/// Tables I–IV: both activations x {ApDeepSense, MCDrop-k..., RDeepSense}.
+std::vector<ModelPerfRow> run_model_perf(ModelZoo& zoo, TaskId task,
+                                         const ExperimentOptions& opt);
+
+/// Figures 2–5: single-input inference cost for both activations x
+/// {ApDeepSense, MCDrop-k...}.
+std::vector<SystemRow> run_system_perf(ModelZoo& zoo, TaskId task,
+                                       const ExperimentOptions& opt);
+
+/// Figures 6–9: joins run_model_perf and run_system_perf on config name,
+/// returning one scatter per activation.
+struct TradeoffSeries {
+  Activation act = Activation::kRelu;
+  std::vector<TradeoffPoint> points;
+};
+std::vector<TradeoffSeries> run_tradeoff(ModelZoo& zoo, TaskId task,
+                                         const ExperimentOptions& opt);
+
+/// Pretty-print helpers used by the bench mains.
+void print_model_perf(std::ostream& os, TaskId task,
+                      std::span<const ModelPerfRow> rows, TaskKind kind);
+void print_system_perf(std::ostream& os, TaskId task,
+                       std::span<const SystemRow> rows);
+void print_tradeoff(std::ostream& os, TaskId task,
+                    std::span<const TradeoffSeries> series);
+
+/// Aggregate savings of ApDeepSense vs MCDrop-50 (the Section IV-E claim):
+/// returns {time_saving_fraction, energy_saving_fraction} for a task/act.
+struct Savings {
+  double time_fraction = 0.0;
+  double energy_fraction = 0.0;
+};
+Savings apdeepsense_savings(ModelZoo& zoo, TaskId task, Activation act,
+                            const ExperimentOptions& opt);
+
+}  // namespace apds

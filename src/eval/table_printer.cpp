@@ -1,0 +1,45 @@
+#include "eval/table_printer.h"
+
+#include <ostream>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace apds {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  APDS_CHECK(!headers_.empty());
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  APDS_CHECK_MSG(cells.size() == headers_.size(), "TablePrinter: cell count");
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ")
+         << (c == 0 ? pad_right(row[c], widths[c])
+                    : pad_left(row[c], widths[c]));
+    }
+    os << " |\n";
+  };
+
+  emit(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < widths.size(); ++c)
+    os << std::string(widths[c] + 2, '-') << "|";
+  os << "\n";
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace apds

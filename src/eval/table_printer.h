@@ -1,0 +1,25 @@
+// Aligned ASCII table output shared by the bench binaries.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace apds {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Add a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment and a header separator.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace apds

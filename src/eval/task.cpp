@@ -1,0 +1,26 @@
+#include "eval/task.h"
+
+#include "common/error.h"
+
+namespace apds {
+
+std::string task_name(TaskId id) {
+  switch (id) {
+    case TaskId::kBpest: return "bpest";
+    case TaskId::kNyCommute: return "nycommute";
+    case TaskId::kGasSen: return "gassen";
+    case TaskId::kHhar: return "hhar";
+  }
+  throw InvalidArgument("task_name: unknown task");
+}
+
+TaskKind task_kind(TaskId id) {
+  return id == TaskId::kHhar ? TaskKind::kClassification
+                             : TaskKind::kRegression;
+}
+
+std::vector<TaskId> all_tasks() {
+  return {TaskId::kBpest, TaskId::kNyCommute, TaskId::kGasSen, TaskId::kHhar};
+}
+
+}  // namespace apds

@@ -1,0 +1,22 @@
+// The four evaluation tasks of the paper (Section IV-B).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "uncertainty/predictive.h"
+
+namespace apds {
+
+enum class TaskId { kBpest, kNyCommute, kGasSen, kHhar };
+
+/// Lower-case short name used in file paths and table headers.
+std::string task_name(TaskId id);
+
+/// Task kind (HHAR is the one classification task).
+TaskKind task_kind(TaskId id);
+
+/// All four tasks in paper order.
+std::vector<TaskId> all_tasks();
+
+}  // namespace apds

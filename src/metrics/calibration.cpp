@@ -1,0 +1,54 @@
+#include "metrics/calibration.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "stats/gaussian.h"
+
+namespace apds {
+
+std::vector<CalibrationPoint> calibration_curve(
+    const PredictiveGaussian& pred, const Matrix& target,
+    std::span<const double> nominal_levels) {
+  APDS_CHECK(pred.mean.same_shape(target) && pred.var.same_shape(target));
+  APDS_CHECK(!target.empty());
+  std::vector<CalibrationPoint> curve;
+  curve.reserve(nominal_levels.size());
+  for (double level : nominal_levels) {
+    APDS_CHECK(level > 0.0 && level < 1.0);
+    // z such that P(|Z| <= z) = level: invert via bisection on the cdf.
+    double lo = 0.0;
+    double hi = 10.0;
+    for (int iter = 0; iter < 80; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (2.0 * std_normal_cdf(mid) - 1.0 < level)
+        lo = mid;
+      else
+        hi = mid;
+    }
+    const double z = 0.5 * (lo + hi);
+
+    std::size_t inside = 0;
+    for (std::size_t i = 0; i < target.size(); ++i) {
+      const double sd = std::sqrt(pred.var.flat()[i]);
+      if (std::fabs(target.flat()[i] - pred.mean.flat()[i]) <= z * sd)
+        ++inside;
+    }
+    curve.push_back(
+        {level, static_cast<double>(inside) /
+                    static_cast<double>(target.size())});
+  }
+  return curve;
+}
+
+double expected_calibration_error(const PredictiveGaussian& pred,
+                                  const Matrix& target,
+                                  std::span<const double> nominal_levels) {
+  const auto curve = calibration_curve(pred, target, nominal_levels);
+  APDS_CHECK(!curve.empty());
+  double acc = 0.0;
+  for (const auto& p : curve) acc += std::fabs(p.empirical - p.nominal);
+  return acc / static_cast<double>(curve.size());
+}
+
+}  // namespace apds

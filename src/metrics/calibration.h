@@ -1,0 +1,29 @@
+// Calibration diagnostics (beyond the paper's tables): how often targets
+// fall inside centered predictive intervals of given nominal coverage. A
+// perfectly calibrated Gaussian predictive puts 90% of targets inside its
+// 90% interval.
+#pragma once
+
+#include <vector>
+
+#include "uncertainty/predictive.h"
+
+namespace apds {
+
+struct CalibrationPoint {
+  double nominal = 0.0;   ///< requested central coverage, e.g. 0.9
+  double empirical = 0.0; ///< observed fraction of targets inside
+};
+
+/// Empirical coverage of centered Gaussian intervals at each nominal level.
+std::vector<CalibrationPoint> calibration_curve(
+    const PredictiveGaussian& pred, const Matrix& target,
+    std::span<const double> nominal_levels);
+
+/// Mean |empirical - nominal| over the curve — the expected calibration
+/// error of the regression predictive.
+double expected_calibration_error(const PredictiveGaussian& pred,
+                                  const Matrix& target,
+                                  std::span<const double> nominal_levels);
+
+}  // namespace apds

@@ -1,0 +1,48 @@
+#include "metrics/classification_metrics.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "tensor/ops.h"
+
+namespace apds {
+
+double accuracy(const PredictiveCategorical& pred,
+                std::span<const std::size_t> labels) {
+  APDS_CHECK_MSG(pred.probs.rows() == labels.size(), "accuracy: batch size");
+  APDS_CHECK(!labels.empty());
+  std::size_t correct = 0;
+  for (std::size_t r = 0; r < labels.size(); ++r)
+    if (argmax_row(pred.probs, r) == labels[r]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+double categorical_nll(const PredictiveCategorical& pred,
+                       std::span<const std::size_t> labels,
+                       double prob_floor) {
+  APDS_CHECK_MSG(pred.probs.rows() == labels.size(), "NLL: batch size");
+  APDS_CHECK(!labels.empty());
+  double acc = 0.0;
+  for (std::size_t r = 0; r < labels.size(); ++r) {
+    APDS_CHECK_MSG(labels[r] < pred.probs.cols(), "NLL: label out of range");
+    acc -= std::log(std::max(pred.probs(r, labels[r]), prob_floor));
+  }
+  return acc / static_cast<double>(labels.size());
+}
+
+ClassificationMetrics evaluate_classification(
+    const PredictiveCategorical& pred, std::span<const std::size_t> labels) {
+  ClassificationMetrics m;
+  m.acc = accuracy(pred, labels);
+  m.nll = categorical_nll(pred, labels);
+  return m;
+}
+
+std::vector<std::size_t> onehot_to_labels(const Matrix& onehot) {
+  std::vector<std::size_t> labels(onehot.rows());
+  for (std::size_t r = 0; r < onehot.rows(); ++r)
+    labels[r] = argmax_row(onehot, r);
+  return labels;
+}
+
+}  // namespace apds

@@ -1,0 +1,32 @@
+// Classification evaluation metrics (paper Section IV-D): accuracy of the
+// argmax class and categorical negative log-likelihood of the true label.
+#pragma once
+
+#include <vector>
+
+#include "uncertainty/predictive.h"
+
+namespace apds {
+
+/// Fraction of rows whose argmax probability matches `labels`.
+double accuracy(const PredictiveCategorical& pred,
+                std::span<const std::size_t> labels);
+
+/// Mean -log p(true label); probabilities floored at `prob_floor`.
+double categorical_nll(const PredictiveCategorical& pred,
+                       std::span<const std::size_t> labels,
+                       double prob_floor = 1e-12);
+
+struct ClassificationMetrics {
+  double acc = 0.0;
+  double nll = 0.0;
+};
+
+ClassificationMetrics evaluate_classification(
+    const PredictiveCategorical& pred, std::span<const std::size_t> labels);
+
+/// Decode one-hot target rows into class indices (helper for datasets that
+/// store classification targets as one-hot matrices).
+std::vector<std::size_t> onehot_to_labels(const Matrix& onehot);
+
+}  // namespace apds

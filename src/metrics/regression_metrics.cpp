@@ -1,0 +1,50 @@
+#include "metrics/regression_metrics.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "stats/gaussian.h"
+
+namespace apds {
+
+double mean_absolute_error(const Matrix& pred_mean, const Matrix& target) {
+  APDS_CHECK_MSG(pred_mean.same_shape(target), "MAE: shape mismatch");
+  APDS_CHECK(!target.empty());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < target.size(); ++i)
+    acc += std::fabs(pred_mean.flat()[i] - target.flat()[i]);
+  return acc / static_cast<double>(target.size());
+}
+
+double root_mean_squared_error(const Matrix& pred_mean, const Matrix& target) {
+  APDS_CHECK_MSG(pred_mean.same_shape(target), "RMSE: shape mismatch");
+  APDS_CHECK(!target.empty());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < target.size(); ++i) {
+    const double d = pred_mean.flat()[i] - target.flat()[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(target.size()));
+}
+
+double gaussian_nll(const PredictiveGaussian& pred, const Matrix& target) {
+  APDS_CHECK_MSG(pred.mean.same_shape(target) && pred.var.same_shape(target),
+                 "NLL: shape mismatch");
+  APDS_CHECK(!target.empty());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < target.size(); ++i)
+    acc += apds::gaussian_nll(target.flat()[i], pred.mean.flat()[i],
+                              pred.var.flat()[i]);
+  return acc / static_cast<double>(target.size());
+}
+
+RegressionMetrics evaluate_regression(const PredictiveGaussian& pred,
+                                      const Matrix& target) {
+  RegressionMetrics m;
+  m.mae = mean_absolute_error(pred.mean, target);
+  m.rmse = root_mean_squared_error(pred.mean, target);
+  m.nll = gaussian_nll(pred, target);
+  return m;
+}
+
+}  // namespace apds

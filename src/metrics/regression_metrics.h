@@ -1,0 +1,31 @@
+// Regression evaluation metrics (paper Section IV-D): mean absolute error of
+// the predictive mean, and average per-sample Gaussian negative
+// log-likelihood of the targets under the predictive distribution.
+#pragma once
+
+#include "uncertainty/predictive.h"
+
+namespace apds {
+
+/// Mean absolute error between predictive means and targets, averaged over
+/// all batch elements and output dimensions.
+double mean_absolute_error(const Matrix& pred_mean, const Matrix& target);
+
+/// Root mean squared error (extra diagnostic, not in the paper's tables).
+double root_mean_squared_error(const Matrix& pred_mean, const Matrix& target);
+
+/// Average Gaussian NLL: mean over batch of the per-dimension-mean NLL of
+/// the target under N(mean, var). Matches the paper's "NLL" table metric.
+double gaussian_nll(const PredictiveGaussian& pred, const Matrix& target);
+
+/// Bundle of the table metrics for one estimator on one dataset.
+struct RegressionMetrics {
+  double mae = 0.0;
+  double rmse = 0.0;
+  double nll = 0.0;
+};
+
+RegressionMetrics evaluate_regression(const PredictiveGaussian& pred,
+                                      const Matrix& target);
+
+}  // namespace apds

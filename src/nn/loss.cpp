@@ -1,0 +1,87 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "stats/gaussian.h"
+#include "stats/special.h"
+
+namespace apds {
+
+LossResult MseLoss::value_and_grad(const Matrix& output,
+                                   const Matrix& target) const {
+  APDS_CHECK_MSG(output.same_shape(target), "MseLoss: shape mismatch");
+  LossResult r;
+  r.grad = Matrix(output.rows(), output.cols());
+  const auto n = static_cast<double>(output.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < output.size(); ++i) {
+    const double d = output.flat()[i] - target.flat()[i];
+    acc += d * d;
+    r.grad.flat()[i] = 2.0 * d / n;
+  }
+  r.value = acc / n;
+  return r;
+}
+
+LossResult SoftmaxCrossEntropyLoss::value_and_grad(const Matrix& output,
+                                                   const Matrix& target) const {
+  APDS_CHECK_MSG(output.same_shape(target), "SoftmaxCE: shape mismatch");
+  LossResult r;
+  r.grad = Matrix(output.rows(), output.cols());
+  const auto batch = static_cast<double>(output.rows());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < output.rows(); ++i) {
+    const auto probs = softmax(output.row(i));
+    for (std::size_t c = 0; c < output.cols(); ++c) {
+      const double t = target(i, c);
+      if (t > 0.0) acc -= t * std::log(std::max(probs[c], 1e-300));
+      r.grad(i, c) = (probs[c] - t) / batch;
+    }
+  }
+  r.value = acc / batch;
+  return r;
+}
+
+HeteroscedasticGaussianLoss::HeteroscedasticGaussianLoss(double alpha,
+                                                         double var_floor)
+    : alpha_(alpha), var_floor_(var_floor) {
+  APDS_CHECK(alpha >= 0.0 && alpha <= 1.0);
+  APDS_CHECK(var_floor > 0.0);
+}
+
+LossResult HeteroscedasticGaussianLoss::value_and_grad(
+    const Matrix& output, const Matrix& target) const {
+  const std::size_t d = target.cols();
+  APDS_CHECK_MSG(output.cols() == 2 * d,
+                 "Heteroscedastic loss: output must have 2x target columns");
+  APDS_CHECK(output.rows() == target.rows());
+
+  LossResult r;
+  r.grad = Matrix(output.rows(), output.cols());
+  const auto batch = static_cast<double>(output.rows());
+  const double norm = batch * static_cast<double>(d);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < output.rows(); ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      const double mu = output(i, j);
+      const double s = output(i, d + j);
+      const double var = softplus(s) + var_floor_;
+      const double diff = mu - target(i, j);
+
+      const double nll = 0.5 * (kLog2Pi + std::log(var) + diff * diff / var);
+      acc += (alpha_ * nll + (1.0 - alpha_) * diff * diff) / norm;
+
+      const double dmu = (alpha_ * diff / var + (1.0 - alpha_) * 2.0 * diff) / norm;
+      // d var / d s = sigmoid(s); d nll / d var = 0.5 (1/var - diff^2/var^2).
+      const double dvar = 0.5 * (1.0 / var - diff * diff / (var * var));
+      const double ds = alpha_ * dvar * sigmoid(s) / norm;
+      r.grad(i, j) = dmu;
+      r.grad(i, d + j) = ds;
+    }
+  }
+  r.value = acc;
+  return r;
+}
+
+}  // namespace apds

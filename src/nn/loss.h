@@ -1,0 +1,65 @@
+// Training losses.
+//
+// Each loss maps (network output, target) to a scalar value plus the
+// gradient of that value with respect to the network output. Values are
+// averaged over the batch so learning rates are batch-size independent.
+#pragma once
+
+#include <memory>
+
+#include "tensor/matrix.h"
+
+namespace apds {
+
+struct LossResult {
+  double value = 0.0;
+  Matrix grad;  ///< dL/d output, same shape as the network output
+};
+
+/// Interface for training losses.
+class Loss {
+ public:
+  virtual ~Loss() = default;
+
+  /// Compute the batch-mean loss and its gradient w.r.t. `output`.
+  virtual LossResult value_and_grad(const Matrix& output,
+                                    const Matrix& target) const = 0;
+};
+
+/// Mean squared error, averaged over batch and output dimensions.
+class MseLoss final : public Loss {
+ public:
+  LossResult value_and_grad(const Matrix& output,
+                            const Matrix& target) const override;
+};
+
+/// Softmax cross-entropy; `output` holds logits, `target` one-hot rows.
+class SoftmaxCrossEntropyLoss final : public Loss {
+ public:
+  LossResult value_and_grad(const Matrix& output,
+                            const Matrix& target) const override;
+};
+
+/// Heteroscedastic Gaussian loss used to train RDeepSense regression heads.
+///
+/// The network output has 2D columns: [mu_1..mu_D, s_1..s_D] where the
+/// per-output variance is softplus(s) + var_floor. The loss is
+///   alpha * GaussianNLL(target; mu, var) + (1 - alpha) * MSE(target; mu),
+/// the bias/variance mixing knob from the RDeepSense paper.
+class HeteroscedasticGaussianLoss final : public Loss {
+ public:
+  explicit HeteroscedasticGaussianLoss(double alpha = 0.7,
+                                       double var_floor = 1e-6);
+
+  LossResult value_and_grad(const Matrix& output,
+                            const Matrix& target) const override;
+
+  double alpha() const { return alpha_; }
+  double var_floor() const { return var_floor_; }
+
+ private:
+  double alpha_;
+  double var_floor_;
+};
+
+}  // namespace apds

@@ -1,0 +1,22 @@
+// Model serialization: save/load a trained Mlp to a binary file.
+//
+// Format: magic "APDS0001", u64 layer count, then per layer: activation
+// name (u64 length + bytes), f64 keep_prob, weight matrix, bias matrix.
+#pragma once
+
+#include <string>
+
+#include "nn/mlp.h"
+
+namespace apds {
+
+/// Write the model to `path`. Throws IoError on failure.
+void save_model(const Mlp& mlp, const std::string& path);
+
+/// Load a model written by save_model. Throws IoError on failure.
+Mlp load_model(const std::string& path);
+
+/// True if `path` exists and starts with the model magic.
+bool is_model_file(const std::string& path);
+
+}  // namespace apds

@@ -1,0 +1,80 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace apds {
+
+namespace {
+void check_aligned(const std::vector<Matrix*>& params,
+                   const std::vector<Matrix*>& grads) {
+  APDS_CHECK_MSG(params.size() == grads.size(), "optimizer: list sizes");
+  for (std::size_t i = 0; i < params.size(); ++i)
+    APDS_CHECK_MSG(params[i]->same_shape(*grads[i]),
+                   "optimizer: param/grad shape mismatch at " << i);
+}
+}  // namespace
+
+SgdMomentum::SgdMomentum(double lr, double momentum)
+    : lr_(lr), momentum_(momentum) {
+  APDS_CHECK(lr > 0.0);
+  APDS_CHECK(momentum >= 0.0 && momentum < 1.0);
+}
+
+void SgdMomentum::step(const std::vector<Matrix*>& params,
+                       const std::vector<Matrix*>& grads) {
+  check_aligned(params, grads);
+  if (velocity_.empty())
+    for (const Matrix* p : params)
+      velocity_.emplace_back(p->rows(), p->cols());
+  APDS_CHECK(velocity_.size() == params.size());
+
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    double* v = velocity_[i].data();
+    double* p = params[i]->data();
+    const double* g = grads[i]->data();
+    for (std::size_t k = 0; k < params[i]->size(); ++k) {
+      v[k] = momentum_ * v[k] - lr_ * g[k];
+      p[k] += v[k];
+    }
+  }
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double eps)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  APDS_CHECK(lr > 0.0);
+  APDS_CHECK(beta1 >= 0.0 && beta1 < 1.0);
+  APDS_CHECK(beta2 >= 0.0 && beta2 < 1.0);
+}
+
+void Adam::step(const std::vector<Matrix*>& params,
+                const std::vector<Matrix*>& grads) {
+  check_aligned(params, grads);
+  if (m_.empty()) {
+    for (const Matrix* p : params) {
+      m_.emplace_back(p->rows(), p->cols());
+      v_.emplace_back(p->rows(), p->cols());
+    }
+  }
+  APDS_CHECK(m_.size() == params.size());
+
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    double* m = m_[i].data();
+    double* v = v_[i].data();
+    double* p = params[i]->data();
+    const double* g = grads[i]->data();
+    for (std::size_t k = 0; k < params[i]->size(); ++k) {
+      m[k] = beta1_ * m[k] + (1.0 - beta1_) * g[k];
+      v[k] = beta2_ * v[k] + (1.0 - beta2_) * g[k] * g[k];
+      const double mhat = m[k] / bc1;
+      const double vhat = v[k] / bc2;
+      p[k] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace apds

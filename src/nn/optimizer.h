@@ -1,0 +1,59 @@
+// First-order optimizers over lists of parameter matrices.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace apds {
+
+/// Interface: apply one update step given parameters and their gradients.
+/// The parameter list must be identical (same pointers, same order) on every
+/// call so that per-parameter state stays aligned.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  virtual void step(const std::vector<Matrix*>& params,
+                    const std::vector<Matrix*>& grads) = 0;
+
+  /// Scale the learning rate (for simple decay schedules).
+  virtual void scale_learning_rate(double factor) = 0;
+};
+
+/// SGD with classical momentum.
+class SgdMomentum final : public Optimizer {
+ public:
+  explicit SgdMomentum(double lr, double momentum = 0.9);
+
+  void step(const std::vector<Matrix*>& params,
+            const std::vector<Matrix*>& grads) override;
+  void scale_learning_rate(double factor) override { lr_ *= factor; }
+
+ private:
+  double lr_;
+  double momentum_;
+  std::vector<Matrix> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8);
+
+  void step(const std::vector<Matrix*>& params,
+            const std::vector<Matrix*>& grads) override;
+  void scale_learning_rate(double factor) override { lr_ *= factor; }
+
+ private:
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  long t_ = 0;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+};
+
+}  // namespace apds

@@ -1,0 +1,99 @@
+#include "nn/trainer.h"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace apds {
+
+namespace {
+Matrix gather_rows(const Matrix& m, std::span<const std::size_t> idx) {
+  Matrix out(idx.size(), m.cols());
+  for (std::size_t r = 0; r < idx.size(); ++r) {
+    auto src = m.row(idx[r]);
+    auto dst = out.row(r);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return out;
+}
+}  // namespace
+
+TrainReport train_mlp(Mlp& mlp, const Matrix& x, const Matrix& y,
+                      const Matrix& x_val, const Matrix& y_val,
+                      const Loss& loss, const TrainConfig& config, Rng& rng) {
+  APDS_CHECK_MSG(x.rows() == y.rows(), "train: x/y row mismatch");
+  APDS_CHECK(config.batch_size > 0);
+  const bool has_val = x_val.rows() > 0;
+
+  Adam optimizer(config.learning_rate);
+  const auto params = mlp.parameters();
+
+  std::vector<std::size_t> order(x.rows());
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainReport report;
+  report.best_val_loss = std::numeric_limits<double>::infinity();
+  report.final_val_loss = std::numeric_limits<double>::quiet_NaN();
+  std::size_t epochs_since_improvement = 0;
+
+  ForwardCache cache;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < order.size();
+         start += config.batch_size) {
+      const std::size_t end =
+          std::min(order.size(), start + config.batch_size);
+      const std::span<const std::size_t> idx(order.data() + start,
+                                             end - start);
+      const Matrix xb = gather_rows(x, idx);
+      const Matrix yb = gather_rows(y, idx);
+
+      const Matrix out = mlp.forward_train(xb, rng, cache);
+      const LossResult lr = loss.value_and_grad(out, yb);
+      MlpGradients grads = mlp.backward(cache, lr.grad);
+      optimizer.step(params, Mlp::gradient_ptrs(grads));
+
+      epoch_loss += lr.value;
+      ++batches;
+    }
+    epoch_loss /= static_cast<double>(std::max<std::size_t>(batches, 1));
+    report.final_train_loss = epoch_loss;
+    report.epochs_run = epoch + 1;
+
+    if (has_val) {
+      const double val = evaluate_loss(mlp, x_val, y_val, loss);
+      report.final_val_loss = val;
+      if (val < report.best_val_loss - 1e-12) {
+        report.best_val_loss = val;
+        epochs_since_improvement = 0;
+      } else {
+        ++epochs_since_improvement;
+      }
+    }
+
+    if (config.log_every > 0 && (epoch + 1) % config.log_every == 0)
+      APDS_INFO("epoch " << epoch + 1 << "/" << config.epochs << " train="
+                         << epoch_loss << " val=" << report.final_val_loss);
+
+    if (config.patience > 0 && has_val &&
+        epochs_since_improvement >= config.patience) {
+      APDS_DEBUG("early stop after epoch " << epoch + 1);
+      break;
+    }
+    if (config.lr_decay != 1.0) optimizer.scale_learning_rate(config.lr_decay);
+  }
+  return report;
+}
+
+double evaluate_loss(const Mlp& mlp, const Matrix& x, const Matrix& y,
+                     const Loss& loss) {
+  APDS_CHECK(x.rows() == y.rows() && x.rows() > 0);
+  const Matrix out = mlp.forward_deterministic(x);
+  return loss.value_and_grad(out, y).value;
+}
+
+}  // namespace apds

@@ -1,0 +1,45 @@
+// Minibatch trainer with shuffling, learning-rate decay and early stopping.
+#pragma once
+
+#include <functional>
+
+#include "common/rng.h"
+#include "nn/loss.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+
+namespace apds {
+
+struct TrainConfig {
+  std::size_t epochs = 20;
+  std::size_t batch_size = 64;
+  double learning_rate = 1e-3;
+  /// Multiply the learning rate by this factor after each epoch.
+  double lr_decay = 1.0;
+  /// Stop if validation loss has not improved for this many epochs
+  /// (0 disables early stopping).
+  std::size_t patience = 0;
+  /// Log a progress line every `log_every` epochs (0 = silent).
+  std::size_t log_every = 0;
+};
+
+struct TrainReport {
+  std::size_t epochs_run = 0;
+  double final_train_loss = 0.0;
+  double final_val_loss = 0.0;
+  double best_val_loss = 0.0;
+};
+
+/// Trains an Mlp on (x, y) with the given loss using Adam.
+///
+/// The validation set may be empty, in which case early stopping is
+/// disabled and val losses are reported as NaN.
+TrainReport train_mlp(Mlp& mlp, const Matrix& x, const Matrix& y,
+                      const Matrix& x_val, const Matrix& y_val,
+                      const Loss& loss, const TrainConfig& config, Rng& rng);
+
+/// Mean loss of the deterministic forward pass over a dataset.
+double evaluate_loss(const Mlp& mlp, const Matrix& x, const Matrix& y,
+                     const Loss& loss);
+
+}  // namespace apds

@@ -1,0 +1,132 @@
+#include "platform/cost_model.h"
+
+#include "common/error.h"
+
+namespace apds {
+
+namespace {
+double activation_flops(Activation act, const CostConstants& c) {
+  switch (act) {
+    case Activation::kIdentity: return 0.0;
+    case Activation::kRelu: return 1.0;
+    case Activation::kTanh: return c.special_fn_flops;
+    case Activation::kSigmoid: return c.special_fn_flops;
+  }
+  throw InvalidArgument("activation_flops: unknown activation");
+}
+}  // namespace
+
+std::size_t surrogate_pieces(Activation act, std::size_t saturating_pieces) {
+  switch (act) {
+    case Activation::kIdentity: return 1;
+    case Activation::kRelu: return 2;
+    case Activation::kTanh: return saturating_pieces;
+    case Activation::kSigmoid: return saturating_pieces;
+  }
+  throw InvalidArgument("surrogate_pieces: unknown activation");
+}
+
+double flops_forward(const Mlp& mlp, const CostConstants& c) {
+  double flops = 0.0;
+  for (std::size_t l = 0; l < mlp.num_layers(); ++l) {
+    const DenseLayer& layer = mlp.layer(l);
+    const auto in = static_cast<double>(layer.in_dim());
+    const auto out = static_cast<double>(layer.out_dim());
+    flops += 2.0 * in * out;           // xW
+    flops += out;                      // + b
+    if (layer.keep_prob < 1.0) flops += in;  // mask / scale of the input
+    flops += out * activation_flops(layer.act, c);
+  }
+  return flops;
+}
+
+double flops_mcdrop(const Mlp& mlp, std::size_t k, const CostConstants& c) {
+  APDS_CHECK(k >= 1);
+  // k stochastic passes plus the per-output mean/variance summary
+  // (~4 flops per output element per sample).
+  const double summary =
+      4.0 * static_cast<double>(k) * static_cast<double>(mlp.output_dim());
+  return static_cast<double>(k) * flops_forward(mlp, c) + summary;
+}
+
+namespace {
+double activation_flops_public(Activation act, const CostConstants& c) {
+  return activation_flops(act, c);
+}
+
+double conv_layer_macs(const Conv1dLayer& layer, std::size_t in_len) {
+  return 2.0 * static_cast<double>(layer.out_len(in_len)) *
+         static_cast<double>(layer.kernel * layer.in_channels) *
+         static_cast<double>(layer.out_channels);
+}
+}  // namespace
+
+double flops_conv_forward(const ConvNet& net, const CostConstants& c) {
+  double flops = 0.0;
+  for (std::size_t l = 0; l < net.num_conv_layers(); ++l) {
+    const Conv1dLayer& layer = net.conv(l);
+    const std::size_t in_len = net.layer_in_len(l);
+    const double outs = static_cast<double>(layer.out_len(in_len)) *
+                        static_cast<double>(layer.out_channels);
+    flops += conv_layer_macs(layer, in_len);
+    flops += outs;  // bias
+    flops += outs * activation_flops_public(layer.act, c);
+    if (layer.channel_keep_prob < 1.0)
+      flops += static_cast<double>(in_len * layer.in_channels);  // masking
+  }
+  return flops + flops_forward(net.head(), c);
+}
+
+double flops_conv_mcdrop(const ConvNet& net, std::size_t k,
+                         const CostConstants& c) {
+  APDS_CHECK(k >= 1);
+  const double summary =
+      4.0 * static_cast<double>(k) *
+      static_cast<double>(net.head().output_dim());
+  return static_cast<double>(k) * flops_conv_forward(net, c) + summary;
+}
+
+double flops_conv_apdeepsense(const ConvNet& net,
+                              std::size_t saturating_pieces,
+                              const CostConstants& c) {
+  double flops = 0.0;
+  for (std::size_t l = 0; l < net.num_conv_layers(); ++l) {
+    const Conv1dLayer& layer = net.conv(l);
+    const std::size_t in_len = net.layer_in_len(l);
+    const double outs = static_cast<double>(layer.out_len(in_len)) *
+                        static_cast<double>(layer.out_channels);
+    // Mean conv, squared-weight variance conv, and the per-channel partial
+    // mean accumulation for the shared-mask correction (~1 extra conv).
+    flops += 3.0 * conv_layer_macs(layer, in_len);
+    flops += outs * (1.0 + static_cast<double>(layer.in_channels));  // b + mask term
+    const auto pieces = static_cast<double>(
+        surrogate_pieces(layer.act, saturating_pieces));
+    flops += outs * pieces *
+             (c.pwl_piece_arith_flops +
+              c.pwl_piece_special_calls * c.special_fn_flops);
+  }
+  return flops + flops_apdeepsense(net.head(), saturating_pieces, c);
+}
+
+double flops_apdeepsense(const Mlp& mlp, std::size_t saturating_pieces,
+                         const CostConstants& c) {
+  double flops = 0.0;
+  for (std::size_t l = 0; l < mlp.num_layers(); ++l) {
+    const DenseLayer& layer = mlp.layer(l);
+    const auto in = static_cast<double>(layer.in_dim());
+    const auto out = static_cast<double>(layer.out_dim());
+    // Mean path xW and variance path vW^2 (W^2 cached at setup).
+    flops += 2.0 * 2.0 * in * out;
+    flops += out;        // bias
+    flops += 5.0 * in;   // mu^2, +sigma^2, *p, *p^2, subtract
+    // Closed-form activation moments per output element.
+    const auto pieces =
+        static_cast<double>(surrogate_pieces(layer.act, saturating_pieces));
+    flops += out * pieces *
+             (c.pwl_piece_arith_flops +
+              c.pwl_piece_special_calls * c.special_fn_flops);
+  }
+  return flops;
+}
+
+}  // namespace apds

@@ -1,0 +1,67 @@
+// Analytic operation-count model of single-input inference.
+//
+// Counts floating-point work for each inference path (deterministic pass,
+// MCDrop-k, ApDeepSense) from the network architecture alone. Special
+// functions (exp, erf, tanh, log, division in softmax) are costed at a
+// fixed multiple of a fused multiply-add, matching their relative expense
+// in the scalar libm code a low-end Atom actually runs. Feeding these
+// counts into the EdisonModel (edison.h) yields the modelled time/energy of
+// Figures 2–9; see DESIGN.md §2 for the substitution argument.
+#pragma once
+
+#include <cstddef>
+
+#include "nn/mlp.h"
+
+namespace apds {
+
+struct CostConstants {
+  /// FLOP-equivalents charged per special-function call (exp/erf/tanh/log).
+  double special_fn_flops = 20.0;
+  /// Per-element, per-piece arithmetic of the closed-form activation
+  /// moments, excluding the special functions themselves.
+  double pwl_piece_arith_flops = 14.0;
+  /// Special-function calls per element per PWL piece (2 erf + 2 exp).
+  double pwl_piece_special_calls = 4.0;
+};
+
+/// FLOP count of one deterministic forward pass for a single input row.
+double flops_forward(const Mlp& mlp, const CostConstants& c = {});
+
+/// FLOP count of MCDrop-k: k stochastic passes plus the sample summary.
+double flops_mcdrop(const Mlp& mlp, std::size_t k,
+                    const CostConstants& c = {});
+
+/// FLOP count of one ApDeepSense analytic pass: two matrix products per
+/// layer (mean path and squared-weight variance path) plus the closed-form
+/// activation moments with `pieces(l)` pieces per layer.
+double flops_apdeepsense(const Mlp& mlp, std::size_t saturating_pieces = 7,
+                         const CostConstants& c = {});
+
+/// Per-activation surrogate piece count used by flops_apdeepsense: 1 for
+/// identity, 2 for ReLU, `saturating_pieces` for tanh/sigmoid.
+std::size_t surrogate_pieces(Activation act, std::size_t saturating_pieces);
+
+}  // namespace apds
+
+#include "conv/conv_net.h"
+
+namespace apds {
+
+/// FLOP count of one deterministic ConvNet forward pass (conv stack +
+/// dense head) for a single input row.
+double flops_conv_forward(const ConvNet& net, const CostConstants& c = {});
+
+/// FLOP count of ConvNet MCDrop-k.
+double flops_conv_mcdrop(const ConvNet& net, std::size_t k,
+                         const CostConstants& c = {});
+
+/// FLOP count of one ConvApDeepSense analytic pass: the conv moment map
+/// costs ~2 convolutions (mean path + squared-weight variance path) plus a
+/// per-channel partial-mean pass for the shared-mask correction, then the
+/// dense head as in flops_apdeepsense.
+double flops_conv_apdeepsense(const ConvNet& net,
+                              std::size_t saturating_pieces = 7,
+                              const CostConstants& c = {});
+
+}  // namespace apds

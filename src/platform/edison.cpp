@@ -1,0 +1,4 @@
+#include "platform/edison.h"
+
+// EdisonModel is header-only; this translation unit exists so the library
+// has a home for future platform models (e.g. a Raspberry Pi profile).

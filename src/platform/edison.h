@@ -1,0 +1,31 @@
+// Intel Edison execution model (substitute for the paper's hardware; see
+// DESIGN.md §2).
+//
+// The Edison's Atom SoC (dual-core, 500 MHz) sustains on the order of
+// 1.5e8 double-precision FLOP/s on naive single-threaded inference code,
+// and draws roughly 0.75 W while computing. Modelled time is
+// flops / effective_flops and modelled energy is power * time. The
+// constants are calibrated so the paper's MCDrop-50 columns land in the
+// hundreds-of-ms / hundreds-of-mJ range reported in Figures 2–5; every
+// *relative* comparison (the actual experimental claim) is independent of
+// this calibration.
+#pragma once
+
+namespace apds {
+
+struct EdisonModel {
+  double effective_flops = 1.5e8;  ///< sustained FLOP/s of inference code
+  double active_power_w = 0.75;    ///< CPU package power while computing
+
+  /// Modelled wall-clock milliseconds to execute `flops`.
+  double time_ms(double flops) const {
+    return flops / effective_flops * 1e3;
+  }
+
+  /// Modelled energy in millijoules to execute `flops`.
+  double energy_mj(double flops) const {
+    return active_power_w * time_ms(flops);
+  }
+};
+
+}  // namespace apds

@@ -1,0 +1,38 @@
+#include "platform/profiler.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.h"
+#include "common/stopwatch.h"
+
+namespace apds {
+
+TimingResult measure(const std::function<void()>& fn,
+                     std::size_t min_iterations, double min_total_seconds) {
+  APDS_CHECK(min_iterations >= 1);
+  fn();  // warm-up
+
+  std::vector<double> times_ms;
+  double total_s = 0.0;
+  while (times_ms.size() < min_iterations || total_s < min_total_seconds) {
+    Stopwatch sw;
+    fn();
+    const double ms = sw.elapsed_ms();
+    times_ms.push_back(ms);
+    total_s += ms * 1e-3;
+    if (times_ms.size() > 10000) break;  // degenerate ultra-fast fn guard
+  }
+
+  std::sort(times_ms.begin(), times_ms.end());
+  TimingResult r;
+  r.iterations = times_ms.size();
+  r.min_ms = times_ms.front();
+  r.median_ms = times_ms[times_ms.size() / 2];
+  double acc = 0.0;
+  for (double t : times_ms) acc += t;
+  r.mean_ms = acc / static_cast<double>(times_ms.size());
+  return r;
+}
+
+}  // namespace apds

@@ -1,0 +1,24 @@
+// Host-side wall-clock measurement of inference paths, reported alongside
+// the modelled Edison numbers so relative costs can be cross-checked on the
+// machine actually running the benches.
+#pragma once
+
+#include <functional>
+
+namespace apds {
+
+struct TimingResult {
+  double median_ms = 0.0;
+  double mean_ms = 0.0;
+  double min_ms = 0.0;
+  std::size_t iterations = 0;
+};
+
+/// Run `fn` repeatedly and report timing statistics. Performs one untimed
+/// warm-up call. `min_iterations` runs are always taken; more are added
+/// until `min_total_seconds` of measured time has accumulated.
+TimingResult measure(const std::function<void()>& fn,
+                     std::size_t min_iterations = 5,
+                     double min_total_seconds = 0.2);
+
+}  // namespace apds

@@ -1,0 +1,57 @@
+#include "stats/gaussian.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace apds {
+
+double std_normal_pdf(double z) {
+  return std::exp(-0.5 * z * z) / kSqrt2Pi;
+}
+
+double std_normal_cdf(double z) { return 0.5 * std::erfc(-z / kSqrt2); }
+
+double normal_pdf(double x, double mu, double sigma) {
+  APDS_CHECK(sigma > 0.0);
+  return std_normal_pdf((x - mu) / sigma) / sigma;
+}
+
+double normal_log_pdf(double x, double mu, double sigma) {
+  APDS_CHECK(sigma > 0.0);
+  const double z = (x - mu) / sigma;
+  return -0.5 * z * z - std::log(sigma) - 0.5 * kLog2Pi;
+}
+
+double gaussian_nll(double x, double mu, double var) {
+  APDS_CHECK(var > 0.0);
+  const double d = x - mu;
+  return 0.5 * (kLog2Pi + std::log(var) + d * d / var);
+}
+
+PartialMoments truncated_moments(double a, double b, double mu, double sigma) {
+  APDS_CHECK(sigma > 0.0);
+  APDS_CHECK(a <= b);
+  // Standardize. alpha/beta may be +-inf, which erf/exp handle correctly.
+  const double alpha = (a - mu) / sigma;
+  const double beta = (b - mu) / sigma;
+
+  const double phi_a = std::isinf(alpha) ? 0.0 : std_normal_pdf(alpha);
+  const double phi_b = std::isinf(beta) ? 0.0 : std_normal_pdf(beta);
+  const double cdf_a = std_normal_cdf(alpha);
+  const double cdf_b = std_normal_cdf(beta);
+
+  PartialMoments pm;
+  pm.mass = cdf_b - cdf_a;
+  // E[(X-mu) 1{a<=X<=b}] = sigma (phi(alpha) - phi(beta)).
+  pm.first = sigma * (phi_a - phi_b);
+  // E[(X-mu)^2 1{a<=X<=b}]
+  //   = sigma^2 [ (cdf(beta)-cdf(alpha)) + alpha phi(alpha) - beta phi(beta) ]
+  // with the convention inf * 0 -> 0 at infinite endpoints.
+  const double ap = std::isinf(alpha) ? 0.0 : alpha * phi_a;
+  const double bp = std::isinf(beta) ? 0.0 : beta * phi_b;
+  pm.second = sigma * sigma * (pm.mass + ap - bp);
+  return pm;
+}
+
+}  // namespace apds

@@ -1,0 +1,45 @@
+// Gaussian density utilities and truncated-Gaussian partial moments.
+//
+// The partial moments (probability mass, first and second central moments of
+// a Gaussian restricted to an interval) are exactly the D_p, M_p, V_p
+// quantities of the paper (Eq. 23–25); they are the analytic backbone of the
+// piece-wise-linear activation propagation in src/core.
+#pragma once
+
+namespace apds {
+
+inline constexpr double kSqrt2 = 1.4142135623730951;
+inline constexpr double kSqrt2Pi = 2.5066282746310002;
+inline constexpr double kLog2Pi = 1.8378770664093453;
+
+/// Standard normal pdf at z.
+double std_normal_pdf(double z);
+
+/// Standard normal cdf at z (via erf).
+double std_normal_cdf(double z);
+
+/// N(x; mu, sigma^2) density. Requires sigma > 0.
+double normal_pdf(double x, double mu, double sigma);
+
+/// log N(x; mu, sigma^2). Requires sigma > 0.
+double normal_log_pdf(double x, double mu, double sigma);
+
+/// Gaussian negative log-likelihood with variance parameterization.
+/// Equals -log N(x; mu, var). Requires var > 0.
+double gaussian_nll(double x, double mu, double var);
+
+/// Partial moments of X ~ N(mu, sigma^2) over the interval [a, b]
+/// (a may be -inf, b may be +inf):
+///   mass   = P(a <= X <= b)                                (paper's D_p)
+///   first  = E[(X - mu) * 1{a<=X<=b}]                      (paper's M_p)
+///   second = E[(X - mu)^2 * 1{a<=X<=b}]                    (paper's V_p)
+struct PartialMoments {
+  double mass = 0.0;
+  double first = 0.0;
+  double second = 0.0;
+};
+
+/// Compute the partial moments above. Requires sigma > 0 and a <= b.
+PartialMoments truncated_moments(double a, double b, double mu, double sigma);
+
+}  // namespace apds

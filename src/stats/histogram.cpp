@@ -1,0 +1,70 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace apds {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  APDS_CHECK_MSG(hi > lo && bins > 0, "Histogram: bad range or bin count");
+}
+
+void Histogram::add(double x) {
+  auto bin = static_cast<long>(std::floor((x - lo_) / bin_width_));
+  bin = std::clamp<long>(bin, 0, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  APDS_CHECK(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  APDS_CHECK(bin < counts_.size());
+  return lo_ + (static_cast<double>(bin) + 0.5) * bin_width_;
+}
+
+double Histogram::density(std::size_t bin) const {
+  APDS_CHECK(bin < counts_.size());
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[bin]) /
+         (static_cast<double>(total_) * bin_width_);
+}
+
+std::string Histogram::render(std::size_t width,
+                              std::span<const double> overlay_density) const {
+  double max_density = 1e-300;
+  for (std::size_t b = 0; b < bins(); ++b)
+    max_density = std::max(max_density, density(b));
+  for (double d : overlay_density) max_density = std::max(max_density, d);
+
+  std::ostringstream os;
+  for (std::size_t b = 0; b < bins(); ++b) {
+    const double d = density(b);
+    const auto bars = static_cast<std::size_t>(
+        std::lround(d / max_density * static_cast<double>(width)));
+    os << pad_left(format_double(bin_center(b), 3), 10) << " |"
+       << std::string(bars, '#') << std::string(width - bars, ' ');
+    if (b < overlay_density.size()) {
+      const auto mark = static_cast<std::size_t>(std::lround(
+          overlay_density[b] / max_density * static_cast<double>(width)));
+      os << "  fit=" << format_double(overlay_density[b], 4) << " @" << mark;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace apds

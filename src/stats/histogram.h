@@ -1,0 +1,42 @@
+// Fixed-bin histogram with an ASCII renderer, used by the Fig. 1 toy
+// experiment to show that hidden-unit dropout distributions are bell-shaped.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace apds {
+
+/// Equal-width histogram over [lo, hi); out-of-range samples clamp to the
+/// edge bins so no sample is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add_all(std::span<const double> xs);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  std::size_t count(std::size_t bin) const;
+  /// Center of bin `bin`.
+  double bin_center(std::size_t bin) const;
+  /// Empirical density of bin `bin` (count / (total * width)).
+  double density(std::size_t bin) const;
+
+  /// Render as a horizontal-bar ASCII chart `width` characters wide, with an
+  /// optional per-bin overlay value (e.g. a fitted Gaussian density) printed
+  /// alongside.
+  std::string render(std::size_t width = 60,
+                     std::span<const double> overlay_density = {}) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace apds

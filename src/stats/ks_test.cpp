@@ -1,0 +1,49 @@
+#include "stats/ks_test.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "stats/gaussian.h"
+
+namespace apds {
+
+namespace {
+// Asymptotic Kolmogorov distribution complement: P(K > x).
+double kolmogorov_p(double x) {
+  if (x <= 0.0) return 1.0;
+  double sum = 0.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term =
+        2.0 * std::pow(-1.0, k - 1) * std::exp(-2.0 * k * k * x * x);
+    sum += term;
+    if (std::fabs(term) < 1e-12) break;
+  }
+  return std::clamp(sum, 0.0, 1.0);
+}
+}  // namespace
+
+KsResult ks_test_gaussian(std::span<const double> samples, double mu,
+                          double sigma) {
+  APDS_CHECK(!samples.empty());
+  APDS_CHECK(sigma > 0.0);
+  std::vector<double> xs(samples.begin(), samples.end());
+  std::sort(xs.begin(), xs.end());
+
+  const auto n = static_cast<double>(xs.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double f = std_normal_cdf((xs[i] - mu) / sigma);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max({d, std::fabs(f - lo), std::fabs(f - hi)});
+  }
+
+  KsResult r;
+  r.statistic = d;
+  r.p_value = kolmogorov_p((std::sqrt(n) + 0.12 + 0.11 / std::sqrt(n)) * d);
+  return r;
+}
+
+}  // namespace apds

@@ -1,0 +1,18 @@
+// One-sample Kolmogorov–Smirnov test against a Gaussian, used to quantify
+// how Gaussian the hidden-unit dropout distributions are (Fig. 1).
+#pragma once
+
+#include <span>
+
+namespace apds {
+
+struct KsResult {
+  double statistic = 0.0;  ///< sup |F_n(x) - F(x)|
+  double p_value = 0.0;    ///< asymptotic Kolmogorov p-value
+};
+
+/// KS test of `samples` against N(mu, sigma^2). Sorts a copy of the samples.
+KsResult ks_test_gaussian(std::span<const double> samples, double mu,
+                          double sigma);
+
+}  // namespace apds

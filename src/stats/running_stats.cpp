@@ -1,0 +1,72 @@
+#include "stats/running_stats.h"
+
+#include <cmath>
+#include <span>
+
+#include "common/error.h"
+
+namespace apds {
+
+void RunningStats::add(double x) {
+  ++n_;
+  if (n_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  APDS_CHECK(n_ > 0);
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  if (n_ < 1) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::sample_variance() const {
+  APDS_CHECK(n_ >= 2);
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  APDS_CHECK(n_ > 0);
+  return min_;
+}
+
+double RunningStats::max() const {
+  APDS_CHECK(n_ > 0);
+  return max_;
+}
+
+RunningVectorStats::RunningVectorStats(std::size_t dim)
+    : mean_(dim, 0.0), m2_(dim, 0.0) {}
+
+void RunningVectorStats::add(std::span<const double> x) {
+  APDS_CHECK_MSG(x.size() == mean_.size(), "RunningVectorStats: dim mismatch");
+  ++n_;
+  const double inv_n = 1.0 / static_cast<double>(n_);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double delta = x[i] - mean_[i];
+    mean_[i] += delta * inv_n;
+    m2_[i] += delta * (x[i] - mean_[i]);
+  }
+}
+
+std::vector<double> RunningVectorStats::variance() const {
+  std::vector<double> v(mean_.size(), 0.0);
+  if (n_ < 1) return v;
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = m2_[i] / static_cast<double>(n_);
+  return v;
+}
+
+}  // namespace apds

@@ -1,0 +1,57 @@
+// Streaming mean/variance accumulators (Welford), scalar and vector forms.
+//
+// Used by MCDrop to accumulate per-output sample statistics without storing
+// all k forward passes, and by the Fig. 1 toy experiment.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace apds {
+
+/// Welford streaming mean and variance for a scalar stream.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Population variance (divides by n). Returns 0 for n < 1 samples.
+  double variance() const;
+  /// Sample variance (divides by n-1). Requires n >= 2.
+  double sample_variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Welford streaming statistics over fixed-width vectors; one accumulator
+/// per coordinate.
+class RunningVectorStats {
+ public:
+  explicit RunningVectorStats(std::size_t dim);
+
+  /// Add one observation; `x` must have exactly `dim()` elements.
+  void add(std::span<const double> x);
+
+  std::size_t dim() const { return mean_.size(); }
+  std::size_t count() const { return n_; }
+  const std::vector<double>& mean() const { return mean_; }
+  /// Per-coordinate population variance.
+  std::vector<double> variance() const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> mean_;
+  std::vector<double> m2_;
+};
+
+}  // namespace apds

@@ -1,0 +1,48 @@
+#include "stats/special.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace apds {
+
+double softplus(double x) {
+  if (x > 30.0) return x;
+  if (x < -30.0) return std::exp(x);
+  return std::log1p(std::exp(x));
+}
+
+double softplus_inverse(double y) {
+  APDS_CHECK(y > 0.0);
+  if (y > 30.0) return y;
+  return std::log(std::expm1(y));
+}
+
+double logsumexp(std::span<const double> x) {
+  APDS_CHECK(!x.empty());
+  const double m = *std::max_element(x.begin(), x.end());
+  if (std::isinf(m)) return m;  // all -inf
+  double acc = 0.0;
+  for (double v : x) acc += std::exp(v - m);
+  return m + std::log(acc);
+}
+
+std::vector<double> softmax(std::span<const double> logits) {
+  const double lse = logsumexp(logits);
+  std::vector<double> p(logits.size());
+  for (std::size_t i = 0; i < logits.size(); ++i)
+    p[i] = std::exp(logits[i] - lse);
+  return p;
+}
+
+double sigmoid(double x) {
+  if (x >= 0.0) {
+    const double e = std::exp(-x);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+}  // namespace apds

@@ -1,0 +1,24 @@
+// Numerically careful special functions used across the library.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace apds {
+
+/// log(1 + exp(x)) without overflow.
+double softplus(double x);
+
+/// Inverse of softplus: x such that softplus(x) == y. Requires y > 0.
+double softplus_inverse(double y);
+
+/// log(sum_i exp(x_i)) without overflow. Requires non-empty input.
+double logsumexp(std::span<const double> x);
+
+/// Softmax of a logit vector (stable). Returns probabilities summing to 1.
+std::vector<double> softmax(std::span<const double> logits);
+
+/// Numerically stable sigmoid.
+double sigmoid(double x);
+
+}  // namespace apds

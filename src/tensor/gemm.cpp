@@ -1,0 +1,102 @@
+#include "tensor/gemm.h"
+
+#include <cstring>
+
+namespace apds {
+
+namespace {
+// Block sizes tuned for a typical 32 KiB L1 / 256 KiB L2; with 512-wide
+// layers a full B-panel row fits comfortably.
+constexpr std::size_t kBlockK = 64;
+
+void gemm_impl(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate) {
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+  APDS_CHECK_MSG(b.rows() == k, "gemm: inner dims " << k << " vs " << b.rows());
+  APDS_CHECK_MSG(c.rows() == m && c.cols() == n,
+                 "gemm: output shape " << c.rows() << "x" << c.cols()
+                                       << " != " << m << "x" << n);
+  if (!accumulate) std::memset(c.data(), 0, sizeof(double) * c.size());
+
+  const double* ad = a.data();
+  const double* bd = b.data();
+  double* cd = c.data();
+  for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
+    const std::size_t k1 = std::min(k, k0 + kBlockK);
+    for (std::size_t i = 0; i < m; ++i) {
+      double* crow = cd + i * n;
+      const double* arow = ad + i * k;
+      for (std::size_t kk = k0; kk < k1; ++kk) {
+        const double aik = arow[kk];
+        if (aik == 0.0) continue;  // dropout rows are exactly zero
+        const double* brow = bd + kk * n;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      }
+    }
+  }
+}
+}  // namespace
+
+void gemm(const Matrix& a, const Matrix& b, Matrix& c) {
+  gemm_impl(a, b, c, /*accumulate=*/false);
+}
+
+void gemm_acc(const Matrix& a, const Matrix& b, Matrix& c) {
+  gemm_impl(a, b, c, /*accumulate=*/true);
+}
+
+void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c) {
+  const std::size_t k = a.rows();
+  const std::size_t m = a.cols();
+  const std::size_t n = b.cols();
+  APDS_CHECK_MSG(b.rows() == k, "gemm_tn: inner dims");
+  APDS_CHECK_MSG(c.rows() == m && c.cols() == n, "gemm_tn: output shape");
+  std::memset(c.data(), 0, sizeof(double) * c.size());
+
+  const double* ad = a.data();
+  const double* bd = b.data();
+  double* cd = c.data();
+  // C[i,j] = sum_r A[r,i] * B[r,j]: iterate r outermost, rank-1 updates.
+  for (std::size_t r = 0; r < k; ++r) {
+    const double* arow = ad + r * m;
+    const double* brow = bd + r * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double ari = arow[i];
+      if (ari == 0.0) continue;
+      double* crow = cd + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += ari * brow[j];
+    }
+  }
+}
+
+void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c) {
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.rows();
+  APDS_CHECK_MSG(b.cols() == k, "gemm_nt: inner dims");
+  APDS_CHECK_MSG(c.rows() == m && c.cols() == n, "gemm_nt: output shape");
+
+  const double* ad = a.data();
+  const double* bd = b.data();
+  double* cd = c.data();
+  // C[i,j] = dot(A.row(i), B.row(j)): both operands row-contiguous.
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = ad + i * k;
+    double* crow = cd + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* brow = bd + j * k;
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] = acc;
+    }
+  }
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  gemm(a, b, c);
+  return c;
+}
+
+}  // namespace apds

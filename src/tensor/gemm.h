@@ -1,0 +1,27 @@
+// General matrix multiply kernels.
+//
+// Cache-blocked, i-k-j loop order so the inner loop is a contiguous
+// axpy over the output row — this auto-vectorizes well and is the
+// performance backbone of both training and MCDrop inference.
+#pragma once
+
+#include "tensor/matrix.h"
+
+namespace apds {
+
+/// C = A * B. Shapes: [m,k] x [k,n] -> [m,n]. C is overwritten.
+void gemm(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// C += A * B (accumulating variant).
+void gemm_acc(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// C = A^T * B. Shapes: [k,m] x [k,n] -> [m,n]. Used for weight gradients.
+void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// C = A * B^T. Shapes: [m,k] x [n,k] -> [m,n]. Used for input gradients.
+void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// Convenience: returns A * B by value.
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+}  // namespace apds

@@ -1,0 +1,42 @@
+#include "tensor/tensor_io.h"
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+
+namespace apds {
+
+namespace {
+void write_u64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw IoError("read_matrix: truncated header");
+  return v;
+}
+}  // namespace
+
+void write_matrix(std::ostream& os, const Matrix& m) {
+  write_u64(os, m.rows());
+  write_u64(os, m.cols());
+  os.write(reinterpret_cast<const char*>(m.data()),
+           static_cast<std::streamsize>(sizeof(double) * m.size()));
+  if (!os) throw IoError("write_matrix: stream failure");
+}
+
+Matrix read_matrix(std::istream& is, std::size_t max_elems) {
+  const std::uint64_t rows = read_u64(is);
+  const std::uint64_t cols = read_u64(is);
+  if (rows != 0 && cols > max_elems / rows)
+    throw IoError("read_matrix: implausible shape (corrupt file?)");
+  std::vector<double> data(rows * cols);
+  is.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(sizeof(double) * data.size()));
+  if (!is) throw IoError("read_matrix: truncated payload");
+  return Matrix::from_data(rows, cols, std::move(data));
+}
+
+}  // namespace apds

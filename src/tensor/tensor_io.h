@@ -1,0 +1,19 @@
+// Binary serialization of matrices, used by model save/load.
+//
+// Format: little-endian u64 rows, u64 cols, then rows*cols f64 values.
+#pragma once
+
+#include <iosfwd>
+
+#include "tensor/matrix.h"
+
+namespace apds {
+
+/// Write `m` to a binary stream. Throws IoError on failure.
+void write_matrix(std::ostream& os, const Matrix& m);
+
+/// Read a matrix written by write_matrix. Throws IoError on failure or if
+/// the encoded size exceeds `max_elems` (corruption guard).
+Matrix read_matrix(std::istream& is, std::size_t max_elems = 1u << 28);
+
+}  // namespace apds

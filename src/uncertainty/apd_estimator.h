@@ -1,0 +1,28 @@
+// UncertaintyEstimator adapter over the analytic ApDeepSense propagator.
+#pragma once
+
+#include "core/apdeepsense.h"
+#include "core/softmax_approx.h"
+#include "uncertainty/estimator.h"
+
+namespace apds {
+
+/// Sampling-free estimator: one analytic pass per batch.
+class ApdEstimator final : public UncertaintyEstimator {
+ public:
+  explicit ApdEstimator(const Mlp& mlp, ApDeepSenseConfig config = {},
+                        double var_floor = 1e-6);
+
+  std::string name() const override { return "ApDeepSense"; }
+
+  PredictiveGaussian predict_regression(const Matrix& x) const override;
+  PredictiveCategorical predict_classification(const Matrix& x) const override;
+
+  const ApDeepSense& propagator() const { return propagator_; }
+
+ private:
+  ApDeepSense propagator_;
+  double var_floor_;
+};
+
+}  // namespace apds

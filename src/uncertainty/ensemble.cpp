@@ -1,0 +1,72 @@
+#include "uncertainty/ensemble.h"
+
+#include "stats/special.h"
+#include "tensor/ops.h"
+
+namespace apds {
+
+DeepEnsemble::DeepEnsemble(std::vector<const Mlp*> members, double var_floor)
+    : members_(std::move(members)), var_floor_(var_floor) {
+  APDS_CHECK_MSG(members_.size() >= 2, "DeepEnsemble: need >= 2 members");
+  for (const Mlp* m : members_) {
+    APDS_CHECK(m != nullptr);
+    APDS_CHECK_MSG(m->input_dim() == members_.front()->input_dim() &&
+                       m->output_dim() == members_.front()->output_dim(),
+                   "DeepEnsemble: member shape mismatch");
+  }
+}
+
+std::string DeepEnsemble::name() const {
+  return "Ensemble-" + std::to_string(members_.size());
+}
+
+PredictiveGaussian DeepEnsemble::predict_regression(const Matrix& x) const {
+  std::vector<Matrix> outs;
+  outs.reserve(members_.size());
+  for (const Mlp* m : members_) outs.push_back(m->forward_deterministic(x));
+
+  PredictiveGaussian pred;
+  pred.mean = Matrix(outs[0].rows(), outs[0].cols());
+  pred.var = Matrix(outs[0].rows(), outs[0].cols());
+  for (const Matrix& o : outs) add_inplace(pred.mean, o);
+  scale_inplace(pred.mean, 1.0 / static_cast<double>(outs.size()));
+  for (const Matrix& o : outs) add_inplace(pred.var, square(sub(o, pred.mean)));
+  scale_inplace(pred.var, 1.0 / static_cast<double>(outs.size() - 1));
+  for (double& v : pred.var.flat()) v = std::max(v, var_floor_);
+  return pred;
+}
+
+PredictiveCategorical DeepEnsemble::predict_classification(
+    const Matrix& x) const {
+  PredictiveCategorical pred;
+  const std::size_t classes = members_.front()->output_dim();
+  pred.probs = Matrix(x.rows(), classes);
+  for (const Mlp* m : members_) {
+    const Matrix logits = m->forward_deterministic(x);
+    for (std::size_t r = 0; r < logits.rows(); ++r) {
+      const auto p = softmax(logits.row(r));
+      for (std::size_t c = 0; c < classes; ++c) pred.probs(r, c) += p[c];
+    }
+  }
+  scale_inplace(pred.probs, 1.0 / static_cast<double>(members_.size()));
+  return pred;
+}
+
+std::vector<Mlp> train_ensemble(const MlpSpec& spec, std::size_t members,
+                                const Matrix& x, const Matrix& y,
+                                const Matrix& x_val, const Matrix& y_val,
+                                const Loss& loss, const TrainConfig& config,
+                                Rng& rng) {
+  APDS_CHECK(members >= 2);
+  std::vector<Mlp> ensemble;
+  ensemble.reserve(members);
+  for (std::size_t m = 0; m < members; ++m) {
+    Rng member_rng = rng.split();
+    Mlp mlp = Mlp::make(spec, member_rng);
+    train_mlp(mlp, x, y, x_val, y_val, loss, config, member_rng);
+    ensemble.push_back(std::move(mlp));
+  }
+  return ensemble;
+}
+
+}  // namespace apds

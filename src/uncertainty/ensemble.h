@@ -1,0 +1,48 @@
+// Deep-ensemble baseline (Lakshminarayanan et al., 2017) — not in the
+// paper, added as the strongest *training-time* uncertainty comparator the
+// community uses today. M independently initialized networks are trained
+// on the same data; the predictive is the mixture of their outputs. Costs
+// M passes at inference and M trainings up front, bracketing the design
+// space between MCDrop (k passes, one training) and RDeepSense (one pass,
+// one retraining).
+#pragma once
+
+#include <vector>
+
+#include "nn/mlp.h"
+#include "nn/trainer.h"
+#include "uncertainty/estimator.h"
+
+namespace apds {
+
+/// Estimator over an ensemble of trained networks with identical
+/// input/output shapes. Regression predictive: moment-matched Gaussian of
+/// the member-mean mixture (mixture mean; variance = within-member spread
+/// across members + mean of per-member dropout-free residual variance is
+/// unavailable without a variance head, so the spread across members is
+/// the uncertainty signal, floored). Classification: averaged softmax.
+class DeepEnsemble final : public UncertaintyEstimator {
+ public:
+  explicit DeepEnsemble(std::vector<const Mlp*> members,
+                        double var_floor = 1e-6);
+
+  std::string name() const override;
+  PredictiveGaussian predict_regression(const Matrix& x) const override;
+  PredictiveCategorical predict_classification(const Matrix& x) const override;
+
+  std::size_t size() const { return members_.size(); }
+
+ private:
+  std::vector<const Mlp*> members_;  ///< non-owning; must outlive this
+  double var_floor_;
+};
+
+/// Training recipe: M members from independent initializations (and
+/// independent shuffling), same architecture and schedule.
+std::vector<Mlp> train_ensemble(const MlpSpec& spec, std::size_t members,
+                                const Matrix& x, const Matrix& y,
+                                const Matrix& x_val, const Matrix& y_val,
+                                const Loss& loss, const TrainConfig& config,
+                                Rng& rng);
+
+}  // namespace apds

@@ -1,0 +1,32 @@
+// Common interface over uncertainty-estimation algorithms.
+//
+// Every algorithm the paper compares (ApDeepSense, MCDrop-k, RDeepSense, and
+// our extra deterministic point baseline) implements this interface, so the
+// evaluation harness, benches and examples are algorithm-agnostic.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "uncertainty/predictive.h"
+
+namespace apds {
+
+class UncertaintyEstimator {
+ public:
+  virtual ~UncertaintyEstimator() = default;
+
+  /// Display name, e.g. "MCDrop-10".
+  virtual std::string name() const = 0;
+
+  /// Regression predictive for a batch of inputs. Only valid when the
+  /// underlying model is a regression network.
+  virtual PredictiveGaussian predict_regression(const Matrix& x) const = 0;
+
+  /// Classification predictive (class probabilities) for a batch of inputs.
+  /// Only valid when the underlying model outputs logits.
+  virtual PredictiveCategorical predict_classification(
+      const Matrix& x) const = 0;
+};
+
+}  // namespace apds

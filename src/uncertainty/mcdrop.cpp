@@ -1,0 +1,77 @@
+#include "uncertainty/mcdrop.h"
+
+#include "stats/special.h"
+#include "tensor/ops.h"
+
+namespace apds {
+
+std::vector<Matrix> mcdrop_collect(const Mlp& mlp, const Matrix& x,
+                                   std::size_t k, Rng& rng) {
+  APDS_CHECK(k > 0);
+  std::vector<Matrix> samples;
+  samples.reserve(k);
+  for (std::size_t s = 0; s < k; ++s)
+    samples.push_back(mlp.forward_stochastic(x, rng));
+  return samples;
+}
+
+PredictiveGaussian mcdrop_regression_from_samples(
+    std::span<const Matrix> samples, std::size_t k, double var_floor) {
+  APDS_CHECK_MSG(k >= 2, "MCDrop regression needs k >= 2 for a variance");
+  APDS_CHECK(samples.size() >= k);
+  const std::size_t batch = samples[0].rows();
+  const std::size_t d = samples[0].cols();
+
+  PredictiveGaussian out;
+  out.mean = Matrix(batch, d);
+  out.var = Matrix(batch, d);
+  for (std::size_t s = 0; s < k; ++s) add_inplace(out.mean, samples[s]);
+  scale_inplace(out.mean, 1.0 / static_cast<double>(k));
+  for (std::size_t s = 0; s < k; ++s) {
+    const Matrix d2 = square(sub(samples[s], out.mean));
+    add_inplace(out.var, d2);
+  }
+  scale_inplace(out.var, 1.0 / static_cast<double>(k - 1));
+  for (double& v : out.var.flat()) v = std::max(v, var_floor);
+  return out;
+}
+
+PredictiveCategorical mcdrop_classification_from_samples(
+    std::span<const Matrix> samples, std::size_t k) {
+  APDS_CHECK(k >= 1 && samples.size() >= k);
+  const std::size_t batch = samples[0].rows();
+  const std::size_t classes = samples[0].cols();
+
+  PredictiveCategorical out;
+  out.probs = Matrix(batch, classes);
+  for (std::size_t s = 0; s < k; ++s) {
+    for (std::size_t r = 0; r < batch; ++r) {
+      const auto p = softmax(samples[s].row(r));
+      for (std::size_t c = 0; c < classes; ++c) out.probs(r, c) += p[c];
+    }
+  }
+  scale_inplace(out.probs, 1.0 / static_cast<double>(k));
+  return out;
+}
+
+McDrop::McDrop(const Mlp& mlp, std::size_t k, std::uint64_t seed,
+               double var_floor)
+    : mlp_(&mlp), k_(k), var_floor_(var_floor), rng_(seed) {
+  APDS_CHECK(k >= 2);
+}
+
+std::string McDrop::name() const { return "MCDrop-" + std::to_string(k_); }
+
+PredictiveGaussian McDrop::predict_regression(const Matrix& x) const {
+  Rng rng = rng_.split();
+  const auto samples = mcdrop_collect(*mlp_, x, k_, rng);
+  return mcdrop_regression_from_samples(samples, k_, var_floor_);
+}
+
+PredictiveCategorical McDrop::predict_classification(const Matrix& x) const {
+  Rng rng = rng_.split();
+  const auto samples = mcdrop_collect(*mlp_, x, k_, rng);
+  return mcdrop_classification_from_samples(samples, k_);
+}
+
+}  // namespace apds

@@ -1,0 +1,53 @@
+// MCDrop-k: the sampling-based baseline (Gal & Ghahramani), paper Section
+// II-B. Runs the stochastic network k times with fresh dropout masks and
+// summarizes the samples.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/mlp.h"
+#include "uncertainty/estimator.h"
+
+namespace apds {
+
+/// Raw MCDrop forward samples for a batch: samples[s] is the network output
+/// of pass s, shape [batch, out]. Collecting once and summarizing prefixes
+/// lets one k_max-pass run stand in for every smaller k (used by the table
+/// benches so MCDrop-3/5/10/30/50 share passes).
+std::vector<Matrix> mcdrop_collect(const Mlp& mlp, const Matrix& x,
+                                   std::size_t k, Rng& rng);
+
+/// Summarize the first `k` of the collected samples into a Gaussian
+/// predictive: per-element sample mean and unbiased sample variance, floored
+/// at `var_floor`. Requires k >= 2.
+PredictiveGaussian mcdrop_regression_from_samples(
+    std::span<const Matrix> samples, std::size_t k, double var_floor = 1e-6);
+
+/// Summarize the first `k` samples into a categorical predictive by
+/// averaging per-pass softmax probabilities.
+PredictiveCategorical mcdrop_classification_from_samples(
+    std::span<const Matrix> samples, std::size_t k);
+
+/// The estimator interface bound to a fixed k. Each predict call uses a
+/// split of the seed RNG, so repeated calls are independent but the whole
+/// object is deterministic for a given construction seed.
+class McDrop final : public UncertaintyEstimator {
+ public:
+  McDrop(const Mlp& mlp, std::size_t k, std::uint64_t seed,
+         double var_floor = 1e-6);
+
+  std::string name() const override;
+  PredictiveGaussian predict_regression(const Matrix& x) const override;
+  PredictiveCategorical predict_classification(const Matrix& x) const override;
+
+  std::size_t k() const { return k_; }
+
+ private:
+  const Mlp* mlp_;
+  std::size_t k_;
+  double var_floor_;
+  mutable Rng rng_;
+};
+
+}  // namespace apds

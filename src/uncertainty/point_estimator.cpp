@@ -1,0 +1,42 @@
+#include "uncertainty/point_estimator.h"
+
+#include "stats/special.h"
+#include "tensor/ops.h"
+
+namespace apds {
+
+PointEstimator::PointEstimator(const Mlp& mlp, const Matrix& calib_x,
+                               const Matrix& calib_y, double var_floor)
+    : mlp_(&mlp) {
+  APDS_CHECK(calib_x.rows() == calib_y.rows() && calib_x.rows() > 1);
+  const Matrix pred = mlp.forward_deterministic(calib_x);
+  APDS_CHECK_MSG(pred.cols() == calib_y.cols(),
+                 "PointEstimator: calibration target dim");
+  const Matrix resid = sub(pred, calib_y);
+  calibrated_var_ = col_means(square(resid));
+  for (double& v : calibrated_var_.flat()) v = std::max(v, var_floor);
+}
+
+PredictiveGaussian PointEstimator::predict_regression(const Matrix& x) const {
+  PredictiveGaussian out;
+  out.mean = mlp_->forward_deterministic(x);
+  out.var = Matrix(out.mean.rows(), out.mean.cols());
+  for (std::size_t r = 0; r < out.var.rows(); ++r)
+    std::copy(calibrated_var_.row(0).begin(), calibrated_var_.row(0).end(),
+              out.var.row(r).begin());
+  return out;
+}
+
+PredictiveCategorical PointEstimator::predict_classification(
+    const Matrix& x) const {
+  const Matrix logits = mlp_->forward_deterministic(x);
+  PredictiveCategorical pred;
+  pred.probs = Matrix(logits.rows(), logits.cols());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const auto p = softmax(logits.row(r));
+    std::copy(p.begin(), p.end(), pred.probs.row(r).begin());
+  }
+  return pred;
+}
+
+}  // namespace apds

@@ -1,0 +1,32 @@
+// Deterministic point baseline (not in the paper's tables; used for
+// ablations): a single deterministic forward pass with a constant
+// per-output variance calibrated on held-out data. Shows what "no
+// input-dependent uncertainty at all" costs in NLL.
+#pragma once
+
+#include "nn/mlp.h"
+#include "uncertainty/estimator.h"
+
+namespace apds {
+
+class PointEstimator final : public UncertaintyEstimator {
+ public:
+  /// `calib_x`/`calib_y` are held-out data used to fit one residual
+  /// variance per output dimension.
+  PointEstimator(const Mlp& mlp, const Matrix& calib_x, const Matrix& calib_y,
+                 double var_floor = 1e-6);
+
+  std::string name() const override { return "Point"; }
+
+  PredictiveGaussian predict_regression(const Matrix& x) const override;
+  PredictiveCategorical predict_classification(const Matrix& x) const override;
+
+  /// The calibrated per-output variances (1 x out).
+  const Matrix& calibrated_var() const { return calibrated_var_; }
+
+ private:
+  const Mlp* mlp_;
+  Matrix calibrated_var_;  ///< [1, out]
+};
+
+}  // namespace apds

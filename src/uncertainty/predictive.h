@@ -1,0 +1,22 @@
+// Predictive-distribution value types returned by uncertainty estimators.
+#pragma once
+
+#include "tensor/matrix.h"
+
+namespace apds {
+
+/// Kind of inference task a dataset/model represents.
+enum class TaskKind { kRegression, kClassification };
+
+/// Batch of diagonal-Gaussian regression predictives.
+struct PredictiveGaussian {
+  Matrix mean;  ///< [batch, d]
+  Matrix var;   ///< [batch, d], strictly positive
+};
+
+/// Batch of categorical classification predictives.
+struct PredictiveCategorical {
+  Matrix probs;  ///< [batch, classes], rows sum to 1
+};
+
+}  // namespace apds

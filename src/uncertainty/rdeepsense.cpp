@@ -1,0 +1,61 @@
+#include "uncertainty/rdeepsense.h"
+
+#include "nn/loss.h"
+#include "stats/special.h"
+
+namespace apds {
+
+RDeepSense::RDeepSense(const Mlp& mlp, TaskKind task, std::size_t output_dim,
+                       double var_floor)
+    : mlp_(&mlp), task_(task), output_dim_(output_dim), var_floor_(var_floor) {
+  if (task == TaskKind::kRegression)
+    APDS_CHECK_MSG(mlp.output_dim() == 2 * output_dim,
+                   "RDeepSense regression net must output [mu | s]");
+  else
+    APDS_CHECK(mlp.output_dim() == output_dim);
+}
+
+PredictiveGaussian RDeepSense::predict_regression(const Matrix& x) const {
+  APDS_CHECK_MSG(task_ == TaskKind::kRegression,
+                 "RDeepSense: classification model asked for regression");
+  const Matrix out = mlp_->forward_deterministic(x);
+  PredictiveGaussian pred;
+  pred.mean = Matrix(out.rows(), output_dim_);
+  pred.var = Matrix(out.rows(), output_dim_);
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    for (std::size_t j = 0; j < output_dim_; ++j) {
+      pred.mean(r, j) = out(r, j);
+      pred.var(r, j) = softplus(out(r, output_dim_ + j)) + var_floor_;
+    }
+  }
+  return pred;
+}
+
+PredictiveCategorical RDeepSense::predict_classification(
+    const Matrix& x) const {
+  APDS_CHECK_MSG(task_ == TaskKind::kClassification,
+                 "RDeepSense: regression model asked for classification");
+  const Matrix out = mlp_->forward_deterministic(x);
+  PredictiveCategorical pred;
+  pred.probs = Matrix(out.rows(), output_dim_);
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    const auto p = softmax(out.row(r));
+    std::copy(p.begin(), p.end(), pred.probs.row(r).begin());
+  }
+  return pred;
+}
+
+Mlp train_rdeepsense_regression(const MlpSpec& base_spec, const Matrix& x,
+                                const Matrix& y, const Matrix& x_val,
+                                const Matrix& y_val, const TrainConfig& config,
+                                double alpha, Rng& rng) {
+  APDS_CHECK(!base_spec.dims.empty());
+  MlpSpec spec = base_spec;
+  spec.dims.back() *= 2;  // [mu | s] heads
+  Mlp mlp = Mlp::make(spec, rng);
+  const HeteroscedasticGaussianLoss loss(alpha);
+  train_mlp(mlp, x, y, x_val, y_val, loss, config, rng);
+  return mlp;
+}
+
+}  // namespace apds

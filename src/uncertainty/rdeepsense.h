@@ -1,0 +1,48 @@
+// RDeepSense (Yao et al., IMWUT 2017) — the retraining-based comparator.
+//
+// RDeepSense changes the *training* recipe rather than the inference pass:
+// regression networks get a doubled output layer emitting (mu, s) with
+// var = softplus(s) + floor, trained with a weighted NLL + MSE loss;
+// classification networks are ordinary dropout-regularized softmax nets.
+// At test time a single deterministic pass yields the predictive
+// distribution directly. The paper uses it as the "what retraining buys you"
+// upper bound.
+#pragma once
+
+#include "common/rng.h"
+#include "nn/mlp.h"
+#include "nn/trainer.h"
+#include "uncertainty/estimator.h"
+
+namespace apds {
+
+/// Estimator over an RDeepSense-trained network.
+///
+/// For regression the wrapped Mlp must output 2*output_dim columns
+/// ([mu | s]); for classification it outputs plain logits.
+class RDeepSense final : public UncertaintyEstimator {
+ public:
+  RDeepSense(const Mlp& mlp, TaskKind task, std::size_t output_dim,
+             double var_floor = 1e-6);
+
+  std::string name() const override { return "RDeepSense"; }
+
+  PredictiveGaussian predict_regression(const Matrix& x) const override;
+  PredictiveCategorical predict_classification(const Matrix& x) const override;
+
+ private:
+  const Mlp* mlp_;
+  TaskKind task_;
+  std::size_t output_dim_;
+  double var_floor_;
+};
+
+/// Training recipe for an RDeepSense regression network: builds an Mlp whose
+/// final layer has 2*output_dim units and trains it with the
+/// heteroscedastic Gaussian loss (alpha mixing NLL and MSE).
+Mlp train_rdeepsense_regression(const MlpSpec& base_spec, const Matrix& x,
+                                const Matrix& y, const Matrix& x_val,
+                                const Matrix& y_val, const TrainConfig& config,
+                                double alpha, Rng& rng);
+
+}  // namespace apds

@@ -1,0 +1,56 @@
+#include "nn/activation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace apds {
+namespace {
+
+const Activation kAll[] = {Activation::kIdentity, Activation::kRelu,
+                           Activation::kTanh, Activation::kSigmoid};
+
+TEST(Activation, KnownValues) {
+  EXPECT_EQ(activate(Activation::kIdentity, -2.5), -2.5);
+  EXPECT_EQ(activate(Activation::kRelu, -2.5), 0.0);
+  EXPECT_EQ(activate(Activation::kRelu, 2.5), 2.5);
+  EXPECT_NEAR(activate(Activation::kTanh, 1.0), std::tanh(1.0), 1e-15);
+  EXPECT_NEAR(activate(Activation::kSigmoid, 0.0), 0.5, 1e-15);
+}
+
+TEST(Activation, GradMatchesFiniteDifference) {
+  const double eps = 1e-6;
+  for (Activation act : kAll) {
+    for (double x : {-2.0, -0.3, 0.4, 1.7}) {
+      const double numeric =
+          (activate(act, x + eps) - activate(act, x - eps)) / (2.0 * eps);
+      EXPECT_NEAR(activate_grad(act, x), numeric, 1e-6)
+          << activation_name(act) << " at " << x;
+    }
+  }
+}
+
+TEST(Activation, ReluGradAtKinkIsSubgradient) {
+  const double g = activate_grad(Activation::kRelu, 0.0);
+  EXPECT_TRUE(g == 0.0 || g == 1.0);
+}
+
+TEST(Activation, MatrixApplicationIsElementwise) {
+  Matrix x{{-1.0, 0.0, 2.0}};
+  const Matrix y = apply_activation(Activation::kRelu, x);
+  EXPECT_EQ(y, (Matrix{{0.0, 0.0, 2.0}}));
+  const Matrix g = activation_grad_matrix(Activation::kRelu, x);
+  EXPECT_EQ(g, (Matrix{{0.0, 0.0, 1.0}}));
+}
+
+TEST(Activation, NamesRoundTrip) {
+  for (Activation act : kAll)
+    EXPECT_EQ(parse_activation(activation_name(act)), act);
+}
+
+TEST(Activation, UnknownNameThrows) {
+  EXPECT_THROW(parse_activation("swish"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace apds

@@ -1,0 +1,138 @@
+#include "core/adaptive_surrogate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/apdeepsense.h"
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+
+namespace apds {
+namespace {
+
+Mlp tanh_net(Rng& rng, double weight_scale = 1.0) {
+  MlpSpec spec;
+  spec.dims = {4, 16, 16, 2};
+  spec.hidden_act = Activation::kTanh;
+  spec.hidden_keep_prob = 0.9;
+  Mlp mlp = Mlp::make(spec, rng);
+  for (std::size_t l = 0; l < mlp.num_layers(); ++l)
+    scale_inplace(mlp.mutable_layer(l).weight, weight_scale);
+  return mlp;
+}
+
+TEST(PreactStats, MatchesDirectComputationOnFirstLayer) {
+  Rng rng(1);
+  const Mlp mlp = tanh_net(rng);
+  Matrix x(40, 4);
+  for (double& v : x.flat()) v = rng.normal();
+  const auto stats = collect_preact_stats(mlp, x);
+  ASSERT_EQ(stats.size(), 3u);
+
+  // Recompute layer-0 pre-activation stats directly.
+  Matrix pre(40, 16);
+  gemm(x, mlp.layer(0).weight, pre);
+  add_row_broadcast(pre, mlp.layer(0).bias);
+  double mean = 0.0;
+  for (double v : pre.flat()) mean += v;
+  mean /= static_cast<double>(pre.size());
+  EXPECT_NEAR(stats[0].mean, mean, 1e-10);
+  EXPECT_GT(stats[0].stddev, 0.0);
+}
+
+TEST(PreactStats, RejectsBadBatch) {
+  Rng rng(2);
+  const Mlp mlp = tanh_net(rng);
+  EXPECT_THROW(collect_preact_stats(mlp, Matrix(0, 4)), InvalidArgument);
+  EXPECT_THROW(collect_preact_stats(mlp, Matrix(5, 3)), InvalidArgument);
+}
+
+TEST(CalibrateSurrogates, OnePerLayerAndExactForRelu) {
+  Rng rng(3);
+  MlpSpec spec;
+  spec.dims = {4, 8, 2};
+  spec.hidden_act = Activation::kRelu;
+  const Mlp mlp = Mlp::make(spec, rng);
+  Matrix x(20, 4);
+  for (double& v : x.flat()) v = rng.normal();
+  const auto surrogates = calibrate_surrogates(mlp, x);
+  ASSERT_EQ(surrogates.size(), 2u);
+  EXPECT_EQ(surrogates[0].num_pieces(), 2u);  // exact ReLU untouched
+  EXPECT_EQ(surrogates[1].num_pieces(), 1u);  // identity output
+}
+
+TEST(CalibrateSurrogates, FitConcentratesWhereLayerOperates) {
+  // A network with tiny weights keeps pre-activations near zero: the
+  // calibrated central fit there must be more accurate than the fixed
+  // default at the observed operating point.
+  Rng rng(4);
+  const Mlp mlp = tanh_net(rng, /*weight_scale=*/0.05);
+  Matrix x(60, 4);
+  for (double& v : x.flat()) v = rng.normal();
+
+  const auto stats = collect_preact_stats(mlp, x);
+  const auto adaptive = calibrate_surrogates(mlp, x, 7);
+  const auto fixed = PiecewiseLinear::fit_tanh(7);
+
+  // Evaluate both surrogates over the layer-0 operating range.
+  const double lo = stats[0].mean - 2.0 * stats[0].stddev;
+  const double hi = stats[0].mean + 2.0 * stats[0].stddev;
+  const double err_adaptive = adaptive[0].max_error_against(
+      [](double v) { return std::tanh(v); }, lo, hi);
+  const double err_fixed = fixed.max_error_against(
+      [](double v) { return std::tanh(v); }, lo, hi);
+  EXPECT_LT(err_adaptive, err_fixed);
+}
+
+TEST(CalibrateSurrogates, CentralSlopeTracksOperatingPoint) {
+  // The mechanism behind the GasSen-Tanh MAE improvement (see
+  // bench/ablation_surrogate): a layer operating in the near-linear regime
+  // needs central slope ~ tanh'(0) = 1; the fixed fit's central slope is
+  // deliberately flattened to cover +-3, which attenuates small signals
+  // multiplicatively across layers. Calibration must recover the slope.
+  Rng rng(5);
+  const Mlp mlp = tanh_net(rng, /*weight_scale=*/0.1);
+  Matrix calib(100, 4);
+  for (double& v : calib.flat()) v = rng.normal();
+
+  const auto adaptive = calibrate_surrogates(mlp, calib, 7);
+  const auto fixed = PiecewiseLinear::fit_tanh(7);
+
+  auto slope_at = [](const PiecewiseLinear& f, double x) {
+    for (const auto& p : f.pieces())
+      if (x < p.hi) return p.k;
+    return f.pieces().back().k;
+  };
+  const auto stats = collect_preact_stats(mlp, calib);
+  for (std::size_t l = 0; l + 1 < mlp.num_layers(); ++l) {
+    const double x = stats[l].mean;
+    const double true_slope = 1.0 - std::tanh(x) * std::tanh(x);
+    EXPECT_LT(std::fabs(slope_at(adaptive[l], x) - true_slope),
+              std::fabs(slope_at(fixed, x) - true_slope) + 1e-12)
+        << "layer " << l;
+  }
+}
+
+TEST(CalibrateSurrogates, ExplicitSurrogateCountValidated) {
+  Rng rng(6);
+  const Mlp mlp = tanh_net(rng);
+  std::vector<PiecewiseLinear> too_few;
+  too_few.push_back(PiecewiseLinear::relu());
+  EXPECT_THROW(ApDeepSense(mlp, std::move(too_few)), InvalidArgument);
+}
+
+TEST(CalibrateSurrogates, MinSigmaFloorsCollapsedLayers) {
+  Rng rng(7);
+  const Mlp mlp = tanh_net(rng, /*weight_scale=*/1e-9);  // collapsed preacts
+  Matrix x(20, 4);
+  for (double& v : x.flat()) v = rng.normal();
+  const auto surrogates = calibrate_surrogates(mlp, x, 7, 0.05);
+  // Still a usable fit (no degenerate pieces, finite evaluation).
+  for (const auto& s : surrogates)
+    EXPECT_TRUE(std::isfinite(s.eval(0.1)));
+}
+
+}  // namespace
+}  // namespace apds

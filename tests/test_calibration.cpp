@@ -1,0 +1,81 @@
+#include "metrics/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace apds {
+namespace {
+
+TEST(Calibration, WellCalibratedGaussianMatchesNominal) {
+  Rng rng(1);
+  const std::size_t n = 20000;
+  PredictiveGaussian pred;
+  pred.mean = Matrix(n, 1);
+  pred.var = Matrix(n, 1);
+  Matrix target(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    pred.mean(i, 0) = rng.normal(0.0, 5.0);
+    const double sd = rng.uniform(0.5, 2.0);
+    pred.var(i, 0) = sd * sd;
+    target(i, 0) = pred.mean(i, 0) + rng.normal(0.0, sd);
+  }
+  const double levels[] = {0.5, 0.8, 0.9, 0.95};
+  const auto curve = calibration_curve(pred, target, levels);
+  ASSERT_EQ(curve.size(), 4u);
+  for (const auto& p : curve)
+    EXPECT_NEAR(p.empirical, p.nominal, 0.02) << "level " << p.nominal;
+  EXPECT_LT(expected_calibration_error(pred, target, levels), 0.02);
+}
+
+TEST(Calibration, OverconfidentPredictiveUndershootsCoverage) {
+  Rng rng(2);
+  const std::size_t n = 5000;
+  PredictiveGaussian pred;
+  pred.mean = Matrix(n, 1);
+  pred.var = Matrix(n, 1, 0.01);  // claims +-0.1, truth spreads +-1
+  Matrix target(n, 1);
+  for (std::size_t i = 0; i < n; ++i) target(i, 0) = rng.normal();
+  const double levels[] = {0.9};
+  const auto curve = calibration_curve(pred, target, levels);
+  EXPECT_LT(curve[0].empirical, 0.3);
+  EXPECT_GT(expected_calibration_error(pred, target, levels), 0.5);
+}
+
+TEST(Calibration, UnderconfidentPredictiveOvershootsCoverage) {
+  Rng rng(3);
+  const std::size_t n = 5000;
+  PredictiveGaussian pred;
+  pred.mean = Matrix(n, 1);
+  pred.var = Matrix(n, 1, 100.0);
+  Matrix target(n, 1);
+  for (std::size_t i = 0; i < n; ++i) target(i, 0) = rng.normal();
+  const double levels[] = {0.5};
+  const auto curve = calibration_curve(pred, target, levels);
+  EXPECT_GT(curve[0].empirical, 0.99);
+}
+
+TEST(Calibration, InvalidLevelsThrow) {
+  PredictiveGaussian pred;
+  pred.mean = Matrix(2, 1);
+  pred.var = Matrix(2, 1, 1.0);
+  const Matrix target(2, 1);
+  const double bad_lo[] = {0.0};
+  const double bad_hi[] = {1.0};
+  EXPECT_THROW(calibration_curve(pred, target, bad_lo), InvalidArgument);
+  EXPECT_THROW(calibration_curve(pred, target, bad_hi), InvalidArgument);
+}
+
+TEST(Calibration, EmptyCurveThrows) {
+  PredictiveGaussian pred;
+  pred.mean = Matrix(2, 1);
+  pred.var = Matrix(2, 1, 1.0);
+  EXPECT_THROW(
+      expected_calibration_error(pred, Matrix(2, 1), std::span<const double>{}),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace apds

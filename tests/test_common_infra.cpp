@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "platform/profiler.h"
+
+namespace apds {
+namespace {
+
+TEST(Logging, LevelRoundTrips) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(original);
+}
+
+TEST(Logging, MacrosRespectLevel) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kOff);
+  // Nothing to assert on stderr easily; the contract is "does not throw
+  // and does not evaluate the stream when filtered" — verify the latter.
+  bool evaluated = false;
+  auto touch = [&]() {
+    evaluated = true;
+    return "x";
+  };
+  APDS_DEBUG(touch());
+  EXPECT_FALSE(evaluated);
+  set_log_level(original);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double ms = sw.elapsed_ms();
+  EXPECT_GE(ms, 15.0);
+  EXPECT_LT(ms, 500.0);
+  sw.reset();
+  EXPECT_LT(sw.elapsed_ms(), 15.0);
+}
+
+TEST(Stopwatch, SecondsAndMillisAgree) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double s = sw.elapsed_seconds();
+  const double ms = sw.elapsed_ms();
+  EXPECT_NEAR(ms, s * 1e3, 5.0);  // consecutive reads, small skew
+}
+
+TEST(Profiler, MeasureReturnsSaneStatistics) {
+  const TimingResult r = measure(
+      [] { std::this_thread::sleep_for(std::chrono::milliseconds(2)); },
+      /*min_iterations=*/4, /*min_total_seconds=*/0.0);
+  EXPECT_GE(r.iterations, 4u);
+  EXPECT_GE(r.min_ms, 1.0);
+  EXPECT_GE(r.median_ms, r.min_ms);
+  EXPECT_GE(r.mean_ms, r.min_ms);
+}
+
+TEST(Profiler, AccumulatesUntilTimeBudget) {
+  const TimingResult r = measure([] {}, 1, /*min_total_seconds=*/0.01);
+  EXPECT_GT(r.iterations, 1u);
+}
+
+TEST(Profiler, RejectsZeroIterations) {
+  EXPECT_THROW(measure([] {}, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace apds

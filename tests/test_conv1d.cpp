@@ -1,0 +1,171 @@
+#include "conv/conv1d.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+
+namespace apds {
+namespace {
+
+TEST(Conv1d, OutLenArithmetic) {
+  Conv1dLayer layer;
+  layer.kernel = 3;
+  layer.stride = 1;
+  layer.weight = Matrix(3, 1);
+  layer.bias = Matrix(1, 1);
+  EXPECT_EQ(layer.out_len(10), 8u);
+  layer.stride = 2;
+  EXPECT_EQ(layer.out_len(10), 4u);
+  EXPECT_THROW(layer.out_len(2), InvalidArgument);
+}
+
+TEST(Conv1d, CheckValidatesShapes) {
+  Conv1dLayer layer;
+  layer.kernel = 3;
+  layer.in_channels = 2;
+  layer.out_channels = 4;
+  layer.weight = Matrix(5, 4);  // should be 6 x 4
+  layer.bias = Matrix(1, 4);
+  EXPECT_THROW(layer.check(), InvalidArgument);
+  layer.weight = Matrix(6, 4);
+  EXPECT_NO_THROW(layer.check());
+  layer.channel_keep_prob = 0.0;
+  EXPECT_THROW(layer.check(), InvalidArgument);
+}
+
+TEST(Conv1d, IdentityKernelCopiesInput) {
+  // kernel=1, 1 channel, weight 1, no dropout: conv is the identity (plus
+  // ReLU on non-negative input).
+  Conv1dLayer layer;
+  layer.kernel = 1;
+  layer.weight = Matrix(1, 1, 1.0);
+  layer.bias = Matrix(1, 1);
+  layer.act = Activation::kIdentity;
+  Matrix x{{1.0, -2.0, 3.0, 4.0}};
+  const Matrix y = conv1d_forward(layer, x, 4);
+  EXPECT_EQ(y, x);
+}
+
+TEST(Conv1d, MatchesHandComputedExample) {
+  // 1 channel, kernel 2, weights (1, -1): discrete difference.
+  Conv1dLayer layer;
+  layer.kernel = 2;
+  layer.weight = Matrix{{1.0}, {-1.0}};
+  layer.bias = Matrix{{0.5}};
+  layer.act = Activation::kIdentity;
+  Matrix x{{1.0, 4.0, 9.0, 16.0}};
+  const Matrix y = conv1d_forward(layer, x, 4);
+  ASSERT_EQ(y.cols(), 3u);
+  EXPECT_NEAR(y(0, 0), 1.0 - 4.0 + 0.5, 1e-12);
+  EXPECT_NEAR(y(0, 1), 4.0 - 9.0 + 0.5, 1e-12);
+  EXPECT_NEAR(y(0, 2), 9.0 - 16.0 + 0.5, 1e-12);
+}
+
+TEST(Conv1d, MultiChannelLayout) {
+  // 2 input channels, kernel 1, out = channel sum.
+  Conv1dLayer layer;
+  layer.kernel = 1;
+  layer.in_channels = 2;
+  layer.out_channels = 1;
+  layer.weight = Matrix{{1.0}, {1.0}};
+  layer.bias = Matrix(1, 1);
+  layer.act = Activation::kIdentity;
+  // Two steps: (1, 10), (2, 20), channel-interleaved.
+  Matrix x{{1.0, 10.0, 2.0, 20.0}};
+  const Matrix y = conv1d_forward(layer, x, 2);
+  EXPECT_NEAR(y(0, 0), 11.0, 1e-12);
+  EXPECT_NEAR(y(0, 1), 22.0, 1e-12);
+}
+
+TEST(Conv1d, StrideSkipsPositions) {
+  Conv1dLayer layer;
+  layer.kernel = 2;
+  layer.stride = 2;
+  layer.weight = Matrix{{1.0}, {0.0}};
+  layer.bias = Matrix(1, 1);
+  layer.act = Activation::kIdentity;
+  Matrix x{{1.0, 2.0, 3.0, 4.0, 5.0, 6.0}};
+  const Matrix y = conv1d_forward(layer, x, 6);
+  ASSERT_EQ(y.cols(), 3u);
+  EXPECT_EQ(y(0, 0), 1.0);
+  EXPECT_EQ(y(0, 1), 3.0);
+  EXPECT_EQ(y(0, 2), 5.0);
+}
+
+TEST(Conv1d, ActivationApplied) {
+  Conv1dLayer layer;
+  layer.kernel = 1;
+  layer.weight = Matrix(1, 1, 1.0);
+  layer.bias = Matrix(1, 1);
+  layer.act = Activation::kRelu;
+  Matrix x{{-3.0, 2.0}};
+  const Matrix y = conv1d_forward(layer, x, 2);
+  EXPECT_EQ(y(0, 0), 0.0);
+  EXPECT_EQ(y(0, 1), 2.0);
+}
+
+TEST(Conv1d, StochasticEqualsDeterministicWithoutDropout) {
+  Rng rng(1);
+  const Conv1dLayer layer =
+      make_conv1d(3, 2, 4, 1, Activation::kRelu, 1.0, rng);
+  Matrix x(3, 10 * 2);
+  for (double& v : x.flat()) v = rng.normal();
+  Rng pass_rng(2);
+  EXPECT_LT(max_abs_diff(conv1d_forward(layer, x, 10),
+                         conv1d_forward_stochastic(layer, x, 10, pass_rng)),
+            1e-12);
+}
+
+TEST(Conv1d, ChannelMaskIsSharedAcrossTime) {
+  // With identity activation, weight 1, kernel 1: a dropped channel zeroes
+  // that channel at EVERY step of the sample.
+  Rng rng(3);
+  Conv1dLayer layer;
+  layer.kernel = 1;
+  layer.in_channels = 1;
+  layer.weight = Matrix(1, 1, 1.0);
+  layer.bias = Matrix(1, 1);
+  layer.act = Activation::kIdentity;
+  layer.channel_keep_prob = 0.5;
+  Matrix x(200, 8, 1.0);
+  const Matrix y = conv1d_forward_stochastic(layer, x, 8, rng);
+  for (std::size_t b = 0; b < y.rows(); ++b) {
+    // Each row must be all-ones or all-zeros.
+    const double first = y(b, 0);
+    EXPECT_TRUE(first == 0.0 || first == 1.0);
+    for (std::size_t t = 1; t < 8; ++t) EXPECT_EQ(y(b, t), first);
+  }
+}
+
+TEST(Conv1d, StochasticMeanApproachesDeterministic) {
+  Rng rng(4);
+  Conv1dLayer layer = make_conv1d(3, 2, 3, 1, Activation::kIdentity, 0.7, rng);
+  Matrix x(1, 6 * 2);
+  for (double& v : x.flat()) v = rng.normal();
+  Matrix acc(1, layer.out_len(6) * 3);
+  const int n = 20000;
+  Rng pass_rng(5);
+  for (int i = 0; i < n; ++i)
+    add_inplace(acc, conv1d_forward_stochastic(layer, x, 6, pass_rng));
+  scale_inplace(acc, 1.0 / n);
+  EXPECT_LT(max_abs_diff(acc, conv1d_forward(layer, x, 6)), 0.05);
+}
+
+TEST(Conv1d, MakeConvInitializesSanely) {
+  Rng rng(6);
+  const Conv1dLayer layer =
+      make_conv1d(5, 3, 8, 2, Activation::kTanh, 0.8, rng);
+  EXPECT_EQ(layer.weight.rows(), 15u);
+  EXPECT_EQ(layer.weight.cols(), 8u);
+  EXPECT_EQ(layer.stride, 2u);
+  double max_abs = 0.0;
+  for (double v : layer.weight.flat()) max_abs = std::max(max_abs, std::fabs(v));
+  EXPECT_GT(max_abs, 0.0);
+  EXPECT_LT(max_abs, 2.0);
+}
+
+}  // namespace
+}  // namespace apds

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "platform/cost_model.h"
+
+namespace apds {
+namespace {
+
+ConvNet sample_net(Rng& rng, double keep = 0.9) {
+  std::vector<Conv1dLayer> convs;
+  convs.push_back(make_conv1d(5, 1, 8, 2, Activation::kRelu, keep, rng));
+  convs.push_back(make_conv1d(5, 8, 8, 2, Activation::kRelu, keep, rng));
+  MlpSpec head;
+  head.dims = {104, 64, 1};
+  head.hidden_keep_prob = keep;
+  return ConvNet(64, 1, std::move(convs), Mlp::make(head, rng));
+}
+
+TEST(ConvCost, ForwardIsPositiveAndDominatedByMacs) {
+  Rng rng(1);
+  const ConvNet net = sample_net(rng);
+  const double f = flops_conv_forward(net);
+  EXPECT_GT(f, 0.0);
+  // Head alone must be strictly less than the whole network.
+  EXPECT_LT(flops_forward(net.head()), f);
+}
+
+TEST(ConvCost, McdropLinearInK) {
+  Rng rng(2);
+  const ConvNet net = sample_net(rng);
+  EXPECT_NEAR(flops_conv_mcdrop(net, 40) / flops_conv_mcdrop(net, 10), 4.0,
+              0.02);
+  EXPECT_THROW(flops_conv_mcdrop(net, 0), InvalidArgument);
+}
+
+TEST(ConvCost, ApdCheaperThanMcdrop50) {
+  Rng rng(3);
+  const ConvNet net = sample_net(rng);
+  const double saving =
+      1.0 - flops_conv_apdeepsense(net) / flops_conv_mcdrop(net, 50);
+  EXPECT_GT(saving, 0.8);
+  EXPECT_LT(saving, 1.0);
+}
+
+TEST(ConvCost, ApdCostGrowsWithPieces) {
+  Rng rng(4);
+  std::vector<Conv1dLayer> convs;
+  convs.push_back(make_conv1d(5, 1, 8, 2, Activation::kTanh, 0.9, rng));
+  convs.push_back(make_conv1d(5, 8, 8, 2, Activation::kTanh, 0.9, rng));
+  MlpSpec head;
+  head.dims = {104, 64, 1};
+  head.hidden_act = Activation::kTanh;
+  const ConvNet net(64, 1, std::move(convs), Mlp::make(head, rng));
+  EXPECT_LT(flops_conv_apdeepsense(net, 3), flops_conv_apdeepsense(net, 7));
+  EXPECT_LT(flops_conv_apdeepsense(net, 7), flops_conv_apdeepsense(net, 15));
+}
+
+}  // namespace
+}  // namespace apds

@@ -1,0 +1,174 @@
+#include "conv/conv_net.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "conv/conv_apdeepsense.h"
+#include "stats/running_stats.h"
+#include "tensor/ops.h"
+
+namespace apds {
+namespace {
+
+ConvNet small_net(double keep_prob, Rng& rng,
+                  Activation act = Activation::kRelu) {
+  std::vector<Conv1dLayer> convs;
+  convs.push_back(make_conv1d(3, 1, 4, 1, act, keep_prob, rng));
+  convs.push_back(make_conv1d(3, 4, 2, 2, act, keep_prob, rng));
+  // input len 12 -> 10 -> 4 steps x 2 channels = 8 features.
+  MlpSpec head;
+  head.dims = {8, 10, 1};
+  head.hidden_act = act;
+  head.hidden_keep_prob = keep_prob;
+  return ConvNet(12, 1, std::move(convs), Mlp::make(head, rng));
+}
+
+TEST(ConvNet, ConstructionValidatesChaining) {
+  Rng rng(1);
+  std::vector<Conv1dLayer> convs;
+  convs.push_back(make_conv1d(3, 1, 4, 1, Activation::kRelu, 1.0, rng));
+  MlpSpec head;
+  head.dims = {99, 4, 1};  // wrong flat dim
+  EXPECT_THROW(
+      ConvNet(12, 1, std::move(convs), Mlp::make(head, rng)),
+      InvalidArgument);
+}
+
+TEST(ConvNet, GeometryAccessors) {
+  Rng rng(2);
+  const ConvNet net = small_net(1.0, rng);
+  EXPECT_EQ(net.num_conv_layers(), 2u);
+  EXPECT_EQ(net.layer_in_len(0), 12u);
+  EXPECT_EQ(net.layer_in_len(1), 10u);
+  EXPECT_EQ(net.layer_in_len(2), 4u);
+  EXPECT_EQ(net.flat_dim(), 8u);
+}
+
+TEST(ConvNet, DeterministicEqualsStochasticWithoutDropout) {
+  Rng rng(3);
+  const ConvNet net = small_net(1.0, rng);
+  Matrix x(3, 12);
+  for (double& v : x.flat()) v = rng.normal();
+  Rng pass_rng(4);
+  EXPECT_LT(max_abs_diff(net.forward_deterministic(x),
+                         net.forward_stochastic(x, pass_rng)),
+            1e-12);
+}
+
+TEST(ConvNet, BackwardGradientsMatchFiniteDifferences) {
+  Rng rng(5);
+  ConvNet net = small_net(1.0, rng, Activation::kTanh);
+  Matrix x(2, 12);
+  Matrix t(2, 1);
+  for (double& v : x.flat()) v = rng.normal();
+  for (double& v : t.flat()) v = rng.normal();
+  const MseLoss loss;
+
+  ConvForwardCache cache;
+  Rng pass_rng(6);
+  const Matrix out = net.forward_train(x, pass_rng, cache);
+  const LossResult lr = loss.value_and_grad(out, t);
+  ConvNetGradients grads = net.backward(cache, lr.grad);
+
+  const auto params = net.parameters();
+  const auto grad_ptrs = ConvNet::gradient_ptrs(grads);
+  ASSERT_EQ(params.size(), grad_ptrs.size());
+
+  const double eps = 1e-6;
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    // Probe up to 3 entries per parameter tensor.
+    for (std::size_t probe = 0; probe < std::min<std::size_t>(
+                                    3, params[pi]->size());
+         ++probe) {
+      const std::size_t idx = (probe * 7) % params[pi]->size();
+      double& w = params[pi]->flat()[idx];
+      const double orig = w;
+      w = orig + eps;
+      const double up =
+          loss.value_and_grad(net.forward_deterministic(x), t).value;
+      w = orig - eps;
+      const double down =
+          loss.value_and_grad(net.forward_deterministic(x), t).value;
+      w = orig;
+      EXPECT_NEAR(grad_ptrs[pi]->flat()[idx], (up - down) / (2.0 * eps), 2e-5)
+          << "param " << pi << " entry " << idx;
+    }
+  }
+}
+
+TEST(ConvNet, LearnsAPatternDetector) {
+  // Task: y = max correlation of the series with a triangular bump —
+  // learnable by a conv layer, hard for the head alone at this size.
+  Rng rng(7);
+  const std::size_t n = 600;
+  Matrix x(n, 12);
+  Matrix y(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t t = 0; t < 12; ++t) x(i, t) = rng.normal(0.0, 0.3);
+    const bool has_bump = rng.bernoulli(0.5);
+    if (has_bump) {
+      const std::size_t pos = 2 + rng.uniform_index(7);
+      x(i, pos - 1) += 1.0;
+      x(i, pos) += 2.0;
+      x(i, pos + 1) += 1.0;
+    }
+    y(i, 0) = has_bump ? 1.0 : 0.0;
+  }
+
+  ConvNet net = small_net(0.95, rng);
+  const MseLoss loss;
+  train_conv_net(net, x, y, loss, /*epochs=*/30, /*batch=*/32, 3e-3, rng);
+
+  const Matrix pred = net.forward_deterministic(x);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    if ((pred(i, 0) > 0.5) == (y(i, 0) > 0.5)) ++correct;
+  EXPECT_GT(static_cast<double>(correct) / n, 0.9);
+}
+
+TEST(ConvApDeepSense, NoDropoutMeanMatchesForward) {
+  Rng rng(8);
+  const ConvNet net = small_net(1.0, rng);
+  const ConvApDeepSense apd(net);
+  Matrix x(2, 12);
+  for (double& v : x.flat()) v = rng.normal();
+  const MeanVar out = apd.propagate(x);
+  EXPECT_LT(max_abs_diff(out.mean, net.forward_deterministic(x)), 1e-9);
+  for (double v : out.var.flat()) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(ConvApDeepSense, MomentsTrackMcdropSimulation) {
+  Rng rng(9);
+  const ConvNet net = small_net(0.8, rng);
+  const ConvApDeepSense apd(net);
+  Matrix x(1, 12);
+  for (double& v : x.flat()) v = rng.normal();
+
+  const MeanVar predicted = apd.propagate(x);
+
+  RunningVectorStats stats(1);
+  Rng mc_rng(10);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i)
+    stats.add(net.forward_stochastic(x, mc_rng).row(0));
+
+  const double sd = std::sqrt(stats.variance()[0]);
+  EXPECT_NEAR(predicted.mean(0, 0), stats.mean()[0], 0.2 * sd + 0.03);
+  EXPECT_NEAR(predicted.var(0, 0) / (stats.variance()[0] + 1e-12), 1.0, 0.5);
+}
+
+TEST(ConvApDeepSense, UncertainInputInflatesVariance) {
+  Rng rng(11);
+  const ConvNet net = small_net(1.0, rng);
+  const ConvApDeepSense apd(net);
+  MeanVar input(1, 12);
+  for (double& v : input.mean.flat()) v = rng.normal();
+  const double clean = apd.propagate(input).var(0, 0);
+  input.var.fill(0.25);
+  const double noisy = apd.propagate(input).var(0, 0);
+  EXPECT_GT(noisy, clean);
+}
+
+}  // namespace
+}  // namespace apds

@@ -1,0 +1,102 @@
+#include "platform/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "platform/edison.h"
+
+namespace apds {
+namespace {
+
+Mlp paper_net(std::size_t in, std::size_t out, Activation act, Rng& rng) {
+  MlpSpec spec;
+  spec.dims = {in, 512, 512, 512, 512, out};
+  spec.hidden_act = act;
+  spec.hidden_keep_prob = 0.9;
+  return Mlp::make(spec, rng);
+}
+
+TEST(CostModel, ForwardDominatedByMatmuls) {
+  Rng rng(1);
+  const Mlp mlp = paper_net(250, 250, Activation::kRelu, rng);
+  const double f = flops_forward(mlp);
+  // Pure matmul flops: 2 * sum(in*out).
+  const double matmul =
+      2.0 * (250.0 * 512 + 3 * 512.0 * 512 + 512.0 * 250);
+  EXPECT_GT(f, matmul);
+  EXPECT_LT(f, 1.1 * matmul);
+}
+
+TEST(CostModel, McdropScalesLinearlyInK) {
+  Rng rng(2);
+  const Mlp mlp = paper_net(16, 2, Activation::kRelu, rng);
+  const double f10 = flops_mcdrop(mlp, 10);
+  const double f50 = flops_mcdrop(mlp, 50);
+  EXPECT_NEAR(f50 / f10, 5.0, 0.01);
+}
+
+TEST(CostModel, ApdReluCostsAboutTwoForwardPasses) {
+  Rng rng(3);
+  const Mlp mlp = paper_net(250, 250, Activation::kRelu, rng);
+  const double ratio = flops_apdeepsense(mlp, 7) / flops_forward(mlp);
+  EXPECT_GT(ratio, 1.8);
+  EXPECT_LT(ratio, 2.8);
+}
+
+TEST(CostModel, PaperSavingsShapeHolds) {
+  // Paper: ApDeepSense saves ~94% (ReLU) and ~84% (Tanh) vs MCDrop-50.
+  Rng rng(4);
+  const Mlp relu = paper_net(250, 250, Activation::kRelu, rng);
+  const Mlp tanh = paper_net(250, 250, Activation::kTanh, rng);
+  const double relu_saving =
+      1.0 - flops_apdeepsense(relu, 7) / flops_mcdrop(relu, 50);
+  const double tanh_saving =
+      1.0 - flops_apdeepsense(tanh, 7) / flops_mcdrop(tanh, 50);
+  EXPECT_GT(relu_saving, 0.90);
+  EXPECT_GT(tanh_saving, 0.78);
+  EXPECT_GT(relu_saving, tanh_saving);  // Tanh pays for more pieces
+}
+
+TEST(CostModel, ApdCostGrowsWithPieces) {
+  Rng rng(5);
+  const Mlp mlp = paper_net(16, 2, Activation::kTanh, rng);
+  EXPECT_LT(flops_apdeepsense(mlp, 3), flops_apdeepsense(mlp, 7));
+  EXPECT_LT(flops_apdeepsense(mlp, 7), flops_apdeepsense(mlp, 15));
+}
+
+TEST(CostModel, SurrogatePieces) {
+  EXPECT_EQ(surrogate_pieces(Activation::kIdentity, 7), 1u);
+  EXPECT_EQ(surrogate_pieces(Activation::kRelu, 7), 2u);
+  EXPECT_EQ(surrogate_pieces(Activation::kTanh, 7), 7u);
+  EXPECT_EQ(surrogate_pieces(Activation::kSigmoid, 9), 9u);
+}
+
+TEST(CostModel, McdropRequiresPositiveK) {
+  Rng rng(6);
+  const Mlp mlp = paper_net(4, 2, Activation::kRelu, rng);
+  EXPECT_THROW(flops_mcdrop(mlp, 0), InvalidArgument);
+}
+
+TEST(Edison, TimeAndEnergyAreLinearInFlops) {
+  const EdisonModel edison;
+  EXPECT_NEAR(edison.time_ms(2.0e8) / edison.time_ms(1.0e8), 2.0, 1e-12);
+  EXPECT_NEAR(edison.energy_mj(1.0e8),
+              edison.active_power_w * edison.time_ms(1.0e8), 1e-12);
+}
+
+TEST(Edison, CalibrationLandsInPaperRange) {
+  // MCDrop-50 on the paper's BPEst network should land in the hundreds of
+  // ms / mJ, matching Figures 2–5's axis ranges.
+  Rng rng(7);
+  const Mlp mlp = paper_net(250, 250, Activation::kRelu, rng);
+  const EdisonModel edison;
+  const double ms = edison.time_ms(flops_mcdrop(mlp, 50));
+  const double mj = edison.energy_mj(flops_mcdrop(mlp, 50));
+  EXPECT_GT(ms, 200.0);
+  EXPECT_LT(ms, 2000.0);
+  EXPECT_GT(mj, 150.0);
+  EXPECT_LT(mj, 1500.0);
+}
+
+}  // namespace
+}  // namespace apds

@@ -1,0 +1,105 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace apds {
+namespace {
+
+Dataset tiny_dataset(std::size_t n) {
+  Dataset d;
+  d.name = "tiny";
+  d.kind = TaskKind::kRegression;
+  d.x = Matrix(n, 2);
+  d.y = Matrix(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    d.x(i, 0) = static_cast<double>(i);
+    d.x(i, 1) = static_cast<double>(i) * 10.0;
+    d.y(i, 0) = static_cast<double>(i) * 100.0;
+  }
+  return d;
+}
+
+TEST(Dataset, AccessorsReportShapes) {
+  const Dataset d = tiny_dataset(5);
+  EXPECT_EQ(d.size(), 5u);
+  EXPECT_EQ(d.input_dim(), 2u);
+  EXPECT_EQ(d.output_dim(), 1u);
+}
+
+TEST(Dataset, SubsetPicksRequestedRows) {
+  const Dataset d = tiny_dataset(10);
+  const std::size_t idx[] = {7, 2};
+  const Dataset s = d.subset(idx);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.x(0, 0), 7.0);
+  EXPECT_EQ(s.x(1, 0), 2.0);
+  EXPECT_EQ(s.y(0, 0), 700.0);
+  EXPECT_EQ(s.name, "tiny");
+  EXPECT_EQ(s.kind, TaskKind::kRegression);
+}
+
+TEST(Dataset, SubsetOutOfRangeThrows) {
+  const Dataset d = tiny_dataset(3);
+  const std::size_t idx[] = {5};
+  EXPECT_THROW(d.subset(idx), InvalidArgument);
+}
+
+TEST(SplitDataset, SizesAddUp) {
+  const Dataset d = tiny_dataset(100);
+  Rng rng(1);
+  const DataSplit s = split_dataset(d, 0.2, 0.1, rng);
+  EXPECT_EQ(s.train.size(), 70u);
+  EXPECT_EQ(s.val.size(), 20u);
+  EXPECT_EQ(s.test.size(), 10u);
+}
+
+TEST(SplitDataset, PartitionIsDisjointAndComplete) {
+  const Dataset d = tiny_dataset(50);
+  Rng rng(2);
+  const DataSplit s = split_dataset(d, 0.3, 0.2, rng);
+  std::multiset<double> seen;
+  for (const Dataset* part : {&s.train, &s.val, &s.test})
+    for (std::size_t i = 0; i < part->size(); ++i)
+      seen.insert(part->x(i, 0));
+  EXPECT_EQ(seen.size(), 50u);
+  for (std::size_t i = 0; i < 50; ++i)
+    EXPECT_EQ(seen.count(static_cast<double>(i)), 1u) << i;
+}
+
+TEST(SplitDataset, DeterministicGivenSeed) {
+  const Dataset d = tiny_dataset(30);
+  Rng rng_a(3);
+  Rng rng_b(3);
+  const DataSplit a = split_dataset(d, 0.2, 0.2, rng_a);
+  const DataSplit b = split_dataset(d, 0.2, 0.2, rng_b);
+  EXPECT_EQ(a.train.x, b.train.x);
+  EXPECT_EQ(a.test.x, b.test.x);
+}
+
+TEST(SplitDataset, InvalidFractionsThrow) {
+  const Dataset d = tiny_dataset(10);
+  Rng rng(4);
+  EXPECT_THROW(split_dataset(d, 0.6, 0.5, rng), InvalidArgument);
+  EXPECT_THROW(split_dataset(d, -0.1, 0.1, rng), InvalidArgument);
+}
+
+TEST(LabelsToOnehot, EncodesAndValidates) {
+  const std::size_t labels[] = {0, 2, 1};
+  const Matrix y = labels_to_onehot(labels, 3);
+  EXPECT_EQ(y.rows(), 3u);
+  EXPECT_EQ(y.cols(), 3u);
+  EXPECT_EQ(y(0, 0), 1.0);
+  EXPECT_EQ(y(1, 2), 1.0);
+  EXPECT_EQ(y(2, 1), 1.0);
+  double total = 0.0;
+  for (double v : y.flat()) total += v;
+  EXPECT_EQ(total, 3.0);
+
+  const std::size_t bad[] = {3};
+  EXPECT_THROW(labels_to_onehot(bad, 3), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace apds

@@ -1,0 +1,132 @@
+#include "uncertainty/ensemble.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/regression_metrics.h"
+#include "nn/loss.h"
+#include "tensor/ops.h"
+
+namespace apds {
+namespace {
+
+MlpSpec tiny_spec() {
+  MlpSpec spec;
+  spec.dims = {2, 12, 1};
+  spec.hidden_keep_prob = 1.0;
+  return spec;
+}
+
+void linear_data(std::size_t n, Rng& rng, Matrix& x, Matrix& y) {
+  x = Matrix(n, 2);
+  y = Matrix(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.normal();
+    x(i, 1) = rng.normal();
+    y(i, 0) = x(i, 0) - 0.5 * x(i, 1) + rng.normal(0.0, 0.1);
+  }
+}
+
+TEST(Ensemble, TrainProducesRequestedMembers) {
+  Rng rng(1);
+  Matrix x, y;
+  linear_data(150, rng, x, y);
+  TrainConfig cfg;
+  cfg.epochs = 3;
+  const auto members = train_ensemble(tiny_spec(), 3, x, y, Matrix(),
+                                      Matrix(), MseLoss(), cfg, rng);
+  ASSERT_EQ(members.size(), 3u);
+  // Members must differ (independent initializations).
+  const Matrix a = members[0].forward_deterministic(x);
+  const Matrix b = members[1].forward_deterministic(x);
+  EXPECT_GT(max_abs_diff(a, b), 1e-6);
+}
+
+TEST(Ensemble, MixtureMeanIsMemberAverage) {
+  Rng rng(2);
+  Matrix x, y;
+  linear_data(100, rng, x, y);
+  TrainConfig cfg;
+  cfg.epochs = 2;
+  const auto members = train_ensemble(tiny_spec(), 3, x, y, Matrix(),
+                                      Matrix(), MseLoss(), cfg, rng);
+  std::vector<const Mlp*> ptrs;
+  for (const auto& m : members) ptrs.push_back(&m);
+  const DeepEnsemble ens(ptrs);
+
+  const auto pred = ens.predict_regression(x);
+  Matrix avg(x.rows(), 1);
+  for (const auto& m : members)
+    add_inplace(avg, m.forward_deterministic(x));
+  scale_inplace(avg, 1.0 / 3.0);
+  EXPECT_LT(max_abs_diff(pred.mean, avg), 1e-12);
+  for (double v : pred.var.flat()) EXPECT_GE(v, 1e-6);
+}
+
+TEST(Ensemble, DisagreementRaisesVariance) {
+  // Far outside the training data the members extrapolate differently, so
+  // the ensemble variance there must exceed the in-distribution variance.
+  Rng rng(3);
+  Matrix x, y;
+  linear_data(400, rng, x, y);
+  TrainConfig cfg;
+  cfg.epochs = 25;
+  cfg.learning_rate = 5e-3;
+  const auto members = train_ensemble(tiny_spec(), 4, x, y, Matrix(),
+                                      Matrix(), MseLoss(), cfg, rng);
+  std::vector<const Mlp*> ptrs;
+  for (const auto& m : members) ptrs.push_back(&m);
+  const DeepEnsemble ens(ptrs);
+
+  Matrix inside(1, 2);  // origin: training density peak
+  Matrix outside(1, 2);
+  outside(0, 0) = 8.0;
+  outside(0, 1) = -8.0;
+  EXPECT_GT(ens.predict_regression(outside).var(0, 0),
+            ens.predict_regression(inside).var(0, 0));
+}
+
+TEST(Ensemble, ClassificationAveragesSoftmax) {
+  Rng rng(4);
+  MlpSpec spec;
+  spec.dims = {2, 8, 3};
+  spec.hidden_keep_prob = 1.0;
+  Mlp a = Mlp::make(spec, rng);
+  Mlp b = Mlp::make(spec, rng);
+  const DeepEnsemble ens({&a, &b});
+  Matrix x(5, 2, 0.3);
+  const auto pred = ens.predict_classification(x);
+  for (std::size_t r = 0; r < 5; ++r) {
+    double total = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) total += pred.probs(r, c);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(Ensemble, ValidationRejectsBadInputs) {
+  Rng rng(5);
+  Mlp a = Mlp::make(tiny_spec(), rng);
+  EXPECT_THROW(DeepEnsemble({&a}), InvalidArgument);
+  MlpSpec other;
+  other.dims = {3, 4, 1};
+  Mlp c = Mlp::make(other, rng);
+  EXPECT_THROW(DeepEnsemble({&a, &c}), InvalidArgument);
+  Matrix x, y;
+  linear_data(20, rng, x, y);
+  TrainConfig cfg;
+  EXPECT_THROW(train_ensemble(tiny_spec(), 1, x, y, Matrix(), Matrix(),
+                              MseLoss(), cfg, rng),
+               InvalidArgument);
+}
+
+TEST(Ensemble, NameEncodesSize) {
+  Rng rng(6);
+  Mlp a = Mlp::make(tiny_spec(), rng);
+  Mlp b = Mlp::make(tiny_spec(), rng);
+  Mlp c = Mlp::make(tiny_spec(), rng);
+  EXPECT_EQ(DeepEnsemble({&a, &b, &c}).name(), "Ensemble-3");
+}
+
+}  // namespace
+}  // namespace apds

@@ -1,0 +1,43 @@
+#include "common/error.h"
+
+#include <gtest/gtest.h>
+
+namespace apds {
+namespace {
+
+TEST(Check, PassingCheckDoesNothing) {
+  EXPECT_NO_THROW(APDS_CHECK(1 + 1 == 2));
+}
+
+TEST(Check, FailingCheckThrowsInvalidArgument) {
+  EXPECT_THROW(APDS_CHECK(false), InvalidArgument);
+}
+
+TEST(Check, MessageIncludesExpressionAndLocation) {
+  try {
+    APDS_CHECK(2 < 1);
+    FAIL() << "expected throw";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("test_error.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, CheckMsgStreamsContext) {
+  try {
+    APDS_CHECK_MSG(false, "dim=" << 42);
+    FAIL() << "expected throw";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("dim=42"), std::string::npos);
+  }
+}
+
+TEST(Errors, HierarchyIsCatchableAsError) {
+  EXPECT_THROW(throw IoError("x"), Error);
+  EXPECT_THROW(throw InvalidArgument("x"), Error);
+  EXPECT_THROW(throw Error("x"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace apds

@@ -1,0 +1,137 @@
+#include "stats/gaussian.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+#include <cmath>
+
+namespace apds {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Gaussian, StdNormalPdfKnownValues) {
+  EXPECT_NEAR(std_normal_pdf(0.0), 0.3989422804014327, 1e-15);
+  EXPECT_NEAR(std_normal_pdf(1.0), 0.24197072451914337, 1e-15);
+  EXPECT_NEAR(std_normal_pdf(-1.0), std_normal_pdf(1.0), 1e-15);
+}
+
+TEST(Gaussian, StdNormalCdfKnownValues) {
+  EXPECT_NEAR(std_normal_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(std_normal_cdf(1.959963984540054), 0.975, 1e-9);
+  EXPECT_NEAR(std_normal_cdf(-kInf), 0.0, 1e-15);
+  EXPECT_NEAR(std_normal_cdf(kInf), 1.0, 1e-15);
+}
+
+TEST(Gaussian, NormalPdfScalesCorrectly) {
+  EXPECT_NEAR(normal_pdf(3.0, 3.0, 2.0), std_normal_pdf(0.0) / 2.0, 1e-15);
+  EXPECT_NEAR(normal_pdf(5.0, 3.0, 2.0), std_normal_pdf(1.0) / 2.0, 1e-15);
+}
+
+TEST(Gaussian, NormalLogPdfMatchesLogOfPdf) {
+  for (double x : {-3.0, 0.0, 1.5, 7.0})
+    EXPECT_NEAR(normal_log_pdf(x, 1.0, 2.5),
+                std::log(normal_pdf(x, 1.0, 2.5)), 1e-12);
+}
+
+TEST(Gaussian, PdfRequiresPositiveSigma) {
+  EXPECT_THROW(normal_pdf(0.0, 0.0, 0.0), InvalidArgument);
+  EXPECT_THROW(normal_log_pdf(0.0, 0.0, -1.0), InvalidArgument);
+}
+
+TEST(Gaussian, NllIsNegativeLogDensity) {
+  for (double x : {-2.0, 0.0, 4.0})
+    EXPECT_NEAR(gaussian_nll(x, 1.0, 4.0), -normal_log_pdf(x, 1.0, 2.0),
+                1e-12);
+}
+
+TEST(Gaussian, NllRequiresPositiveVariance) {
+  EXPECT_THROW(gaussian_nll(0.0, 0.0, 0.0), InvalidArgument);
+}
+
+TEST(TruncatedMoments, FullLineRecoversGaussianMoments) {
+  const PartialMoments pm = truncated_moments(-kInf, kInf, 2.0, 3.0);
+  EXPECT_NEAR(pm.mass, 1.0, 1e-12);
+  EXPECT_NEAR(pm.first, 0.0, 1e-12);
+  EXPECT_NEAR(pm.second, 9.0, 1e-10);
+}
+
+TEST(TruncatedMoments, HalfLineMatchesKnownFormulas) {
+  // For X ~ N(0,1) on [0, inf): mass=1/2, E[X 1]=phi(0), E[X^2 1]=1/2.
+  const PartialMoments pm = truncated_moments(0.0, kInf, 0.0, 1.0);
+  EXPECT_NEAR(pm.mass, 0.5, 1e-12);
+  EXPECT_NEAR(pm.first, std_normal_pdf(0.0), 1e-12);
+  EXPECT_NEAR(pm.second, 0.5, 1e-10);
+}
+
+TEST(TruncatedMoments, MatchesNumericalIntegration) {
+  const double mu = 0.7;
+  const double sigma = 1.3;
+  const double a = -0.5;
+  const double b = 2.0;
+  // Simpson integration of the three integrands.
+  const int n = 20000;
+  const double h = (b - a) / n;
+  double mass = 0.0;
+  double first = 0.0;
+  double second = 0.0;
+  for (int i = 0; i <= n; ++i) {
+    const double x = a + i * h;
+    const double w = (i == 0 || i == n) ? 1.0 : (i % 2 == 1 ? 4.0 : 2.0);
+    const double p = normal_pdf(x, mu, sigma) * w;
+    mass += p;
+    first += (x - mu) * p;
+    second += (x - mu) * (x - mu) * p;
+  }
+  mass *= h / 3.0;
+  first *= h / 3.0;
+  second *= h / 3.0;
+
+  const PartialMoments pm = truncated_moments(a, b, mu, sigma);
+  EXPECT_NEAR(pm.mass, mass, 1e-8);
+  EXPECT_NEAR(pm.first, first, 1e-8);
+  EXPECT_NEAR(pm.second, second, 1e-8);
+}
+
+TEST(TruncatedMoments, PartitionSumsToWholeLine) {
+  // Moments over a partition of the real line must sum to the full moments.
+  const double mu = -1.2;
+  const double sigma = 0.8;
+  const double cuts[] = {-kInf, -2.0, -1.0, 0.5, 3.0, kInf};
+  double mass = 0.0;
+  double first = 0.0;
+  double second = 0.0;
+  for (int i = 0; i + 1 < 6; ++i) {
+    const PartialMoments pm =
+        truncated_moments(cuts[i], cuts[i + 1], mu, sigma);
+    mass += pm.mass;
+    first += pm.first;
+    second += pm.second;
+  }
+  EXPECT_NEAR(mass, 1.0, 1e-12);
+  EXPECT_NEAR(first, 0.0, 1e-12);
+  EXPECT_NEAR(second, sigma * sigma, 1e-10);
+}
+
+TEST(TruncatedMoments, DegenerateIntervalIsZero) {
+  const PartialMoments pm = truncated_moments(1.0, 1.0, 0.0, 1.0);
+  EXPECT_NEAR(pm.mass, 0.0, 1e-15);
+  EXPECT_NEAR(pm.first, 0.0, 1e-15);
+  EXPECT_NEAR(pm.second, 0.0, 1e-15);
+}
+
+TEST(TruncatedMoments, InvalidArgumentsThrow) {
+  EXPECT_THROW(truncated_moments(0.0, 1.0, 0.0, 0.0), InvalidArgument);
+  EXPECT_THROW(truncated_moments(2.0, 1.0, 0.0, 1.0), InvalidArgument);
+}
+
+// Property sweep: far-away intervals carry negligible mass.
+TEST(TruncatedMoments, FarTailHasNegligibleMass) {
+  const PartialMoments pm = truncated_moments(50.0, 60.0, 0.0, 1.0);
+  EXPECT_LT(pm.mass, 1e-300);
+  EXPECT_LT(std::fabs(pm.first), 1e-300);
+}
+
+}  // namespace
+}  // namespace apds

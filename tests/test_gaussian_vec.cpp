@@ -1,0 +1,56 @@
+#include "core/gaussian_vec.h"
+
+#include <gtest/gtest.h>
+
+namespace apds {
+namespace {
+
+TEST(GaussianVec, DefaultAndSizedConstruction) {
+  GaussianVec empty;
+  EXPECT_EQ(empty.dim(), 0u);
+  GaussianVec g(4);
+  EXPECT_EQ(g.dim(), 4u);
+  for (double v : g.mean) EXPECT_EQ(v, 0.0);
+  for (double v : g.var) EXPECT_EQ(v, 0.0);
+}
+
+TEST(GaussianVec, PointHasZeroVariance) {
+  const GaussianVec g = GaussianVec::point({1.0, -2.0, 3.0});
+  EXPECT_EQ(g.dim(), 3u);
+  EXPECT_EQ(g.mean[1], -2.0);
+  for (double v : g.var) EXPECT_EQ(v, 0.0);
+}
+
+TEST(GaussianVec, ConsistencyCheck) {
+  GaussianVec g(2);
+  EXPECT_NO_THROW(g.check_consistent());
+  g.var[0] = -1.0;
+  EXPECT_THROW(g.check_consistent(), InvalidArgument);
+  GaussianVec ragged;
+  ragged.mean = {1.0, 2.0};
+  ragged.var = {1.0};
+  EXPECT_THROW(ragged.check_consistent(), InvalidArgument);
+}
+
+TEST(MeanVar, PointAndRowExtraction) {
+  Matrix values{{1.0, 2.0}, {3.0, 4.0}};
+  const MeanVar mv = MeanVar::point(values);
+  EXPECT_EQ(mv.batch(), 2u);
+  EXPECT_EQ(mv.dim(), 2u);
+  for (double v : mv.var.flat()) EXPECT_EQ(v, 0.0);
+
+  const GaussianVec row = mv.row(1);
+  EXPECT_EQ(row.mean[0], 3.0);
+  EXPECT_EQ(row.mean[1], 4.0);
+  EXPECT_EQ(row.var[0], 0.0);
+}
+
+TEST(MeanVar, SizedConstruction) {
+  MeanVar mv(3, 5);
+  EXPECT_EQ(mv.batch(), 3u);
+  EXPECT_EQ(mv.dim(), 5u);
+  EXPECT_TRUE(mv.mean.same_shape(mv.var));
+}
+
+}  // namespace
+}  // namespace apds

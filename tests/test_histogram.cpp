@@ -1,0 +1,80 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace apds {
+namespace {
+
+TEST(Histogram, BasicBinning) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(5.5);
+  h.add(5.7);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(5), 2u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-100.0);
+  h.add(100.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, BinCenters) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_NEAR(h.bin_center(0), 0.5, 1e-12);
+  EXPECT_NEAR(h.bin_center(9), 9.5, 1e-12);
+}
+
+TEST(Histogram, DensityIntegratesToOne) {
+  Histogram h(-4.0, 4.0, 32);
+  Rng rng(5);
+  for (int i = 0; i < 20000; ++i) h.add(rng.normal());
+  double integral = 0.0;
+  const double width = 8.0 / 32.0;
+  for (std::size_t b = 0; b < h.bins(); ++b) integral += h.density(b) * width;
+  EXPECT_NEAR(integral, 1.0, 1e-9);
+}
+
+TEST(Histogram, AddAllMatchesLoop) {
+  const double xs[] = {0.1, 0.2, 0.9};
+  Histogram a(0.0, 1.0, 10);
+  a.add_all(xs);
+  Histogram b(0.0, 1.0, 10);
+  for (double x : xs) b.add(x);
+  for (std::size_t i = 0; i < a.bins(); ++i) EXPECT_EQ(a.count(i), b.count(i));
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), InvalidArgument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), InvalidArgument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), InvalidArgument);
+}
+
+TEST(Histogram, RenderProducesOneLinePerBin) {
+  Histogram h(0.0, 1.0, 5);
+  h.add(0.5);
+  const std::string out = h.render(20);
+  std::size_t lines = 0;
+  for (char c : out)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 5u);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(Histogram, OutOfRangeBinAccessThrows) {
+  Histogram h(0.0, 1.0, 3);
+  EXPECT_THROW(h.count(3), InvalidArgument);
+  EXPECT_THROW(h.bin_center(3), InvalidArgument);
+  EXPECT_THROW(h.density(3), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace apds

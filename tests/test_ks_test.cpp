@@ -1,0 +1,58 @@
+#include "stats/ks_test.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace apds {
+namespace {
+
+TEST(KsTest, GaussianSamplesAgainstTrueParamsPass) {
+  Rng rng(7);
+  std::vector<double> xs(5000);
+  for (auto& x : xs) x = rng.normal(2.0, 3.0);
+  const KsResult r = ks_test_gaussian(xs, 2.0, 3.0);
+  EXPECT_LT(r.statistic, 0.03);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(KsTest, WrongMeanIsRejected) {
+  Rng rng(11);
+  std::vector<double> xs(5000);
+  for (auto& x : xs) x = rng.normal(0.0, 1.0);
+  const KsResult r = ks_test_gaussian(xs, 1.0, 1.0);
+  EXPECT_GT(r.statistic, 0.2);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(KsTest, UniformSamplesAreNotGaussian) {
+  Rng rng(13);
+  std::vector<double> xs(5000);
+  for (auto& x : xs) x = rng.uniform(-1.7320508, 1.7320508);  // var 1
+  const KsResult r = ks_test_gaussian(xs, 0.0, 1.0);
+  EXPECT_LT(r.p_value, 1e-4);
+}
+
+TEST(KsTest, StatisticBounded) {
+  Rng rng(17);
+  std::vector<double> xs(100);
+  for (auto& x : xs) x = rng.normal();
+  const KsResult r = ks_test_gaussian(xs, 0.0, 1.0);
+  EXPECT_GE(r.statistic, 0.0);
+  EXPECT_LE(r.statistic, 1.0);
+  EXPECT_GE(r.p_value, 0.0);
+  EXPECT_LE(r.p_value, 1.0);
+}
+
+TEST(KsTest, InvalidInputsThrow) {
+  EXPECT_THROW(ks_test_gaussian(std::span<const double>{}, 0.0, 1.0),
+               InvalidArgument);
+  const double xs[] = {1.0};
+  EXPECT_THROW(ks_test_gaussian(xs, 0.0, 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace apds

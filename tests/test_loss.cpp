@@ -1,0 +1,156 @@
+#include "nn/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "stats/special.h"
+
+namespace apds {
+namespace {
+
+// Generic finite-difference check of a loss gradient.
+void check_gradient(const Loss& loss, Matrix output, const Matrix& target,
+                    double tol = 1e-6) {
+  const LossResult base = loss.value_and_grad(output, target);
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < output.size(); ++i) {
+    const double orig = output.flat()[i];
+    output.flat()[i] = orig + eps;
+    const double up = loss.value_and_grad(output, target).value;
+    output.flat()[i] = orig - eps;
+    const double down = loss.value_and_grad(output, target).value;
+    output.flat()[i] = orig;
+    EXPECT_NEAR(base.grad.flat()[i], (up - down) / (2.0 * eps), tol)
+        << "element " << i;
+  }
+}
+
+TEST(MseLoss, KnownValue) {
+  const MseLoss loss;
+  Matrix out{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix t{{0.0, 2.0}, {3.0, 6.0}};
+  // Squared errors: 1, 0, 0, 4 -> mean 5/4.
+  EXPECT_NEAR(loss.value_and_grad(out, t).value, 1.25, 1e-12);
+}
+
+TEST(MseLoss, ZeroAtPerfectPrediction) {
+  const MseLoss loss;
+  Matrix out{{1.0, -2.0}};
+  const LossResult r = loss.value_and_grad(out, out);
+  EXPECT_EQ(r.value, 0.0);
+  for (double g : r.grad.flat()) EXPECT_EQ(g, 0.0);
+}
+
+TEST(MseLoss, GradientMatchesFiniteDifference) {
+  Rng rng(1);
+  Matrix out(3, 4);
+  Matrix t(3, 4);
+  for (double& v : out.flat()) v = rng.normal();
+  for (double& v : t.flat()) v = rng.normal();
+  check_gradient(MseLoss(), out, t);
+}
+
+TEST(MseLoss, ShapeMismatchThrows) {
+  const MseLoss loss;
+  EXPECT_THROW(loss.value_and_grad(Matrix(2, 2), Matrix(2, 3)),
+               InvalidArgument);
+}
+
+TEST(SoftmaxCe, KnownValueForUniformLogits) {
+  const SoftmaxCrossEntropyLoss loss;
+  Matrix out(1, 4);  // uniform logits -> p = 1/4
+  Matrix t(1, 4);
+  t(0, 2) = 1.0;
+  EXPECT_NEAR(loss.value_and_grad(out, t).value, std::log(4.0), 1e-12);
+}
+
+TEST(SoftmaxCe, GradientMatchesFiniteDifference) {
+  Rng rng(2);
+  Matrix out(3, 5);
+  for (double& v : out.flat()) v = rng.normal();
+  Matrix t(3, 5);
+  t(0, 1) = 1.0;
+  t(1, 4) = 1.0;
+  t(2, 0) = 1.0;
+  check_gradient(SoftmaxCrossEntropyLoss(), out, t);
+}
+
+TEST(SoftmaxCe, GradientRowsSumToZero) {
+  // d/d logits of CE sums to zero per row (softmax minus one-hot).
+  Rng rng(3);
+  Matrix out(2, 6);
+  for (double& v : out.flat()) v = rng.normal();
+  Matrix t(2, 6);
+  t(0, 0) = 1.0;
+  t(1, 5) = 1.0;
+  const LossResult r = SoftmaxCrossEntropyLoss().value_and_grad(out, t);
+  for (std::size_t row = 0; row < 2; ++row) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < 6; ++c) s += r.grad(row, c);
+    EXPECT_NEAR(s, 0.0, 1e-12);
+  }
+}
+
+TEST(Heteroscedastic, ValueMatchesManualComputation) {
+  const HeteroscedasticGaussianLoss loss(/*alpha=*/1.0);
+  Matrix out(1, 2);  // one output dim: mu, s
+  out(0, 0) = 1.0;   // mu
+  out(0, 1) = 0.5;   // s
+  Matrix t(1, 1);
+  t(0, 0) = 2.0;
+  const double var = softplus(0.5) + 1e-6;
+  const double expected =
+      0.5 * (std::log(2.0 * M_PI) + std::log(var) + 1.0 / var);
+  EXPECT_NEAR(loss.value_and_grad(out, t).value, expected, 1e-9);
+}
+
+TEST(Heteroscedastic, AlphaZeroReducesToPureMse) {
+  const HeteroscedasticGaussianLoss loss(/*alpha=*/0.0);
+  Matrix out(2, 2);
+  out(0, 0) = 1.0;
+  out(1, 0) = -1.0;
+  out(0, 1) = 3.0;  // s values are ignored by the MSE part
+  Matrix t(2, 1);
+  t(0, 0) = 0.0;
+  t(1, 0) = 1.0;
+  // Mean of (1^2, 2^2) = 2.5.
+  EXPECT_NEAR(loss.value_and_grad(out, t).value, 2.5, 1e-12);
+}
+
+TEST(Heteroscedastic, GradientMatchesFiniteDifference) {
+  Rng rng(4);
+  Matrix out(3, 6);  // 3 output dims
+  Matrix t(3, 3);
+  for (double& v : out.flat()) v = rng.normal();
+  for (double& v : t.flat()) v = rng.normal();
+  check_gradient(HeteroscedasticGaussianLoss(0.7), out, t, 1e-5);
+}
+
+TEST(Heteroscedastic, IncreasingVarianceHelpsWhenErrorIsLarge) {
+  const HeteroscedasticGaussianLoss loss(1.0);
+  Matrix t(1, 1);
+  t(0, 0) = 10.0;
+  Matrix confident(1, 2);
+  confident(0, 0) = 0.0;
+  confident(0, 1) = softplus_inverse(0.1);
+  Matrix uncertain = confident;
+  uncertain(0, 1) = softplus_inverse(100.0);
+  EXPECT_GT(loss.value_and_grad(confident, t).value,
+            loss.value_and_grad(uncertain, t).value);
+}
+
+TEST(Heteroscedastic, WrongOutputWidthThrows) {
+  const HeteroscedasticGaussianLoss loss;
+  EXPECT_THROW(loss.value_and_grad(Matrix(1, 3), Matrix(1, 1)),
+               InvalidArgument);
+}
+
+TEST(Heteroscedastic, InvalidConstructionThrows) {
+  EXPECT_THROW(HeteroscedasticGaussianLoss(1.5), InvalidArgument);
+  EXPECT_THROW(HeteroscedasticGaussianLoss(0.5, 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace apds

@@ -1,0 +1,107 @@
+#include "tensor/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace apds {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, ZeroInitialized) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  for (double v : m.flat()) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Matrix, FillConstructorAndFill) {
+  Matrix m(2, 2, 7.0);
+  for (double v : m.flat()) EXPECT_EQ(v, 7.0);
+  m.fill(-1.0);
+  for (double v : m.flat()) EXPECT_EQ(v, -1.0);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerListThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), InvalidArgument);
+}
+
+TEST(Matrix, RowVector) {
+  const double vals[] = {1.0, 2.0, 3.0};
+  Matrix m = Matrix::row_vector(vals);
+  EXPECT_EQ(m.rows(), 1u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(0, 2), 3.0);
+}
+
+TEST(Matrix, FromDataMovesVector) {
+  Matrix m = Matrix::from_data(2, 2, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(m(1, 1), 4.0);
+}
+
+TEST(Matrix, FromDataSizeMismatchThrows) {
+  EXPECT_THROW(Matrix::from_data(2, 2, {1.0}), InvalidArgument);
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  Matrix m(2, 3);
+  EXPECT_NO_THROW(m.at(1, 2));
+  EXPECT_THROW(m.at(2, 0), InvalidArgument);
+  EXPECT_THROW(m.at(0, 3), InvalidArgument);
+}
+
+TEST(Matrix, RowSpanReadsAndWrites) {
+  Matrix m(2, 3);
+  auto r1 = m.row(1);
+  r1[2] = 9.0;
+  EXPECT_EQ(m(1, 2), 9.0);
+  const Matrix& cm = m;
+  EXPECT_EQ(cm.row(1)[2], 9.0);
+}
+
+TEST(Matrix, RowCopyIsIndependent) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix r = m.row_copy(1);
+  EXPECT_EQ(r.rows(), 1u);
+  EXPECT_EQ(r(0, 0), 3.0);
+  r(0, 0) = 99.0;
+  EXPECT_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, Transposed) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_EQ(m(r, c), t(c, r));
+}
+
+TEST(Matrix, EqualityIsValueBased) {
+  Matrix a{{1.0, 2.0}};
+  Matrix b{{1.0, 2.0}};
+  Matrix c{{1.0, 3.0}};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Matrix, SameShape) {
+  EXPECT_TRUE(Matrix(2, 3).same_shape(Matrix(2, 3)));
+  EXPECT_FALSE(Matrix(2, 3).same_shape(Matrix(3, 2)));
+}
+
+}  // namespace
+}  // namespace apds

@@ -1,0 +1,130 @@
+#include "uncertainty/mcdrop.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace apds {
+namespace {
+
+Mlp small_net(double keep_prob, Rng& rng) {
+  MlpSpec spec;
+  spec.dims = {3, 8, 2};
+  spec.hidden_act = Activation::kRelu;
+  spec.hidden_keep_prob = keep_prob;
+  return Mlp::make(spec, rng);
+}
+
+TEST(McDropCollect, ReturnsKSamplesOfRightShape) {
+  Rng rng(1);
+  const Mlp mlp = small_net(0.8, rng);
+  Matrix x(4, 3, 0.5);
+  const auto samples = mcdrop_collect(mlp, x, 7, rng);
+  ASSERT_EQ(samples.size(), 7u);
+  for (const auto& s : samples) {
+    EXPECT_EQ(s.rows(), 4u);
+    EXPECT_EQ(s.cols(), 2u);
+  }
+}
+
+TEST(McDropRegression, PrefixSummariesMatchDirectComputation) {
+  Rng rng(2);
+  const Mlp mlp = small_net(0.7, rng);
+  Matrix x(2, 3, 1.0);
+  const auto samples = mcdrop_collect(mlp, x, 10, rng);
+
+  const auto pred = mcdrop_regression_from_samples(samples, 4);
+  // Recompute directly from the first 4 samples.
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      double mean = 0.0;
+      for (int s = 0; s < 4; ++s) mean += samples[s](r, c);
+      mean /= 4.0;
+      double var = 0.0;
+      for (int s = 0; s < 4; ++s) {
+        const double d = samples[s](r, c) - mean;
+        var += d * d;
+      }
+      var /= 3.0;  // unbiased
+      EXPECT_NEAR(pred.mean(r, c), mean, 1e-12);
+      EXPECT_NEAR(pred.var(r, c), std::max(var, 1e-6), 1e-12);
+    }
+  }
+}
+
+TEST(McDropRegression, VarianceFloorApplied) {
+  // A network with no dropout produces identical samples -> variance 0,
+  // which must be floored.
+  Rng rng(3);
+  const Mlp mlp = small_net(1.0, rng);
+  Matrix x(1, 3, 1.0);
+  const auto samples = mcdrop_collect(mlp, x, 5, rng);
+  const auto pred = mcdrop_regression_from_samples(samples, 5, 1e-4);
+  for (double v : pred.var.flat()) EXPECT_EQ(v, 1e-4);
+}
+
+TEST(McDropRegression, RequiresAtLeastTwoSamples) {
+  Rng rng(4);
+  const Mlp mlp = small_net(0.9, rng);
+  Matrix x(1, 3);
+  const auto samples = mcdrop_collect(mlp, x, 3, rng);
+  EXPECT_THROW(mcdrop_regression_from_samples(samples, 1), InvalidArgument);
+  EXPECT_THROW(mcdrop_regression_from_samples(samples, 4), InvalidArgument);
+}
+
+TEST(McDropClassification, ProbabilitiesAreValid) {
+  Rng rng(5);
+  const Mlp mlp = small_net(0.8, rng);
+  Matrix x(3, 3, 0.2);
+  const auto samples = mcdrop_collect(mlp, x, 6, rng);
+  const auto pred = mcdrop_classification_from_samples(samples, 6);
+  for (std::size_t r = 0; r < 3; ++r) {
+    double total = 0.0;
+    for (std::size_t c = 0; c < 2; ++c) {
+      EXPECT_GE(pred.probs(r, c), 0.0);
+      total += pred.probs(r, c);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(McDropEstimator, DeterministicForConstructionSeed) {
+  Rng rng(6);
+  const Mlp mlp = small_net(0.6, rng);
+  Matrix x(2, 3, 0.4);
+  McDrop a(mlp, 5, /*seed=*/77);
+  McDrop b(mlp, 5, /*seed=*/77);
+  const auto pa = a.predict_regression(x);
+  const auto pb = b.predict_regression(x);
+  EXPECT_LT(max_abs_diff(pa.mean, pb.mean), 1e-15);
+  EXPECT_LT(max_abs_diff(pa.var, pb.var), 1e-15);
+}
+
+TEST(McDropEstimator, NameEncodesK) {
+  Rng rng(7);
+  const Mlp mlp = small_net(0.9, rng);
+  EXPECT_EQ(McDrop(mlp, 30, 1).name(), "MCDrop-30");
+  EXPECT_EQ(McDrop(mlp, 30, 1).k(), 30u);
+  EXPECT_THROW(McDrop(mlp, 1, 1), InvalidArgument);
+}
+
+TEST(McDropEstimator, MeanConvergesToExpectationWithLargeK) {
+  Rng rng(8);
+  const Mlp mlp = small_net(0.7, rng);
+  Matrix x(1, 3, 1.0);
+  McDrop big(mlp, 4000, /*seed=*/9);
+  const auto pred = big.predict_regression(x);
+  // Large-k MCDrop mean approaches the analytic expectation over masks; for
+  // ReLU nets the deterministic pass is a good proxy (exact for the linear
+  // part, Jensen-gap for ReLU), so allow a loose tolerance.
+  const Matrix det = mlp.forward_deterministic(x);
+  for (std::size_t j = 0; j < 2; ++j) {
+    const double sd = std::sqrt(pred.var(0, j));
+    EXPECT_NEAR(pred.mean(0, j), det(0, j), 0.5 * sd + 0.05);
+  }
+}
+
+}  // namespace
+}  // namespace apds

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/classification_metrics.h"
+#include "metrics/regression_metrics.h"
+#include "stats/gaussian.h"
+
+namespace apds {
+namespace {
+
+TEST(RegressionMetrics, MaeKnownValue) {
+  Matrix pred{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix target{{0.0, 2.0}, {5.0, 3.0}};
+  // |1| + |0| + |2| + |1| = 4, mean = 1.
+  EXPECT_NEAR(mean_absolute_error(pred, target), 1.0, 1e-12);
+}
+
+TEST(RegressionMetrics, RmseKnownValue) {
+  Matrix pred{{0.0, 0.0}};
+  Matrix target{{3.0, 4.0}};
+  EXPECT_NEAR(root_mean_squared_error(pred, target),
+              std::sqrt(12.5), 1e-12);
+}
+
+TEST(RegressionMetrics, NllMatchesScalarFormula) {
+  PredictiveGaussian pred;
+  pred.mean = Matrix{{1.0, 2.0}};
+  pred.var = Matrix{{4.0, 0.25}};
+  Matrix target{{0.0, 2.5}};
+  const double expected =
+      (apds::gaussian_nll(0.0, 1.0, 4.0) + apds::gaussian_nll(2.5, 2.0, 0.25)) /
+      2.0;
+  EXPECT_NEAR(gaussian_nll(pred, target), expected, 1e-12);
+}
+
+TEST(RegressionMetrics, PerfectPredictionWithUnitVariance) {
+  PredictiveGaussian pred;
+  pred.mean = Matrix(3, 2, 1.0);
+  pred.var = Matrix(3, 2, 1.0);
+  const Matrix target(3, 2, 1.0);
+  EXPECT_NEAR(gaussian_nll(pred, target), 0.5 * kLog2Pi, 1e-12);
+}
+
+TEST(RegressionMetrics, OverconfidenceIsPunished) {
+  PredictiveGaussian confident;
+  confident.mean = Matrix(1, 1, 0.0);
+  confident.var = Matrix(1, 1, 0.01);
+  PredictiveGaussian honest = confident;
+  honest.var = Matrix(1, 1, 9.0);
+  const Matrix target(1, 1, 3.0);  // 3 units away
+  EXPECT_GT(gaussian_nll(confident, target), gaussian_nll(honest, target));
+}
+
+TEST(RegressionMetrics, BundleMatchesIndividualMetrics) {
+  PredictiveGaussian pred;
+  pred.mean = Matrix{{1.0, -1.0}};
+  pred.var = Matrix{{1.0, 2.0}};
+  Matrix target{{0.5, 0.0}};
+  const RegressionMetrics m = evaluate_regression(pred, target);
+  EXPECT_EQ(m.mae, mean_absolute_error(pred.mean, target));
+  EXPECT_EQ(m.rmse, root_mean_squared_error(pred.mean, target));
+  EXPECT_EQ(m.nll, gaussian_nll(pred, target));
+}
+
+TEST(RegressionMetrics, ShapeMismatchThrows) {
+  PredictiveGaussian pred;
+  pred.mean = Matrix(2, 2);
+  pred.var = Matrix(2, 2, 1.0);
+  EXPECT_THROW(gaussian_nll(pred, Matrix(2, 3)), InvalidArgument);
+  EXPECT_THROW(mean_absolute_error(Matrix(2, 2), Matrix(3, 2)),
+               InvalidArgument);
+}
+
+TEST(ClassificationMetrics, AccuracyCountsArgmaxHits) {
+  PredictiveCategorical pred;
+  pred.probs = Matrix{{0.7, 0.3}, {0.2, 0.8}, {0.6, 0.4}};
+  const std::size_t labels[] = {0, 1, 1};
+  EXPECT_NEAR(accuracy(pred, labels), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ClassificationMetrics, NllIsMeanNegLogProb) {
+  PredictiveCategorical pred;
+  pred.probs = Matrix{{0.5, 0.5}, {0.9, 0.1}};
+  const std::size_t labels[] = {0, 1};
+  const double expected = (-std::log(0.5) - std::log(0.1)) / 2.0;
+  EXPECT_NEAR(categorical_nll(pred, labels), expected, 1e-12);
+}
+
+TEST(ClassificationMetrics, ZeroProbabilityIsFloored) {
+  PredictiveCategorical pred;
+  pred.probs = Matrix{{1.0, 0.0}};
+  const std::size_t labels[] = {1};
+  const double nll = categorical_nll(pred, labels);
+  EXPECT_TRUE(std::isfinite(nll));
+  EXPECT_NEAR(nll, -std::log(1e-12), 1e-9);
+}
+
+TEST(ClassificationMetrics, LabelOutOfRangeThrows) {
+  PredictiveCategorical pred;
+  pred.probs = Matrix{{0.5, 0.5}};
+  const std::size_t labels[] = {2};
+  EXPECT_THROW(categorical_nll(pred, labels), InvalidArgument);
+}
+
+TEST(ClassificationMetrics, BatchSizeMismatchThrows) {
+  PredictiveCategorical pred;
+  pred.probs = Matrix(3, 2, 0.5);
+  const std::size_t labels[] = {0, 1};
+  EXPECT_THROW(accuracy(pred, labels), InvalidArgument);
+}
+
+TEST(ClassificationMetrics, OnehotDecoding) {
+  Matrix onehot{{0.0, 1.0, 0.0}, {1.0, 0.0, 0.0}};
+  const auto labels = onehot_to_labels(onehot);
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels[0], 1u);
+  EXPECT_EQ(labels[1], 0u);
+}
+
+TEST(ClassificationMetrics, BundleMatchesIndividuals) {
+  PredictiveCategorical pred;
+  pred.probs = Matrix{{0.8, 0.2}, {0.3, 0.7}};
+  const std::size_t labels[] = {0, 0};
+  const ClassificationMetrics m = evaluate_classification(pred, labels);
+  EXPECT_EQ(m.acc, accuracy(pred, labels));
+  EXPECT_EQ(m.nll, categorical_nll(pred, labels));
+}
+
+}  // namespace
+}  // namespace apds

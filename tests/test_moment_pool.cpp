@@ -1,0 +1,139 @@
+#include "conv/moment_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "stats/running_stats.h"
+
+namespace apds {
+namespace {
+
+TEST(MaxOfGaussians, DeterministicInputsReduceToPlainMax) {
+  const MaxMoments m = max_of_gaussians(2.0, 0.0, 5.0, 0.0);
+  EXPECT_EQ(m.mean, 5.0);
+  EXPECT_EQ(m.var, 0.0);
+}
+
+TEST(MaxOfGaussians, SymmetricCaseHasKnownMoments) {
+  // max of two iid N(0,1): mean = 1/sqrt(pi), var = 1 - 1/pi.
+  const MaxMoments m = max_of_gaussians(0.0, 1.0, 0.0, 1.0);
+  EXPECT_NEAR(m.mean, 1.0 / std::sqrt(M_PI), 1e-12);
+  EXPECT_NEAR(m.var, 1.0 - 1.0 / M_PI, 1e-12);
+}
+
+TEST(MaxOfGaussians, DominantInputWins) {
+  // One input far above the other: max ~ the dominant Gaussian.
+  const MaxMoments m = max_of_gaussians(10.0, 1.0, 0.0, 1.0);
+  EXPECT_NEAR(m.mean, 10.0, 1e-6);
+  EXPECT_NEAR(m.var, 1.0, 1e-4);
+}
+
+TEST(MaxOfGaussians, MatchesMonteCarloAcrossConfigurations) {
+  Rng rng(1);
+  const double cases[][4] = {{0.0, 1.0, 0.5, 2.0},
+                             {-1.0, 0.25, 1.0, 0.25},
+                             {0.0, 4.0, 0.0, 0.1},
+                             {3.0, 1.0, 2.5, 1.5}};
+  for (const auto& c : cases) {
+    const MaxMoments predicted =
+        max_of_gaussians(c[0], c[1], c[2], c[3]);
+    RunningStats stats;
+    const int n = 300000;
+    for (int i = 0; i < n; ++i)
+      stats.add(std::max(rng.normal(c[0], std::sqrt(c[1])),
+                         rng.normal(c[2], std::sqrt(c[3]))));
+    EXPECT_NEAR(predicted.mean, stats.mean(), 0.01) << c[0] << "," << c[2];
+    EXPECT_NEAR(predicted.var / stats.variance(), 1.0, 0.02)
+        << c[0] << "," << c[2];
+  }
+}
+
+TEST(MaxOfGaussians, NegativeVarianceRejected) {
+  EXPECT_THROW(max_of_gaussians(0.0, -1.0, 0.0, 1.0), InvalidArgument);
+}
+
+TEST(MaxPool1d, GeometryAndValidation) {
+  MaxPool1d pool{2, 3};
+  EXPECT_EQ(pool.out_len(8), 4u);
+  EXPECT_THROW(pool.out_len(7), InvalidArgument);
+}
+
+TEST(MaxPool1d, ForwardPicksWindowMaxPerChannel) {
+  MaxPool1d pool{2, 2};
+  // Steps (c0, c1): (1, 10), (3, 5), (-1, 0), (2, -4).
+  Matrix x{{1.0, 10.0, 3.0, 5.0, -1.0, 0.0, 2.0, -4.0}};
+  const Matrix y = maxpool1d_forward(pool, x, 4);
+  ASSERT_EQ(y.cols(), 4u);
+  EXPECT_EQ(y(0, 0), 3.0);   // max(1, 3) channel 0
+  EXPECT_EQ(y(0, 1), 10.0);  // max(10, 5) channel 1
+  EXPECT_EQ(y(0, 2), 2.0);
+  EXPECT_EQ(y(0, 3), 0.0);
+}
+
+TEST(MaxPool1d, DeterministicMomentsMatchForward) {
+  Rng rng(2);
+  MaxPool1d pool{3, 2};
+  Matrix x(4, 6 * 2);
+  for (double& v : x.flat()) v = rng.normal();
+  const MeanVar out = moment_maxpool1d(pool, MeanVar::point(x), 6);
+  const Matrix ref = maxpool1d_forward(pool, x, 6);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR(out.mean.flat()[i], ref.flat()[i], 1e-12);
+    EXPECT_NEAR(out.var.flat()[i], 0.0, 1e-12);
+  }
+}
+
+TEST(MaxPool1d, ClarkRecursionTracksMonteCarlo) {
+  Rng rng(3);
+  MaxPool1d pool{4, 1};
+  MeanVar input(1, 8);
+  for (std::size_t j = 0; j < 8; ++j) {
+    input.mean(0, j) = rng.normal(0.0, 1.0);
+    input.var(0, j) = 0.2 + rng.uniform() * 1.5;
+  }
+  const MeanVar predicted = moment_maxpool1d(pool, input, 8);
+
+  RunningVectorStats stats(2);
+  const int n = 200000;
+  std::vector<double> pooled(2);
+  for (int i = 0; i < n; ++i) {
+    for (std::size_t w = 0; w < 2; ++w) {
+      double m = -1e300;
+      for (std::size_t k = 0; k < 4; ++k) {
+        const std::size_t j = w * 4 + k;
+        m = std::max(m, rng.normal(input.mean(0, j),
+                                   std::sqrt(input.var(0, j))));
+      }
+      pooled[w] = m;
+    }
+    stats.add(pooled);
+  }
+  for (std::size_t w = 0; w < 2; ++w) {
+    // Clark's recursion re-Gaussianizes after every pairwise max, so a few
+    // percent of systematic error is expected.
+    EXPECT_NEAR(predicted.mean(0, w), stats.mean()[w], 0.05) << "window " << w;
+    EXPECT_NEAR(predicted.var(0, w) / stats.variance()[w], 1.0, 0.12)
+        << "window " << w;
+  }
+}
+
+TEST(MaxPool1d, PoolingNeverLowersTheMeanBelowAnyInput) {
+  // E[max] >= max of means for Gaussians.
+  Rng rng(4);
+  MaxPool1d pool{2, 1};
+  MeanVar input(1, 4);
+  for (std::size_t j = 0; j < 4; ++j) {
+    input.mean(0, j) = rng.normal();
+    input.var(0, j) = rng.uniform(0.1, 2.0);
+  }
+  const MeanVar out = moment_maxpool1d(pool, input, 4);
+  EXPECT_GE(out.mean(0, 0) + 1e-12,
+            std::max(input.mean(0, 0), input.mean(0, 1)));
+  EXPECT_GE(out.mean(0, 1) + 1e-12,
+            std::max(input.mean(0, 2), input.mean(0, 3)));
+}
+
+}  // namespace
+}  // namespace apds

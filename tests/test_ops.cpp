@@ -1,0 +1,112 @@
+#include "tensor/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace apds {
+namespace {
+
+TEST(Ops, AddSubHadamardScale) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{10.0, 20.0}, {30.0, 40.0}};
+  EXPECT_EQ(add(a, b), (Matrix{{11.0, 22.0}, {33.0, 44.0}}));
+  EXPECT_EQ(sub(b, a), (Matrix{{9.0, 18.0}, {27.0, 36.0}}));
+  EXPECT_EQ(hadamard(a, b), (Matrix{{10.0, 40.0}, {90.0, 160.0}}));
+  EXPECT_EQ(scale(a, 2.0), (Matrix{{2.0, 4.0}, {6.0, 8.0}}));
+}
+
+TEST(Ops, SquareIsElementwise) {
+  Matrix a{{-2.0, 3.0}};
+  EXPECT_EQ(square(a), (Matrix{{4.0, 9.0}}));
+}
+
+TEST(Ops, InplaceVariantsMatchPure) {
+  Matrix a{{1.0, 2.0}};
+  Matrix b{{3.0, 4.0}};
+  Matrix c = a;
+  add_inplace(c, b);
+  EXPECT_EQ(c, add(a, b));
+  c = a;
+  sub_inplace(c, b);
+  EXPECT_EQ(c, sub(a, b));
+  c = a;
+  hadamard_inplace(c, b);
+  EXPECT_EQ(c, hadamard(a, b));
+  c = a;
+  scale_inplace(c, -1.0);
+  EXPECT_EQ(c, scale(a, -1.0));
+}
+
+TEST(Ops, ShapeMismatchThrows) {
+  Matrix a(2, 2);
+  Matrix b(2, 3);
+  EXPECT_THROW(add(a, b), InvalidArgument);
+  EXPECT_THROW(sub(a, b), InvalidArgument);
+  EXPECT_THROW(hadamard(a, b), InvalidArgument);
+  EXPECT_THROW(max_abs_diff(a, b), InvalidArgument);
+}
+
+TEST(Ops, RowBroadcasts) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix row{{10.0, 100.0}};
+  Matrix added = a;
+  add_row_broadcast(added, row);
+  EXPECT_EQ(added, (Matrix{{11.0, 102.0}, {13.0, 104.0}}));
+  Matrix scaled = a;
+  mul_row_broadcast(scaled, row);
+  EXPECT_EQ(scaled, (Matrix{{10.0, 200.0}, {30.0, 400.0}}));
+}
+
+TEST(Ops, RowBroadcastShapeChecked) {
+  Matrix a(2, 3);
+  Matrix bad(1, 2);
+  EXPECT_THROW(add_row_broadcast(a, bad), InvalidArgument);
+  Matrix not_row(2, 3);
+  EXPECT_THROW(mul_row_broadcast(a, not_row), InvalidArgument);
+}
+
+TEST(Ops, MapAppliesFunction) {
+  Matrix a{{1.0, 4.0, 9.0}};
+  const Matrix roots = map(a, [](double x) { return std::sqrt(x); });
+  EXPECT_EQ(roots, (Matrix{{1.0, 2.0, 3.0}}));
+}
+
+TEST(Ops, SumAndMean) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(sum(a), 10.0);
+  EXPECT_EQ(mean(a), 2.5);
+  Matrix empty;
+  EXPECT_THROW(mean(empty), InvalidArgument);
+}
+
+TEST(Ops, ColumnReductions) {
+  Matrix a{{1.0, 10.0}, {3.0, 30.0}};
+  EXPECT_EQ(col_sums(a), (Matrix{{4.0, 40.0}}));
+  EXPECT_EQ(col_means(a), (Matrix{{2.0, 20.0}}));
+  const Matrix sd = col_stddevs(a);
+  EXPECT_NEAR(sd(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(sd(0, 1), 10.0, 1e-12);
+}
+
+TEST(Ops, MaxAbsDiff) {
+  Matrix a{{1.0, 2.0}};
+  Matrix b{{1.5, -1.0}};
+  EXPECT_EQ(max_abs_diff(a, b), 3.0);
+  EXPECT_EQ(max_abs_diff(a, a), 0.0);
+}
+
+TEST(Ops, ArgmaxRow) {
+  Matrix a{{1.0, 5.0, 3.0}, {9.0, 2.0, 8.0}};
+  EXPECT_EQ(argmax_row(a, 0), 1u);
+  EXPECT_EQ(argmax_row(a, 1), 0u);
+  EXPECT_THROW(argmax_row(a, 2), InvalidArgument);
+}
+
+TEST(Ops, ArgmaxRowTiesPickFirst) {
+  Matrix a{{4.0, 4.0, 4.0}};
+  EXPECT_EQ(argmax_row(a, 0), 0u);
+}
+
+}  // namespace
+}  // namespace apds

@@ -1,0 +1,97 @@
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace apds {
+namespace {
+
+// Minimize f(w) = 0.5 * ||w - target||^2 with gradient w - target.
+void run_quadratic(Optimizer& opt, int steps, double& final_dist) {
+  Matrix w(2, 2, 0.0);
+  Matrix target{{1.0, -2.0}, {3.0, 0.5}};
+  std::vector<Matrix*> params = {&w};
+  for (int i = 0; i < steps; ++i) {
+    Matrix grad(2, 2);
+    for (std::size_t k = 0; k < w.size(); ++k)
+      grad.flat()[k] = w.flat()[k] - target.flat()[k];
+    std::vector<Matrix*> grads = {&grad};
+    opt.step(params, grads);
+  }
+  final_dist = 0.0;
+  for (std::size_t k = 0; k < w.size(); ++k)
+    final_dist =
+        std::max(final_dist, std::fabs(w.flat()[k] - target.flat()[k]));
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  SgdMomentum opt(0.1, 0.9);
+  double dist = 0.0;
+  run_quadratic(opt, 300, dist);
+  EXPECT_LT(dist, 1e-6);
+}
+
+TEST(Sgd, NoMomentumStillConverges) {
+  SgdMomentum opt(0.3, 0.0);
+  double dist = 0.0;
+  run_quadratic(opt, 200, dist);
+  EXPECT_LT(dist, 1e-6);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Adam opt(0.1);
+  double dist = 0.0;
+  run_quadratic(opt, 1000, dist);
+  EXPECT_LT(dist, 1e-4);
+}
+
+TEST(Adam, LearningRateDecaySlowsProgress) {
+  Adam fast(0.1);
+  Adam slowed(0.1);
+  slowed.scale_learning_rate(0.01);
+  double fast_dist = 0.0;
+  double slow_dist = 0.0;
+  run_quadratic(fast, 50, fast_dist);
+  run_quadratic(slowed, 50, slow_dist);
+  EXPECT_LT(fast_dist, slow_dist);
+}
+
+TEST(Optimizer, InvalidHyperparamsThrow) {
+  EXPECT_THROW(SgdMomentum(0.0), InvalidArgument);
+  EXPECT_THROW(SgdMomentum(0.1, 1.0), InvalidArgument);
+  EXPECT_THROW(Adam(-0.1), InvalidArgument);
+  EXPECT_THROW(Adam(0.1, 1.0), InvalidArgument);
+}
+
+TEST(Optimizer, MisalignedListsThrow) {
+  Adam opt(0.1);
+  Matrix w(2, 2);
+  Matrix g(2, 3);
+  std::vector<Matrix*> params = {&w};
+  std::vector<Matrix*> grads = {&g};
+  EXPECT_THROW(opt.step(params, grads), InvalidArgument);
+  std::vector<Matrix*> empty;
+  EXPECT_THROW(opt.step(params, empty), InvalidArgument);
+}
+
+TEST(Sgd, MomentumAcceleratesAlongConsistentGradient) {
+  // With a constant gradient, momentum accumulates into larger steps.
+  SgdMomentum opt(0.01, 0.9);
+  Matrix w(1, 1, 0.0);
+  std::vector<Matrix*> params = {&w};
+  double prev = 0.0;
+  double prev_step = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    Matrix grad(1, 1, -1.0);  // push w upward forever
+    std::vector<Matrix*> grads = {&grad};
+    opt.step(params, grads);
+    const double step = w(0, 0) - prev;
+    if (i > 0) EXPECT_GT(step, prev_step);
+    prev_step = step;
+    prev = w(0, 0);
+  }
+}
+
+}  // namespace
+}  // namespace apds

@@ -1,0 +1,159 @@
+#include "core/piecewise_linear.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "stats/special.h"
+
+namespace apds {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(PiecewiseLinear, IdentityIsExact) {
+  const auto f = PiecewiseLinear::identity();
+  EXPECT_EQ(f.num_pieces(), 1u);
+  for (double x : {-10.0, 0.0, 3.5}) EXPECT_EQ(f.eval(x), x);
+}
+
+TEST(PiecewiseLinear, ReluIsExact) {
+  const auto f = PiecewiseLinear::relu();
+  EXPECT_EQ(f.num_pieces(), 2u);
+  EXPECT_EQ(f.eval(-5.0), 0.0);
+  EXPECT_EQ(f.eval(0.0), 0.0);
+  EXPECT_EQ(f.eval(5.0), 5.0);
+}
+
+TEST(PiecewiseLinear, ValidationCatchesBadTilings) {
+  // Gap between pieces.
+  EXPECT_THROW(PiecewiseLinear({{-kInf, 0.0, 1.0, 0.0},
+                                {1.0, kInf, 1.0, 0.0}}),
+               InvalidArgument);
+  // Does not start at -inf.
+  EXPECT_THROW(PiecewiseLinear({{0.0, kInf, 1.0, 0.0}}), InvalidArgument);
+  // Does not end at +inf.
+  EXPECT_THROW(PiecewiseLinear({{-kInf, 0.0, 1.0, 0.0}}), InvalidArgument);
+  // Empty piece.
+  EXPECT_THROW(PiecewiseLinear({{-kInf, -kInf, 1.0, 0.0},
+                                {-kInf, kInf, 1.0, 0.0}}),
+               InvalidArgument);
+  EXPECT_THROW(PiecewiseLinear({}), InvalidArgument);
+}
+
+TEST(PiecewiseLinear, SevenPieceTanhIsAccurate) {
+  const auto f = PiecewiseLinear::tanh_default();
+  EXPECT_EQ(f.num_pieces(), 7u);
+  // The fit is Gaussian-weighted: tightest where pre-activations live.
+  EXPECT_LT(f.max_error_against([](double x) { return std::tanh(x); }, -1.0,
+                                1.0),
+            0.03);
+  EXPECT_LT(f.max_error_against([](double x) { return std::tanh(x); }, -6.0,
+                                6.0),
+            0.08);
+}
+
+TEST(PiecewiseLinear, TanhFitHasSmallJumps) {
+  // Weighted LS pieces are not interpolating, so small discontinuities at
+  // breakpoints are expected — but they must stay within the fit error.
+  const auto f = PiecewiseLinear::fit_tanh(7);
+  for (std::size_t i = 0; i + 1 < f.num_pieces(); ++i) {
+    const double b = f.piece(i).hi;
+    EXPECT_LT(std::fabs(f.piece(i).eval(b) - f.piece(i + 1).eval(b)), 0.06)
+        << "jump at breakpoint " << b;
+  }
+}
+
+TEST(PiecewiseLinear, TanhFitHasNearZeroMeanErrorNearOrigin) {
+  // The property that keeps deep networks' means from drifting: the signed
+  // error, averaged over a typical pre-activation distribution, is ~0.
+  const auto f = PiecewiseLinear::fit_tanh(7);
+  double signed_err = 0.0;
+  double abs_err = 0.0;
+  const int n = 2000;
+  for (int i = 0; i <= n; ++i) {
+    const double x = -1.5 + 3.0 * i / n;
+    const double w = std::exp(-2.0 * x * x);
+    signed_err += w * (f.eval(x) - std::tanh(x));
+    abs_err += w * std::fabs(f.eval(x) - std::tanh(x));
+  }
+  EXPECT_LT(std::fabs(signed_err), 0.15 * abs_err + 1e-12);
+}
+
+TEST(PiecewiseLinear, TanhFitErrorDecreasesWithPieces) {
+  auto err = [](std::size_t p) {
+    return PiecewiseLinear::fit_tanh(p).max_error_against(
+        [](double x) { return std::tanh(x); }, -2.0, 2.0);
+  };
+  EXPECT_GT(err(3), err(5));
+  EXPECT_GT(err(5), err(9));
+  EXPECT_GT(err(9), err(17));
+  EXPECT_LT(err(17), 0.03);
+}
+
+TEST(PiecewiseLinear, TanhTailsAreConstantNearAsymptote) {
+  const auto f = PiecewiseLinear::fit_tanh(7, 3.0);
+  EXPECT_EQ(f.piece(0).k, 0.0);
+  EXPECT_EQ(f.piece(f.num_pieces() - 1).k, 0.0);
+  // Tail constants sit between f(range) and the asymptote.
+  EXPECT_GT(f.eval(100.0), std::tanh(3.0));
+  EXPECT_LT(f.eval(100.0), 1.0);
+  EXPECT_LT(f.eval(-100.0), std::tanh(-3.0));
+  EXPECT_GT(f.eval(-100.0), -1.0);
+}
+
+TEST(PiecewiseLinear, SigmoidFitIsAccurate) {
+  const auto f = PiecewiseLinear::fit_sigmoid(7);
+  const double err =
+      f.max_error_against([](double x) { return sigmoid(x); }, -10.0, 10.0);
+  EXPECT_LT(err, 0.05);
+}
+
+TEST(PiecewiseLinear, ForActivationDispatch) {
+  EXPECT_EQ(PiecewiseLinear::for_activation(Activation::kIdentity)
+                .num_pieces(),
+            1u);
+  EXPECT_EQ(PiecewiseLinear::for_activation(Activation::kRelu).num_pieces(),
+            2u);
+  EXPECT_EQ(PiecewiseLinear::for_activation(Activation::kTanh).num_pieces(),
+            7u);
+  EXPECT_EQ(
+      PiecewiseLinear::for_activation(Activation::kTanh, 11).num_pieces(),
+      11u);
+  EXPECT_EQ(
+      PiecewiseLinear::for_activation(Activation::kSigmoid, 9).num_pieces(),
+      9u);
+}
+
+TEST(PiecewiseLinear, FitRequiresAtLeastThreePieces) {
+  EXPECT_THROW(PiecewiseLinear::fit_tanh(2), InvalidArgument);
+}
+
+// Parameterized sweep: per-piece-count accuracy bounds on the weighted fit
+// (central region, where the weighting concentrates the budget).
+struct FitBound {
+  std::size_t pieces;
+  double central_bound;  ///< on [-2, 2]
+};
+
+class TanhFitSweep : public ::testing::TestWithParam<FitBound> {};
+
+TEST_P(TanhFitSweep, ErrorWithinBound) {
+  const auto [pieces, bound] = GetParam();
+  const auto f = PiecewiseLinear::fit_tanh(pieces, 3.0);
+  const double err = f.max_error_against(
+      [](double x) { return std::tanh(x); }, -2.0, 2.0);
+  EXPECT_LT(err, bound) << pieces << " pieces";
+}
+
+INSTANTIATE_TEST_SUITE_P(PieceCounts, TanhFitSweep,
+                         ::testing::Values(FitBound{3, 0.35}, FitBound{5, 0.1},
+                                           FitBound{7, 0.07},
+                                           FitBound{9, 0.06},
+                                           FitBound{15, 0.04},
+                                           FitBound{25, 0.02},
+                                           FitBound{51, 0.006}));
+
+}  // namespace
+}  // namespace apds

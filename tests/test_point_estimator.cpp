@@ -1,0 +1,91 @@
+#include "uncertainty/point_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+
+namespace apds {
+namespace {
+
+Mlp tiny_net(Rng& rng) {
+  MlpSpec spec;
+  spec.dims = {2, 6, 1};
+  spec.hidden_keep_prob = 1.0;
+  return Mlp::make(spec, rng);
+}
+
+TEST(PointEstimator, CalibratedVarianceEqualsResidualMeanSquare) {
+  Rng rng(1);
+  const Mlp mlp = tiny_net(rng);
+  Matrix x(50, 2);
+  for (double& v : x.flat()) v = rng.normal();
+  const Matrix pred = mlp.forward_deterministic(x);
+  Matrix y = pred;
+  for (double& v : y.flat()) v += rng.normal(0.0, 2.0);
+
+  const PointEstimator est(mlp, x, y);
+  double expected = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const double d = pred.flat()[i] - y.flat()[i];
+    expected += d * d;
+  }
+  expected /= static_cast<double>(y.rows());
+  EXPECT_NEAR(est.calibrated_var()(0, 0), expected, 1e-10);
+}
+
+TEST(PointEstimator, PredictionUsesConstantVariance) {
+  Rng rng(2);
+  const Mlp mlp = tiny_net(rng);
+  Matrix x(20, 2);
+  Matrix y(20, 1);
+  for (double& v : x.flat()) v = rng.normal();
+  for (double& v : y.flat()) v = rng.normal();
+  const PointEstimator est(mlp, x, y);
+
+  Matrix q(3, 2, 0.5);
+  const auto pred = est.predict_regression(q);
+  EXPECT_LT(max_abs_diff(pred.mean, mlp.forward_deterministic(q)), 1e-15);
+  for (std::size_t r = 0; r < 3; ++r)
+    EXPECT_EQ(pred.var(r, 0), est.calibrated_var()(0, 0));
+}
+
+TEST(PointEstimator, VarianceFloorRespected) {
+  Rng rng(3);
+  const Mlp mlp = tiny_net(rng);
+  Matrix x(10, 2);
+  for (double& v : x.flat()) v = rng.normal();
+  const Matrix y = mlp.forward_deterministic(x);  // zero residuals
+  const PointEstimator est(mlp, x, y, /*var_floor=*/1e-3);
+  EXPECT_EQ(est.calibrated_var()(0, 0), 1e-3);
+}
+
+TEST(PointEstimator, RequiresMatchingCalibrationShapes) {
+  Rng rng(4);
+  const Mlp mlp = tiny_net(rng);
+  EXPECT_THROW(PointEstimator(mlp, Matrix(5, 2), Matrix(4, 1)),
+               InvalidArgument);
+  EXPECT_THROW(PointEstimator(mlp, Matrix(5, 2), Matrix(5, 2)),
+               InvalidArgument);
+}
+
+TEST(PointEstimator, ClassificationReturnsSoftmax) {
+  Rng rng(5);
+  MlpSpec spec;
+  spec.dims = {2, 4, 3};
+  spec.hidden_keep_prob = 1.0;
+  const Mlp mlp = Mlp::make(spec, rng);
+  Matrix x(6, 2);
+  Matrix y(6, 3);
+  for (double& v : x.flat()) v = rng.normal();
+  const PointEstimator est(mlp, x, y);
+  const auto pred = est.predict_classification(x);
+  for (std::size_t r = 0; r < 6; ++r) {
+    double total = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) total += pred.probs(r, c);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace apds

@@ -1,0 +1,121 @@
+#include "uncertainty/rdeepsense.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/regression_metrics.h"
+#include "nn/loss.h"
+
+namespace apds {
+namespace {
+
+// Heteroscedastic toy task: y = x0 with noise whose scale depends on x1.
+void hetero_dataset(std::size_t n, Rng& rng, Matrix& x, Matrix& y) {
+  x = Matrix(n, 2);
+  y = Matrix(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.normal();
+    x(i, 1) = rng.uniform(0.0, 1.0);
+    y(i, 0) = x(i, 0) + rng.normal(0.0, 0.1 + 2.0 * x(i, 1));
+  }
+}
+
+MlpSpec base_spec() {
+  MlpSpec spec;
+  spec.dims = {2, 24, 1};
+  spec.hidden_act = Activation::kRelu;
+  spec.hidden_keep_prob = 0.95;
+  return spec;
+}
+
+TEST(RDeepSense, TrainingProducesDoubledHead) {
+  Rng rng(1);
+  Matrix x, y;
+  hetero_dataset(300, rng, x, y);
+  TrainConfig cfg;
+  cfg.epochs = 5;
+  const Mlp mlp = train_rdeepsense_regression(base_spec(), x, y, Matrix(),
+                                              Matrix(), cfg, 0.7, rng);
+  EXPECT_EQ(mlp.output_dim(), 2u);  // [mu | s]
+}
+
+TEST(RDeepSense, EstimatorSplitsHeads) {
+  Rng rng(2);
+  Matrix x, y;
+  hetero_dataset(200, rng, x, y);
+  TrainConfig cfg;
+  cfg.epochs = 3;
+  const Mlp mlp = train_rdeepsense_regression(base_spec(), x, y, Matrix(),
+                                              Matrix(), cfg, 0.7, rng);
+  const RDeepSense est(mlp, TaskKind::kRegression, 1);
+  const auto pred = est.predict_regression(x);
+  EXPECT_EQ(pred.mean.cols(), 1u);
+  EXPECT_EQ(pred.var.cols(), 1u);
+  for (double v : pred.var.flat()) EXPECT_GT(v, 0.0);
+}
+
+TEST(RDeepSense, LearnsInputDependentVariance) {
+  Rng rng(3);
+  Matrix x, y, xt, yt;
+  hetero_dataset(2000, rng, x, y);
+  hetero_dataset(400, rng, xt, yt);
+  TrainConfig cfg;
+  cfg.epochs = 40;
+  cfg.learning_rate = 5e-3;
+  const Mlp mlp = train_rdeepsense_regression(base_spec(), x, y, Matrix(),
+                                              Matrix(), cfg, 1.0, rng);
+  const RDeepSense est(mlp, TaskKind::kRegression, 1);
+
+  // Predicted variance should be larger where x1 (the noise knob) is large.
+  Matrix lo(1, 2);
+  lo(0, 1) = 0.05;
+  Matrix hi(1, 2);
+  hi(0, 1) = 0.95;
+  const double var_lo = est.predict_regression(lo).var(0, 0);
+  const double var_hi = est.predict_regression(hi).var(0, 0);
+  EXPECT_GT(var_hi, 2.0 * var_lo);
+
+  // And the NLL should beat a fixed-tiny-variance strawman.
+  const auto pred = est.predict_regression(xt);
+  PredictiveGaussian strawman = pred;
+  strawman.var.fill(1e-2);
+  EXPECT_LT(gaussian_nll(pred, yt), gaussian_nll(strawman, yt));
+}
+
+TEST(RDeepSense, ClassificationPathIsPlainSoftmax) {
+  Rng rng(4);
+  MlpSpec spec;
+  spec.dims = {2, 8, 3};
+  spec.hidden_keep_prob = 0.9;
+  const Mlp mlp = Mlp::make(spec, rng);
+  const RDeepSense est(mlp, TaskKind::kClassification, 3);
+  Matrix x(2, 2, 0.3);
+  const auto pred = est.predict_classification(x);
+  for (std::size_t r = 0; r < 2; ++r) {
+    double total = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) total += pred.probs(r, c);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+  EXPECT_THROW(est.predict_regression(x), InvalidArgument);
+}
+
+TEST(RDeepSense, WrongHeadWidthRejected) {
+  Rng rng(5);
+  MlpSpec spec;
+  spec.dims = {2, 4, 3};  // 3 != 2 * 1
+  const Mlp mlp = Mlp::make(spec, rng);
+  EXPECT_THROW(RDeepSense(mlp, TaskKind::kRegression, 1), InvalidArgument);
+}
+
+TEST(RDeepSense, RegressionModelRefusesClassification) {
+  Rng rng(6);
+  MlpSpec spec;
+  spec.dims = {2, 4, 2};
+  const Mlp mlp = Mlp::make(spec, rng);
+  const RDeepSense est(mlp, TaskKind::kRegression, 1);
+  EXPECT_THROW(est.predict_classification(Matrix(1, 2)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace apds

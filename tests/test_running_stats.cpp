@@ -1,0 +1,88 @@
+#include "stats/running_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace apds {
+namespace {
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const double xs[] = {1.0, 2.0, 4.0, 8.0};
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), 4u);
+  EXPECT_NEAR(rs.mean(), 3.75, 1e-12);
+  // Population variance: mean of squared deviations.
+  double var = 0.0;
+  for (double x : xs) var += (x - 3.75) * (x - 3.75);
+  var /= 4.0;
+  EXPECT_NEAR(rs.variance(), var, 1e-12);
+  EXPECT_NEAR(rs.sample_variance(), var * 4.0 / 3.0, 1e-12);
+  EXPECT_EQ(rs.min(), 1.0);
+  EXPECT_EQ(rs.max(), 8.0);
+}
+
+TEST(RunningStats, EmptyAccessorsThrow) {
+  RunningStats rs;
+  EXPECT_THROW(rs.mean(), InvalidArgument);
+  EXPECT_THROW(rs.min(), InvalidArgument);
+  EXPECT_THROW(rs.max(), InvalidArgument);
+  rs.add(1.0);
+  EXPECT_THROW(rs.sample_variance(), InvalidArgument);
+}
+
+TEST(RunningStats, SingleValueHasZeroVariance) {
+  RunningStats rs;
+  rs.add(5.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.stddev(), 0.0);
+}
+
+TEST(RunningStats, NumericallyStableForLargeOffsets) {
+  RunningStats rs;
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) rs.add(1e9 + rng.normal());
+  EXPECT_NEAR(rs.mean(), 1e9, 0.1);
+  EXPECT_NEAR(rs.variance(), 1.0, 0.05);
+}
+
+TEST(RunningVectorStats, MatchesPerCoordinate) {
+  RunningVectorStats rvs(2);
+  const double rows[][2] = {{1.0, 10.0}, {3.0, 30.0}, {5.0, 20.0}};
+  for (const auto& r : rows) rvs.add(r);
+  EXPECT_EQ(rvs.count(), 3u);
+  EXPECT_NEAR(rvs.mean()[0], 3.0, 1e-12);
+  EXPECT_NEAR(rvs.mean()[1], 20.0, 1e-12);
+  const auto var = rvs.variance();
+  EXPECT_NEAR(var[0], (4.0 + 0.0 + 4.0) / 3.0, 1e-12);
+  EXPECT_NEAR(var[1], (100.0 + 100.0 + 0.0) / 3.0, 1e-12);
+}
+
+TEST(RunningVectorStats, DimMismatchThrows) {
+  RunningVectorStats rvs(3);
+  const double bad[] = {1.0, 2.0};
+  EXPECT_THROW(rvs.add(bad), InvalidArgument);
+}
+
+TEST(RunningVectorStats, AgreesWithScalarAccumulators) {
+  Rng rng(9);
+  RunningVectorStats rvs(4);
+  std::vector<RunningStats> scalars(4);
+  for (int i = 0; i < 500; ++i) {
+    double row[4];
+    for (int j = 0; j < 4; ++j) {
+      row[j] = rng.normal(j, 1.0 + j);
+      scalars[j].add(row[j]);
+    }
+    rvs.add(row);
+  }
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_NEAR(rvs.mean()[j], scalars[j].mean(), 1e-9);
+    EXPECT_NEAR(rvs.variance()[j], scalars[j].variance(), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace apds

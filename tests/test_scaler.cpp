@@ -1,0 +1,77 @@
+#include "data/scaler.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+
+namespace apds {
+namespace {
+
+TEST(Scaler, TransformedDataHasZeroMeanUnitVariance) {
+  Rng rng(1);
+  Matrix data(500, 3);
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    data(i, 0) = rng.normal(10.0, 2.0);
+    data(i, 1) = rng.normal(-5.0, 0.1);
+    data(i, 2) = rng.normal(0.0, 100.0);
+  }
+  const StandardScaler s = StandardScaler::fit(data);
+  const Matrix z = s.transform(data);
+  const Matrix mu = col_means(z);
+  const Matrix sd = col_stddevs(z);
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(mu(0, c), 0.0, 1e-10);
+    EXPECT_NEAR(sd(0, c), 1.0, 1e-10);
+  }
+}
+
+TEST(Scaler, InverseTransformRoundTrips) {
+  Rng rng(2);
+  Matrix data(100, 4);
+  for (double& v : data.flat()) v = rng.normal(3.0, 7.0);
+  const StandardScaler s = StandardScaler::fit(data);
+  const Matrix back = s.inverse_transform(s.transform(data));
+  EXPECT_LT(max_abs_diff(back, data), 1e-10);
+}
+
+TEST(Scaler, VarianceTransformUsesSquaredScale) {
+  Matrix data{{0.0}, {10.0}};  // mean 5, stddev 5
+  const StandardScaler s = StandardScaler::fit(data);
+  Matrix var{{2.0}};
+  const Matrix nat = s.inverse_transform_variance(var);
+  EXPECT_NEAR(nat(0, 0), 2.0 * 25.0, 1e-12);
+}
+
+TEST(Scaler, ConstantColumnsSurvive) {
+  Matrix data(10, 2);
+  for (std::size_t i = 0; i < 10; ++i) {
+    data(i, 0) = 7.0;  // constant
+    data(i, 1) = static_cast<double>(i);
+  }
+  const StandardScaler s = StandardScaler::fit(data);
+  const Matrix z = s.transform(data);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(z(i, 0), 0.0);
+  const Matrix back = s.inverse_transform(z);
+  EXPECT_LT(max_abs_diff(back, data), 1e-12);
+}
+
+TEST(Scaler, UnfittedOrMismatchedUseThrows) {
+  StandardScaler s;
+  EXPECT_FALSE(s.fitted());
+  EXPECT_THROW(s.transform(Matrix(2, 2)), InvalidArgument);
+  const StandardScaler fitted = StandardScaler::fit(Matrix(5, 3, 1.0));
+  EXPECT_THROW(fitted.transform(Matrix(2, 2)), InvalidArgument);
+  EXPECT_THROW(fitted.inverse_transform_variance(Matrix(2, 2)),
+               InvalidArgument);
+}
+
+TEST(Scaler, AppliesTrainStatisticsToNewData) {
+  Matrix train{{0.0}, {2.0}};  // mean 1, sd 1
+  const StandardScaler s = StandardScaler::fit(train);
+  Matrix other{{3.0}};
+  EXPECT_NEAR(s.transform(other)(0, 0), 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace apds

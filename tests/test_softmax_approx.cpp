@@ -1,0 +1,78 @@
+#include "core/softmax_approx.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/special.h"
+
+namespace apds {
+namespace {
+
+TEST(SoftmaxApprox, ZeroVarianceReducesToPlainSoftmax) {
+  GaussianVec logits(3);
+  logits.mean = {1.0, 2.0, 0.5};
+  logits.var = {0.0, 0.0, 0.0};
+  const auto mf = softmax_meanfield(logits);
+  const auto plain = softmax(logits.mean);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(mf[i], plain[i], 1e-12);
+}
+
+TEST(SoftmaxApprox, ProbabilitiesSumToOne) {
+  GaussianVec logits(4);
+  logits.mean = {3.0, -1.0, 0.0, 2.0};
+  logits.var = {5.0, 0.1, 2.0, 10.0};
+  const auto p = softmax_meanfield(logits);
+  double total = 0.0;
+  for (double v : p) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  for (double v : p) EXPECT_GT(v, 0.0);
+}
+
+TEST(SoftmaxApprox, UncertaintyFlattensTheDistribution) {
+  GaussianVec sharp(2);
+  sharp.mean = {2.0, 0.0};
+  sharp.var = {0.0, 0.0};
+  GaussianVec fuzzy = sharp;
+  fuzzy.var = {50.0, 50.0};
+  const auto p_sharp = softmax_meanfield(sharp);
+  const auto p_fuzzy = softmax_meanfield(fuzzy);
+  // High logit variance should push the winning probability toward 1/2.
+  EXPECT_LT(p_fuzzy[0], p_sharp[0]);
+  EXPECT_GT(p_fuzzy[0], 0.5);
+}
+
+TEST(SoftmaxApprox, MeanFieldTracksMonteCarlo) {
+  GaussianVec logits(3);
+  logits.mean = {1.0, 0.0, -0.5};
+  logits.var = {1.5, 0.8, 2.0};
+  Rng rng(11);
+  const auto mc = softmax_monte_carlo(logits, 200000, rng);
+  const auto mf = softmax_meanfield(logits);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_NEAR(mf[i], mc[i], 0.05) << "class " << i;
+}
+
+TEST(SoftmaxApprox, MonteCarloIsDeterministicGivenRng) {
+  GaussianVec logits(2);
+  logits.mean = {0.5, -0.5};
+  logits.var = {1.0, 1.0};
+  Rng rng_a(3);
+  Rng rng_b(3);
+  const auto a = softmax_monte_carlo(logits, 100, rng_a);
+  const auto b = softmax_monte_carlo(logits, 100, rng_b);
+  for (std::size_t i = 0; i < 2; ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(SoftmaxApprox, InvalidInputsRejected) {
+  GaussianVec bad(2);
+  bad.mean = {0.0, 0.0};
+  bad.var = {-1.0, 0.0};
+  EXPECT_THROW(softmax_meanfield(bad), InvalidArgument);
+  GaussianVec ok(2);
+  Rng rng(1);
+  EXPECT_THROW(softmax_monte_carlo(ok, 0, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace apds

@@ -1,0 +1,89 @@
+#include "stats/special.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace apds {
+namespace {
+
+TEST(Softplus, MatchesNaiveInSafeRange) {
+  for (double x : {-5.0, -1.0, 0.0, 1.0, 5.0})
+    EXPECT_NEAR(softplus(x), std::log(1.0 + std::exp(x)), 1e-12);
+}
+
+TEST(Softplus, LargeInputsDoNotOverflow) {
+  EXPECT_NEAR(softplus(100.0), 100.0, 1e-9);
+  EXPECT_NEAR(softplus(-100.0), std::exp(-100.0), 1e-50);
+  EXPECT_TRUE(std::isfinite(softplus(1e308)));
+}
+
+TEST(Softplus, InverseRoundTrips) {
+  for (double y : {1e-6, 0.01, 0.5, 1.0, 10.0, 50.0})
+    EXPECT_NEAR(softplus(softplus_inverse(y)), y, 1e-9 * std::max(1.0, y));
+  EXPECT_THROW(softplus_inverse(0.0), InvalidArgument);
+}
+
+TEST(LogSumExp, MatchesNaive) {
+  const double xs[] = {0.1, 1.5, -2.0};
+  double naive = 0.0;
+  for (double x : xs) naive += std::exp(x);
+  EXPECT_NEAR(logsumexp(xs), std::log(naive), 1e-12);
+}
+
+TEST(LogSumExp, StableForHugeValues) {
+  const double xs[] = {1000.0, 1000.0};
+  EXPECT_NEAR(logsumexp(xs), 1000.0 + std::log(2.0), 1e-9);
+  const double neg[] = {-1000.0, -1001.0};
+  EXPECT_TRUE(std::isfinite(logsumexp(neg)));
+}
+
+TEST(LogSumExp, SingleElementIsIdentity) {
+  const double xs[] = {3.7};
+  EXPECT_NEAR(logsumexp(xs), 3.7, 1e-15);
+}
+
+TEST(LogSumExp, EmptyThrows) {
+  EXPECT_THROW(logsumexp(std::span<const double>{}), InvalidArgument);
+}
+
+TEST(Softmax, SumsToOneAndOrdersCorrectly) {
+  const double logits[] = {1.0, 2.0, 3.0};
+  const auto p = softmax(logits);
+  double total = 0.0;
+  for (double v : p) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_LT(p[0], p[1]);
+  EXPECT_LT(p[1], p[2]);
+}
+
+TEST(Softmax, InvariantToShift) {
+  const double a[] = {1.0, 2.0, 3.0};
+  const double b[] = {101.0, 102.0, 103.0};
+  const auto pa = softmax(a);
+  const auto pb = softmax(b);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(pa[i], pb[i], 1e-12);
+}
+
+TEST(Softmax, HandlesExtremeLogits) {
+  const double logits[] = {1e4, 0.0, -1e4};
+  const auto p = softmax(logits);
+  EXPECT_NEAR(p[0], 1.0, 1e-12);
+  EXPECT_GE(p[2], 0.0);
+}
+
+TEST(Sigmoid, KnownValuesAndSymmetry) {
+  EXPECT_NEAR(sigmoid(0.0), 0.5, 1e-15);
+  for (double x : {-3.0, -0.5, 0.7, 4.0})
+    EXPECT_NEAR(sigmoid(x) + sigmoid(-x), 1.0, 1e-12);
+}
+
+TEST(Sigmoid, SaturatesWithoutNan) {
+  EXPECT_NEAR(sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(sigmoid(-1000.0), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace apds

@@ -1,0 +1,50 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace apds {
+namespace {
+
+TEST(Split, BasicFields) {
+  const auto f = split("a,b,c", ',');
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[1], "b");
+  EXPECT_EQ(f[2], "c");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto f = split("a,,c,", ',');
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_EQ(f[1], "");
+  EXPECT_EQ(f[3], "");
+}
+
+TEST(Split, EmptyStringGivesOneEmptyField) {
+  const auto f = split("", ',');
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0], "");
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  hello \t"), "hello");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(FormatDouble, RespectsPrecision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-1.0, 1), "-1.0");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(Pad, LeftAndRight) {
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_left("abcdef", 3), "abcdef");  // never truncates
+  EXPECT_EQ(pad_right("abcdef", 3), "abcdef");
+}
+
+}  // namespace
+}  // namespace apds

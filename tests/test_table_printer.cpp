@@ -1,0 +1,55 @@
+#include "eval/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace apds {
+namespace {
+
+TEST(TablePrinter, RendersHeaderSeparatorAndRows) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // 1 header + 1 separator + 2 rows = 4 lines.
+  std::size_t lines = 0;
+  for (char c : out)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 4u);
+}
+
+TEST(TablePrinter, ColumnsAlign) {
+  TablePrinter t({"a", "b"});
+  t.add_row({"xxxxxxxx", "1"});
+  t.add_row({"y", "1234"});
+  std::ostringstream os;
+  t.print(os);
+  // All lines should have equal length (aligned columns).
+  std::istringstream is(os.str());
+  std::string line;
+  std::size_t len = 0;
+  while (std::getline(is, line)) {
+    if (len == 0) len = line.size();
+    EXPECT_EQ(line.size(), len);
+  }
+}
+
+TEST(TablePrinter, CellCountValidated) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only_one"}), InvalidArgument);
+}
+
+TEST(TablePrinter, EmptyHeadersRejected) {
+  EXPECT_THROW(TablePrinter({}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace apds

@@ -1,0 +1,68 @@
+#include "tensor/tensor_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+
+namespace apds {
+namespace {
+
+TEST(TensorIo, RoundTripPreservesValues) {
+  Rng rng(3);
+  Matrix m(7, 11);
+  for (double& v : m.flat()) v = rng.normal();
+
+  std::stringstream ss;
+  write_matrix(ss, m);
+  const Matrix back = read_matrix(ss);
+  EXPECT_EQ(back.rows(), 7u);
+  EXPECT_EQ(back.cols(), 11u);
+  EXPECT_EQ(back, m);
+}
+
+TEST(TensorIo, EmptyMatrixRoundTrips) {
+  std::stringstream ss;
+  write_matrix(ss, Matrix());
+  const Matrix back = read_matrix(ss);
+  EXPECT_TRUE(back.empty());
+}
+
+TEST(TensorIo, TruncatedHeaderThrows) {
+  std::stringstream ss;
+  ss.write("abc", 3);
+  EXPECT_THROW(read_matrix(ss), IoError);
+}
+
+TEST(TensorIo, TruncatedPayloadThrows) {
+  std::stringstream ss;
+  write_matrix(ss, Matrix(4, 4, 1.0));
+  std::string data = ss.str();
+  data.resize(data.size() - 8);  // drop one double
+  std::stringstream truncated(data);
+  EXPECT_THROW(read_matrix(truncated), IoError);
+}
+
+TEST(TensorIo, ImplausibleShapeRejected) {
+  std::stringstream ss;
+  const std::uint64_t rows = 1ULL << 40;
+  const std::uint64_t cols = 1ULL << 40;
+  ss.write(reinterpret_cast<const char*>(&rows), 8);
+  ss.write(reinterpret_cast<const char*>(&cols), 8);
+  EXPECT_THROW(read_matrix(ss), IoError);
+}
+
+TEST(TensorIo, SequentialMatricesReadBack) {
+  std::stringstream ss;
+  Matrix a{{1.0, 2.0}};
+  Matrix b{{3.0}, {4.0}};
+  write_matrix(ss, a);
+  write_matrix(ss, b);
+  EXPECT_EQ(read_matrix(ss), a);
+  EXPECT_EQ(read_matrix(ss), b);
+}
+
+}  // namespace
+}  // namespace apds

@@ -1,0 +1,154 @@
+#include "nn/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/dataset.h"
+#include "metrics/classification_metrics.h"
+#include "nn/loss.h"
+#include "tensor/ops.h"
+
+namespace apds {
+namespace {
+
+// y = 2*x0 - x1 + 1, learnable by a tiny network.
+void linear_dataset(std::size_t n, Rng& rng, Matrix& x, Matrix& y) {
+  x = Matrix(n, 2);
+  y = Matrix(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.normal();
+    x(i, 1) = rng.normal();
+    y(i, 0) = 2.0 * x(i, 0) - x(i, 1) + 1.0;
+  }
+}
+
+TEST(Trainer, LearnsLinearFunction) {
+  Rng rng(1);
+  Matrix x, y, xv, yv;
+  linear_dataset(400, rng, x, y);
+  linear_dataset(100, rng, xv, yv);
+
+  MlpSpec spec;
+  spec.dims = {2, 16, 1};
+  spec.hidden_act = Activation::kTanh;
+  spec.hidden_keep_prob = 1.0;
+  Mlp mlp = Mlp::make(spec, rng);
+
+  TrainConfig cfg;
+  cfg.epochs = 60;
+  cfg.batch_size = 32;
+  cfg.learning_rate = 1e-2;
+  const MseLoss loss;
+  const TrainReport report = train_mlp(mlp, x, y, xv, yv, loss, cfg, rng);
+
+  EXPECT_EQ(report.epochs_run, 60u);
+  EXPECT_LT(report.final_val_loss, 0.02);
+  EXPECT_LE(report.best_val_loss, report.final_val_loss + 1e-9);
+}
+
+TEST(Trainer, LossDecreasesFromUntrained) {
+  Rng rng(2);
+  Matrix x, y, xv, yv;
+  linear_dataset(200, rng, x, y);
+  linear_dataset(50, rng, xv, yv);
+
+  MlpSpec spec;
+  spec.dims = {2, 8, 1};
+  spec.hidden_keep_prob = 1.0;
+  Mlp mlp = Mlp::make(spec, rng);
+  const MseLoss loss;
+  const double before = evaluate_loss(mlp, xv, yv, loss);
+
+  TrainConfig cfg;
+  cfg.epochs = 20;
+  cfg.learning_rate = 1e-2;
+  train_mlp(mlp, x, y, xv, yv, loss, cfg, rng);
+  EXPECT_LT(evaluate_loss(mlp, xv, yv, loss), before);
+}
+
+TEST(Trainer, EarlyStoppingHalts) {
+  Rng rng(3);
+  Matrix x, y, xv, yv;
+  linear_dataset(100, rng, x, y);
+  // Unlearnable validation targets: pure noise, so val loss plateaus fast.
+  linear_dataset(50, rng, xv, yv);
+  for (double& v : yv.flat()) v = rng.normal() * 100.0;
+
+  MlpSpec spec;
+  spec.dims = {2, 4, 1};
+  spec.hidden_keep_prob = 1.0;
+  Mlp mlp = Mlp::make(spec, rng);
+
+  TrainConfig cfg;
+  cfg.epochs = 200;
+  cfg.patience = 3;
+  cfg.learning_rate = 1e-3;
+  const TrainReport report =
+      train_mlp(mlp, x, y, xv, yv, MseLoss(), cfg, rng);
+  EXPECT_LT(report.epochs_run, 200u);
+}
+
+TEST(Trainer, NoValidationSetDisablesEarlyStopping) {
+  Rng rng(4);
+  Matrix x, y;
+  linear_dataset(100, rng, x, y);
+  MlpSpec spec;
+  spec.dims = {2, 4, 1};
+  spec.hidden_keep_prob = 1.0;
+  Mlp mlp = Mlp::make(spec, rng);
+  TrainConfig cfg;
+  cfg.epochs = 5;
+  cfg.patience = 1;
+  const TrainReport report =
+      train_mlp(mlp, x, y, Matrix(), Matrix(), MseLoss(), cfg, rng);
+  EXPECT_EQ(report.epochs_run, 5u);
+  EXPECT_TRUE(std::isnan(report.final_val_loss));
+}
+
+TEST(Trainer, LearnsSeparableClassification) {
+  Rng rng(5);
+  const std::size_t n = 300;
+  Matrix x(n, 2);
+  std::vector<std::size_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = rng.uniform_index(3);
+    labels[i] = c;
+    x(i, 0) = rng.normal(3.0 * static_cast<double>(c), 0.5);
+    x(i, 1) = rng.normal(-2.0 * static_cast<double>(c), 0.5);
+  }
+  const Matrix y = labels_to_onehot(labels, 3);
+
+  MlpSpec spec;
+  spec.dims = {2, 16, 3};
+  spec.hidden_act = Activation::kRelu;
+  spec.hidden_keep_prob = 0.95;
+  Mlp mlp = Mlp::make(spec, rng);
+
+  TrainConfig cfg;
+  cfg.epochs = 40;
+  cfg.learning_rate = 5e-3;
+  train_mlp(mlp, x, y, Matrix(), Matrix(), SoftmaxCrossEntropyLoss(), cfg,
+            rng);
+
+  // Deterministic accuracy on the training data should be near-perfect.
+  const Matrix logits = mlp.forward_deterministic(x);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    if (argmax_row(logits, i) == labels[i]) ++correct;
+  EXPECT_GT(static_cast<double>(correct) / n, 0.95);
+}
+
+TEST(Trainer, MismatchedRowsThrow) {
+  Rng rng(6);
+  MlpSpec spec;
+  spec.dims = {2, 4, 1};
+  Mlp mlp = Mlp::make(spec, rng);
+  TrainConfig cfg;
+  EXPECT_THROW(train_mlp(mlp, Matrix(10, 2), Matrix(9, 1), Matrix(), Matrix(),
+                         MseLoss(), cfg, rng),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace apds
