@@ -9,7 +9,8 @@
 #include "core/apdeepsense.h"
 #include "stats/running_stats.h"
 
-int main() {
+int main(int argc, char** argv) {
+  apds::obs::ObsSession obs_session(argc, argv);
   using namespace apds;
   using namespace apds::bench;
   try {

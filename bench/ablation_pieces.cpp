@@ -7,7 +7,8 @@
 #include "metrics/regression_metrics.h"
 #include "uncertainty/apd_estimator.h"
 
-int main() {
+int main(int argc, char** argv) {
+  apds::obs::ObsSession obs_session(argc, argv);
   using namespace apds;
   using namespace apds::bench;
   try {

@@ -15,7 +15,8 @@
 #include "metrics/regression_metrics.h"
 #include "uncertainty/mcdrop.h"
 
-int main() {
+int main(int argc, char** argv) {
+  apds::obs::ObsSession obs_session(argc, argv);
   using namespace apds;
   using namespace apds::bench;
   try {

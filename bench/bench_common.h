@@ -11,8 +11,14 @@
 #include "eval/experiment.h"
 #include "eval/model_zoo.h"
 #include "eval/table_printer.h"
+#include "obs/run_options.h"
 
 namespace apds::bench {
+
+// Every bench main routes argc/argv through obs::ObsSession (constructed
+// first thing in main), which parses and strips the shared observability
+// flags — see obs/run_options.h. Run any bench with `--trace out.json` to
+// get a Chrome-trace of the full run plus an aggregate p50/p95 span table.
 
 /// Zoo with the paper's 512-wide architecture; model cache defaults to
 /// ./models (override with APDS_MODEL_DIR).

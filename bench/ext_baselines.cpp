@@ -14,7 +14,8 @@
 #include "uncertainty/point_estimator.h"
 #include "uncertainty/rdeepsense.h"
 
-int main() {
+int main(int argc, char** argv) {
+  apds::obs::ObsSession obs_session(argc, argv);
   using namespace apds;
   using namespace apds::bench;
   try {

@@ -40,7 +40,8 @@ void make_waveform(std::size_t n, std::size_t len, Rng& rng, Matrix& x,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  apds::obs::ObsSession obs_session(argc, argv);
   using namespace apds::bench;
   try {
     Rng rng(31337);

@@ -12,7 +12,8 @@
 #include "stats/running_stats.h"
 #include "uncertainty/apd_estimator.h"
 
-int main() {
+int main(int argc, char** argv) {
+  apds::obs::ObsSession obs_session(argc, argv);
   using namespace apds;
   using namespace apds::bench;
   try {

@@ -16,6 +16,7 @@
 #include "data/toy_sum.h"
 #include "nn/loss.h"
 #include "nn/trainer.h"
+#include "obs/run_options.h"
 #include "stats/gaussian.h"
 #include "stats/histogram.h"
 #include "stats/ks_test.h"
@@ -130,7 +131,8 @@ void analyze_layer(const Mlp& mlp, const ApDeepSense& apd, const Matrix& x,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  apds::obs::ObsSession obs_session(argc, argv);
   try {
     std::cout << "Figure 1 reproduction: hidden-unit output distributions of "
                  "a 20-layer dropout network\n";

@@ -2,4 +2,6 @@
 // of every estimator on the BPEst task (modelled Intel Edison + host time).
 #include "system_main.h"
 
-int main() { return apds::bench::run_system_bench(apds::TaskId::kBpest); }
+int main(int argc, char** argv) {
+  return apds::bench::run_system_bench(apds::TaskId::kBpest, argc, argv);
+}

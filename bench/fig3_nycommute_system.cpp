@@ -1,4 +1,6 @@
 // Regenerates the paper's Figure 3: inference time and energy on NYCommute.
 #include "system_main.h"
 
-int main() { return apds::bench::run_system_bench(apds::TaskId::kNyCommute); }
+int main(int argc, char** argv) {
+  return apds::bench::run_system_bench(apds::TaskId::kNyCommute, argc, argv);
+}

@@ -1,4 +1,6 @@
 // Regenerates the paper's Figure 4: inference time and energy on GasSen.
 #include "system_main.h"
 
-int main() { return apds::bench::run_system_bench(apds::TaskId::kGasSen); }
+int main(int argc, char** argv) {
+  return apds::bench::run_system_bench(apds::TaskId::kGasSen, argc, argv);
+}

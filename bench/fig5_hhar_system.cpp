@@ -1,4 +1,6 @@
 // Regenerates the paper's Figure 5: inference time and energy on HHAR.
 #include "system_main.h"
 
-int main() { return apds::bench::run_system_bench(apds::TaskId::kHhar); }
+int main(int argc, char** argv) {
+  return apds::bench::run_system_bench(apds::TaskId::kHhar, argc, argv);
+}

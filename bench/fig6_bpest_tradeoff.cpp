@@ -1,4 +1,6 @@
 // Regenerates the paper's Figure 6: energy-vs-NLL tradeoff on BPEst.
 #include "tradeoff_main.h"
 
-int main() { return apds::bench::run_tradeoff_bench(apds::TaskId::kBpest); }
+int main(int argc, char** argv) {
+  return apds::bench::run_tradeoff_bench(apds::TaskId::kBpest, argc, argv);
+}

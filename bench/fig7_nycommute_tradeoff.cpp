@@ -1,6 +1,6 @@
 // Regenerates the paper's Figure 7: energy-vs-NLL tradeoff on NYCommute.
 #include "tradeoff_main.h"
 
-int main() {
-  return apds::bench::run_tradeoff_bench(apds::TaskId::kNyCommute);
+int main(int argc, char** argv) {
+  return apds::bench::run_tradeoff_bench(apds::TaskId::kNyCommute, argc, argv);
 }

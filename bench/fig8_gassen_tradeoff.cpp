@@ -1,4 +1,6 @@
 // Regenerates the paper's Figure 8: energy-vs-NLL tradeoff on GasSen.
 #include "tradeoff_main.h"
 
-int main() { return apds::bench::run_tradeoff_bench(apds::TaskId::kGasSen); }
+int main(int argc, char** argv) {
+  return apds::bench::run_tradeoff_bench(apds::TaskId::kGasSen, argc, argv);
+}

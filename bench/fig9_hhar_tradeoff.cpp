@@ -1,4 +1,6 @@
 // Regenerates the paper's Figure 9: energy-vs-NLL tradeoff on HHAR.
 #include "tradeoff_main.h"
 
-int main() { return apds::bench::run_tradeoff_bench(apds::TaskId::kHhar); }
+int main(int argc, char** argv) {
+  return apds::bench::run_tradeoff_bench(apds::TaskId::kHhar, argc, argv);
+}

@@ -6,7 +6,8 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  apds::obs::ObsSession obs_session(argc, argv);
   using namespace apds;
   using namespace apds::bench;
   try {

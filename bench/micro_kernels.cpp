@@ -1,12 +1,21 @@
 // google-benchmark microbenchmarks of the numeric kernels underlying every
 // inference path: GEMM, the dropout-linear moment map, the closed-form
 // activation moments, and whole-network ApDeepSense vs MCDrop passes.
+//
+// Before the google-benchmark suite, a short apds::measure() summary of the
+// two moment kernels is printed with the full TimingResult spread
+// (median/mean/p95/stddev), so kernel-latency tails are visible without
+// gbench's repetition machinery. Supports the shared --trace/--metrics/
+// --log-level flags (stripped before gbench sees argv).
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstdio>
 
 #include "common/rng.h"
 #include "core/apdeepsense.h"
+#include "obs/run_options.h"
+#include "platform/profiler.h"
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
 
@@ -126,6 +135,45 @@ void BM_DeterministicPass(benchmark::State& state) {
 }
 BENCHMARK(BM_DeterministicPass);
 
+void print_timing(const char* name, const TimingResult& r) {
+  std::printf("%-24s median %.4f ms  mean %.4f ms  p95 %.4f ms  "
+              "stddev %.4f ms  (%zu iters)\n",
+              name, r.median_ms, r.mean_ms, r.p95_ms, r.stddev_ms,
+              r.iterations);
+}
+
+void moment_kernel_summary() {
+  Rng rng(3);
+  const Matrix weight = random_matrix(512, 512, rng);
+  const Matrix w2 = square(weight);
+  const Matrix bias = random_matrix(1, 512, rng);
+  MeanVar input(1, 512);
+  for (double& v : input.mean.flat()) v = rng.normal();
+  for (double& v : input.var.flat()) v = std::fabs(rng.normal());
+
+  std::printf("moment kernel timing spread (apds::measure, 512-wide):\n");
+  print_timing("moment_linear", measure([&] {
+                 MeanVar out = moment_linear(input, weight, w2, bias, 0.9);
+                 benchmark::DoNotOptimize(out.mean.data());
+               }));
+
+  const auto f = PiecewiseLinear::fit_tanh(7);
+  print_timing("activation_moments", measure([&] {
+                 MeanVar copy = input;
+                 moment_activation_inplace(f, copy);
+                 benchmark::DoNotOptimize(copy.mean.data());
+               }));
+  std::printf("\n");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  apds::obs::ObsSession obs_session(argc, argv);
+  moment_kernel_summary();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

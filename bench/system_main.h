@@ -7,8 +7,9 @@
 
 namespace apds::bench {
 
-inline int run_system_bench(TaskId task) {
+inline int run_system_bench(TaskId task, int argc, char** argv) {
   try {
+    obs::ObsSession session(argc, argv);
     ModelZoo zoo = make_zoo();
     ExperimentOptions opt;
     const auto rows = run_system_perf(zoo, task, opt);

@@ -2,7 +2,7 @@
 // DNN-ReLU / DNN-Tanh x {ApDeepSense, MCDrop-k, RDeepSense}.
 #include "table_main.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apds::bench;
-  return run_table_bench(apds::TaskId::kBpest, paper_table1_bpest());
+  return run_table_bench(apds::TaskId::kBpest, paper_table1_bpest(), argc, argv);
 }

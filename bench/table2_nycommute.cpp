@@ -1,7 +1,7 @@
 // Regenerates the paper's Table II: MAE and NLL on the NYCommute task.
 #include "table_main.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apds::bench;
-  return run_table_bench(apds::TaskId::kNyCommute, paper_table2_nycommute());
+  return run_table_bench(apds::TaskId::kNyCommute, paper_table2_nycommute(), argc, argv);
 }

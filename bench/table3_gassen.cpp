@@ -1,7 +1,7 @@
 // Regenerates the paper's Table III: MAE and NLL on the GasSen task.
 #include "table_main.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apds::bench;
-  return run_table_bench(apds::TaskId::kGasSen, paper_table3_gassen());
+  return run_table_bench(apds::TaskId::kGasSen, paper_table3_gassen(), argc, argv);
 }

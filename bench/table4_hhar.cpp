@@ -1,7 +1,7 @@
 // Regenerates the paper's Table IV: accuracy and NLL on the HHAR task.
 #include "table_main.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apds::bench;
-  return run_table_bench(apds::TaskId::kHhar, paper_table4_hhar());
+  return run_table_bench(apds::TaskId::kHhar, paper_table4_hhar(), argc, argv);
 }

@@ -8,8 +8,10 @@
 
 namespace apds::bench {
 
-inline int run_table_bench(TaskId task, const std::vector<PaperRow>& paper) {
+inline int run_table_bench(TaskId task, const std::vector<PaperRow>& paper,
+                           int argc, char** argv) {
   try {
+    obs::ObsSession session(argc, argv);
     ModelZoo zoo = make_zoo();
     ExperimentOptions opt;
     const auto rows = run_model_perf(zoo, task, opt);

@@ -43,8 +43,9 @@ inline void ascii_scatter(std::ostream& os, const TradeoffSeries& s) {
   os << "  +" << std::string(kWidth, '-') << "\n";
 }
 
-inline int run_tradeoff_bench(TaskId task) {
+inline int run_tradeoff_bench(TaskId task, int argc, char** argv) {
   try {
+    obs::ObsSession session(argc, argv);
     ModelZoo zoo = make_zoo();
     ExperimentOptions opt;
     opt.measure_host = false;

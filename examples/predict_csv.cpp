@@ -4,6 +4,8 @@
 // uncertainty at inference).
 //
 //   predict_csv <model.apds> <inputs.csv> <outputs.csv> [--classify]
+//               [--trace trace.json] [--metrics metrics.json]
+//               [--log-level lvl]
 //
 // Run with no arguments for a self-contained demo: it trains a small model
 // on the synthetic gas-sensing task, saves it, exports sample inputs, and
@@ -18,6 +20,7 @@
 #include "nn/loss.h"
 #include "nn/model_io.h"
 #include "nn/trainer.h"
+#include "obs/run_options.h"
 #include "uncertainty/apd_estimator.h"
 
 using namespace apds;
@@ -89,10 +92,12 @@ int demo() {
 
 int main(int argc, char** argv) {
   try {
+    obs::ObsSession obs_session(argc, argv);
     if (argc == 1) return demo();
     if (argc < 4) {
       std::cerr << "usage: " << argv[0]
-                << " <model.apds> <inputs.csv> <outputs.csv> [--classify]\n";
+                << " <model.apds> <inputs.csv> <outputs.csv> [--classify]\n"
+                << obs::obs_flags_help() << "\n";
       return 2;
     }
     const bool classify = argc > 4 && std::string(argv[4]) == "--classify";

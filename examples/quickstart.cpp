@@ -4,18 +4,23 @@
 //
 // Build & run:   cmake -B build -G Ninja && cmake --build build
 //                ./build/examples/quickstart
+//
+// Pass `--trace out.json` to capture a Chrome-trace of the whole run
+// (training epochs, per-layer inference spans) — see docs/OBSERVABILITY.md.
 #include <cmath>
 #include <iostream>
 
 #include "common/rng.h"
 #include "nn/loss.h"
 #include "nn/trainer.h"
+#include "obs/run_options.h"
 #include "uncertainty/apd_estimator.h"
 #include "uncertainty/mcdrop.h"
 
 using namespace apds;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::ObsSession obs_session(argc, argv);
   Rng rng(7);
 
   // 1. A toy sensor problem: y = sin(3x) + heteroscedastic noise.

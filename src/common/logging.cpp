@@ -1,12 +1,38 @@
 #include "common/logging.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
 
 namespace apds {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+/// Initial level: APDS_LOG_LEVEL when set and recognized, else info.
+int initial_level() {
+  const char* env = std::getenv("APDS_LOG_LEVEL");
+  if (env == nullptr) return static_cast<int>(LogLevel::kInfo);
+  std::string name(env);
+  std::transform(name.begin(), name.end(), name.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (name == "debug") return static_cast<int>(LogLevel::kDebug);
+  if (name == "info") return static_cast<int>(LogLevel::kInfo);
+  if (name == "warn" || name == "warning")
+    return static_cast<int>(LogLevel::kWarn);
+  if (name == "error") return static_cast<int>(LogLevel::kError);
+  if (name == "off" || name == "none") return static_cast<int>(LogLevel::kOff);
+  return static_cast<int>(LogLevel::kInfo);
+}
+
+std::atomic<int> g_level{initial_level()};
+
+std::mutex& log_mutex() {
+  static std::mutex mu;
+  return mu;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -26,6 +52,7 @@ LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
 
 namespace detail {
 void log_line(LogLevel level, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(log_mutex());
   std::fprintf(stderr, "[apds %s] %s\n", level_name(level), msg.c_str());
 }
 }  // namespace detail

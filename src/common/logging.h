@@ -3,6 +3,13 @@
 // The library itself logs sparingly (training progress, model-cache events);
 // benches and examples use it for progress lines. Controlled by a process-wide
 // level so `ctest` output stays quiet.
+//
+// The initial level is read from the APDS_LOG_LEVEL environment variable at
+// startup (debug | info | warn | error | off, case-insensitive; unknown or
+// unset values fall back to info). set_log_level() overrides it at runtime.
+//
+// Emission is thread-safe: concurrent log lines are serialized by a single
+// mutex inside detail::log_line, so interleaved output never splices lines.
 #pragma once
 
 #include <sstream>
@@ -12,13 +19,15 @@ namespace apds {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Set the process-wide minimum level that is emitted (default: kInfo).
+/// Set the process-wide minimum level that is emitted (default: kInfo, or
+/// the APDS_LOG_LEVEL environment variable when set).
 void set_log_level(LogLevel level);
 
 /// Current minimum emitted level.
 LogLevel log_level();
 
 namespace detail {
+/// Write one formatted line to stderr under the logging mutex.
 void log_line(LogLevel level, const std::string& msg);
 }  // namespace detail
 

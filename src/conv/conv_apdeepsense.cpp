@@ -1,5 +1,7 @@
 #include "conv/conv_apdeepsense.h"
 
+#include "obs/trace.h"
+
 namespace apds {
 
 ConvApDeepSense::ConvApDeepSense(const ConvNet& net, ApDeepSenseConfig config)
@@ -15,10 +17,19 @@ MeanVar ConvApDeepSense::propagate(const Matrix& x) const {
 }
 
 MeanVar ConvApDeepSense::propagate(const MeanVar& input) const {
+  APDS_TRACE_SCOPE("apd.conv_propagate");
   MeanVar h = input;
   for (std::size_t l = 0; l < net_->num_conv_layers(); ++l) {
-    h = moment_conv1d(net_->conv(l), h, net_->layer_in_len(l),
-                      conv_surrogates_[l]);
+    const Conv1dLayer& layer = net_->conv(l);
+    TraceSpan span("apd.conv_layer");
+    if (span.active())
+      span.set_args("\"layer\":" + std::to_string(l) +
+                    ",\"in_ch\":" + std::to_string(layer.in_channels) +
+                    ",\"out_ch\":" + std::to_string(layer.out_channels) +
+                    ",\"kernel\":" + std::to_string(layer.kernel) +
+                    ",\"in_len\":" + std::to_string(net_->layer_in_len(l)) +
+                    ",\"act\":\"" + activation_name(layer.act) + "\"");
+    h = moment_conv1d(layer, h, net_->layer_in_len(l), conv_surrogates_[l]);
   }
   return head_.propagate(h);
 }

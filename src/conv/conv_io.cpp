@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <fstream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/tensor_io.h"
 
 namespace apds {
@@ -48,6 +50,9 @@ double read_f64(std::istream& is) {
 }  // namespace
 
 void save_conv_net(const ConvNet& net, const std::string& path) {
+  TraceSpan span("io.save_conv_net", "io");
+  if (span.active())
+    span.set_args("\"path\":\"" + json_escape(path) + "\"");
   std::ofstream os(path, std::ios::binary | std::ios::trunc);
   if (!os) throw IoError("cannot open for writing: " + path);
   os.write(kMagic, sizeof(kMagic));
@@ -75,9 +80,14 @@ void save_conv_net(const ConvNet& net, const std::string& path) {
     write_matrix(os, layer.bias);
   }
   if (!os) throw IoError("write failure: " + path);
+  MetricsRegistry::instance().counter("io.conv_net_bytes_written").add(
+      static_cast<std::int64_t>(os.tellp()));
 }
 
 ConvNet load_conv_net(const std::string& path) {
+  TraceSpan span("io.load_conv_net", "io");
+  if (span.active())
+    span.set_args("\"path\":\"" + json_escape(path) + "\"");
   std::ifstream is(path, std::ios::binary);
   if (!is) throw IoError("cannot open for reading: " + path);
   char magic[8];
@@ -119,6 +129,8 @@ ConvNet load_conv_net(const std::string& path) {
     layer.bias = read_matrix(is);
     head_layers.push_back(std::move(layer));
   }
+  MetricsRegistry::instance().counter("io.conv_net_bytes_read").add(
+      static_cast<std::int64_t>(is.tellg()));
   return ConvNet(input_len, input_channels, std::move(convs),
                  Mlp::from_layers(std::move(head_layers)));
 }

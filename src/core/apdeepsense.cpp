@@ -1,8 +1,21 @@
 #include "core/apdeepsense.h"
 
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace apds {
+
+namespace {
+
+/// Chrome-trace args for one dense moment-propagation layer.
+std::string layer_span_args(std::size_t l, const DenseLayer& layer) {
+  return "\"layer\":" + std::to_string(l) +
+         ",\"in\":" + std::to_string(layer.in_dim()) +
+         ",\"out\":" + std::to_string(layer.out_dim()) + ",\"act\":\"" +
+         activation_name(layer.act) + "\"";
+}
+
+}  // namespace
 
 ApDeepSense::ApDeepSense(const Mlp& mlp, ApDeepSenseConfig config)
     : mlp_(&mlp), config_(config) {
@@ -31,9 +44,12 @@ MeanVar ApDeepSense::propagate(const Matrix& x) const {
 }
 
 MeanVar ApDeepSense::propagate(const MeanVar& input) const {
+  APDS_TRACE_SCOPE("apd.propagate");
   MeanVar h = input;
   for (std::size_t l = 0; l < mlp_->num_layers(); ++l) {
     const DenseLayer& layer = mlp_->layer(l);
+    TraceSpan span("apd.layer");
+    if (span.active()) span.set_args(layer_span_args(l, layer));
     h = moment_linear(h, layer.weight, weight_sq_[l], layer.bias,
                       layer.keep_prob);
     moment_activation_inplace(surrogates_[l], h);
@@ -53,6 +69,8 @@ MeanVar ApDeepSense::propagate_recording(
   MeanVar h = input;
   for (std::size_t l = 0; l < mlp_->num_layers(); ++l) {
     const DenseLayer& layer = mlp_->layer(l);
+    TraceSpan span("apd.layer");
+    if (span.active()) span.set_args(layer_span_args(l, layer));
     h = moment_linear(h, layer.weight, weight_sq_[l], layer.bias,
                       layer.keep_prob);
     moment_activation_inplace(surrogates_[l], h);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
 #include "stats/gaussian.h"
 
 namespace apds {
@@ -40,6 +41,7 @@ ScalarMoments activation_moments(const PiecewiseLinear& f, double mu,
 }
 
 void moment_activation_inplace(const PiecewiseLinear& f, MeanVar& mv) {
+  APDS_TRACE_SCOPE("core.moment_activation");
   double* m = mv.mean.data();
   double* v = mv.var.data();
   for (std::size_t i = 0; i < mv.mean.size(); ++i) {

@@ -1,5 +1,6 @@
 #include "core/moment_linear.h"
 
+#include "obs/trace.h"
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
 
@@ -11,6 +12,7 @@ MeanVar moment_linear(const MeanVar& input, const Matrix& weight,
   APDS_CHECK_MSG(input.dim() == weight.rows(), "moment_linear: input dim");
   APDS_CHECK_MSG(weight_sq.same_shape(weight), "moment_linear: weight_sq");
   APDS_CHECK(keep_prob > 0.0 && keep_prob <= 1.0);
+  APDS_TRACE_SCOPE("core.moment_linear");
   const double p = keep_prob;
 
   MeanVar out(input.batch(), weight.cols());

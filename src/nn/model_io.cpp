@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <fstream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/tensor_io.h"
 
 namespace apds {
@@ -37,6 +39,9 @@ std::string read_string(std::istream& is) {
 }  // namespace
 
 void save_model(const Mlp& mlp, const std::string& path) {
+  TraceSpan span("io.save_model", "io");
+  if (span.active())
+    span.set_args("\"path\":\"" + json_escape(path) + "\"");
   std::ofstream os(path, std::ios::binary | std::ios::trunc);
   if (!os) throw IoError("cannot open for writing: " + path);
   os.write(kMagic, sizeof(kMagic));
@@ -50,9 +55,14 @@ void save_model(const Mlp& mlp, const std::string& path) {
     write_matrix(os, layer.bias);
   }
   if (!os) throw IoError("write failure: " + path);
+  MetricsRegistry::instance().counter("io.model_bytes_written").add(
+      static_cast<std::int64_t>(os.tellp()));
 }
 
 Mlp load_model(const std::string& path) {
+  TraceSpan span("io.load_model", "io");
+  if (span.active())
+    span.set_args("\"path\":\"" + json_escape(path) + "\"");
   std::ifstream is(path, std::ios::binary);
   if (!is) throw IoError("cannot open for reading: " + path);
   char magic[8];
@@ -76,6 +86,8 @@ Mlp load_model(const std::string& path) {
       throw IoError("model file: inconsistent layer shapes");
     layers.push_back(std::move(layer));
   }
+  MetricsRegistry::instance().counter("io.model_bytes_read").add(
+      static_cast<std::int64_t>(is.tellg()));
   return Mlp::from_layers(std::move(layers));
 }
 

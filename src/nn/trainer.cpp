@@ -5,6 +5,8 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace apds {
 
@@ -38,8 +40,18 @@ TrainReport train_mlp(Mlp& mlp, const Matrix& x, const Matrix& y,
   report.final_val_loss = std::numeric_limits<double>::quiet_NaN();
   std::size_t epochs_since_improvement = 0;
 
+  TraceSpan train_span("train.fit");
+  if (train_span.active())
+    train_span.set_args("\"rows\":" + std::to_string(x.rows()) +
+                        ",\"params\":" + std::to_string(mlp.num_params()));
+  Gauge& loss_gauge = MetricsRegistry::instance().gauge("train.loss");
+  Counter& batch_counter = MetricsRegistry::instance().counter("train.batches");
+
   ForwardCache cache;
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    TraceSpan epoch_span("train.epoch");
+    if (epoch_span.active())
+      epoch_span.set_args("\"epoch\":" + std::to_string(epoch + 1));
     rng.shuffle(order);
     double epoch_loss = 0.0;
     std::size_t batches = 0;
@@ -61,6 +73,8 @@ TrainReport train_mlp(Mlp& mlp, const Matrix& x, const Matrix& y,
       ++batches;
     }
     epoch_loss /= static_cast<double>(std::max<std::size_t>(batches, 1));
+    batch_counter.add(static_cast<std::int64_t>(batches));
+    loss_gauge.set(epoch_loss);
     report.final_train_loss = epoch_loss;
     report.epochs_run = epoch + 1;
 

@@ -1,0 +1,134 @@
+#include "obs/metrics.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+#include "obs/trace.h"
+
+namespace apds {
+
+LatencyHistogram::LatencyHistogram(double lo_ms, double hi_ms,
+                                   std::size_t bins)
+    : lo_ms_(lo_ms), hi_ms_(hi_ms), bins_(bins), hist_(lo_ms, hi_ms, bins) {}
+
+void LatencyHistogram::observe(double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hist_.add(ms);
+  stats_.add(ms);
+}
+
+std::size_t LatencyHistogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hist_.total();
+}
+
+RunningStats LatencyHistogram::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+Histogram LatencyHistogram::buckets() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hist_;
+}
+
+void LatencyHistogram::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  hist_ = Histogram(lo_ms_, hi_ms_, bins_);
+  stats_ = RunningStats();
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(const std::string& name,
+                                             double lo_ms, double hi_ms,
+                                             std::size_t bins) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<LatencyHistogram>(lo_ms, hi_ms, bins);
+  return *slot;
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{\n\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n\"" << json_escape(name) << "\":" << c->value();
+  }
+  os << "\n},\n\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n\"" << json_escape(name) << "\":" << g->value();
+  }
+  os << "\n},\n\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ",";
+    first = false;
+    const Histogram buckets = h->buckets();
+    const RunningStats stats = h->stats();
+    os << "\n\"" << json_escape(name) << "\":{\"lo_ms\":" << h->lo_ms()
+       << ",\"hi_ms\":" << h->hi_ms() << ",\"count\":" << buckets.total();
+    if (stats.count() > 0)
+      os << ",\"mean_ms\":" << stats.mean() << ",\"min_ms\":" << stats.min()
+         << ",\"max_ms\":" << stats.max();
+    os << ",\"buckets\":[";
+    for (std::size_t b = 0; b < buckets.bins(); ++b) {
+      if (b > 0) os << ",";
+      os << buckets.count(b);
+    }
+    os << "]}";
+  }
+  os << "\n}\n}\n";
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+void MetricsRegistry::write_json_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) throw IoError("cannot open metrics file for writing: " + path);
+  write_json(os);
+  if (!os) throw IoError("metrics file write failure: " + path);
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::size_t MetricsRegistry::num_metrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+}  // namespace apds

@@ -1,0 +1,109 @@
+// Named counters, gauges, and fixed-bucket latency histograms for the
+// inference stack, exportable as JSON (`--metrics out.json` on benches and
+// examples). Complements the span tracing in obs/trace.h: spans answer
+// "where did the time go", metrics answer "how many / how much".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "stats/histogram.h"
+#include "stats/running_stats.h"
+
+namespace apds {
+
+/// Monotonic event count (e.g. `mcdrop.samples`). Thread-safe.
+class Counter {
+ public:
+  void increment() { add(1); }
+  void add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-written scalar (e.g. `train.loss`). Thread-safe.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket latency histogram plus streaming mean/min/max, built on
+/// stats/histogram.h and stats/running_stats.h. Out-of-range observations
+/// clamp to the edge buckets (Histogram semantics), so the count is exact
+/// even when the range is misjudged. Thread-safe.
+class LatencyHistogram {
+ public:
+  LatencyHistogram(double lo_ms, double hi_ms, std::size_t bins);
+
+  void observe(double ms);
+
+  std::size_t count() const;
+  /// Copies of the accumulated state (consistent snapshot under the lock).
+  RunningStats stats() const;
+  Histogram buckets() const;
+  double lo_ms() const { return lo_ms_; }
+  double hi_ms() const { return hi_ms_; }
+
+  void reset();
+
+ private:
+  double lo_ms_;
+  double hi_ms_;
+  std::size_t bins_;
+  mutable std::mutex mu_;
+  Histogram hist_;
+  RunningStats stats_;
+};
+
+/// Registry of named metrics. Lookup creates on first use and returns a
+/// stable reference, so call sites can cache `Counter&` across calls.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  /// The process-wide registry the instrumented library code reports to.
+  static MetricsRegistry& instance();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Range/bins apply on first creation only; later lookups by the same
+  /// name return the existing histogram.
+  LatencyHistogram& histogram(const std::string& name, double lo_ms = 0.0,
+                              double hi_ms = 100.0, std::size_t bins = 32);
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}
+  void write_json(std::ostream& os) const;
+  std::string to_json() const;
+  /// Throws IoError on failure.
+  void write_json_file(const std::string& path) const;
+
+  /// Zero every metric (objects and references stay valid).
+  void reset();
+
+  std::size_t num_metrics() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace apds

@@ -1,0 +1,90 @@
+#include "obs/run_options.h"
+
+#include <algorithm>
+#include <cctype>
+#include <iostream>
+#include <vector>
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace apds::obs {
+
+namespace {
+
+LogLevel parse_level(std::string name) {
+  std::transform(name.begin(), name.end(), name.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn" || name == "warning") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off" || name == "none") return LogLevel::kOff;
+  throw InvalidArgument("--log-level: unknown level '" + name +
+                        "' (want debug|info|warn|error|off)");
+}
+
+}  // namespace
+
+ObsOptions parse_obs_flags(int& argc, char** argv) {
+  ObsOptions options;
+  std::vector<char*> kept;
+  kept.reserve(static_cast<std::size_t>(argc));
+  int i = 0;
+  auto take_value = [&](const char* flag) -> std::string {
+    if (i + 1 >= argc)
+      throw InvalidArgument(std::string(flag) + ": missing value");
+    return argv[++i];
+  };
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace") {
+      options.trace_path = take_value("--trace");
+    } else if (arg == "--metrics") {
+      options.metrics_path = take_value("--metrics");
+    } else if (arg == "--log-level") {
+      set_log_level(parse_level(take_value("--log-level")));
+    } else {
+      kept.push_back(argv[i]);
+    }
+  }
+  argc = static_cast<int>(kept.size());
+  for (std::size_t k = 0; k < kept.size(); ++k) argv[k] = kept[k];
+  return options;
+}
+
+const char* obs_flags_help() {
+  return "  --trace <file>      write Chrome-trace JSON + aggregate table\n"
+         "  --metrics <file>    write metrics (counters/gauges) JSON\n"
+         "  --log-level <lvl>   debug|info|warn|error|off";
+}
+
+ObsSession::ObsSession(ObsOptions options) : options_(std::move(options)) {
+  if (options_.tracing()) TraceCollector::instance().set_enabled(true);
+}
+
+ObsSession::ObsSession(int& argc, char** argv)
+    : ObsSession(parse_obs_flags(argc, argv)) {}
+
+ObsSession::~ObsSession() {
+  try {
+    if (options_.tracing()) {
+      TraceCollector& collector = TraceCollector::instance();
+      collector.set_enabled(false);
+      collector.write_chrome_trace_file(options_.trace_path);
+      collector.print_aggregate(std::cout);
+      std::cout << "trace written to " << options_.trace_path
+                << " (load in chrome://tracing or ui.perfetto.dev)\n";
+    }
+    if (!options_.metrics_path.empty()) {
+      MetricsRegistry::instance().write_json_file(options_.metrics_path);
+      std::cout << "metrics written to " << options_.metrics_path << "\n";
+    }
+  } catch (const std::exception& e) {
+    APDS_ERROR("observability export failed: " << e.what());
+  }
+}
+
+}  // namespace apds::obs

@@ -1,0 +1,52 @@
+// Shared command-line observability flags for benches and examples:
+//
+//   --trace <file>      enable span tracing; write Chrome-trace JSON and
+//                       print the aggregate p50/p95 table on exit
+//   --metrics <file>    write the MetricsRegistry JSON on exit
+//   --log-level <lvl>   debug | info | warn | error | off
+//
+// Every bench/example parses these through parse_obs_flags() + ObsSession
+// instead of hand-rolling argv handling, so any binary can emit a trace
+// without code changes.
+#pragma once
+
+#include <string>
+
+namespace apds::obs {
+
+struct ObsOptions {
+  std::string trace_path;    ///< empty = tracing stays disabled
+  std::string metrics_path;  ///< empty = no metrics export
+  bool tracing() const { return !trace_path.empty(); }
+};
+
+/// Parse and strip the observability flags from argv (argc is compacted;
+/// unrecognized arguments are left in place for the caller's own parsing).
+/// Applies --log-level immediately. Throws InvalidArgument on a malformed
+/// flag (missing value, unknown level).
+ObsOptions parse_obs_flags(int& argc, char** argv);
+
+/// One-line usage blurb for the shared flags, for --help texts.
+const char* obs_flags_help();
+
+/// RAII wiring: enables tracing on construction when options ask for it;
+/// on destruction writes the Chrome-trace JSON, prints the aggregate span
+/// table to stdout, and writes the metrics JSON. Export errors are logged,
+/// never thrown (safe in main()'s unwind path).
+class ObsSession {
+ public:
+  explicit ObsSession(ObsOptions options);
+  /// Convenience: parse_obs_flags + construct.
+  ObsSession(int& argc, char** argv);
+  ~ObsSession();
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  const ObsOptions& options() const { return options_; }
+
+ private:
+  ObsOptions options_;
+};
+
+}  // namespace apds::obs

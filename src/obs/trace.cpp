@@ -1,0 +1,230 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace apds {
+
+namespace {
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Linear-interpolation percentile of a sorted sample; q in [0, 1].
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+struct TraceCollector::ThreadBuffer {
+  std::mutex mu;  ///< taken briefly by the owning thread and by snapshots
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+};
+
+TraceCollector::TraceCollector() : epoch_ns_(steady_ns()) {}
+
+TraceCollector& TraceCollector::instance() {
+  static TraceCollector collector;
+  return collector;
+}
+
+void TraceCollector::set_enabled(bool on) {
+  enabled_.store(on, std::memory_order_relaxed);
+}
+
+double TraceCollector::now_us() const {
+  return static_cast<double>(steady_ns() - epoch_ns_) * 1e-3;
+}
+
+TraceCollector::ThreadBuffer& TraceCollector::local_buffer() {
+  // One buffer per (thread, collector); the common case is the singleton,
+  // for which this is a plain thread_local hit after first registration.
+  thread_local TraceCollector* cached_owner = nullptr;
+  thread_local std::shared_ptr<ThreadBuffer> cached;
+  if (cached_owner != this) {
+    auto buffer = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    buffer->tid = next_tid_++;
+    buffers_.push_back(buffer);
+    cached = std::move(buffer);
+    cached_owner = this;
+  }
+  return *cached;
+}
+
+void TraceCollector::record(TraceEvent event) {
+  ThreadBuffer& buffer = local_buffer();
+  event.tid = buffer.tid;
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceCollector::events() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.ts_us < b.ts_us;
+            });
+  return out;
+}
+
+std::size_t TraceCollector::size() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  std::size_t n = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    n += buffer->events.size();
+  }
+  return n;
+}
+
+void TraceCollector::clear() {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+  }
+}
+
+void TraceCollector::write_chrome_trace(std::ostream& os) const {
+  const auto all = events();
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : all) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
+       << json_escape(e.category) << "\",\"ph\":\"X\",\"pid\":0,\"tid\":"
+       << e.tid << ",\"ts\":" << e.ts_us << ",\"dur\":" << e.dur_us;
+    if (!e.args_json.empty()) os << ",\"args\":{" << e.args_json << "}";
+    os << "}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void TraceCollector::write_chrome_trace_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) throw IoError("cannot open trace file for writing: " + path);
+  write_chrome_trace(os);
+  if (!os) throw IoError("trace file write failure: " + path);
+}
+
+std::vector<SpanStats> TraceCollector::aggregate() const {
+  std::map<std::string, std::vector<double>> durations_ms;
+  for (const TraceEvent& e : events())
+    durations_ms[e.name].push_back(e.dur_us * 1e-3);
+
+  std::vector<SpanStats> rows;
+  rows.reserve(durations_ms.size());
+  for (auto& [name, ms] : durations_ms) {
+    std::sort(ms.begin(), ms.end());
+    SpanStats s;
+    s.name = name;
+    s.count = ms.size();
+    for (double d : ms) s.total_ms += d;
+    s.mean_ms = s.total_ms / static_cast<double>(ms.size());
+    s.p50_ms = percentile_sorted(ms, 0.5);
+    s.p95_ms = percentile_sorted(ms, 0.95);
+    rows.push_back(std::move(s));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const SpanStats& a, const SpanStats& b) {
+              return a.total_ms > b.total_ms;
+            });
+  return rows;
+}
+
+void TraceCollector::print_aggregate(std::ostream& os) const {
+  const auto rows = aggregate();
+  os << "Trace aggregate (" << rows.size() << " span names)\n";
+  std::size_t name_width = 4;
+  for (const auto& r : rows) name_width = std::max(name_width, r.name.size());
+
+  auto cell = [](const std::string& s, std::size_t width) {
+    std::string out = s;
+    if (out.size() < width) out.append(width - out.size(), ' ');
+    return out;
+  };
+  os << cell("span", name_width) << "  " << cell("count", 8)
+     << cell("total ms", 12) << cell("mean ms", 12) << cell("p50 ms", 12)
+     << cell("p95 ms", 12) << "\n";
+  for (const auto& r : rows) {
+    os << cell(r.name, name_width) << "  "
+       << cell(std::to_string(r.count), 8)
+       << cell(format_double(r.total_ms, 3), 12)
+       << cell(format_double(r.mean_ms, 4), 12)
+       << cell(format_double(r.p50_ms, 4), 12)
+       << cell(format_double(r.p95_ms, 4), 12) << "\n";
+  }
+}
+
+TraceSpan::TraceSpan(const char* name, const char* category)
+    : name_(name), category_(category), active_(trace_enabled()) {
+  if (active_) start_us_ = TraceCollector::instance().now_us();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  TraceCollector& collector = TraceCollector::instance();
+  TraceEvent e;
+  e.name = name_;
+  e.category = category_;
+  e.args_json = std::move(args_json_);
+  e.ts_us = start_us_;
+  e.dur_us = collector.now_us() - start_us_;
+  collector.record(std::move(e));
+}
+
+void TraceSpan::set_args(std::string args_json) {
+  if (active_) args_json_ = std::move(args_json);
+}
+
+}  // namespace apds

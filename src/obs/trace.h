@@ -1,0 +1,144 @@
+// Per-layer tracing for the inference stack: RAII spans buffered per
+// thread, exportable as Chrome-trace JSON (load in chrome://tracing or
+// https://ui.perfetto.dev) and as an aggregated total/mean/p50/p95 table.
+//
+// Tracing is off by default. When off, a TraceSpan costs one relaxed
+// atomic load and a branch; compiling with -DAPDS_NO_TRACING removes the
+// APDS_TRACE_SCOPE macros entirely so instrumented hot paths carry zero
+// overhead. See docs/OBSERVABILITY.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace apds {
+
+/// One completed span. Timestamps are microseconds on the steady clock,
+/// relative to the owning collector's epoch (its construction time).
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  /// Preformatted JSON object members (`"in":512,"out":512`), no braces;
+  /// empty means no args. Emitted verbatim into the Chrome-trace "args".
+  std::string args_json;
+  std::uint32_t tid = 0;  ///< collector-assigned stable thread index
+  double ts_us = 0.0;     ///< span start
+  double dur_us = 0.0;    ///< span duration
+};
+
+/// Aggregate statistics for all spans sharing one name.
+struct SpanStats {
+  std::string name;
+  std::size_t count = 0;
+  double total_ms = 0.0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+};
+
+/// Process-wide span sink. Each thread appends to its own buffer (registered
+/// once under a mutex, then touched only by that thread plus snapshot
+/// readers), so concurrent tracing does not serialize the hot path on one
+/// global lock.
+class TraceCollector {
+ public:
+  TraceCollector();
+
+  /// The collector every APDS_TRACE_SCOPE / TraceSpan reports to.
+  static TraceCollector& instance();
+
+  void set_enabled(bool on);
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Microseconds since this collector's epoch (steady clock).
+  double now_us() const;
+
+  /// Append one completed span to the calling thread's buffer.
+  void record(TraceEvent event);
+
+  /// Merged copy of all buffered events, sorted by start time.
+  std::vector<TraceEvent> events() const;
+
+  /// Total number of buffered events across all threads.
+  std::size_t size() const;
+
+  /// Drop all buffered events (thread registrations are kept).
+  void clear();
+
+  /// Chrome-trace JSON ({"traceEvents":[...]}, "X" complete events).
+  void write_chrome_trace(std::ostream& os) const;
+  /// Same, to a file. Throws IoError on failure.
+  void write_chrome_trace_file(const std::string& path) const;
+
+  /// Per-name aggregate rows, sorted by descending total time.
+  std::vector<SpanStats> aggregate() const;
+  /// Human-readable aggregate table (name/count/total/mean/p50/p95).
+  void print_aggregate(std::ostream& os) const;
+
+ private:
+  struct ThreadBuffer;
+  ThreadBuffer& local_buffer();
+
+  std::atomic<bool> enabled_{false};
+  std::int64_t epoch_ns_ = 0;  ///< steady-clock ns at construction
+
+  mutable std::mutex registry_mu_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::uint32_t next_tid_ = 1;
+};
+
+/// True when the process-wide collector is currently recording.
+inline bool trace_enabled() { return TraceCollector::instance().enabled(); }
+
+/// RAII span reporting to TraceCollector::instance(). Captures the start
+/// time at construction and records [start, now] at destruction. Inactive
+/// (and nearly free) when tracing is disabled — check active() before
+/// building argument strings.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category = "apds");
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Whether this span will be recorded (tracing was on at construction).
+  bool active() const { return active_; }
+
+  /// Attach preformatted JSON members (`"k":1,"s":"x"`; no braces). Only
+  /// meaningful on an active span; ignored otherwise.
+  void set_args(std::string args_json);
+
+ private:
+  const char* name_;
+  const char* category_;
+  std::string args_json_;
+  double start_us_ = 0.0;
+  bool active_;
+};
+
+/// Escape a string for embedding inside JSON double quotes.
+std::string json_escape(const std::string& s);
+
+}  // namespace apds
+
+// Scope macros: compile away entirely under -DAPDS_NO_TRACING, otherwise
+// place a TraceSpan on the stack. Use the raw TraceSpan class when a span
+// needs args.
+#ifdef APDS_NO_TRACING
+#define APDS_TRACE_SCOPE(name)
+#define APDS_TRACE_SCOPE_CAT(name, category)
+#else
+#define APDS_TRACE_CONCAT_INNER(a, b) a##b
+#define APDS_TRACE_CONCAT(a, b) APDS_TRACE_CONCAT_INNER(a, b)
+#define APDS_TRACE_SCOPE(name) \
+  ::apds::TraceSpan APDS_TRACE_CONCAT(apds_trace_span_, __LINE__)(name)
+#define APDS_TRACE_SCOPE_CAT(name, category)                               \
+  ::apds::TraceSpan APDS_TRACE_CONCAT(apds_trace_span_, __LINE__)(name, \
+                                                                  category)
+#endif

@@ -1,6 +1,7 @@
 #include "platform/profiler.h"
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "common/error.h"
@@ -25,13 +26,26 @@ TimingResult measure(const std::function<void()>& fn,
   }
 
   std::sort(times_ms.begin(), times_ms.end());
+  const std::size_t n = times_ms.size();
   TimingResult r;
-  r.iterations = times_ms.size();
+  r.iterations = n;
   r.min_ms = times_ms.front();
-  r.median_ms = times_ms[times_ms.size() / 2];
+  r.median_ms = times_ms[n / 2];
   double acc = 0.0;
   for (double t : times_ms) acc += t;
-  r.mean_ms = acc / static_cast<double>(times_ms.size());
+  r.mean_ms = acc / static_cast<double>(n);
+
+  const double pos = 0.95 * static_cast<double>(n - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, n - 1);
+  r.p95_ms = times_ms[lo] + (times_ms[hi] - times_ms[lo]) *
+                                (pos - static_cast<double>(lo));
+
+  if (n >= 2) {
+    double ss = 0.0;
+    for (double t : times_ms) ss += (t - r.mean_ms) * (t - r.mean_ms);
+    r.stddev_ms = std::sqrt(ss / static_cast<double>(n - 1));
+  }
   return r;
 }
 

@@ -11,6 +11,10 @@ struct TimingResult {
   double median_ms = 0.0;
   double mean_ms = 0.0;
   double min_ms = 0.0;
+  /// 95th percentile (linear interpolation between sorted samples).
+  double p95_ms = 0.0;
+  /// Sample standard deviation (0 for a single iteration).
+  double stddev_ms = 0.0;
   std::size_t iterations = 0;
 };
 

@@ -1,5 +1,7 @@
 #include "uncertainty/apd_estimator.h"
 
+#include "obs/trace.h"
+
 namespace apds {
 
 ApdEstimator::ApdEstimator(const Mlp& mlp, ApDeepSenseConfig config,
@@ -9,6 +11,8 @@ ApdEstimator::ApdEstimator(const Mlp& mlp, ApDeepSenseConfig config,
 }
 
 PredictiveGaussian ApdEstimator::predict_regression(const Matrix& x) const {
+  TraceSpan span("apd.predict_regression");
+  if (span.active()) span.set_args("\"batch\":" + std::to_string(x.rows()));
   MeanVar out = propagator_.propagate(x);
   PredictiveGaussian pred;
   pred.mean = std::move(out.mean);
@@ -19,6 +23,8 @@ PredictiveGaussian ApdEstimator::predict_regression(const Matrix& x) const {
 
 PredictiveCategorical ApdEstimator::predict_classification(
     const Matrix& x) const {
+  TraceSpan span("apd.predict_classification");
+  if (span.active()) span.set_args("\"batch\":" + std::to_string(x.rows()));
   const MeanVar out = propagator_.propagate(x);
   PredictiveCategorical pred;
   pred.probs = Matrix(out.batch(), out.dim());

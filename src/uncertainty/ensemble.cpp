@@ -1,5 +1,7 @@
 #include "uncertainty/ensemble.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/special.h"
 #include "tensor/ops.h"
 
@@ -21,9 +23,18 @@ std::string DeepEnsemble::name() const {
 }
 
 PredictiveGaussian DeepEnsemble::predict_regression(const Matrix& x) const {
+  TraceSpan span("ensemble.predict_regression");
+  if (span.active())
+    span.set_args("\"members\":" + std::to_string(members_.size()) +
+                  ",\"batch\":" + std::to_string(x.rows()));
   std::vector<Matrix> outs;
   outs.reserve(members_.size());
-  for (const Mlp* m : members_) outs.push_back(m->forward_deterministic(x));
+  for (const Mlp* m : members_) {
+    APDS_TRACE_SCOPE("ensemble.member_pass");
+    outs.push_back(m->forward_deterministic(x));
+  }
+  MetricsRegistry::instance().counter("ensemble.member_passes").add(
+      static_cast<std::int64_t>(members_.size()));
 
   PredictiveGaussian pred;
   pred.mean = Matrix(outs[0].rows(), outs[0].cols());
@@ -38,10 +49,17 @@ PredictiveGaussian DeepEnsemble::predict_regression(const Matrix& x) const {
 
 PredictiveCategorical DeepEnsemble::predict_classification(
     const Matrix& x) const {
+  TraceSpan span("ensemble.predict_classification");
+  if (span.active())
+    span.set_args("\"members\":" + std::to_string(members_.size()) +
+                  ",\"batch\":" + std::to_string(x.rows()));
   PredictiveCategorical pred;
   const std::size_t classes = members_.front()->output_dim();
   pred.probs = Matrix(x.rows(), classes);
+  MetricsRegistry::instance().counter("ensemble.member_passes").add(
+      static_cast<std::int64_t>(members_.size()));
   for (const Mlp* m : members_) {
+    APDS_TRACE_SCOPE("ensemble.member_pass");
     const Matrix logits = m->forward_deterministic(x);
     for (std::size_t r = 0; r < logits.rows(); ++r) {
       const auto p = softmax(logits.row(r));

@@ -1,5 +1,7 @@
 #include "uncertainty/mcdrop.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/special.h"
 #include "tensor/ops.h"
 
@@ -8,10 +10,18 @@ namespace apds {
 std::vector<Matrix> mcdrop_collect(const Mlp& mlp, const Matrix& x,
                                    std::size_t k, Rng& rng) {
   APDS_CHECK(k > 0);
+  TraceSpan span("mcdrop.collect");
+  if (span.active())
+    span.set_args("\"k\":" + std::to_string(k) +
+                  ",\"batch\":" + std::to_string(x.rows()));
   std::vector<Matrix> samples;
   samples.reserve(k);
-  for (std::size_t s = 0; s < k; ++s)
+  for (std::size_t s = 0; s < k; ++s) {
+    APDS_TRACE_SCOPE("mcdrop.sample");
     samples.push_back(mlp.forward_stochastic(x, rng));
+  }
+  MetricsRegistry::instance().counter("mcdrop.samples").add(
+      static_cast<std::int64_t>(k));
   return samples;
 }
 
@@ -19,6 +29,7 @@ PredictiveGaussian mcdrop_regression_from_samples(
     std::span<const Matrix> samples, std::size_t k, double var_floor) {
   APDS_CHECK_MSG(k >= 2, "MCDrop regression needs k >= 2 for a variance");
   APDS_CHECK(samples.size() >= k);
+  APDS_TRACE_SCOPE("mcdrop.reduce_regression");
   const std::size_t batch = samples[0].rows();
   const std::size_t d = samples[0].cols();
 
@@ -39,6 +50,7 @@ PredictiveGaussian mcdrop_regression_from_samples(
 PredictiveCategorical mcdrop_classification_from_samples(
     std::span<const Matrix> samples, std::size_t k) {
   APDS_CHECK(k >= 1 && samples.size() >= k);
+  APDS_TRACE_SCOPE("mcdrop.reduce_classification");
   const std::size_t batch = samples[0].rows();
   const std::size_t classes = samples[0].cols();
 

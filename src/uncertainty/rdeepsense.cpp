@@ -1,6 +1,7 @@
 #include "uncertainty/rdeepsense.h"
 
 #include "nn/loss.h"
+#include "obs/trace.h"
 #include "stats/special.h"
 
 namespace apds {
@@ -18,6 +19,8 @@ RDeepSense::RDeepSense(const Mlp& mlp, TaskKind task, std::size_t output_dim,
 PredictiveGaussian RDeepSense::predict_regression(const Matrix& x) const {
   APDS_CHECK_MSG(task_ == TaskKind::kRegression,
                  "RDeepSense: classification model asked for regression");
+  TraceSpan span("rdeepsense.predict_regression");
+  if (span.active()) span.set_args("\"batch\":" + std::to_string(x.rows()));
   const Matrix out = mlp_->forward_deterministic(x);
   PredictiveGaussian pred;
   pred.mean = Matrix(out.rows(), output_dim_);
@@ -35,6 +38,8 @@ PredictiveCategorical RDeepSense::predict_classification(
     const Matrix& x) const {
   APDS_CHECK_MSG(task_ == TaskKind::kClassification,
                  "RDeepSense: regression model asked for classification");
+  TraceSpan span("rdeepsense.predict_classification");
+  if (span.active()) span.set_args("\"batch\":" + std::to_string(x.rows()));
   const Matrix out = mlp_->forward_deterministic(x);
   PredictiveCategorical pred;
   pred.probs = Matrix(out.rows(), output_dim_);

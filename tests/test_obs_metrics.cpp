@@ -1,0 +1,137 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "json_check.h"
+
+namespace apds {
+namespace {
+
+TEST(Counter, AccumulatesAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.increment();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+  c.add(-2);
+  EXPECT_EQ(c.value(), 40);
+  c.reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(Counter, IsThreadSafe) {
+  Counter c;
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kIncrements; ++i) c.increment();
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kIncrements);
+}
+
+TEST(GaugeTest, HoldsLastWrite) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(1.5);
+  g.set(-2.25);
+  EXPECT_EQ(g.value(), -2.25);
+  g.reset();
+  EXPECT_EQ(g.value(), 0.0);
+}
+
+TEST(LatencyHistogramTest, CountsAndBucketsObservations) {
+  LatencyHistogram h(0.0, 10.0, 10);
+  h.observe(0.5);   // bucket 0
+  h.observe(5.5);   // bucket 5
+  h.observe(5.9);   // bucket 5
+  h.observe(99.0);  // clamps to the top bucket, still counted
+  EXPECT_EQ(h.count(), 4u);
+
+  const Histogram buckets = h.buckets();
+  EXPECT_EQ(buckets.count(0), 1u);
+  EXPECT_EQ(buckets.count(5), 2u);
+  EXPECT_EQ(buckets.count(9), 1u);
+
+  const RunningStats stats = h.stats();
+  EXPECT_EQ(stats.count(), 4u);
+  EXPECT_NEAR(stats.mean(), (0.5 + 5.5 + 5.9 + 99.0) / 4.0, 1e-12);
+  EXPECT_EQ(stats.min(), 0.5);
+  EXPECT_EQ(stats.max(), 99.0);
+
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(MetricsRegistryTest, LookupCreatesOnceAndIsStable) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("a");
+  a.add(7);
+  // Same name returns the same object.
+  EXPECT_EQ(&registry.counter("a"), &a);
+  EXPECT_EQ(registry.counter("a").value(), 7);
+  // Counters, gauges, and histograms live in separate namespaces.
+  registry.gauge("a").set(1.0);
+  registry.histogram("a", 0.0, 1.0, 4).observe(0.5);
+  EXPECT_EQ(registry.num_metrics(), 3u);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesWithoutInvalidatingReferences) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("events");
+  Gauge& g = registry.gauge("level");
+  LatencyHistogram& h = registry.histogram("lat", 0.0, 10.0, 4);
+  c.add(5);
+  g.set(3.0);
+  h.observe(1.0);
+  registry.reset();
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  // The references are still the registered objects.
+  c.increment();
+  EXPECT_EQ(registry.counter("events").value(), 1);
+}
+
+TEST(MetricsRegistryTest, JsonExportIsWellFormedAndComplete) {
+  MetricsRegistry registry;
+  registry.counter("mcdrop.samples").add(500);
+  registry.gauge("train.loss").set(0.125);
+  LatencyHistogram& h = registry.histogram("infer.ms", 0.0, 8.0, 4);
+  h.observe(1.0);
+  h.observe(3.0);
+  // A name needing escaping must not break the JSON.
+  registry.counter("weird\"name").increment();
+
+  const std::string json = registry.to_json();
+  EXPECT_TRUE(testing::json_valid(json)) << json;
+  EXPECT_NE(json.find("\"mcdrop.samples\":500"), std::string::npos);
+  EXPECT_NE(json.find("\"train.loss\":0.125"), std::string::npos);
+  EXPECT_NE(json.find("\"infer.ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":[1,1,0,0]"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, EmptyRegistryExportsValidJson) {
+  MetricsRegistry registry;
+  EXPECT_TRUE(testing::json_valid(registry.to_json()));
+}
+
+TEST(MetricsRegistryTest, HistogramRangeAppliesOnFirstCreationOnly) {
+  MetricsRegistry registry;
+  LatencyHistogram& h = registry.histogram("x", 0.0, 10.0, 5);
+  EXPECT_EQ(&registry.histogram("x", 99.0, 100.0, 50), &h);
+  EXPECT_EQ(h.lo_ms(), 0.0);
+  EXPECT_EQ(h.hi_ms(), 10.0);
+}
+
+TEST(MetricsRegistryTest, GlobalInstanceIsSingleton) {
+  EXPECT_EQ(&MetricsRegistry::instance(), &MetricsRegistry::instance());
+}
+
+}  // namespace
+}  // namespace apds

@@ -1,0 +1,202 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "json_check.h"
+
+namespace apds {
+namespace {
+
+/// Shared-singleton fixture: tests must leave the collector disabled and
+/// empty for each other (and for unrelated tests in this binary).
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceCollector::instance().set_enabled(false);
+    TraceCollector::instance().clear();
+  }
+  void TearDown() override {
+    TraceCollector::instance().set_enabled(false);
+    TraceCollector::instance().clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledByDefaultRecordsNothing) {
+  EXPECT_FALSE(trace_enabled());
+  {
+    TraceSpan span("noop");
+    EXPECT_FALSE(span.active());
+  }
+  APDS_TRACE_SCOPE("macro_noop");
+  EXPECT_EQ(TraceCollector::instance().size(), 0u);
+}
+
+TEST_F(TraceTest, RecordsSpanWithDuration) {
+  TraceCollector::instance().set_enabled(true);
+  {
+    TraceSpan span("work");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const auto events = TraceCollector::instance().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "work");
+  EXPECT_EQ(events[0].category, "apds");
+  EXPECT_GE(events[0].dur_us, 1000.0);
+  EXPECT_GE(events[0].ts_us, 0.0);
+}
+
+TEST_F(TraceTest, NestedSpansAreContained) {
+  TraceCollector::instance().set_enabled(true);
+  {
+    TraceSpan outer("outer");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    {
+      TraceSpan inner("inner");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto events = TraceCollector::instance().events();
+  ASSERT_EQ(events.size(), 2u);
+  // events() sorts by start time: outer starts first, contains inner.
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_LE(events[0].ts_us, events[1].ts_us);
+  EXPECT_GE(events[0].ts_us + events[0].dur_us,
+            events[1].ts_us + events[1].dur_us);
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctAttribution) {
+  TraceCollector::instance().set_enabled(true);
+  {
+    TraceSpan span("main_thread");
+  }
+  std::thread worker([] { TraceSpan span("worker_thread"); });
+  worker.join();
+
+  const auto events = TraceCollector::instance().events();
+  ASSERT_EQ(events.size(), 2u);
+  std::uint32_t main_tid = 0;
+  std::uint32_t worker_tid = 0;
+  for (const auto& e : events) {
+    if (e.name == "main_thread") main_tid = e.tid;
+    if (e.name == "worker_thread") worker_tid = e.tid;
+  }
+  EXPECT_NE(main_tid, 0u);
+  EXPECT_NE(worker_tid, 0u);
+  EXPECT_NE(main_tid, worker_tid);
+}
+
+TEST_F(TraceTest, ArgsArePreservedAndExported) {
+  TraceCollector::instance().set_enabled(true);
+  {
+    TraceSpan span("layer");
+    ASSERT_TRUE(span.active());
+    span.set_args("\"in\":512,\"out\":512,\"act\":\"relu\"");
+  }
+  const auto events = TraceCollector::instance().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].args_json, "\"in\":512,\"out\":512,\"act\":\"relu\"");
+
+  std::ostringstream os;
+  TraceCollector::instance().write_chrome_trace(os);
+  EXPECT_NE(os.str().find("\"args\":{\"in\":512"), std::string::npos);
+}
+
+TEST_F(TraceTest, ChromeTraceJsonIsWellFormed) {
+  TraceCollector::instance().set_enabled(true);
+  for (int i = 0; i < 5; ++i) {
+    TraceSpan span(i % 2 == 0 ? "even" : "odd");
+    if (i == 0) span.set_args("\"quote\":\"a\\\"b\",\"n\":1.5");
+  }
+  {
+    // Hostile span name: must be escaped in the export.
+    TraceSpan span("weird \"name\"\nwith\tcontrols");
+  }
+  std::ostringstream os;
+  TraceCollector::instance().write_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(testing::json_valid(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST_F(TraceTest, EmptyTraceIsStillValidJson) {
+  std::ostringstream os;
+  TraceCollector::instance().write_chrome_trace(os);
+  EXPECT_TRUE(testing::json_valid(os.str())) << os.str();
+}
+
+TEST_F(TraceTest, AggregateComputesPercentiles) {
+  TraceCollector& collector = TraceCollector::instance();
+  collector.set_enabled(true);
+  // Inject synthetic events with known durations: 1..100 ms.
+  for (int i = 1; i <= 100; ++i) {
+    TraceEvent e;
+    e.name = "synthetic";
+    e.category = "test";
+    e.ts_us = static_cast<double>(i);
+    e.dur_us = static_cast<double>(i) * 1000.0;
+    collector.record(std::move(e));
+  }
+  const auto rows = collector.aggregate();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].name, "synthetic");
+  EXPECT_EQ(rows[0].count, 100u);
+  EXPECT_NEAR(rows[0].total_ms, 5050.0, 1e-6);
+  EXPECT_NEAR(rows[0].mean_ms, 50.5, 1e-6);
+  EXPECT_NEAR(rows[0].p50_ms, 50.5, 1e-6);
+  EXPECT_NEAR(rows[0].p95_ms, 95.05, 1e-6);
+
+  std::ostringstream os;
+  collector.print_aggregate(os);
+  EXPECT_NE(os.str().find("synthetic"), std::string::npos);
+  EXPECT_NE(os.str().find("p95"), std::string::npos);
+}
+
+TEST_F(TraceTest, ClearDropsEvents) {
+  TraceCollector::instance().set_enabled(true);
+  { TraceSpan span("x"); }
+  EXPECT_EQ(TraceCollector::instance().size(), 1u);
+  TraceCollector::instance().clear();
+  EXPECT_EQ(TraceCollector::instance().size(), 0u);
+}
+
+TEST_F(TraceTest, SetArgsOnInactiveSpanIsIgnored) {
+  TraceSpan span("inactive");
+  EXPECT_FALSE(span.active());
+  span.set_args("\"k\":1");  // must not crash or record anything
+}
+
+TEST_F(TraceTest, ConcurrentSpansFromManyThreadsAllArrive) {
+  TraceCollector::instance().set_enabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 250;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) TraceSpan span("burst");
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(TraceCollector::instance().size(),
+            static_cast<std::size_t>(kThreads * kSpansPerThread));
+}
+
+TEST(JsonChecker, RejectsMalformedDocuments) {
+  EXPECT_TRUE(testing::json_valid("{\"a\":[1,2.5,-3e2,\"x\",true,null]}"));
+  EXPECT_FALSE(testing::json_valid(""));
+  EXPECT_FALSE(testing::json_valid("{"));
+  EXPECT_FALSE(testing::json_valid("{\"a\":1,}"));
+  EXPECT_FALSE(testing::json_valid("{\"a\" 1}"));
+  EXPECT_FALSE(testing::json_valid("[1 2]"));
+  EXPECT_FALSE(testing::json_valid("{\"a\":\"unterminated}"));
+  EXPECT_FALSE(testing::json_valid("{} trailing"));
+}
+
+}  // namespace
+}  // namespace apds
