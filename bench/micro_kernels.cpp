@@ -6,18 +6,29 @@
 // two moment kernels is printed with the full TimingResult spread
 // (median/mean/p95/stddev), so kernel-latency tails are visible without
 // gbench's repetition machinery. Supports the shared --trace/--metrics/
-// --log-level flags (stripped before gbench sees argv).
+// --log-level/--threads flags (stripped before gbench sees argv), plus
+// `--json <path>`: measure the batched hot kernels at pool widths 1 and N
+// (N = --threads / APDS_THREADS / hardware) and write name/mean/p50/p95
+// rows as JSON, so the serial-vs-parallel perf trajectory is
+// machine-readable across PRs.
 #include <benchmark/benchmark.h>
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
 
+#include "common/error.h"
 #include "common/rng.h"
 #include "core/apdeepsense.h"
 #include "obs/run_options.h"
 #include "platform/profiler.h"
+#include "platform/thread_pool.h"
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
+#include "uncertainty/mcdrop.h"
 
 namespace {
 
@@ -166,10 +177,125 @@ void moment_kernel_summary() {
   std::printf("\n");
 }
 
+// ---- machine-readable kernel suite (--json) --------------------------------
+
+struct KernelRow {
+  std::string name;
+  std::size_t threads;
+  TimingResult timing;
+};
+
+/// The batched hot kernels, measured at the current pool width.
+void run_kernel_suite(std::size_t threads, std::vector<KernelRow>& rows) {
+  set_global_threads(threads);
+  auto record = [&](const char* name, const std::function<void()>& fn) {
+    rows.push_back({name, threads, measure(fn, 5, 0.1)});
+    std::printf("  [threads=%zu] %-22s mean %.4f ms  p50 %.4f ms  "
+                "p95 %.4f ms\n",
+                threads, name, rows.back().timing.mean_ms,
+                rows.back().timing.median_ms, rows.back().timing.p95_ms);
+  };
+
+  Rng rng(21);
+  {
+    const Matrix a = random_matrix(256, 256, rng);
+    const Matrix b = random_matrix(256, 256, rng);
+    Matrix c(256, 256);
+    record("gemm_256", [&] {
+      gemm(a, b, c);
+      benchmark::DoNotOptimize(c.data());
+    });
+  }
+  {
+    const Matrix weight = random_matrix(512, 512, rng);
+    const Matrix w2 = square(weight);
+    const Matrix bias = random_matrix(1, 512, rng);
+    MeanVar input(64, 512);
+    for (double& v : input.mean.flat()) v = rng.normal();
+    for (double& v : input.var.flat()) v = std::fabs(rng.normal());
+    record("moment_linear_b64", [&] {
+      MeanVar out = moment_linear(input, weight, w2, bias, 0.9);
+      benchmark::DoNotOptimize(out.mean.data());
+    });
+    const auto f = PiecewiseLinear::fit_tanh(7);
+    record("activation_moments_b64", [&] {
+      MeanVar copy = input;
+      moment_activation_inplace(f, copy);
+      benchmark::DoNotOptimize(copy.mean.data());
+    });
+  }
+  {
+    Rng net_rng(5);
+    const Mlp mlp = paper_mlp(Activation::kTanh, net_rng);
+    const ApDeepSense apd(mlp);
+    const Matrix x = random_matrix(64, 250, rng);
+    record("apd_propagate_b64", [&] {
+      MeanVar out = apd.propagate(x);
+      benchmark::DoNotOptimize(out.mean.data());
+    });
+  }
+  {
+    Rng net_rng(6);
+    const Mlp mlp = paper_mlp(Activation::kRelu, net_rng);
+    const Matrix x = random_matrix(8, 250, rng);
+    record("mcdrop30_b8", [&] {
+      Rng sample_rng(17);
+      const auto samples = mcdrop_collect(mlp, x, 30, sample_rng);
+      benchmark::DoNotOptimize(samples.data());
+    });
+  }
+}
+
+/// Measure every kernel at pool widths 1 and `threads`, write JSON rows.
+void write_kernel_json(const std::string& path, std::size_t threads) {
+  std::printf("kernel suite for %s (threads 1 vs %zu):\n", path.c_str(),
+              threads);
+  std::vector<KernelRow> rows;
+  run_kernel_suite(1, rows);
+  if (threads != 1) run_kernel_suite(threads, rows);
+  set_global_threads(threads);  // leave the pool as configured
+
+  std::ofstream os(path);
+  if (!os) throw IoError("cannot write " + path);
+  os << "{\"bench\":\"micro_kernels\",\"threads\":" << threads
+     << ",\"kernels\":[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const TimingResult& t = rows[i].timing;
+    if (i) os << ",";
+    os << "{\"name\":\"" << rows[i].name << "\",\"threads\":"
+       << rows[i].threads << ",\"mean_ms\":" << t.mean_ms
+       << ",\"p50_ms\":" << t.median_ms << ",\"p95_ms\":" << t.p95_ms
+       << ",\"iterations\":" << t.iterations << "}";
+  }
+  os << "]}\n";
+  APDS_CHECK_MSG(os.good(), "short write to " << path);
+  std::printf("kernel timings written to %s\n\n", path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   apds::obs::ObsSession obs_session(argc, argv);
+
+  // --json <path>: serial-vs-parallel kernel timings, machine readable.
+  std::string json_path;
+  {
+    std::vector<char*> kept;
+    kept.reserve(static_cast<std::size_t>(argc));
+    for (int i = 0; i < argc; ++i) {
+      if (std::string(argv[i]) == "--json") {
+        if (i + 1 >= argc) throw apds::InvalidArgument("--json: missing path");
+        json_path = argv[++i];
+      } else {
+        kept.push_back(argv[i]);
+      }
+    }
+    argc = static_cast<int>(kept.size());
+    for (std::size_t k = 0; k < kept.size(); ++k) argv[k] = kept[k];
+  }
+  if (!json_path.empty())
+    write_kernel_json(json_path, apds::global_threads());
+
   moment_kernel_summary();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

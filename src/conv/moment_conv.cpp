@@ -1,6 +1,9 @@
 #include "conv/moment_conv.h"
 
+#include <algorithm>
+
 #include "core/moment_activation.h"
+#include "platform/thread_pool.h"
 
 namespace apds {
 
@@ -13,12 +16,21 @@ MeanVar moment_conv1d_linear(const Conv1dLayer& layer, const MeanVar& input,
   const double p = layer.channel_keep_prob;
 
   MeanVar out(input.batch(), out_t * layer.out_channels);
-  std::vector<double> partial_mean(layer.in_channels);
 
-  for (std::size_t b = 0; b < input.batch(); ++b) {
-    const double* mu = input.mean.data() + b * input.dim();
-    const double* var = input.var.data() + b * input.dim();
-    for (std::size_t t = 0; t < out_t; ++t) {
+  // Each (batch row, output timestep) writes a disjoint out_channels slice
+  // and reads shared inputs only, so the flattened (b, t) space partitions
+  // across the pool freely; per-output accumulation order is unchanged.
+  const std::size_t window_flops =
+      2 * layer.kernel * layer.in_channels * layer.out_channels;
+  const std::size_t grain = std::max<std::size_t>(1, (1 << 16) / (window_flops + 1));
+  parallel_for(0, input.batch() * out_t, grain, [&](std::size_t w0,
+                                                    std::size_t w1) {
+    std::vector<double> partial_mean(layer.in_channels);
+    for (std::size_t w = w0; w < w1; ++w) {
+      const std::size_t b = w / out_t;
+      const std::size_t t = w % out_t;
+      const double* mu = input.mean.data() + b * input.dim();
+      const double* var = input.var.data() + b * input.dim();
       const std::size_t base = t * layer.stride * layer.in_channels;
       double* out_mean =
           out.mean.data() + b * out.dim() + t * layer.out_channels;
@@ -31,10 +43,10 @@ MeanVar moment_conv1d_linear(const Conv1dLayer& layer, const MeanVar& input,
         for (std::size_t k = 0; k < layer.kernel; ++k) {
           for (std::size_t c = 0; c < layer.in_channels; ++c) {
             const std::size_t i = base + k * layer.in_channels + c;
-            const double w = layer.weight(k * layer.in_channels + c, oc);
-            partial_mean[c] += mu[i] * w;
-            var_indep += var[i] * w * w;
-            mean_acc += mu[i] * w;
+            const double w_kc = layer.weight(k * layer.in_channels + c, oc);
+            partial_mean[c] += mu[i] * w_kc;
+            var_indep += var[i] * w_kc * w_kc;
+            mean_acc += mu[i] * w_kc;
           }
         }
         double mask_var = 0.0;  // cross-tap covariance from shared masks
@@ -45,7 +57,7 @@ MeanVar moment_conv1d_linear(const Conv1dLayer& layer, const MeanVar& input,
         if (out_var[oc] < 0.0) out_var[oc] = 0.0;
       }
     }
-  }
+  });
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "platform/thread_pool.h"
 #include "stats/gaussian.h"
 
 namespace apds {
@@ -64,8 +65,15 @@ MeanVar moment_maxpool1d(const MaxPool1d& pool, const MeanVar& input,
   APDS_CHECK_MSG(input.dim() == in_len * pool.channels, "maxpool1d: width");
   const std::size_t out_t = pool.out_len(in_len);
   MeanVar out(input.batch(), out_t * pool.channels);
-  for (std::size_t b = 0; b < input.batch(); ++b) {
-    for (std::size_t t = 0; t < out_t; ++t) {
+  // Disjoint (batch row, timestep) outputs; the sequential max chain per
+  // output is untouched, so the fold order is thread-count independent.
+  const std::size_t grain =
+      std::max<std::size_t>(1, 4096 / (pool.window * pool.channels + 1));
+  parallel_for(0, input.batch() * out_t, grain,
+               [&](std::size_t w0, std::size_t w1) {
+    for (std::size_t w = w0; w < w1; ++w) {
+      const std::size_t b = w / out_t;
+      const std::size_t t = w % out_t;
       for (std::size_t c = 0; c < pool.channels; ++c) {
         const std::size_t base = (t * pool.window) * pool.channels + c;
         double mu = input.mean(b, base);
@@ -81,7 +89,7 @@ MeanVar moment_maxpool1d(const MaxPool1d& pool, const MeanVar& input,
         out.var(b, t * pool.channels + c) = var;
       }
     }
-  }
+  });
   return out;
 }
 

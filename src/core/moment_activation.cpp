@@ -1,33 +1,142 @@
 #include "core/moment_activation.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "obs/trace.h"
+#include "platform/thread_pool.h"
 #include "stats/gaussian.h"
 
 namespace apds {
 
+namespace {
+
+/// Near-deterministic input: local linearization around a point mass —
+/// mean f(mu), variance k^2 sigma^2 of the piece containing mu.
+ScalarMoments deterministic_moments(const PiecewiseLinear& f, double mu,
+                                    double var) {
+  ScalarMoments out;
+  for (const auto& p : f.pieces()) {
+    if (mu < p.hi || &p == &f.pieces().back()) {
+      out.mean = p.eval(mu);
+      out.var = p.k * p.k * var;
+      break;
+    }
+  }
+  return out;
+}
+
+// Tile width of the piece-major batch kernel: small enough that the
+// per-boundary scratch stays in L1, large enough to amortize the piece
+// loop over contiguous spans.
+constexpr std::size_t kTile = 128;
+
+// Minimum elements per parallel chunk; one element costs ~P erf/exp pairs.
+constexpr std::size_t kActivationGrain = 256;
+
+/// Piece-major activation moments for up to kTile elements. Every interior
+/// boundary of the surrogate is shared by two adjacent pieces; evaluating
+/// boundaries once per tile (instead of twice, inside truncated_moments)
+/// halves the erf/exp count, and the boundary loops run over contiguous
+/// elements with 1/sigma hoisted, so they vectorize.
+void activation_moments_tile(const PiecewiseLinear& f, double* m, double* v,
+                             std::size_t n) {
+  double sigma[kTile], inv_sigma[kTile];
+  double ey[kTile], ey2[kTile];
+  // Boundary evaluations for the piece loop: previous (lo) and current (hi).
+  double lo_pdf[kTile], lo_cdf[kTile], lo_zpdf[kTile];
+  double hi_pdf[kTile], hi_cdf[kTile], hi_zpdf[kTile];
+  bool deterministic = false;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (v[i] < kDeterministicVar) {
+      // Handled by the scalar fallback after the main pass; a zero
+      // inv_sigma keeps this lane's (discarded) arithmetic finite.
+      deterministic = true;
+      sigma[i] = 1.0;
+      inv_sigma[i] = 0.0;
+    } else {
+      sigma[i] = std::sqrt(v[i]);
+      inv_sigma[i] = 1.0 / sigma[i];
+    }
+    ey[i] = 0.0;
+    ey2[i] = 0.0;
+  }
+
+  const auto& pieces = f.pieces();
+  auto eval_boundary_span = [&](double x, double* pdf, double* cdf,
+                                double* zpdf) {
+    if (std::isinf(x)) {
+      const double cdf_value = x > 0.0 ? 1.0 : 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        pdf[i] = 0.0;
+        cdf[i] = cdf_value;
+        zpdf[i] = 0.0;  // inf * 0 -> 0 convention
+      }
+      return;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const double z = (x - m[i]) * inv_sigma[i];
+      const double pdf_z = std_normal_pdf(z);
+      pdf[i] = pdf_z;
+      cdf[i] = std_normal_cdf(z);
+      zpdf[i] = z * pdf_z;
+    }
+  };
+
+  eval_boundary_span(pieces.front().lo, lo_pdf, lo_cdf, lo_zpdf);
+  for (const auto& p : pieces) {
+    eval_boundary_span(p.hi, hi_pdf, hi_cdf, hi_zpdf);
+    const double k = p.k;
+    const double c = p.c;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double mu = m[i];
+      const double s = sigma[i];
+      // Partial moments between the cached boundaries (paper's D/M/V).
+      const double mass = hi_cdf[i] - lo_cdf[i];
+      const double first = s * (lo_pdf[i] - hi_pdf[i]);
+      const double second = s * s * (mass + lo_zpdf[i] - hi_zpdf[i]);
+      // E[X 1] and E[X^2 1] from central partial moments.
+      const double ex1 = mu * mass + first;
+      const double ex2 = second + 2.0 * mu * first + mu * mu * mass;
+      ey[i] += k * ex1 + c * mass;
+      ey2[i] += k * k * ex2 + 2.0 * k * c * ex1 + c * c * mass;
+    }
+    std::copy(hi_pdf, hi_pdf + n, lo_pdf);
+    std::copy(hi_cdf, hi_cdf + n, lo_cdf);
+    std::copy(hi_zpdf, hi_zpdf + n, lo_zpdf);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (deterministic && v[i] < kDeterministicVar) {
+      const ScalarMoments sm = deterministic_moments(f, m[i], v[i]);
+      m[i] = sm.mean;
+      v[i] = sm.var;
+    } else {
+      m[i] = ey[i];
+      v[i] = std::max(0.0, ey2[i] - ey[i] * ey[i]);
+    }
+  }
+}
+
+}  // namespace
+
 ScalarMoments activation_moments(const PiecewiseLinear& f, double mu,
                                  double var) {
   APDS_CHECK_MSG(var >= 0.0, "activation_moments: negative variance");
-  ScalarMoments out;
-  if (var < kDeterministicVar) {
-    // Local linearization around a (near-)point mass.
-    for (const auto& p : f.pieces()) {
-      if (mu < p.hi || &p == &f.pieces().back()) {
-        out.mean = p.eval(mu);
-        out.var = p.k * p.k * var;
-        break;
-      }
-    }
-    return out;
-  }
+  if (var < kDeterministicVar) return deterministic_moments(f, mu, var);
 
   const double sigma = std::sqrt(var);
+  const double inv_sigma = 1.0 / sigma;
   double ey = 0.0;
   double ey2 = 0.0;
+  // Adjacent pieces share a boundary: carry the previous piece's hi
+  // evaluation as the next piece's lo instead of recomputing it.
+  BoundaryEval lo = eval_boundary(f.pieces().front().lo, mu, inv_sigma);
   for (const auto& p : f.pieces()) {
-    const PartialMoments pm = truncated_moments(p.lo, p.hi, mu, sigma);
+    const BoundaryEval hi = eval_boundary(p.hi, mu, inv_sigma);
+    const PartialMoments pm = truncated_moments_between(lo, hi, sigma);
+    lo = hi;
     if (pm.mass <= 0.0 && pm.first == 0.0 && pm.second == 0.0) continue;
     // E[X 1] and E[X^2 1] from central partial moments.
     const double ex1 = mu * pm.mass + pm.first;
@@ -35,28 +144,29 @@ ScalarMoments activation_moments(const PiecewiseLinear& f, double mu,
     ey += p.k * ex1 + p.c * pm.mass;
     ey2 += p.k * p.k * ex2 + 2.0 * p.k * p.c * ex1 + p.c * p.c * pm.mass;
   }
+  ScalarMoments out;
   out.mean = ey;
   out.var = std::max(0.0, ey2 - ey * ey);
   return out;
 }
 
+void moment_activation_batch(const PiecewiseLinear& f, double* mean,
+                             double* var, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    APDS_CHECK_MSG(var[i] >= 0.0, "moment_activation: negative variance");
+  parallel_for(0, n, kActivationGrain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t t = lo; t < hi; t += kTile)
+      activation_moments_tile(f, mean + t, var + t, std::min(kTile, hi - t));
+  });
+}
+
 void moment_activation_inplace(const PiecewiseLinear& f, MeanVar& mv) {
   APDS_TRACE_SCOPE("core.moment_activation");
-  double* m = mv.mean.data();
-  double* v = mv.var.data();
-  for (std::size_t i = 0; i < mv.mean.size(); ++i) {
-    const ScalarMoments sm = activation_moments(f, m[i], v[i]);
-    m[i] = sm.mean;
-    v[i] = sm.var;
-  }
+  moment_activation_batch(f, mv.mean.data(), mv.var.data(), mv.mean.size());
 }
 
 void moment_activation_inplace(const PiecewiseLinear& f, GaussianVec& g) {
-  for (std::size_t i = 0; i < g.dim(); ++i) {
-    const ScalarMoments sm = activation_moments(f, g.mean[i], g.var[i]);
-    g.mean[i] = sm.mean;
-    g.var[i] = sm.var;
-  }
+  moment_activation_batch(f, g.mean.data(), g.var.data(), g.dim());
 }
 
 }  // namespace apds

@@ -30,6 +30,20 @@ inline constexpr double kDeterministicVar = 1e-18;
 ScalarMoments activation_moments(const PiecewiseLinear& f, double mu,
                                  double var);
 
+/// The batched kernel behind both moment_activation_inplace overloads:
+/// overwrite (mean[i], var[i]), i in [0, n), with the activation moments.
+///
+/// Elements are partitioned across the thread pool, and each worker walks
+/// its span in small tiles *piece-major*: per tile, every boundary of the
+/// surrogate is standardized and its erf/exp terms evaluated once in a
+/// tight loop over contiguous elements (1/sigma hoisted per element), then
+/// per-piece contributions are formed by differencing adjacent boundary
+/// evaluations. Each element's arithmetic is independent and identical to
+/// the scalar activation_moments path up to boundary-evaluation reuse, so
+/// results do not depend on the partition or thread count.
+void moment_activation_batch(const PiecewiseLinear& f, double* mean,
+                             double* var, std::size_t n);
+
 /// Apply activation_moments elementwise across a batch, in place.
 void moment_activation_inplace(const PiecewiseLinear& f, MeanVar& mv);
 

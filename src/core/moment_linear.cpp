@@ -1,10 +1,30 @@
 #include "core/moment_linear.h"
 
 #include "obs/trace.h"
+#include "platform/thread_pool.h"
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
 
 namespace apds {
+
+namespace {
+
+// Per-thread scratch for the two GEMM inputs derived from the layer input.
+// Reused across layers and calls, so a deep propagate() allocates only its
+// per-layer outputs and the parallel kernels are not allocator-bound.
+struct MomentLinearScratch {
+  Matrix scaled_mean;  ///< mu * p
+  Matrix var_in;       ///< (mu^2 + sigma^2) p - mu^2 p^2
+};
+
+MomentLinearScratch& local_scratch() {
+  thread_local MomentLinearScratch scratch;
+  return scratch;
+}
+
+constexpr std::size_t kElementwiseGrain = 1 << 15;
+
+}  // namespace
 
 MeanVar moment_linear(const MeanVar& input, const Matrix& weight,
                       const Matrix& weight_sq, const Matrix& bias,
@@ -14,26 +34,43 @@ MeanVar moment_linear(const MeanVar& input, const Matrix& weight,
   APDS_CHECK(keep_prob > 0.0 && keep_prob <= 1.0);
   APDS_TRACE_SCOPE("core.moment_linear");
   const double p = keep_prob;
+  const double p2 = p * p;
 
   MeanVar out(input.batch(), weight.cols());
 
-  // E[y] = (mu * p) W + b.
-  Matrix scaled_mean = scale(input.mean, p);
-  gemm(scaled_mean, weight, out.mean);
-  add_row_broadcast(out.mean, bias);
+  // One fused elementwise pass builds both GEMM inputs:
+  //   scaled_mean = mu p                          (E[y] = (mu p) W + b)
+  //   var_in      = (mu^2 + sigma^2) p - mu^2 p^2 (Var[y] = var_in W^2)
+  MomentLinearScratch& scratch = local_scratch();
+  scratch.scaled_mean.resize(input.batch(), input.dim());
+  scratch.var_in.resize(input.batch(), input.dim());
+  {
+    const double* mu = input.mean.data();
+    const double* var = input.var.data();
+    double* sm = scratch.scaled_mean.data();
+    double* vi = scratch.var_in.data();
+    parallel_for(0, input.mean.size(), kElementwiseGrain,
+                 [&](std::size_t lo, std::size_t hi) {
+                   for (std::size_t i = lo; i < hi; ++i) {
+                     const double mu2 = mu[i] * mu[i];
+                     sm[i] = mu[i] * p;
+                     vi[i] = (mu2 + var[i]) * p - mu2 * p2;
+                   }
+                 });
+  }
 
-  // Var[y] = ((mu^2 + sigma^2) p - mu^2 p^2) W^2.
-  Matrix mu2 = square(input.mean);
-  Matrix second = add(mu2, input.var);  // E[x^2]
-  scale_inplace(second, p);
-  scale_inplace(mu2, p * p);
-  sub_inplace(second, mu2);  // now: variance contribution per input unit
-  gemm(second, weight_sq, out.var);
+  gemm(scratch.scaled_mean, weight, out.mean);
+  add_row_broadcast(out.mean, bias);
+  gemm(scratch.var_in, weight_sq, out.var);
 
   // Clamp tiny negative values caused by floating-point cancellation when
   // p == 1 and sigma == 0.
-  for (double& v : out.var.flat())
-    if (v < 0.0) v = 0.0;
+  double* ov = out.var.data();
+  parallel_for(0, out.var.size(), kElementwiseGrain,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i)
+                   if (ov[i] < 0.0) ov[i] = 0.0;
+               });
   return out;
 }
 

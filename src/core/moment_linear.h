@@ -21,7 +21,11 @@ MeanVar moment_linear(const MeanVar& input, const Matrix& weight,
                       const Matrix& weight_sq, const Matrix& bias,
                       double keep_prob);
 
-/// Convenience overload that squares the weights on the fly.
+/// Convenience overload that squares the weights on the fly. One-shot
+/// callers only: anything that propagates through the same weights more
+/// than once (ApDeepSense, moment_rnn, conv heads) must precompute
+/// square(weight) and use the overload above, or it pays an O(in*out)
+/// allocation + squaring per call.
 MeanVar moment_linear(const MeanVar& input, const Matrix& weight,
                       const Matrix& bias, double keep_prob);
 

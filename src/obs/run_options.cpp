@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "platform/thread_pool.h"
 
 namespace apds::obs {
 
@@ -46,6 +47,19 @@ ObsOptions parse_obs_flags(int& argc, char** argv) {
       options.metrics_path = take_value("--metrics");
     } else if (arg == "--log-level") {
       set_log_level(parse_level(take_value("--log-level")));
+    } else if (arg == "--threads") {
+      const std::string value = take_value("--threads");
+      std::size_t pos = 0;
+      unsigned long n = 0;
+      try {
+        n = std::stoul(value, &pos);
+      } catch (const std::exception&) {
+        pos = 0;
+      }
+      if (pos != value.size() || n == 0)
+        throw InvalidArgument("--threads: want a positive integer, got '" +
+                              value + "'");
+      options.threads = static_cast<std::size_t>(n);
     } else {
       kept.push_back(argv[i]);
     }
@@ -58,11 +72,16 @@ ObsOptions parse_obs_flags(int& argc, char** argv) {
 const char* obs_flags_help() {
   return "  --trace <file>      write Chrome-trace JSON + aggregate table\n"
          "  --metrics <file>    write metrics (counters/gauges) JSON\n"
-         "  --log-level <lvl>   debug|info|warn|error|off";
+         "  --log-level <lvl>   debug|info|warn|error|off\n"
+         "  --threads <n>       thread-pool width (1 = serial; default\n"
+         "                      APDS_THREADS env, then hardware)";
 }
 
 ObsSession::ObsSession(ObsOptions options) : options_(std::move(options)) {
   if (options_.tracing()) TraceCollector::instance().set_enabled(true);
+  if (options_.threads > 0) set_global_threads(options_.threads);
+  MetricsRegistry::instance().gauge("pool.threads").set(
+      static_cast<double>(global_threads()));
 }
 
 ObsSession::ObsSession(int& argc, char** argv)

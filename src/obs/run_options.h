@@ -1,15 +1,19 @@
-// Shared command-line observability flags for benches and examples:
+// Shared command-line runtime flags for benches and examples:
 //
 //   --trace <file>      enable span tracing; write Chrome-trace JSON and
 //                       print the aggregate p50/p95 table on exit
 //   --metrics <file>    write the MetricsRegistry JSON on exit
 //   --log-level <lvl>   debug | info | warn | error | off
+//   --threads <n>       width of the global thread pool (1 = serial).
+//                       Precedence: --threads > APDS_THREADS env >
+//                       hardware concurrency.
 //
 // Every bench/example parses these through parse_obs_flags() + ObsSession
 // instead of hand-rolling argv handling, so any binary can emit a trace
-// without code changes.
+// or change its parallelism without code changes.
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 namespace apds::obs {
@@ -17,6 +21,7 @@ namespace apds::obs {
 struct ObsOptions {
   std::string trace_path;    ///< empty = tracing stays disabled
   std::string metrics_path;  ///< empty = no metrics export
+  std::size_t threads = 0;   ///< 0 = APDS_THREADS env / hardware default
   bool tracing() const { return !trace_path.empty(); }
 };
 
@@ -29,10 +34,11 @@ ObsOptions parse_obs_flags(int& argc, char** argv);
 /// One-line usage blurb for the shared flags, for --help texts.
 const char* obs_flags_help();
 
-/// RAII wiring: enables tracing on construction when options ask for it;
-/// on destruction writes the Chrome-trace JSON, prints the aggregate span
-/// table to stdout, and writes the metrics JSON. Export errors are logged,
-/// never thrown (safe in main()'s unwind path).
+/// RAII wiring: enables tracing on construction when options ask for it,
+/// configures the global thread pool (--threads) and publishes the
+/// `pool.threads` gauge; on destruction writes the Chrome-trace JSON,
+/// prints the aggregate span table to stdout, and writes the metrics JSON.
+/// Export errors are logged, never thrown (safe in main()'s unwind path).
 class ObsSession {
  public:
   explicit ObsSession(ObsOptions options);

@@ -1,0 +1,171 @@
+#include "platform/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+namespace apds {
+
+namespace {
+thread_local bool tl_in_worker = false;
+}  // namespace
+
+bool ThreadPool::in_worker() { return tl_in_worker; }
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t n = resolve_num_threads(threads);
+  workers_.reserve(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const RangeFn* fn = nullptr;
+    std::size_t begin = 0, end = 0, chunk = 0, nchunks = 0;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_task_.wait(lk, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+      fn = fn_;
+      begin = begin_;
+      end = end_;
+      chunk = chunk_;
+      nchunks = nchunks_;
+      ++active_workers_;
+    }
+    tl_in_worker = true;
+    run_chunks(*fn, begin, end, chunk, nchunks);
+    tl_in_worker = false;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --active_workers_;
+    }
+    cv_done_.notify_one();
+  }
+}
+
+void ThreadPool::run_chunks(const RangeFn& fn, std::size_t begin,
+                            std::size_t end, std::size_t chunk,
+                            std::size_t nchunks) {
+  for (;;) {
+    const std::size_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    if (c >= nchunks) return;
+    const std::size_t cb = begin + c * chunk;
+    const std::size_t ce = std::min(end, cb + chunk);
+    try {
+      fn(cb, ce);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+    done_chunks_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              std::size_t grain, const RangeFn& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t min_chunk = std::max<std::size_t>(1, grain);
+  // Inline when there is nothing to fan out to, the range is below one
+  // grain, or we are already inside a worker (nested parallelism).
+  if (workers_.empty() || n <= min_chunk || tl_in_worker) {
+    fn(begin, end);
+    return;
+  }
+  // Contiguous near-equal chunks, never smaller than the grain (floor
+  // division: splitting n indices into n/grain chunks keeps every chunk at
+  // least grain long). The split depends only on (n, grain, pool width):
+  // deterministic by construction.
+  const std::size_t nchunks = std::min(num_threads(), n / min_chunk);
+  if (nchunks <= 1) {
+    fn(begin, end);
+    return;
+  }
+  const std::size_t chunk = (n + nchunks - 1) / nchunks;
+
+  std::lock_guard<std::mutex> dispatch(dispatch_mu_);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    fn_ = &fn;
+    begin_ = begin;
+    end_ = end;
+    chunk_ = chunk;
+    nchunks_ = nchunks;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    done_chunks_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    ++generation_;
+  }
+  cv_task_.notify_all();
+
+  // The caller claims chunks too; it is participant number N of N.
+  tl_in_worker = true;
+  run_chunks(fn, begin, end, chunk, nchunks);
+  tl_in_worker = false;
+
+  // Wait until every chunk completed AND every worker has left the task,
+  // so the shared task slot can be safely republished by the next call.
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [&] {
+    return done_chunks_.load(std::memory_order_acquire) == nchunks_ &&
+           active_workers_ == 0;
+  });
+  const std::exception_ptr err = error_;
+  error_ = nullptr;
+  lk.unlock();
+  if (err) std::rethrow_exception(err);
+}
+
+std::size_t resolve_num_threads(std::size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("APDS_THREADS")) {
+    char* endp = nullptr;
+    const long v = std::strtol(env, &endp, 10);
+    if (endp != env && *endp == '\0' && v > 0)
+      return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+namespace {
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+std::size_t g_requested_threads = 0;  // 0 = APDS_THREADS / hardware
+}  // namespace
+
+ThreadPool& global_pool() {
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  if (!g_pool)
+    g_pool = std::make_unique<ThreadPool>(
+        resolve_num_threads(g_requested_threads));
+  return *g_pool;
+}
+
+void set_global_threads(std::size_t n) {
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  g_requested_threads = n;
+  g_pool.reset();  // rebuilt lazily at the new width
+}
+
+std::size_t global_threads() { return global_pool().num_threads(); }
+
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const RangeFn& fn) {
+  global_pool().parallel_for(begin, end, grain, fn);
+}
+
+}  // namespace apds

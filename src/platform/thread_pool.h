@@ -1,0 +1,111 @@
+// Reusable worker-thread pool powering every parallel kernel in the
+// inference stack (GEMM, activation moments, MCDrop sample draws, ensemble
+// member passes, conv moment propagators).
+//
+// Design goals, in order:
+//  * Determinism: parallel_for splits [begin, end) into contiguous chunks
+//    whose boundaries depend only on the range size, the grain and the pool
+//    width — never on scheduling. Every kernel built on it writes disjoint
+//    outputs and keeps each output element's accumulation order identical
+//    to the serial loop, so results are bit-identical for any thread count.
+//  * Safety: exceptions thrown inside chunks are captured and the first one
+//    is rethrown on the calling thread; a parallel_for issued from inside a
+//    worker (nested parallelism) runs inline instead of deadlocking.
+//  * Zero surprise at width 1: a pool with one thread runs everything
+//    inline on the caller — the exact serial code path.
+//
+// The process-wide pool is lazily built on first use. Its width resolves,
+// in decreasing precedence: set_global_threads(n > 0) (the benches'
+// --threads flag lands here) > the APDS_THREADS environment variable >
+// std::thread::hardware_concurrency().
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace apds {
+
+/// Body of one parallel_for chunk: processes indices [chunk_begin,
+/// chunk_end). Must not touch state written by other chunks.
+using RangeFn = std::function<void(std::size_t, std::size_t)>;
+
+/// Fixed-width pool of persistent workers. The constructing thread is a
+/// participant: a pool of width N owns N-1 OS threads and the caller of
+/// parallel_for executes chunks alongside them.
+class ThreadPool {
+ public:
+  /// Pool of `threads` participants; 0 means hardware concurrency.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Pool width including the calling thread (>= 1).
+  std::size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Apply `fn` over [begin, end) in contiguous chunks of at least `grain`
+  /// indices. Runs inline when the range fits a single chunk, the pool has
+  /// width 1, or the caller is itself a pool worker (nested call). Blocks
+  /// until every chunk finished; rethrows the first chunk exception.
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    const RangeFn& fn);
+
+  /// True when the calling thread is currently executing a chunk of any
+  /// ThreadPool (used to force nested calls inline).
+  static bool in_worker();
+
+ private:
+  void worker_loop();
+  void run_chunks(const RangeFn& fn, std::size_t begin, std::size_t end,
+                  std::size_t chunk, std::size_t nchunks);
+
+  std::vector<std::thread> workers_;
+
+  // One parallel_for at a time; concurrent external callers queue up here.
+  std::mutex dispatch_mu_;
+
+  // Task publication/completion, guarded by mu_.
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  const RangeFn* fn_ = nullptr;
+  std::size_t begin_ = 0;
+  std::size_t end_ = 0;
+  std::size_t chunk_ = 0;
+  std::size_t nchunks_ = 0;
+  std::size_t active_workers_ = 0;  ///< workers inside the current task
+  std::atomic<std::size_t> next_chunk_{0};
+  std::atomic<std::size_t> done_chunks_{0};
+  std::exception_ptr error_;
+};
+
+/// Resolve a requested width (0 = unset) against APDS_THREADS and the
+/// hardware: requested > env > hardware_concurrency, minimum 1.
+std::size_t resolve_num_threads(std::size_t requested);
+
+/// The process-wide pool used by the parallel kernels. Built lazily.
+ThreadPool& global_pool();
+
+/// Set the process-wide pool width (0 = revert to APDS_THREADS/hardware).
+/// Tears down the current pool; the next global_pool() call rebuilds it.
+/// Call from a single thread while no parallel work is in flight.
+void set_global_threads(std::size_t n);
+
+/// Width of the process-wide pool (forces its construction).
+std::size_t global_threads();
+
+/// parallel_for on the process-wide pool.
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const RangeFn& fn);
+
+}  // namespace apds

@@ -29,29 +29,42 @@ double gaussian_nll(double x, double mu, double var) {
   return 0.5 * (kLog2Pi + std::log(var) + d * d / var);
 }
 
-PartialMoments truncated_moments(double a, double b, double mu, double sigma) {
-  APDS_CHECK(sigma > 0.0);
-  APDS_CHECK(a <= b);
-  // Standardize. alpha/beta may be +-inf, which erf/exp handle correctly.
-  const double alpha = (a - mu) / sigma;
-  const double beta = (b - mu) / sigma;
+BoundaryEval eval_boundary(double x, double mu, double inv_sigma) {
+  BoundaryEval be;
+  // Standardize. z may be +-inf, which erf/exp handle correctly.
+  const double z = (x - mu) * inv_sigma;
+  if (std::isinf(z)) {
+    be.pdf = 0.0;
+    be.cdf = z > 0.0 ? 1.0 : 0.0;
+    be.zpdf = 0.0;  // inf * 0 -> 0 convention
+    return be;
+  }
+  be.pdf = std_normal_pdf(z);
+  be.cdf = std_normal_cdf(z);
+  be.zpdf = z * be.pdf;
+  return be;
+}
 
-  const double phi_a = std::isinf(alpha) ? 0.0 : std_normal_pdf(alpha);
-  const double phi_b = std::isinf(beta) ? 0.0 : std_normal_pdf(beta);
-  const double cdf_a = std_normal_cdf(alpha);
-  const double cdf_b = std_normal_cdf(beta);
-
+PartialMoments truncated_moments_between(const BoundaryEval& lo,
+                                         const BoundaryEval& hi,
+                                         double sigma) {
   PartialMoments pm;
-  pm.mass = cdf_b - cdf_a;
+  pm.mass = hi.cdf - lo.cdf;
   // E[(X-mu) 1{a<=X<=b}] = sigma (phi(alpha) - phi(beta)).
-  pm.first = sigma * (phi_a - phi_b);
+  pm.first = sigma * (lo.pdf - hi.pdf);
   // E[(X-mu)^2 1{a<=X<=b}]
   //   = sigma^2 [ (cdf(beta)-cdf(alpha)) + alpha phi(alpha) - beta phi(beta) ]
   // with the convention inf * 0 -> 0 at infinite endpoints.
-  const double ap = std::isinf(alpha) ? 0.0 : alpha * phi_a;
-  const double bp = std::isinf(beta) ? 0.0 : beta * phi_b;
-  pm.second = sigma * sigma * (pm.mass + ap - bp);
+  pm.second = sigma * sigma * (pm.mass + lo.zpdf - hi.zpdf);
   return pm;
+}
+
+PartialMoments truncated_moments(double a, double b, double mu, double sigma) {
+  APDS_CHECK(sigma > 0.0);
+  APDS_CHECK(a <= b);
+  const double inv_sigma = 1.0 / sigma;
+  return truncated_moments_between(eval_boundary(a, mu, inv_sigma),
+                                   eval_boundary(b, mu, inv_sigma), sigma);
 }
 
 }  // namespace apds

@@ -42,4 +42,24 @@ struct PartialMoments {
 /// Compute the partial moments above. Requires sigma > 0 and a <= b.
 PartialMoments truncated_moments(double a, double b, double mu, double sigma);
 
+/// One standardized truncation boundary with the erf/exp terms cached.
+/// Adjacent pieces of a piece-wise-linear surrogate share a boundary
+/// (piece j's hi is piece j+1's lo), so evaluating each boundary once and
+/// differencing halves the transcendental work of an activation pass.
+struct BoundaryEval {
+  double pdf = 0.0;   ///< phi(z); 0 at +-inf
+  double cdf = 0.0;   ///< Phi(z)
+  double zpdf = 0.0;  ///< z * phi(z) with the inf * 0 -> 0 convention
+};
+
+/// Evaluate the boundary x of X ~ N(mu, sigma^2); `inv_sigma` = 1/sigma is
+/// hoisted by callers that evaluate many boundaries per element.
+BoundaryEval eval_boundary(double x, double mu, double inv_sigma);
+
+/// Partial moments between two prepared boundaries (lo's x <= hi's x).
+/// truncated_moments(a, b, mu, sigma) equals
+/// truncated_moments_between(eval_boundary(a, ...), eval_boundary(b, ...)).
+PartialMoments truncated_moments_between(const BoundaryEval& lo,
+                                         const BoundaryEval& hi, double sigma);
+
 }  // namespace apds

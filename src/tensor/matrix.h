@@ -74,6 +74,15 @@ class Matrix {
   /// Set every element to `value`.
   void fill(double value);
 
+  /// Reshape to rows x cols, reusing the existing allocation when it is
+  /// large enough (scratch-buffer reuse in hot loops). Element values are
+  /// unspecified afterwards; callers must overwrite before reading.
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   /// Transposed copy.
   Matrix transposed() const;
 

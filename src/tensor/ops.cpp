@@ -1,6 +1,9 @@
 #include "tensor/ops.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "platform/thread_pool.h"
 
 namespace apds {
 
@@ -10,6 +13,10 @@ void check_same_shape(const Matrix& a, const Matrix& b, const char* op) {
                                      << a.cols() << " vs " << b.rows() << "x"
                                      << b.cols());
 }
+
+// Elementwise kernels are memory-bound; only fork for ranges big enough
+// that the dispatch cost disappears in the noise.
+constexpr std::size_t kElementwiseGrain = 1 << 15;
 }  // namespace
 
 Matrix add(const Matrix& a, const Matrix& b) {
@@ -42,35 +49,54 @@ void add_inplace(Matrix& a, const Matrix& b) {
   check_same_shape(a, b, "add");
   double* ad = a.data();
   const double* bd = b.data();
-  for (std::size_t i = 0; i < a.size(); ++i) ad[i] += bd[i];
+  parallel_for(0, a.size(), kElementwiseGrain,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i) ad[i] += bd[i];
+               });
 }
 
 void sub_inplace(Matrix& a, const Matrix& b) {
   check_same_shape(a, b, "sub");
   double* ad = a.data();
   const double* bd = b.data();
-  for (std::size_t i = 0; i < a.size(); ++i) ad[i] -= bd[i];
+  parallel_for(0, a.size(), kElementwiseGrain,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i) ad[i] -= bd[i];
+               });
 }
 
 void hadamard_inplace(Matrix& a, const Matrix& b) {
   check_same_shape(a, b, "hadamard");
   double* ad = a.data();
   const double* bd = b.data();
-  for (std::size_t i = 0; i < a.size(); ++i) ad[i] *= bd[i];
+  parallel_for(0, a.size(), kElementwiseGrain,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i) ad[i] *= bd[i];
+               });
 }
 
 void scale_inplace(Matrix& a, double s) {
-  for (double& v : a.flat()) v *= s;
+  double* ad = a.data();
+  parallel_for(0, a.size(), kElementwiseGrain,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i) ad[i] *= s;
+               });
 }
 
 void add_row_broadcast(Matrix& a, const Matrix& row) {
   APDS_CHECK_MSG(row.rows() == 1 && row.cols() == a.cols(),
                  "add_row_broadcast: row shape");
   const double* rd = row.data();
-  for (std::size_t r = 0; r < a.rows(); ++r) {
-    double* ar = a.data() + r * a.cols();
-    for (std::size_t c = 0; c < a.cols(); ++c) ar[c] += rd[c];
-  }
+  const std::size_t cols = a.cols();
+  double* ad = a.data();
+  const std::size_t grain =
+      std::max<std::size_t>(1, kElementwiseGrain / (cols + 1));
+  parallel_for(0, a.rows(), grain, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      double* ar = ad + r * cols;
+      for (std::size_t c = 0; c < cols; ++c) ar[c] += rd[c];
+    }
+  });
 }
 
 void mul_row_broadcast(Matrix& a, const Matrix& row) {

@@ -2,6 +2,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "platform/thread_pool.h"
 #include "stats/special.h"
 #include "tensor/ops.h"
 
@@ -27,12 +28,15 @@ PredictiveGaussian DeepEnsemble::predict_regression(const Matrix& x) const {
   if (span.active())
     span.set_args("\"members\":" + std::to_string(members_.size()) +
                   ",\"batch\":" + std::to_string(x.rows()));
-  std::vector<Matrix> outs;
-  outs.reserve(members_.size());
-  for (const Mlp* m : members_) {
-    APDS_TRACE_SCOPE("ensemble.member_pass");
-    outs.push_back(m->forward_deterministic(x));
-  }
+  // Member passes are independent; the mean/variance reduction below stays
+  // serial in member order, so outputs match the serial path exactly.
+  std::vector<Matrix> outs(members_.size());
+  parallel_for(0, members_.size(), 1, [&](std::size_t m0, std::size_t m1) {
+    for (std::size_t m = m0; m < m1; ++m) {
+      APDS_TRACE_SCOPE("ensemble.member_pass");
+      outs[m] = members_[m]->forward_deterministic(x);
+    }
+  });
   MetricsRegistry::instance().counter("ensemble.member_passes").add(
       static_cast<std::int64_t>(members_.size()));
 
@@ -58,11 +62,18 @@ PredictiveCategorical DeepEnsemble::predict_classification(
   pred.probs = Matrix(x.rows(), classes);
   MetricsRegistry::instance().counter("ensemble.member_passes").add(
       static_cast<std::int64_t>(members_.size()));
-  for (const Mlp* m : members_) {
-    APDS_TRACE_SCOPE("ensemble.member_pass");
-    const Matrix logits = m->forward_deterministic(x);
-    for (std::size_t r = 0; r < logits.rows(); ++r) {
-      const auto p = softmax(logits.row(r));
+  // Forward passes fan out; the softmax average runs serially in member
+  // order so the accumulation matches the serial path bit for bit.
+  std::vector<Matrix> logits(members_.size());
+  parallel_for(0, members_.size(), 1, [&](std::size_t m0, std::size_t m1) {
+    for (std::size_t m = m0; m < m1; ++m) {
+      APDS_TRACE_SCOPE("ensemble.member_pass");
+      logits[m] = members_[m]->forward_deterministic(x);
+    }
+  });
+  for (const Matrix& l : logits) {
+    for (std::size_t r = 0; r < l.rows(); ++r) {
+      const auto p = softmax(l.row(r));
       for (std::size_t c = 0; c < classes; ++c) pred.probs(r, c) += p[c];
     }
   }

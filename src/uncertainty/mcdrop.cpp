@@ -2,6 +2,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "platform/thread_pool.h"
 #include "stats/special.h"
 #include "tensor/ops.h"
 
@@ -14,12 +15,21 @@ std::vector<Matrix> mcdrop_collect(const Mlp& mlp, const Matrix& x,
   if (span.active())
     span.set_args("\"k\":" + std::to_string(k) +
                   ",\"batch\":" + std::to_string(x.rows()));
-  std::vector<Matrix> samples;
-  samples.reserve(k);
-  for (std::size_t s = 0; s < k; ++s) {
-    APDS_TRACE_SCOPE("mcdrop.sample");
-    samples.push_back(mlp.forward_stochastic(x, rng));
-  }
+  // Sample draws are embarrassingly parallel. Each sample gets its own
+  // RNG stream, split from the caller's generator *serially up front* —
+  // the caller's state advances identically and sample s sees the same
+  // stream for every thread count, so results are bit-identical to the
+  // serial path.
+  std::vector<Rng> streams;
+  streams.reserve(k);
+  for (std::size_t s = 0; s < k; ++s) streams.push_back(rng.split());
+  std::vector<Matrix> samples(k);
+  parallel_for(0, k, 1, [&](std::size_t s0, std::size_t s1) {
+    for (std::size_t s = s0; s < s1; ++s) {
+      APDS_TRACE_SCOPE("mcdrop.sample");
+      samples[s] = mlp.forward_stochastic(x, streams[s]);
+    }
+  });
   MetricsRegistry::instance().counter("mcdrop.samples").add(
       static_cast<std::int64_t>(k));
   return samples;

@@ -15,6 +15,11 @@ namespace apds {
 /// of pass s, shape [batch, out]. Collecting once and summarizing prefixes
 /// lets one k_max-pass run stand in for every smaller k (used by the table
 /// benches so MCDrop-3/5/10/30/50 share passes).
+///
+/// Passes run in parallel on the global thread pool. Sample s always draws
+/// its dropout masks from the s-th serial split of `rng` (its own
+/// decorrelated stream), so the collected samples — and `rng`'s state on
+/// return — are identical for every thread count.
 std::vector<Matrix> mcdrop_collect(const Mlp& mlp, const Matrix& x,
                                    std::size_t k, Rng& rng);
 

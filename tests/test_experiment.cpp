@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cmath>
 #include <filesystem>
 #include <sstream>
@@ -31,7 +33,12 @@ ExperimentOptions fast_options() {
 class ExperimentTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = (std::filesystem::temp_directory_path() / "apds_exp_test").string();
+    // Unique per process: with gtest_discover_tests each TEST_F runs as its
+    // own ctest entry, and parallel ctest must not share (and clobber) one
+    // model-cache directory across concurrently running tests.
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("apds_exp_test_" + std::to_string(::getpid())))
+               .string();
     std::filesystem::remove_all(dir_);
     zoo_ = std::make_unique<ModelZoo>(tiny_config(dir_));
   }

@@ -1,6 +1,7 @@
 #include "eval/model_zoo.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 
@@ -27,7 +28,11 @@ ZooConfig tiny_config(const std::string& cache_dir) {
 class ModelZooTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = (std::filesystem::temp_directory_path() / "apds_zoo_test").string();
+    // Unique per process so parallel ctest runs of the individual TEST_F
+    // entries cannot clobber each other's model cache.
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("apds_zoo_test_" + std::to_string(::getpid())))
+               .string();
     std::filesystem::remove_all(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }

@@ -1,0 +1,171 @@
+// The parallel kernels are designed to be bit-identical at any pool width:
+// parallel_for partitions outputs into disjoint contiguous chunks and every
+// kernel keeps each element's accumulation order equal to the serial loop,
+// while MCDrop pre-splits one RNG stream per sample before fanning out.
+// These tests pin that contract by diffing --threads 4 against --threads 1.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "conv/conv_apdeepsense.h"
+#include "core/apdeepsense.h"
+#include "core/moment_activation.h"
+#include "platform/thread_pool.h"
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+#include "uncertainty/ensemble.h"
+#include "uncertainty/mcdrop.h"
+
+namespace apds {
+namespace {
+
+/// Run `fn` with the global pool pinned to `threads`; restores the default
+/// width afterwards so tests cannot leak pool state.
+template <typename Fn>
+auto with_threads(std::size_t threads, Fn&& fn) {
+  set_global_threads(threads);
+  auto result = fn();
+  set_global_threads(0);
+  return result;
+}
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (double& v : m.flat()) v = rng.normal();
+  return m;
+}
+
+Mlp wide_net(Activation act, double keep_prob, Rng& rng) {
+  MlpSpec spec;
+  spec.dims = {16, 48, 48, 5};
+  spec.hidden_act = act;
+  spec.hidden_keep_prob = keep_prob;
+  return Mlp::make(spec, rng);
+}
+
+TEST(ParallelDeterminism, GemmFamilyBitIdentical) {
+  Rng rng(1);
+  const Matrix a = random_matrix(67, 41, rng);
+  const Matrix b = random_matrix(41, 53, rng);
+  const Matrix bt = random_matrix(53, 41, rng);
+  const Matrix at = random_matrix(41, 67, rng);
+  auto run = [&] {
+    Matrix c(67, 53), c_tn(67, 53), c_nt(67, 53);
+    gemm(a, b, c);
+    gemm_tn(at, b, c_tn);
+    gemm_nt(a, bt, c_nt);
+    std::vector<Matrix> out{c, c_tn, c_nt};
+    return out;
+  };
+  const auto serial = with_threads(1, run);
+  const auto parallel = with_threads(4, run);
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_EQ(max_abs_diff(serial[i], parallel[i]), 0.0) << "kernel " << i;
+}
+
+TEST(ParallelDeterminism, ActivationMomentsBitIdentical) {
+  Rng rng(2);
+  const auto f = PiecewiseLinear::fit_tanh(7);
+  MeanVar input(8, 97);
+  for (double& v : input.mean.flat()) v = rng.normal();
+  for (double& v : input.var.flat()) v = std::fabs(rng.normal());
+  // Sprinkle deterministic lanes to cover the scalar-fallback path.
+  input.var(0, 0) = 0.0;
+  input.var(3, 50) = 1e-20;
+  auto run = [&] {
+    MeanVar copy = input;
+    moment_activation_inplace(f, copy);
+    return copy;
+  };
+  const auto serial = with_threads(1, run);
+  const auto parallel = with_threads(4, run);
+  EXPECT_EQ(max_abs_diff(serial.mean, parallel.mean), 0.0);
+  EXPECT_EQ(max_abs_diff(serial.var, parallel.var), 0.0);
+}
+
+TEST(ParallelDeterminism, ApDeepSensePropagateBitIdentical) {
+  Rng rng(3);
+  const Mlp mlp = wide_net(Activation::kTanh, 0.9, rng);
+  const ApDeepSense apd(mlp);
+  const Matrix x = random_matrix(6, 16, rng);
+  auto run = [&] { return apd.propagate(x); };
+  const auto serial = with_threads(1, run);
+  const auto parallel = with_threads(4, run);
+  EXPECT_EQ(max_abs_diff(serial.mean, parallel.mean), 0.0);
+  EXPECT_EQ(max_abs_diff(serial.var, parallel.var), 0.0);
+}
+
+TEST(ParallelDeterminism, McDropSamplesAndRngStateBitIdentical) {
+  Rng rng(4);
+  const Mlp mlp = wide_net(Activation::kRelu, 0.8, rng);
+  const Matrix x = random_matrix(3, 16, rng);
+  auto run = [&] {
+    // Fresh seeded RNG per run: samples depend only on the seed, never on
+    // the pool width, because one stream per sample is split up front.
+    Rng sample_rng(99);
+    auto samples = mcdrop_collect(mlp, x, 9, sample_rng);
+    samples.push_back(Matrix(1, 1, sample_rng.normal()));  // post-state probe
+    return samples;
+  };
+  const auto serial = with_threads(1, run);
+  const auto parallel = with_threads(4, run);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t s = 0; s < serial.size(); ++s)
+    EXPECT_EQ(max_abs_diff(serial[s], parallel[s]), 0.0) << "sample " << s;
+}
+
+TEST(ParallelDeterminism, McDropEstimatorBitIdentical) {
+  Rng rng(5);
+  const Mlp mlp = wide_net(Activation::kRelu, 0.8, rng);
+  const Matrix x = random_matrix(2, 16, rng);
+  auto run = [&] { return McDrop(mlp, 12, /*seed=*/7).predict_regression(x); };
+  const auto serial = with_threads(1, run);
+  const auto parallel = with_threads(4, run);
+  EXPECT_EQ(max_abs_diff(serial.mean, parallel.mean), 0.0);
+  EXPECT_EQ(max_abs_diff(serial.var, parallel.var), 0.0);
+}
+
+TEST(ParallelDeterminism, DeepEnsembleBitIdentical) {
+  Rng rng(6);
+  std::vector<Mlp> members;
+  for (int m = 0; m < 3; ++m)
+    members.push_back(wide_net(Activation::kTanh, 1.0, rng));
+  std::vector<const Mlp*> ptrs;
+  for (const Mlp& m : members) ptrs.push_back(&m);
+  const DeepEnsemble ensemble(ptrs);
+  const Matrix x = random_matrix(4, 16, rng);
+
+  auto run_reg = [&] { return ensemble.predict_regression(x); };
+  const auto reg1 = with_threads(1, run_reg);
+  const auto reg4 = with_threads(4, run_reg);
+  EXPECT_EQ(max_abs_diff(reg1.mean, reg4.mean), 0.0);
+  EXPECT_EQ(max_abs_diff(reg1.var, reg4.var), 0.0);
+
+  auto run_cls = [&] { return ensemble.predict_classification(x); };
+  const auto cls1 = with_threads(1, run_cls);
+  const auto cls4 = with_threads(4, run_cls);
+  EXPECT_EQ(max_abs_diff(cls1.probs, cls4.probs), 0.0);
+}
+
+TEST(ParallelDeterminism, ConvApDeepSenseBitIdentical) {
+  Rng rng(7);
+  std::vector<Conv1dLayer> convs;
+  convs.push_back(make_conv1d(3, 1, 4, 1, Activation::kRelu, 0.9, rng));
+  convs.push_back(make_conv1d(3, 4, 2, 2, Activation::kRelu, 0.9, rng));
+  MlpSpec head;
+  head.dims = {8, 10, 2};
+  head.hidden_act = Activation::kRelu;
+  head.hidden_keep_prob = 0.9;
+  const ConvNet net(12, 1, std::move(convs), Mlp::make(head, rng));
+  const ConvApDeepSense apd(net);
+  const Matrix x = random_matrix(5, 12, rng);
+  auto run = [&] { return apd.propagate(x); };
+  const auto serial = with_threads(1, run);
+  const auto parallel = with_threads(4, run);
+  EXPECT_EQ(max_abs_diff(serial.mean, parallel.mean), 0.0);
+  EXPECT_EQ(max_abs_diff(serial.var, parallel.var), 0.0);
+}
+
+}  // namespace
+}  // namespace apds

@@ -1,0 +1,199 @@
+#include "platform/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace apds {
+namespace {
+
+/// Restores APDS_THREADS and the global pool width on scope exit, so tests
+/// that poke the process-wide configuration cannot leak into each other.
+class EnvGuard {
+ public:
+  EnvGuard() {
+    if (const char* v = std::getenv("APDS_THREADS")) saved_ = v;
+  }
+  ~EnvGuard() {
+    if (saved_.empty())
+      unsetenv("APDS_THREADS");
+    else
+      setenv("APDS_THREADS", saved_.c_str(), 1);
+    set_global_threads(0);
+  }
+
+ private:
+  std::string saved_;
+};
+
+TEST(ThreadPool, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  const std::size_t n = 10007;  // prime: exercises a ragged final chunk
+  std::vector<int> hits(n, 0);
+  pool.parallel_for(0, n, 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) ++hits[i];  // chunks are disjoint
+  });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(ThreadPool, EmptyRangeNeverInvokesBody) {
+  ThreadPool pool(3);
+  std::atomic<int> calls{0};
+  pool.parallel_for(5, 5, 1, [&](std::size_t, std::size_t) { ++calls; });
+  pool.parallel_for(7, 3, 1, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, GrainBoundsChunkCount) {
+  ThreadPool pool(4);
+  std::atomic<int> chunks{0};
+  // 10 indices at grain 8 fit a single chunk -> exactly one inline call.
+  pool.parallel_for(0, 10, 8, [&](std::size_t b, std::size_t e) {
+    ++chunks;
+    EXPECT_EQ(b, 0u);
+    EXPECT_EQ(e, 10u);
+  });
+  EXPECT_EQ(chunks.load(), 1);
+}
+
+TEST(ThreadPool, WidthOneRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  const auto caller = std::this_thread::get_id();
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, 1000, 1, [&](std::size_t, std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 1);  // single inline chunk
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 1024, 1,
+                        [&](std::size_t b, std::size_t) {
+                          if (b >= 512) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, PoolIsReusableAfterException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 1024, 1,
+                                 [](std::size_t, std::size_t) {
+                                   throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The failed task must not poison later dispatches.
+  std::vector<int> hits(4096, 0);
+  pool.parallel_for(0, hits.size(), 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) ++hits[i];
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+            static_cast<int>(hits.size()));
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int> outer{0};
+  std::atomic<int> bodies{0};
+  std::atomic<int> inner{0};
+  std::atomic<int> nested_in_worker{0};
+  pool.parallel_for(0, 8, 1, [&](std::size_t b, std::size_t e) {
+    outer += static_cast<int>(e - b);
+    ++bodies;
+    EXPECT_TRUE(ThreadPool::in_worker());
+    // A nested call must run inline (single chunk) instead of deadlocking
+    // on the pool's dispatch lock.
+    std::atomic<int> calls{0};
+    pool.parallel_for(0, 100, 1, [&](std::size_t nb, std::size_t ne) {
+      ++calls;
+      inner += static_cast<int>(ne - nb);
+      if (ThreadPool::in_worker()) ++nested_in_worker;
+    });
+    EXPECT_EQ(calls.load(), 1);
+  });
+  EXPECT_EQ(outer.load(), 8);
+  EXPECT_EQ(inner.load(), bodies.load() * 100);
+  EXPECT_EQ(nested_in_worker.load(), bodies.load());
+  EXPECT_FALSE(ThreadPool::in_worker());
+}
+
+TEST(ThreadPool, ReusableAcrossManyDispatches) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<long> sum{0};
+    pool.parallel_for(0, 257, 1, [&](std::size_t b, std::size_t e) {
+      long local = 0;
+      for (std::size_t i = b; i < e; ++i) local += static_cast<long>(i);
+      sum += local;
+    });
+    ASSERT_EQ(sum.load(), 257L * 256L / 2L) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, ConcurrentExternalCallersSerialize) {
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 3; ++t) {
+    callers.emplace_back([&] {
+      for (int round = 0; round < 50; ++round) {
+        pool.parallel_for(0, 128, 1, [&](std::size_t b, std::size_t e) {
+          total += static_cast<long>(e - b);
+        });
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_EQ(total.load(), 3L * 50L * 128L);
+}
+
+TEST(ThreadPoolConfig, ExplicitRequestWinsOverEnv) {
+  EnvGuard guard;
+  setenv("APDS_THREADS", "3", 1);
+  EXPECT_EQ(resolve_num_threads(5), 5u);
+}
+
+TEST(ThreadPoolConfig, EnvWinsOverHardwareDefault) {
+  EnvGuard guard;
+  setenv("APDS_THREADS", "3", 1);
+  EXPECT_EQ(resolve_num_threads(0), 3u);
+}
+
+TEST(ThreadPoolConfig, MalformedEnvFallsBackToHardware) {
+  EnvGuard guard;
+  for (const char* bad : {"abc", "0", "-2", "4x"}) {
+    setenv("APDS_THREADS", bad, 1);
+    EXPECT_GE(resolve_num_threads(0), 1u) << "env " << bad;
+    EXPECT_NE(resolve_num_threads(0), 0u) << "env " << bad;
+  }
+}
+
+TEST(ThreadPoolConfig, SetGlobalThreadsRebuildsPool) {
+  EnvGuard guard;
+  set_global_threads(3);
+  EXPECT_EQ(global_threads(), 3u);
+  set_global_threads(1);
+  EXPECT_EQ(global_threads(), 1u);
+  // The free-function parallel_for targets the reconfigured pool.
+  std::vector<int> hits(100, 0);
+  parallel_for(0, hits.size(), 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) ++hits[i];
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+  set_global_threads(0);
+  unsetenv("APDS_THREADS");
+  EXPECT_GE(global_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace apds
