@@ -49,14 +49,22 @@ ObsOptions parse_obs_flags(int& argc, char** argv) {
       set_log_level(parse_level(take_value("--log-level")));
     } else if (arg == "--threads") {
       const std::string value = take_value("--threads");
+      // stoul silently accepts a leading '-' (and whitespace) and wraps the
+      // negated value into a huge unsigned, so require plain digits first.
+      const bool digits_only =
+          !value.empty() &&
+          std::all_of(value.begin(), value.end(),
+                      [](unsigned char c) { return std::isdigit(c) != 0; });
       std::size_t pos = 0;
       unsigned long n = 0;
-      try {
-        n = std::stoul(value, &pos);
-      } catch (const std::exception&) {
-        pos = 0;
+      if (digits_only) {
+        try {
+          n = std::stoul(value, &pos);
+        } catch (const std::exception&) {
+          pos = 0;
+        }
       }
-      if (pos != value.size() || n == 0)
+      if (!digits_only || pos != value.size() || n == 0)
         throw InvalidArgument("--threads: want a positive integer, got '" +
                               value + "'");
       options.threads = static_cast<std::size_t>(n);

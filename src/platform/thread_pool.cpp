@@ -32,12 +32,14 @@ void ThreadPool::worker_loop() {
   std::uint64_t seen_generation = 0;
   for (;;) {
     const RangeFn* fn = nullptr;
+    std::uint64_t generation = 0;
     std::size_t begin = 0, end = 0, chunk = 0, nchunks = 0;
     {
       std::unique_lock<std::mutex> lk(mu_);
       cv_task_.wait(lk, [&] { return stop_ || generation_ != seen_generation; });
       if (stop_) return;
       seen_generation = generation_;
+      generation = generation_;
       fn = fn_;
       begin = begin_;
       end = end_;
@@ -45,8 +47,13 @@ void ThreadPool::worker_loop() {
       nchunks = nchunks_;
       ++active_workers_;
     }
+    // The copied task state may already be stale: a worker that slept
+    // through a whole parallel_for wakes here after the caller returned and
+    // fn points at a destroyed lambda. run_chunks only dereferences fn
+    // after a generation-tagged claim succeeds, which cannot happen for a
+    // superseded task.
     tl_in_worker = true;
-    run_chunks(*fn, begin, end, chunk, nchunks);
+    run_chunks(fn, generation, begin, end, chunk, nchunks);
     tl_in_worker = false;
     {
       std::lock_guard<std::mutex> lk(mu_);
@@ -56,21 +63,31 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::run_chunks(const RangeFn& fn, std::size_t begin,
-                            std::size_t end, std::size_t chunk,
-                            std::size_t nchunks) {
+void ThreadPool::run_chunks(const RangeFn* fn, std::uint64_t generation,
+                            std::size_t begin, std::size_t end,
+                            std::size_t chunk, std::size_t nchunks) {
+  const std::uint64_t tag = (generation & 0xffffffffull) << 32;
+  std::uint64_t v = task_counter_.load(std::memory_order_relaxed);
   for (;;) {
-    const std::size_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    // Claim a chunk only while the counter still carries our task's
+    // generation tag; a stale worker bails out here without touching the
+    // (possibly dangling) fn or the successor task's chunk accounting.
+    if ((v & ~0xffffffffull) != tag) return;
+    const std::size_t c = static_cast<std::size_t>(v & 0xffffffffull);
     if (c >= nchunks) return;
+    if (!task_counter_.compare_exchange_weak(v, v + 1,
+                                             std::memory_order_relaxed))
+      continue;
     const std::size_t cb = begin + c * chunk;
     const std::size_t ce = std::min(end, cb + chunk);
     try {
-      fn(cb, ce);
+      (*fn)(cb, ce);
     } catch (...) {
       std::lock_guard<std::mutex> lk(mu_);
       if (!error_) error_ = std::current_exception();
     }
     done_chunks_.fetch_add(1, std::memory_order_release);
+    v = task_counter_.load(std::memory_order_relaxed);
   }
 }
 
@@ -97,6 +114,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   const std::size_t chunk = (n + nchunks - 1) / nchunks;
 
   std::lock_guard<std::mutex> dispatch(dispatch_mu_);
+  std::uint64_t generation = 0;
   {
     std::lock_guard<std::mutex> lk(mu_);
     fn_ = &fn;
@@ -104,20 +122,24 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     end_ = end;
     chunk_ = chunk;
     nchunks_ = nchunks;
-    next_chunk_.store(0, std::memory_order_relaxed);
+    ++generation_;
+    generation = generation_;
+    task_counter_.store((generation & 0xffffffffull) << 32,
+                        std::memory_order_relaxed);
     done_chunks_.store(0, std::memory_order_relaxed);
     error_ = nullptr;
-    ++generation_;
   }
   cv_task_.notify_all();
 
   // The caller claims chunks too; it is participant number N of N.
   tl_in_worker = true;
-  run_chunks(fn, begin, end, chunk, nchunks);
+  run_chunks(&fn, generation, begin, end, chunk, nchunks);
   tl_in_worker = false;
 
-  // Wait until every chunk completed AND every worker has left the task,
-  // so the shared task slot can be safely republished by the next call.
+  // Wait until every chunk completed AND every worker that entered the
+  // task has left it. A worker that slept through the task entirely is not
+  // counted here, but the generation tag in task_counter_ keeps it from
+  // ever claiming a chunk of a later task with this task's geometry.
   std::unique_lock<std::mutex> lk(mu_);
   cv_done_.wait(lk, [&] {
     return done_chunks_.load(std::memory_order_acquire) == nchunks_ &&

@@ -64,8 +64,9 @@ class ThreadPool {
 
  private:
   void worker_loop();
-  void run_chunks(const RangeFn& fn, std::size_t begin, std::size_t end,
-                  std::size_t chunk, std::size_t nchunks);
+  void run_chunks(const RangeFn* fn, std::uint64_t generation,
+                  std::size_t begin, std::size_t end, std::size_t chunk,
+                  std::size_t nchunks);
 
   std::vector<std::thread> workers_;
 
@@ -84,7 +85,16 @@ class ThreadPool {
   std::size_t chunk_ = 0;
   std::size_t nchunks_ = 0;
   std::size_t active_workers_ = 0;  ///< workers inside the current task
-  std::atomic<std::size_t> next_chunk_{0};
+
+  // Chunk claims are generation-tagged: the high 32 bits hold the low 32
+  // bits of the owning task's generation_, the low 32 bits count claimed
+  // chunks. A worker that slept through a whole task (and is therefore
+  // invisible to the completion wait) can wake with stale geometry after a
+  // newer task was published; the tag makes its claim attempt fail instead
+  // of stealing the new task's chunk 0 and running it with dangling state.
+  // (A worker would have to sleep through exactly a multiple of 2^32
+  // dispatches for the tag to alias — not a practical concern.)
+  std::atomic<std::uint64_t> task_counter_{0};
   std::atomic<std::size_t> done_chunks_{0};
   std::exception_ptr error_;
 };

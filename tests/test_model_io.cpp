@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -15,7 +17,10 @@ namespace {
 class ModelIoTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "apds_model_io_test";
+    // Per-pid dir: parallel ctest runs each case in its own process, and a
+    // shared dir races one case's TearDown against another's save/load.
+    dir_ = std::filesystem::temp_directory_path() /
+           ("apds_model_io_test_" + std::to_string(::getpid()));
     std::filesystem::create_directories(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }

@@ -140,6 +140,27 @@ TEST(ThreadPool, ReusableAcrossManyDispatches) {
   }
 }
 
+// Regression: a worker that sleeps through a whole task can wake with that
+// task's (stale, destroyed) fn/geometry after the next one was published.
+// Tiny tasks with more workers than chunks and immediately re-dispatched
+// ranges at different offsets maximize that window; the generation-tagged
+// chunk counter must keep the stale worker from claiming the new task's
+// chunk 0 (which would execute dangling state and silently skip the chunk).
+TEST(ThreadPool, BackToBackDispatchesNeverRunStaleGeometry) {
+  ThreadPool pool(8);
+  for (int round = 0; round < 5000; ++round) {
+    std::atomic<int> covered{0};
+    const std::size_t lo = static_cast<std::size_t>(round) * 1000;
+    const std::size_t hi = lo + 16;
+    pool.parallel_for(lo, hi, 1, [&, lo, hi](std::size_t b, std::size_t e) {
+      ASSERT_GE(b, lo);
+      ASSERT_LE(e, hi);
+      covered += static_cast<int>(e - b);
+    });
+    ASSERT_EQ(covered.load(), 16) << "round " << round;
+  }
+}
+
 TEST(ThreadPool, ConcurrentExternalCallersSerialize) {
   ThreadPool pool(4);
   std::atomic<long> total{0};
