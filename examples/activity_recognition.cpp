@@ -12,6 +12,7 @@
 #include "metrics/classification_metrics.h"
 #include "nn/loss.h"
 #include "nn/trainer.h"
+#include "obs/run_options.h"
 #include "tensor/ops.h"
 #include "uncertainty/apd_estimator.h"
 
@@ -23,7 +24,8 @@ const char* kActivityNames[] = {"biking",       "sitting",
                                 "climb-up",     "climb-down"};
 }
 
-int main() {
+int main(int argc, char** argv) {
+  obs::ObsSession obs_session(argc, argv);
   Rng rng(11);
 
   // Leave-one-user-out data: train on users 0..7, deploy on user 8.

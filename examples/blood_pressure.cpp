@@ -10,11 +10,14 @@
 #include "data/scaler.h"
 #include "nn/loss.h"
 #include "nn/trainer.h"
+#include "obs/health.h"
+#include "obs/run_options.h"
 #include "uncertainty/apd_estimator.h"
 
 using namespace apds;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::ObsSession obs_session(argc, argv);
   Rng rng(5);
 
   Dataset data = generate_bpest(2500, rng);
@@ -41,6 +44,12 @@ int main() {
       apd.predict_regression(xs.transform(split.test.x));
   pred.mean = ys.inverse_transform(pred.mean);
   pred.var = ys.inverse_transform_variance(pred.var);
+
+  // The clinical consumer trusts the interval, so its calibration is a
+  // serving-health signal: stream the labelled waveform predictions into
+  // the calibration monitor (exported with --health/--prom).
+  obs::HealthMonitor::instance().calibration().observe_batch(
+      pred.mean.flat(), pred.var.flat(), split.test.y.flat());
 
   std::cout << "Cuff-less BP estimates from PPG (2 s windows, 250 samples):\n";
   std::cout << "window   SBP est (true)        DBP est (true)\n";

@@ -10,11 +10,14 @@
 #include "data/scaler.h"
 #include "nn/loss.h"
 #include "nn/trainer.h"
+#include "obs/health.h"
+#include "obs/run_options.h"
 #include "uncertainty/apd_estimator.h"
 
 using namespace apds;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::ObsSession obs_session(argc, argv);
   Rng rng(42);
 
   // Train a compact gas-inversion model on synthetic sensor data.
@@ -49,6 +52,12 @@ int main() {
       apd.predict_regression(xs.transform(split.test.x));
   pred.mean = ys.inverse_transform(pred.mean);
   pred.var = ys.inverse_transform_variance(pred.var);
+
+  // Safety decisions downstream of the interval make its calibration a
+  // serving-health concern: stream every labelled reading into the
+  // calibration monitor (exported with --health/--prom).
+  obs::HealthMonitor::instance().calibration().observe_batch(
+      pred.mean.flat(), pred.var.flat(), split.test.y.flat());
 
   for (std::size_t i = 0; i < split.test.size(); ++i) {
     const double co_mean = pred.mean(i, 1);

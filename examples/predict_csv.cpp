@@ -4,23 +4,32 @@
 // uncertainty at inference).
 //
 //   predict_csv <model.apds> <inputs.csv> <outputs.csv> [--classify]
-//               [--trace trace.json] [--metrics metrics.json]
-//               [--log-level lvl]
+//               [--labels labels.csv] [--trace trace.json]
+//               [--metrics metrics.json] [--health health.json]
+//               [--prom health.prom] [--log-level lvl]
+//
+// `--labels <csv>` streams ground-truth targets (regression only) into the
+// process-wide calibration monitor, so the run reports windowed empirical
+// coverage and Gaussian NLL — and `--health`/`--prom` export the snapshot.
 //
 // Run with no arguments for a self-contained demo: it trains a small model
-// on the synthetic gas-sensing task, saves it, exports sample inputs, and
-// then runs itself end-to-end.
+// on the synthetic gas-sensing task, saves it, exports sample inputs and
+// labels, and then runs itself end-to-end with calibration monitoring.
 #include <cmath>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "common/stopwatch.h"
 #include "data/csv.h"
 #include "data/gassen.h"
 #include "data/scaler.h"
 #include "nn/loss.h"
 #include "nn/model_io.h"
 #include "nn/trainer.h"
+#include "obs/health.h"
 #include "obs/run_options.h"
+#include "platform/cost_model.h"
 #include "uncertainty/apd_estimator.h"
 
 using namespace apds;
@@ -28,7 +37,8 @@ using namespace apds;
 namespace {
 
 int predict(const std::string& model_path, const std::string& in_csv,
-            const std::string& out_csv, bool classify) {
+            const std::string& out_csv, bool classify,
+            const std::string& labels_csv) {
   const Mlp mlp = load_model(model_path);
   const Matrix inputs = read_csv(in_csv);
   if (inputs.cols() != mlp.input_dim()) {
@@ -37,30 +47,67 @@ int predict(const std::string& model_path, const std::string& in_csv,
     return 1;
   }
   const ApdEstimator apd(mlp);
+  obs::HealthMonitor& health = obs::HealthMonitor::instance();
 
   if (classify) {
+    if (!labels_csv.empty()) {
+      std::cerr << "--labels calibration monitoring supports regression "
+                   "models only\n";
+      return 1;
+    }
     const PredictiveCategorical pred = apd.predict_classification(inputs);
     std::vector<std::string> header;
     for (std::size_t c = 0; c < pred.probs.cols(); ++c)
       header.push_back("p_class" + std::to_string(c));
     write_csv(out_csv, pred.probs, header);
-  } else {
-    const PredictiveGaussian pred = apd.predict_regression(inputs);
-    Matrix out(pred.mean.rows(), pred.mean.cols() * 2);
-    std::vector<std::string> header;
-    for (std::size_t c = 0; c < pred.mean.cols(); ++c) {
-      header.push_back("mean" + std::to_string(c));
-      header.push_back("stddev" + std::to_string(c));
-    }
-    for (std::size_t r = 0; r < out.rows(); ++r)
-      for (std::size_t c = 0; c < pred.mean.cols(); ++c) {
-        out(r, 2 * c) = pred.mean(r, c);
-        out(r, 2 * c + 1) = std::sqrt(pred.var(r, c));
-      }
-    write_csv(out_csv, out, header);
+    std::cout << "wrote " << inputs.rows() << " predictions to " << out_csv
+              << "\n";
+    return 0;
   }
+
+  Stopwatch sw;
+  const PredictiveGaussian pred = apd.predict_regression(inputs);
+  // One batched pass; charge the modelled per-row FLOPs for the energy
+  // budget and the measured per-row share of the batch latency.
+  const double batch_ms = sw.elapsed_ms();
+  const double row_flops = flops_apdeepsense(mlp);
+  for (std::size_t r = 0; r < inputs.rows(); ++r)
+    health.latency().observe(batch_ms / static_cast<double>(inputs.rows()),
+                             row_flops);
+
+  Matrix out(pred.mean.rows(), pred.mean.cols() * 2);
+  std::vector<std::string> header;
+  for (std::size_t c = 0; c < pred.mean.cols(); ++c) {
+    header.push_back("mean" + std::to_string(c));
+    header.push_back("stddev" + std::to_string(c));
+  }
+  for (std::size_t r = 0; r < out.rows(); ++r)
+    for (std::size_t c = 0; c < pred.mean.cols(); ++c) {
+      out(r, 2 * c) = pred.mean(r, c);
+      out(r, 2 * c + 1) = std::sqrt(pred.var(r, c));
+    }
+  write_csv(out_csv, out, header);
   std::cout << "wrote " << inputs.rows() << " predictions to " << out_csv
             << "\n";
+
+  if (!labels_csv.empty()) {
+    const Matrix labels = read_csv(labels_csv);
+    if (labels.rows() != pred.mean.rows() ||
+        labels.cols() != pred.mean.cols()) {
+      std::cerr << "labels CSV is " << labels.rows() << "x" << labels.cols()
+                << ", predictions are " << pred.mean.rows() << "x"
+                << pred.mean.cols() << "\n";
+      return 1;
+    }
+    health.calibration().observe_batch(pred.mean.flat(), pred.var.flat(),
+                                       labels.flat());
+    std::cout << "calibration over " << labels.size()
+              << " labelled outputs: windowed NLL "
+              << health.calibration().nll() << ", coverage";
+    for (const auto& c : health.calibration().coverage())
+      std::cout << " " << c.nominal << "->" << c.empirical;
+    std::cout << "\n";
+  }
   return 0;
 }
 
@@ -70,6 +117,7 @@ int demo() {
   Dataset data = generate_gassen(1500, rng);
   const DataSplit split = split_dataset(data, 0.0, 0.1, rng);
   const StandardScaler xs = StandardScaler::fit(split.train.x);
+  const StandardScaler ys = StandardScaler::fit(split.train.y);
 
   MlpSpec spec;
   spec.dims = {16, 64, 64, 2};
@@ -77,15 +125,17 @@ int demo() {
   Mlp mlp = Mlp::make(spec, rng);
   TrainConfig cfg;
   cfg.epochs = 10;
-  train_mlp(mlp, xs.transform(split.train.x),
-            StandardScaler::fit(split.train.y).transform(split.train.y),
+  train_mlp(mlp, xs.transform(split.train.x), ys.transform(split.train.y),
             Matrix(), Matrix(), MseLoss(), cfg, rng);
 
   save_model(mlp, "demo_gas_model.apds");
   write_csv("demo_gas_inputs.csv", xs.transform(split.test.x));
-  std::cout << "saved demo_gas_model.apds and demo_gas_inputs.csv\n";
+  write_csv("demo_gas_labels.csv", ys.transform(split.test.y));
+  std::cout << "saved demo_gas_model.apds, demo_gas_inputs.csv and "
+               "demo_gas_labels.csv\n";
   return predict("demo_gas_model.apds", "demo_gas_inputs.csv",
-                 "demo_gas_predictions.csv", /*classify=*/false);
+                 "demo_gas_predictions.csv", /*classify=*/false,
+                 "demo_gas_labels.csv");
 }
 
 }  // namespace
@@ -93,15 +143,32 @@ int demo() {
 int main(int argc, char** argv) {
   try {
     obs::ObsSession obs_session(argc, argv);
-    if (argc == 1) return demo();
-    if (argc < 4) {
+
+    bool classify = false;
+    std::string labels_csv;
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--classify") {
+        classify = true;
+      } else if (arg == "--labels") {
+        if (i + 1 >= argc) throw InvalidArgument("--labels: missing value");
+        labels_csv = argv[++i];
+      } else {
+        positional.push_back(arg);
+      }
+    }
+
+    if (positional.empty() && !classify && labels_csv.empty()) return demo();
+    if (positional.size() != 3) {
       std::cerr << "usage: " << argv[0]
-                << " <model.apds> <inputs.csv> <outputs.csv> [--classify]\n"
+                << " <model.apds> <inputs.csv> <outputs.csv> [--classify]"
+                   " [--labels labels.csv]\n"
                 << obs::obs_flags_help() << "\n";
       return 2;
     }
-    const bool classify = argc > 4 && std::string(argv[4]) == "--classify";
-    return predict(argv[1], argv[2], argv[3], classify);
+    return predict(positional[0], positional[1], positional[2], classify,
+                   labels_csv);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

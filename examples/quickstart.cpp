@@ -6,14 +6,20 @@
 //                ./build/examples/quickstart
 //
 // Pass `--trace out.json` to capture a Chrome-trace of the whole run
-// (training epochs, per-layer inference spans) — see docs/OBSERVABILITY.md.
+// (training epochs, per-layer inference spans), or
+// `--health h.json --prom h.prom` to export the streaming health snapshot
+// (windowed calibration coverage/NLL, input drift, latency p50/p95/p99 and
+// modelled Edison energy) — see docs/OBSERVABILITY.md.
 #include <cmath>
 #include <iostream>
 
 #include "common/rng.h"
+#include "common/stopwatch.h"
 #include "nn/loss.h"
 #include "nn/trainer.h"
+#include "obs/health.h"
 #include "obs/run_options.h"
+#include "platform/cost_model.h"
 #include "uncertainty/apd_estimator.h"
 #include "uncertainty/mcdrop.h"
 
@@ -59,7 +65,48 @@ int main(int argc, char** argv) {
                 pred.mean(0, 0), 2.0 * sd, std::sin(3.0 * q));
   }
 
-  // 5. Compare with the sampling baseline at equal fidelity: MCDrop-50
+  // 5. Online health monitoring: stream a held-out set through the model
+  //    the way a deployment would, feeding the process-wide HealthMonitor —
+  //    per-inference latency + modelled Edison energy, input drift against
+  //    the training distribution, and (labels being available here)
+  //    windowed calibration coverage/NLL. Export with --health/--prom.
+  {
+    obs::HealthMonitor& health = obs::HealthMonitor::instance();
+    const std::size_t n_train = x.rows();
+    double mean_x = 0.0;
+    double var_x = 0.0;
+    for (std::size_t i = 0; i < n_train; ++i) mean_x += x(i, 0);
+    mean_x /= static_cast<double>(n_train);
+    for (std::size_t i = 0; i < n_train; ++i) {
+      const double d = x(i, 0) - mean_x;
+      var_x += d * d;
+    }
+    var_x /= static_cast<double>(n_train);
+    health.drift().set_reference({&mean_x, 1}, {&var_x, 1});
+
+    const double flops = flops_apdeepsense(mlp, 7);
+    for (std::size_t i = 0; i < 200; ++i) {
+      Matrix input(1, 1);
+      input(0, 0) = rng.uniform(-1.0, 1.0);
+      const double truth =
+          std::sin(3.0 * input(0, 0)) + rng.normal(0.0, 0.1);
+      health.drift().observe(input.row(0));
+      Stopwatch sw;
+      const PredictiveGaussian p = apd.predict_regression(input);
+      health.latency().observe(sw.elapsed_ms(), flops);
+      health.calibration().observe(p.mean(0, 0), p.var(0, 0), truth);
+    }
+    const auto cov = health.calibration().coverage();
+    std::cout << "\nStreaming health over 200 held-out inferences:"
+              << "\n  windowed NLL " << health.calibration().nll()
+              << ", coverage@0.9 "
+              << (cov.size() > 1 ? cov[1].empirical : 0.0)
+              << "\n  latency p50 " << health.latency().percentiles().p50_ms
+              << " ms, modelled energy/inference "
+              << health.latency().energy_mean_mj() << " mJ\n";
+  }
+
+  // 6. Compare with the sampling baseline at equal fidelity: MCDrop-50
   //    needs 50 forward passes for what ApDeepSense got in ~2.
   McDrop mc(mlp, 50, /*seed=*/1);
   Matrix probe(1, 1);

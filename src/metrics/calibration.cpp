@@ -11,22 +11,10 @@ std::vector<CalibrationPoint> calibration_curve(
     const PredictiveGaussian& pred, const Matrix& target,
     std::span<const double> nominal_levels) {
   APDS_CHECK(pred.mean.same_shape(target) && pred.var.same_shape(target));
-  APDS_CHECK(!target.empty());
   std::vector<CalibrationPoint> curve;
   curve.reserve(nominal_levels.size());
   for (double level : nominal_levels) {
-    APDS_CHECK(level > 0.0 && level < 1.0);
-    // z such that P(|Z| <= z) = level: invert via bisection on the cdf.
-    double lo = 0.0;
-    double hi = 10.0;
-    for (int iter = 0; iter < 80; ++iter) {
-      const double mid = 0.5 * (lo + hi);
-      if (2.0 * std_normal_cdf(mid) - 1.0 < level)
-        lo = mid;
-      else
-        hi = mid;
-    }
-    const double z = 0.5 * (lo + hi);
+    const double z = central_interval_z(level);  // validates 0 < level < 1
 
     std::size_t inside = 0;
     for (std::size_t i = 0; i < target.size(); ++i) {
@@ -34,9 +22,12 @@ std::vector<CalibrationPoint> calibration_curve(
       if (std::fabs(target.flat()[i] - pred.mean.flat()[i]) <= z * sd)
         ++inside;
     }
-    curve.push_back(
-        {level, static_cast<double>(inside) /
-                    static_cast<double>(target.size())});
+    // Zero-row targets give 0.0 coverage rather than dividing 0/0.
+    const double empirical =
+        target.size() == 0 ? 0.0
+                           : static_cast<double>(inside) /
+                                 static_cast<double>(target.size());
+    curve.push_back({level, empirical});
   }
   return curve;
 }
@@ -45,7 +36,7 @@ double expected_calibration_error(const PredictiveGaussian& pred,
                                   const Matrix& target,
                                   std::span<const double> nominal_levels) {
   const auto curve = calibration_curve(pred, target, nominal_levels);
-  APDS_CHECK(!curve.empty());
+  if (curve.empty()) return 0.0;
   double acc = 0.0;
   for (const auto& p : curve) acc += std::fabs(p.empirical - p.nominal);
   return acc / static_cast<double>(curve.size());

@@ -16,12 +16,14 @@ struct CalibrationPoint {
 };
 
 /// Empirical coverage of centered Gaussian intervals at each nominal level.
+/// Empty `nominal_levels` yields an empty curve; a zero-row target yields
+/// 0.0 empirical coverage at every level.
 std::vector<CalibrationPoint> calibration_curve(
     const PredictiveGaussian& pred, const Matrix& target,
     std::span<const double> nominal_levels);
 
 /// Mean |empirical - nominal| over the curve — the expected calibration
-/// error of the regression predictive.
+/// error of the regression predictive. 0.0 for an empty curve.
 double expected_calibration_error(const PredictiveGaussian& pred,
                                   const Matrix& target,
                                   std::span<const double> nominal_levels);

@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -32,6 +33,32 @@ RunningStats LatencyHistogram::stats() const {
 Histogram LatencyHistogram::buckets() const {
   std::lock_guard<std::mutex> lock(mu_);
   return hist_;
+}
+
+double LatencyHistogram::percentile(double p) const {
+  APDS_CHECK(p >= 0.0 && p <= 1.0);
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t total = hist_.total();
+  if (total == 0) return 0.0;
+  // Walk the buckets until the cumulative count crosses the target rank,
+  // then interpolate linearly inside that bucket.
+  const double rank = p * static_cast<double>(total);
+  const double bin_width =
+      (hi_ms_ - lo_ms_) / static_cast<double>(hist_.bins());
+  double cumulative = 0.0;
+  double value = hi_ms_;
+  for (std::size_t b = 0; b < hist_.bins(); ++b) {
+    const double in_bin = static_cast<double>(hist_.count(b));
+    if (cumulative + in_bin >= rank) {
+      const double frac = in_bin > 0.0 ? (rank - cumulative) / in_bin : 0.0;
+      value = lo_ms_ + (static_cast<double>(b) + frac) * bin_width;
+      break;
+    }
+    cumulative += in_bin;
+  }
+  // Out-of-range observations clamp into the edge buckets, so bound the
+  // reconstruction by the exact streamed extremes.
+  return std::min(std::max(value, stats_.min()), stats_.max());
 }
 
 void LatencyHistogram::reset() {
@@ -95,7 +122,8 @@ void MetricsRegistry::write_json(std::ostream& os) const {
        << ",\"hi_ms\":" << h->hi_ms() << ",\"count\":" << buckets.total();
     if (stats.count() > 0)
       os << ",\"mean_ms\":" << stats.mean() << ",\"min_ms\":" << stats.min()
-         << ",\"max_ms\":" << stats.max();
+         << ",\"max_ms\":" << stats.max() << ",\"p50_ms\":" << h->p50_ms()
+         << ",\"p95_ms\":" << h->p95_ms() << ",\"p99_ms\":" << h->p99_ms();
     os << ",\"buckets\":[";
     for (std::size_t b = 0; b < buckets.bins(); ++b) {
       if (b > 0) os << ",";

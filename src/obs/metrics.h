@@ -58,6 +58,14 @@ class LatencyHistogram {
   /// Copies of the accumulated state (consistent snapshot under the lock).
   RunningStats stats() const;
   Histogram buckets() const;
+  /// Interpolated percentile (p in [0, 1]) reconstructed from the buckets:
+  /// linear within the bucket the rank falls into, clamped to the exact
+  /// streamed min/max so the edge quantiles stay honest even though the
+  /// bucket grid is coarse. Returns 0.0 when no observations were made.
+  double percentile(double p) const;
+  double p50_ms() const { return percentile(0.50); }
+  double p95_ms() const { return percentile(0.95); }
+  double p99_ms() const { return percentile(0.99); }
   double lo_ms() const { return lo_ms_; }
   double hi_ms() const { return hi_ms_; }
 
@@ -88,7 +96,9 @@ class MetricsRegistry {
   LatencyHistogram& histogram(const std::string& name, double lo_ms = 0.0,
                               double hi_ms = 100.0, std::size_t bins = 32);
 
-  /// {"counters":{...},"gauges":{...},"histograms":{...}}
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}. Keys within each
+  /// section are emitted in sorted (std::map) order, so two exports of the
+  /// same registry state are byte-identical and diffable across runs.
   void write_json(std::ostream& os) const;
   std::string to_json() const;
   /// Throws IoError on failure.

@@ -1,0 +1,408 @@
+#include "obs/monitor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "obs/trace.h"
+#include "stats/gaussian.h"
+#include "stats/ks_test.h"
+
+namespace apds::obs {
+
+// ---------------------------------------------------------------------------
+// Alerts
+
+const char* alert_severity_name(AlertSeverity severity) {
+  return severity == AlertSeverity::kCritical ? "critical" : "warning";
+}
+
+void AlertSink::raise(Alert alert) {
+  if (alert.severity == AlertSeverity::kCritical) {
+    APDS_ERROR("health alert [" << alert.monitor << "] " << alert.message);
+  } else {
+    APDS_WARN("health alert [" << alert.monitor << "] " << alert.message);
+  }
+  if (trace_enabled()) {
+    TraceCollector& collector = TraceCollector::instance();
+    TraceEvent event;
+    event.name = "alert." + alert.monitor;
+    event.category = "alert";
+    std::ostringstream args;
+    args << "\"message\":\"" << json_escape(alert.message)
+         << "\",\"severity\":\"" << alert_severity_name(alert.severity)
+         << "\",\"value\":" << alert.value
+         << ",\"threshold\":" << alert.threshold;
+    event.args_json = args.str();
+    event.ts_us = collector.now_us();
+    event.dur_us = 0.0;
+    collector.record(std::move(event));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  alerts_.push_back(std::move(alert));
+}
+
+std::size_t AlertSink::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return alerts_.size();
+}
+
+std::vector<Alert> AlertSink::alerts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return alerts_;
+}
+
+void AlertSink::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  alerts_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Sliding window
+
+SlidingWindow::SlidingWindow(std::size_t capacity) : buf_(capacity) {
+  APDS_CHECK(capacity > 0);
+}
+
+void SlidingWindow::push(double v) {
+  buf_[next_] = v;
+  next_ = (next_ + 1) % buf_.size();
+  if (size_ < buf_.size()) ++size_;
+  ++total_;
+}
+
+double SlidingWindow::mean() const {
+  if (size_ == 0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < size_; ++i) acc += buf_[i];
+  return acc / static_cast<double>(size_);
+}
+
+std::vector<double> SlidingWindow::sorted() const {
+  std::vector<double> out(buf_.begin(), buf_.begin() + size_);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void SlidingWindow::clear() {
+  next_ = 0;
+  size_ = 0;
+  total_ = 0;
+}
+
+double percentile_sorted(std::span<const double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  APDS_CHECK(p >= 0.0 && p <= 1.0);
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+// ---------------------------------------------------------------------------
+// CalibrationMonitor
+
+CalibrationMonitor::CalibrationMonitor(CalibrationMonitorConfig config,
+                                       AlertSink* sink)
+    : config_(std::move(config)),
+      sink_(sink),
+      abs_z_(config_.window),
+      nll_(config_.window),
+      breached_(config_.nominal_levels.size(), false) {
+  level_z_.reserve(config_.nominal_levels.size());
+  for (double level : config_.nominal_levels)
+    level_z_.push_back(central_interval_z(level));  // validates the level
+}
+
+void CalibrationMonitor::observe(double mean, double var, double target) {
+  APDS_CHECK(var > 0.0);
+  const double sd = std::sqrt(var);
+  std::lock_guard<std::mutex> lock(mu_);
+  abs_z_.push(std::fabs(target - mean) / sd);
+  nll_.push(gaussian_nll(target, mean, var));
+  check_alerts_locked();
+}
+
+void CalibrationMonitor::observe_batch(std::span<const double> mean,
+                                       std::span<const double> var,
+                                       std::span<const double> target) {
+  APDS_CHECK(mean.size() == var.size() && mean.size() == target.size());
+  for (std::size_t i = 0; i < mean.size(); ++i)
+    observe(mean[i], var[i], target[i]);
+}
+
+std::size_t CalibrationMonitor::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return abs_z_.total();
+}
+
+std::vector<CalibrationMonitor::Coverage> CalibrationMonitor::coverage()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Coverage> out;
+  out.reserve(config_.nominal_levels.size());
+  const std::span<const double> zs = abs_z_.values();
+  for (std::size_t l = 0; l < config_.nominal_levels.size(); ++l) {
+    std::size_t inside = 0;
+    for (double z : zs)
+      if (z <= level_z_[l]) ++inside;
+    const double empirical =
+        zs.empty() ? 0.0
+                   : static_cast<double>(inside) /
+                         static_cast<double>(zs.size());
+    out.push_back({config_.nominal_levels[l], empirical});
+  }
+  return out;
+}
+
+double CalibrationMonitor::nll() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return nll_.mean();
+}
+
+void CalibrationMonitor::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  abs_z_.clear();
+  nll_.clear();
+  std::fill(breached_.begin(), breached_.end(), false);
+}
+
+void CalibrationMonitor::check_alerts_locked() {
+  if (sink_ == nullptr || abs_z_.total() < config_.min_count) return;
+  const std::span<const double> zs = abs_z_.values();
+  for (std::size_t l = 0; l < config_.nominal_levels.size(); ++l) {
+    std::size_t inside = 0;
+    for (double z : zs)
+      if (z <= level_z_[l]) ++inside;
+    const double empirical =
+        static_cast<double>(inside) / static_cast<double>(zs.size());
+    const double gap = std::fabs(empirical - config_.nominal_levels[l]);
+    const bool breach = gap > config_.coverage_tolerance;
+    if (breach && !breached_[l]) {
+      std::ostringstream msg;
+      msg << "windowed coverage " << empirical << " at nominal level "
+          << config_.nominal_levels[l] << " is off by " << gap
+          << " (tolerance " << config_.coverage_tolerance << ", window "
+          << zs.size() << ")";
+      sink_->raise({"calibration", msg.str(), AlertSeverity::kWarning, gap,
+                    config_.coverage_tolerance});
+    }
+    breached_[l] = breach;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DriftMonitor
+
+DriftMonitor::DriftMonitor(DriftMonitorConfig config, AlertSink* sink)
+    : config_(config), sink_(sink) {
+  APDS_CHECK(config_.window > 0);
+}
+
+void DriftMonitor::set_reference(std::span<const double> mean,
+                                 std::span<const double> var) {
+  APDS_CHECK(mean.size() == var.size());
+  APDS_CHECK(!mean.empty());
+  for (double v : var) APDS_CHECK(v > 0.0);
+  std::lock_guard<std::mutex> lock(mu_);
+  ref_mean_.assign(mean.begin(), mean.end());
+  ref_var_.assign(var.begin(), var.end());
+  windows_.clear();
+  for (std::size_t f = 0; f < mean.size(); ++f)
+    windows_.emplace_back(config_.window);
+  breached_.assign(mean.size(), false);
+  rows_ = 0;
+}
+
+bool DriftMonitor::has_reference() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !ref_mean_.empty();
+}
+
+std::size_t DriftMonitor::dim() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ref_mean_.size();
+}
+
+void DriftMonitor::observe(std::span<const double> features) {
+  std::lock_guard<std::mutex> lock(mu_);
+  APDS_CHECK_MSG(!ref_mean_.empty(),
+                 "DriftMonitor::observe before set_reference");
+  APDS_CHECK(features.size() == ref_mean_.size());
+  for (std::size_t f = 0; f < features.size(); ++f)
+    windows_[f].push(features[f]);
+  ++rows_;
+  check_alerts_locked();
+}
+
+double DriftMonitor::feature_z_locked(std::size_t f) const {
+  const SlidingWindow& w = windows_[f];
+  if (w.size() == 0) return 0.0;
+  // Standard error of the window mean under the frozen reference.
+  const double se =
+      std::sqrt(ref_var_[f] / static_cast<double>(w.size()));
+  return (w.mean() - ref_mean_[f]) / se;
+}
+
+std::size_t DriftMonitor::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rows_;
+}
+
+std::vector<DriftMonitor::FeatureDrift> DriftMonitor::drift() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FeatureDrift> out;
+  out.reserve(ref_mean_.size());
+  for (std::size_t f = 0; f < ref_mean_.size(); ++f) {
+    FeatureDrift d;
+    d.ref_mean = ref_mean_[f];
+    d.ref_var = ref_var_[f];
+    d.window_mean = windows_[f].mean();
+    d.z = feature_z_locked(f);
+    if (windows_[f].size() > 1) {
+      const KsResult ks = ks_test_gaussian(windows_[f].values(), ref_mean_[f],
+                                           std::sqrt(ref_var_[f]));
+      d.ks_stat = ks.statistic;
+      d.ks_p = ks.p_value;
+    }
+    out.push_back(d);
+  }
+  return out;
+}
+
+double DriftMonitor::max_abs_z() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double max_z = 0.0;
+  for (std::size_t f = 0; f < ref_mean_.size(); ++f)
+    max_z = std::max(max_z, std::fabs(feature_z_locked(f)));
+  return max_z;
+}
+
+void DriftMonitor::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (SlidingWindow& w : windows_) w.clear();
+  std::fill(breached_.begin(), breached_.end(), false);
+  rows_ = 0;
+}
+
+void DriftMonitor::check_alerts_locked() {
+  if (sink_ == nullptr || rows_ < config_.min_count) return;
+  // The KS test sorts the window, so amortize it: run only when a full
+  // window's worth of fresh rows has accumulated.
+  const bool run_ks = config_.ks_p_threshold > 0.0 &&
+                      windows_[0].size() == config_.window &&
+                      rows_ % config_.window == 0;
+  for (std::size_t f = 0; f < ref_mean_.size(); ++f) {
+    const double z = feature_z_locked(f);
+    bool breach = std::fabs(z) > config_.z_threshold;
+    double value = std::fabs(z);
+    double threshold = config_.z_threshold;
+    std::string what = "window-mean z-score";
+    if (!breach && run_ks) {
+      const KsResult ks = ks_test_gaussian(windows_[f].values(), ref_mean_[f],
+                                           std::sqrt(ref_var_[f]));
+      if (ks.p_value < config_.ks_p_threshold) {
+        breach = true;
+        value = ks.p_value;
+        threshold = config_.ks_p_threshold;
+        what = "KS p-value";
+      }
+    }
+    if (breach && !breached_[f]) {
+      std::ostringstream msg;
+      msg << "feature " << f << " drifted: " << what << " " << value
+          << " vs threshold " << threshold << " (window mean "
+          << windows_[f].mean() << ", reference mean " << ref_mean_[f] << ")";
+      sink_->raise(
+          {"drift", msg.str(), AlertSeverity::kWarning, value, threshold});
+    }
+    // Only the z criterion is re-evaluated every row; keep the latch on the
+    // z state so a KS-only breach does not re-fire every full window.
+    if (breach || std::fabs(z) <= config_.z_threshold * 0.9)
+      breached_[f] = breach;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LatencySloMonitor
+
+LatencySloMonitor::LatencySloMonitor(LatencySloMonitorConfig config,
+                                     AlertSink* sink)
+    : config_(config), sink_(sink), latencies_(config.window) {}
+
+void LatencySloMonitor::observe(double ms, double flops) {
+  APDS_CHECK(ms >= 0.0);
+  std::lock_guard<std::mutex> lock(mu_);
+  latencies_.push(ms);
+  if (flops > 0.0) {
+    energy_total_mj_ += config_.edison.energy_mj(flops);
+    ++energy_count_;
+  }
+  check_alerts_locked();
+}
+
+std::size_t LatencySloMonitor::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return latencies_.total();
+}
+
+LatencySloMonitor::Percentiles LatencySloMonitor::percentiles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::vector<double> sorted = latencies_.sorted();
+  return {percentile_sorted(sorted, 0.50), percentile_sorted(sorted, 0.95),
+          percentile_sorted(sorted, 0.99)};
+}
+
+double LatencySloMonitor::energy_total_mj() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return energy_total_mj_;
+}
+
+double LatencySloMonitor::energy_mean_mj() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return energy_count_ == 0
+             ? 0.0
+             : energy_total_mj_ / static_cast<double>(energy_count_);
+}
+
+void LatencySloMonitor::set_slo(const LatencySloConfigThresholds& slo) {
+  std::lock_guard<std::mutex> lock(mu_);
+  config_.slo = slo;
+  for (bool& b : breached_) b = false;
+}
+
+void LatencySloMonitor::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  latencies_.clear();
+  energy_total_mj_ = 0.0;
+  energy_count_ = 0;
+  for (bool& b : breached_) b = false;
+}
+
+void LatencySloMonitor::check_alerts_locked() {
+  if (sink_ == nullptr || latencies_.total() < config_.min_count) return;
+  const std::vector<double> sorted = latencies_.sorted();
+  const double ps[3] = {0.50, 0.95, 0.99};
+  const double limits[3] = {config_.slo.p50_ms, config_.slo.p95_ms,
+                            config_.slo.p99_ms};
+  const char* names[3] = {"p50", "p95", "p99"};
+  for (int i = 0; i < 3; ++i) {
+    if (limits[i] <= 0.0) continue;  // unchecked
+    const double observed = percentile_sorted(sorted, ps[i]);
+    const bool breach = observed > limits[i];
+    if (breach && !breached_[i]) {
+      std::ostringstream msg;
+      msg << "windowed " << names[i] << " latency " << observed
+          << " ms exceeds SLO " << limits[i] << " ms (window " << sorted.size()
+          << ")";
+      sink_->raise({"latency_slo", msg.str(), AlertSeverity::kCritical,
+                    observed, limits[i]});
+    }
+    breached_[i] = breach;
+  }
+}
+
+}  // namespace apds::obs

@@ -1,0 +1,273 @@
+// Streaming health monitors for the inference stack: sliding-window
+// calibration coverage/NLL, per-feature input-drift detection against a
+// frozen training-set reference, and latency/energy SLO tracking. Each
+// monitor ingests observations one at a time (cheap enough for the serving
+// hot path), keeps a bounded window, and raises structured alerts through
+// an AlertSink when a threshold is breached. The HealthMonitor aggregate
+// and the JSON / Prometheus exporters live in obs/health.h.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "platform/edison.h"
+
+namespace apds::obs {
+
+// ---------------------------------------------------------------------------
+// Alerts
+
+enum class AlertSeverity { kWarning, kCritical };
+
+/// One threshold breach, machine-readable. `value` is the observed
+/// statistic, `threshold` the configured limit it crossed.
+struct Alert {
+  std::string monitor;   ///< "calibration" | "drift" | "latency_slo"
+  std::string message;
+  AlertSeverity severity = AlertSeverity::kWarning;
+  double value = 0.0;
+  double threshold = 0.0;
+};
+
+const char* alert_severity_name(AlertSeverity severity);
+
+/// Thread-safe alert collector. Every raised alert is also emitted as a log
+/// line (warn/error) and, when tracing is enabled, as a zero-duration trace
+/// event in the "alert" category, so breaches land in the same timeline as
+/// the spans that caused them.
+class AlertSink {
+ public:
+  void raise(Alert alert);
+
+  std::size_t count() const;
+  /// Copy of all alerts raised so far (consistent snapshot under the lock).
+  std::vector<Alert> alerts() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Alert> alerts_;
+};
+
+// ---------------------------------------------------------------------------
+// Sliding window
+
+/// Fixed-capacity ring of doubles with lifetime count. Not thread-safe on
+/// its own — the owning monitor serializes access.
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(std::size_t capacity);
+
+  void push(double v);
+  /// Observations currently held (<= capacity).
+  std::size_t size() const { return size_; }
+  /// Lifetime observation count (monotonic).
+  std::size_t total() const { return total_; }
+  double mean() const;
+  /// Ascending copy of the held observations.
+  std::vector<double> sorted() const;
+  void clear();
+
+  /// Values currently held, unordered.
+  std::span<const double> values() const { return {buf_.data(), size_}; }
+
+ private:
+  std::vector<double> buf_;
+  std::size_t next_ = 0;
+  std::size_t size_ = 0;
+  std::size_t total_ = 0;
+};
+
+/// Interpolated percentile (p in [0, 1]) of an ascending-sorted sample,
+/// matching the convention of platform/profiler.cpp. 0.0 when empty.
+double percentile_sorted(std::span<const double> sorted, double p);
+
+// ---------------------------------------------------------------------------
+// Calibration
+
+struct CalibrationMonitorConfig {
+  /// Central-interval coverage levels to track (each in (0, 1)).
+  std::vector<double> nominal_levels = {0.5, 0.9, 0.95};
+  /// Sliding-window length (labelled predictions).
+  std::size_t window = 512;
+  /// Alert when |empirical - nominal| exceeds this at any level.
+  double coverage_tolerance = 0.15;
+  /// No alerts before this many labelled observations.
+  std::size_t min_count = 64;
+};
+
+/// Windowed empirical coverage + Gaussian NLL over labelled predictions,
+/// fed whenever ground truth becomes available at serving time. The
+/// interval math is shared with metrics/calibration.h via
+/// stats/gaussian.h's central_interval_z.
+class CalibrationMonitor {
+ public:
+  explicit CalibrationMonitor(CalibrationMonitorConfig config = {},
+                              AlertSink* sink = nullptr);
+
+  /// One labelled scalar prediction. Requires var > 0.
+  void observe(double mean, double var, double target);
+  /// Element-wise batch form; the three spans must have equal length.
+  void observe_batch(std::span<const double> mean, std::span<const double> var,
+                     std::span<const double> target);
+
+  struct Coverage {
+    double nominal = 0.0;
+    double empirical = 0.0;  ///< over the current window
+  };
+
+  std::size_t count() const;  ///< lifetime labelled observations
+  /// Windowed empirical coverage at each configured nominal level.
+  std::vector<Coverage> coverage() const;
+  /// Windowed mean Gaussian NLL (0.0 before any observation).
+  double nll() const;
+
+  const CalibrationMonitorConfig& config() const { return config_; }
+  void reset();
+
+ private:
+  void check_alerts_locked();
+
+  CalibrationMonitorConfig config_;
+  AlertSink* sink_;
+  std::vector<double> level_z_;  ///< central_interval_z per nominal level
+  mutable std::mutex mu_;
+  SlidingWindow abs_z_;  ///< |target - mean| / stddev per observation
+  SlidingWindow nll_;
+  std::vector<bool> breached_;  ///< per level, for edge-triggered alerts
+};
+
+// ---------------------------------------------------------------------------
+// Input drift
+
+struct DriftMonitorConfig {
+  /// Sliding-window length per feature (rows).
+  std::size_t window = 256;
+  /// Alert when |window mean - ref mean| / (ref sd / sqrt(n)) exceeds this.
+  double z_threshold = 6.0;
+  /// Alert when the windowed KS test against the reference Gaussian has a
+  /// p-value below this (checked once per full window; <= 0 disables).
+  double ks_p_threshold = 1e-4;
+  /// No alerts before this many rows.
+  std::size_t min_count = 64;
+};
+
+/// Per-feature drift of serving inputs against frozen training-set
+/// statistics: a z-score on the windowed mean plus a periodic
+/// Kolmogorov–Smirnov test (stats/ks_test.h) of the window against the
+/// reference Gaussian.
+class DriftMonitor {
+ public:
+  explicit DriftMonitor(DriftMonitorConfig config = {},
+                        AlertSink* sink = nullptr);
+
+  /// Freeze the reference distribution (one mean/variance per feature,
+  /// e.g. from the training set). Clears any windowed state. Requires
+  /// equal-length spans and strictly positive variances.
+  void set_reference(std::span<const double> mean,
+                     std::span<const double> var);
+  bool has_reference() const;
+  std::size_t dim() const;
+
+  /// One input row; must have exactly dim() features.
+  void observe(std::span<const double> features);
+
+  struct FeatureDrift {
+    double ref_mean = 0.0;
+    double ref_var = 0.0;
+    double window_mean = 0.0;
+    double z = 0.0;       ///< standardized window-mean shift
+    double ks_stat = 0.0; ///< KS statistic of window vs reference Gaussian
+    double ks_p = 1.0;    ///< asymptotic KS p-value (1.0 before data)
+  };
+
+  std::size_t count() const;  ///< lifetime rows observed
+  /// Per-feature drift diagnostics over the current window (runs the KS
+  /// test per feature — intended for snapshots, not the per-row hot path).
+  std::vector<FeatureDrift> drift() const;
+  /// Largest |z| across features (0.0 before data).
+  double max_abs_z() const;
+
+  const DriftMonitorConfig& config() const { return config_; }
+  /// Clears windowed state, keeps the reference.
+  void reset();
+
+ private:
+  double feature_z_locked(std::size_t f) const;
+  void check_alerts_locked();
+
+  DriftMonitorConfig config_;
+  AlertSink* sink_;
+  mutable std::mutex mu_;
+  std::vector<double> ref_mean_;
+  std::vector<double> ref_var_;
+  std::vector<SlidingWindow> windows_;  ///< one per feature
+  std::vector<bool> breached_;          ///< per feature, edge-triggered
+  std::size_t rows_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Latency / energy SLO
+
+struct LatencySloConfigThresholds {
+  double p50_ms = 0.0;  ///< 0 disables the check
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+struct LatencySloMonitorConfig {
+  std::size_t window = 512;
+  LatencySloConfigThresholds slo;
+  std::size_t min_count = 32;
+  /// Execution model used to turn per-inference FLOP counts into modelled
+  /// energy (the paper's Edison budget).
+  EdisonModel edison;
+};
+
+/// Windowed p50/p95/p99 inference latency against configurable SLO
+/// thresholds, plus accumulated modelled energy for observations that
+/// carry a FLOP count.
+class LatencySloMonitor {
+ public:
+  explicit LatencySloMonitor(LatencySloMonitorConfig config = {},
+                             AlertSink* sink = nullptr);
+
+  /// One inference: measured wall-clock ms and, when known, the modelled
+  /// FLOP cost (0 = no energy contribution).
+  void observe(double ms, double flops = 0.0);
+
+  struct Percentiles {
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double p99_ms = 0.0;
+  };
+
+  std::size_t count() const;  ///< lifetime observations
+  Percentiles percentiles() const;  ///< over the current window
+  /// Modelled energy (mJ) summed over all observations with flops > 0.
+  double energy_total_mj() const;
+  /// Mean modelled energy per inference (0.0 before any flops-carrying
+  /// observation).
+  double energy_mean_mj() const;
+
+  const LatencySloMonitorConfig& config() const { return config_; }
+  /// Replace the SLO thresholds (keeps windowed state; re-arms alerts).
+  void set_slo(const LatencySloConfigThresholds& slo);
+  void reset();
+
+ private:
+  void check_alerts_locked();
+
+  LatencySloMonitorConfig config_;
+  AlertSink* sink_;
+  mutable std::mutex mu_;
+  SlidingWindow latencies_;
+  double energy_total_mj_ = 0.0;
+  std::size_t energy_count_ = 0;
+  bool breached_[3] = {false, false, false};  ///< p50/p95/p99
+};
+
+}  // namespace apds::obs

@@ -7,6 +7,7 @@
 
 #include "common/error.h"
 #include "common/logging.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "platform/thread_pool.h"
@@ -27,6 +28,42 @@ LogLevel parse_level(std::string name) {
                         "' (want debug|info|warn|error|off)");
 }
 
+/// Parse "--slo p50,p95,p99" (each a non-negative ms value, 0 = unchecked;
+/// fewer than three values leave the remaining percentiles unchecked).
+void parse_slo(const std::string& value, ObsOptions& options) {
+  std::vector<std::string> tokens;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = value.find(',', start);
+    tokens.push_back(comma == std::string::npos
+                         ? value.substr(start)
+                         : value.substr(start, comma - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  const auto bad = [&]() -> InvalidArgument {
+    return InvalidArgument(
+        "--slo: want up to three comma-separated ms values p50,p95,p99 "
+        "(non-negative, 0 = unchecked), got '" + value + "'");
+  };
+  if (tokens.empty() || tokens.size() > 3) throw bad();
+  double parts[3] = {0.0, 0.0, 0.0};
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    std::size_t pos = 0;
+    double v = -1.0;
+    try {
+      v = std::stod(tokens[i], &pos);
+    } catch (const std::exception&) {
+      pos = 0;
+    }
+    if (tokens[i].empty() || pos != tokens[i].size() || v < 0.0) throw bad();
+    parts[i] = v;
+  }
+  options.slo_p50_ms = parts[0];
+  options.slo_p95_ms = parts[1];
+  options.slo_p99_ms = parts[2];
+}
+
 }  // namespace
 
 ObsOptions parse_obs_flags(int& argc, char** argv) {
@@ -45,6 +82,12 @@ ObsOptions parse_obs_flags(int& argc, char** argv) {
       options.trace_path = take_value("--trace");
     } else if (arg == "--metrics") {
       options.metrics_path = take_value("--metrics");
+    } else if (arg == "--health") {
+      options.health_path = take_value("--health");
+    } else if (arg == "--prom") {
+      options.prom_path = take_value("--prom");
+    } else if (arg == "--slo") {
+      parse_slo(take_value("--slo"), options);
     } else if (arg == "--log-level") {
       set_log_level(parse_level(take_value("--log-level")));
     } else if (arg == "--threads") {
@@ -80,6 +123,11 @@ ObsOptions parse_obs_flags(int& argc, char** argv) {
 const char* obs_flags_help() {
   return "  --trace <file>      write Chrome-trace JSON + aggregate table\n"
          "  --metrics <file>    write metrics (counters/gauges) JSON\n"
+         "  --health <file>     write health snapshot JSON (calibration,\n"
+         "                      drift, latency/energy, alerts)\n"
+         "  --prom <file>       write health snapshot in Prometheus text\n"
+         "                      exposition format\n"
+         "  --slo <p50,p95,p99> latency SLO thresholds in ms (0 = unchecked)\n"
          "  --log-level <lvl>   debug|info|warn|error|off\n"
          "  --threads <n>       thread-pool width (1 = serial; default\n"
          "                      APDS_THREADS env, then hardware)";
@@ -90,6 +138,11 @@ ObsSession::ObsSession(ObsOptions options) : options_(std::move(options)) {
   if (options_.threads > 0) set_global_threads(options_.threads);
   MetricsRegistry::instance().gauge("pool.threads").set(
       static_cast<double>(global_threads()));
+  if (options_.slo_p50_ms > 0.0 || options_.slo_p95_ms > 0.0 ||
+      options_.slo_p99_ms > 0.0) {
+    HealthMonitor::instance().set_slo(
+        {options_.slo_p50_ms, options_.slo_p95_ms, options_.slo_p99_ms});
+  }
 }
 
 ObsSession::ObsSession(int& argc, char** argv)
@@ -108,6 +161,22 @@ ObsSession::~ObsSession() {
     if (!options_.metrics_path.empty()) {
       MetricsRegistry::instance().write_json_file(options_.metrics_path);
       std::cout << "metrics written to " << options_.metrics_path << "\n";
+    }
+    if (options_.health_export()) {
+      const HealthSnapshot snap = HealthMonitor::instance().snapshot();
+      if (!options_.health_path.empty()) {
+        snap.write_json_file(options_.health_path);
+        std::cout << "health snapshot written to " << options_.health_path
+                  << "\n";
+      }
+      if (!options_.prom_path.empty()) {
+        snap.write_prometheus_file(options_.prom_path);
+        std::cout << "prometheus metrics written to " << options_.prom_path
+                  << "\n";
+      }
+      if (!snap.alerts.empty())
+        std::cout << "health: " << snap.alerts.size()
+                  << " alert(s) raised during this run\n";
     }
   } catch (const std::exception& e) {
     APDS_ERROR("observability export failed: " << e.what());

@@ -3,6 +3,13 @@
 //   --trace <file>      enable span tracing; write Chrome-trace JSON and
 //                       print the aggregate p50/p95 table on exit
 //   --metrics <file>    write the MetricsRegistry JSON on exit
+//   --health <file>     write the HealthMonitor snapshot JSON on exit
+//                       (calibration coverage/NLL, drift z-scores,
+//                       latency p50/p95/p99, modelled energy, alerts)
+//   --prom <file>       write the same snapshot in Prometheus text
+//                       exposition format
+//   --slo <p50,p95,p99> latency SLO thresholds in ms fed to the health
+//                       monitor (0 disables a percentile's check)
 //   --log-level <lvl>   debug | info | warn | error | off
 //   --threads <n>       width of the global thread pool (1 = serial).
 //                       Precedence: --threads > APDS_THREADS env >
@@ -21,8 +28,17 @@ namespace apds::obs {
 struct ObsOptions {
   std::string trace_path;    ///< empty = tracing stays disabled
   std::string metrics_path;  ///< empty = no metrics export
+  std::string health_path;   ///< empty = no health-snapshot JSON export
+  std::string prom_path;     ///< empty = no Prometheus export
   std::size_t threads = 0;   ///< 0 = APDS_THREADS env / hardware default
+  /// Latency SLO thresholds (--slo); all 0 = no checks.
+  double slo_p50_ms = 0.0;
+  double slo_p95_ms = 0.0;
+  double slo_p99_ms = 0.0;
   bool tracing() const { return !trace_path.empty(); }
+  bool health_export() const {
+    return !health_path.empty() || !prom_path.empty();
+  }
 };
 
 /// Parse and strip the observability flags from argv (argc is compacted;

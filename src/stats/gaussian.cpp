@@ -29,6 +29,21 @@ double gaussian_nll(double x, double mu, double var) {
   return 0.5 * (kLog2Pi + std::log(var) + d * d / var);
 }
 
+double central_interval_z(double level) {
+  APDS_CHECK(level > 0.0 && level < 1.0);
+  // Invert P(|Z| <= z) = 2 Phi(z) - 1 by bisection on the cdf.
+  double lo = 0.0;
+  double hi = 10.0;
+  for (int iter = 0; iter < 80; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (2.0 * std_normal_cdf(mid) - 1.0 < level)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
 BoundaryEval eval_boundary(double x, double mu, double inv_sigma) {
   BoundaryEval be;
   // Standardize. z may be +-inf, which erf/exp handle correctly.

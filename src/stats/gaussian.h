@@ -28,6 +28,12 @@ double normal_log_pdf(double x, double mu, double sigma);
 /// Equals -log N(x; mu, var). Requires var > 0.
 double gaussian_nll(double x, double mu, double var);
 
+/// Half-width z of the centered standard-normal interval with coverage
+/// `level`: P(|Z| <= z) = level. Requires 0 < level < 1. Shared by the
+/// offline calibration curve (metrics/calibration.h) and the streaming
+/// CalibrationMonitor (obs/monitor.h).
+double central_interval_z(double level);
+
 /// Partial moments of X ~ N(mu, sigma^2) over the interval [a, b]
 /// (a may be -inf, b may be +inf):
 ///   mass   = P(a <= X <= b)                                (paper's D_p)

@@ -1,0 +1,93 @@
+// End-to-end tests for tools/bench_compare, the CI regression gate: feed it
+// synthetic micro_kernels / system_perf reports and check the exit codes it
+// hands CI. BENCH_COMPARE_BIN is injected by tests/CMakeLists.txt.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace apds {
+namespace {
+
+#ifdef BENCH_COMPARE_BIN
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream os(path, std::ios::trunc);
+  ASSERT_TRUE(os.good()) << path;
+  os << content;
+}
+
+int run_compare(const std::string& args) {
+  const std::string cmd =
+      std::string(BENCH_COMPARE_BIN) + " " + args + " > /dev/null 2>&1";
+  const int status = std::system(cmd.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+const char kMicroBase[] =
+    R"({"bench":"micro_kernels","threads":2,"kernels":[)"
+    R"({"name":"gemm_moments","threads":1,"mean_ms":2.1,"p50_ms":2.0,"p95_ms":2.4,"iterations":40},)"
+    R"({"name":"gemm_moments","threads":2,"mean_ms":1.2,"p50_ms":1.1,"p95_ms":1.4,"iterations":40}]})";
+
+// Same report with the single-thread p50 doubled: a 2x regression.
+const char kMicroRegressed[] =
+    R"({"bench":"micro_kernels","threads":2,"kernels":[)"
+    R"({"name":"gemm_moments","threads":1,"mean_ms":4.2,"p50_ms":4.0,"p95_ms":4.8,"iterations":40},)"
+    R"({"name":"gemm_moments","threads":2,"mean_ms":1.2,"p50_ms":1.1,"p95_ms":1.4,"iterations":40}]})";
+
+const char kSystemBase[] =
+    R"({"bench":"system_perf","task":"bpest","threads":1,"rows":[)"
+    R"({"config":"DNN-ReLU-ApDeepSense","flops":1e6,"edison_ms":6.7,"edison_mj":5.0,"host_ms":0.5},)"
+    R"({"config":"DNN-ReLU-MCDrop-50","flops":5e7,"edison_ms":333,"edison_mj":250,"host_ms":-1}]})";
+
+const char kSystemRegressed[] =
+    R"({"bench":"system_perf","task":"bpest","threads":1,"rows":[)"
+    R"({"config":"DNN-ReLU-ApDeepSense","flops":1e6,"edison_ms":6.7,"edison_mj":5.0,"host_ms":1.0},)"
+    R"({"config":"DNN-ReLU-MCDrop-50","flops":5e7,"edison_ms":333,"edison_mj":250,"host_ms":-1}]})";
+
+TEST(BenchCompare, IdenticalMicroReportsPass) {
+  write_file("bc_micro_base.json", kMicroBase);
+  EXPECT_EQ(run_compare("bc_micro_base.json bc_micro_base.json"), 0);
+}
+
+TEST(BenchCompare, DoubledP50IsFlaggedAsRegression) {
+  write_file("bc_micro_base.json", kMicroBase);
+  write_file("bc_micro_regressed.json", kMicroRegressed);
+  EXPECT_EQ(run_compare("bc_micro_base.json bc_micro_regressed.json"), 1);
+  // The same pair passes once the allowed regression covers the 2x jump.
+  EXPECT_EQ(run_compare(
+                "bc_micro_base.json bc_micro_regressed.json --max-regress 150"),
+            0);
+  // An improvement (swapped operands) is never a regression.
+  EXPECT_EQ(run_compare("bc_micro_regressed.json bc_micro_base.json"), 0);
+}
+
+TEST(BenchCompare, SystemReportsCompareHostTimesAndSkipUnmeasuredRows) {
+  write_file("bc_sys_base.json", kSystemBase);
+  write_file("bc_sys_regressed.json", kSystemRegressed);
+  EXPECT_EQ(run_compare("bc_sys_base.json bc_sys_base.json"), 0);
+  // host_ms 0.5 -> 1.0 on the only measured row: flagged.
+  EXPECT_EQ(run_compare("bc_sys_base.json bc_sys_regressed.json"), 1);
+}
+
+TEST(BenchCompare, BadInputsAreUsageErrors) {
+  write_file("bc_micro_base.json", kMicroBase);
+  write_file("bc_sys_base.json", kSystemBase);
+  write_file("bc_garbage.json", "{\"bench\":\"micro_kernels\",");
+  // Missing file, malformed JSON, mismatched bench kinds, bad flag value.
+  EXPECT_EQ(run_compare("bc_micro_base.json bc_missing.json"), 2);
+  EXPECT_EQ(run_compare("bc_micro_base.json bc_garbage.json"), 2);
+  EXPECT_EQ(run_compare("bc_micro_base.json bc_sys_base.json"), 2);
+  EXPECT_EQ(run_compare("bc_micro_base.json bc_micro_base.json"
+                        " --max-regress nope"),
+            2);
+  EXPECT_EQ(run_compare("bc_micro_base.json"), 2);
+}
+
+#else
+TEST(BenchCompare, Skipped) { GTEST_SKIP() << "BENCH_COMPARE_BIN not set"; }
+#endif
+
+}  // namespace
+}  // namespace apds

@@ -68,13 +68,30 @@ TEST(Calibration, InvalidLevelsThrow) {
   EXPECT_THROW(calibration_curve(pred, target, bad_hi), InvalidArgument);
 }
 
-TEST(Calibration, EmptyCurveThrows) {
+TEST(Calibration, EmptyLevelsYieldEmptyCurveAndZeroEce) {
   PredictiveGaussian pred;
   pred.mean = Matrix(2, 1);
   pred.var = Matrix(2, 1, 1.0);
-  EXPECT_THROW(
-      expected_calibration_error(pred, Matrix(2, 1), std::span<const double>{}),
-      InvalidArgument);
+  const Matrix target(2, 1);
+  EXPECT_TRUE(
+      calibration_curve(pred, target, std::span<const double>{}).empty());
+  EXPECT_EQ(
+      expected_calibration_error(pred, target, std::span<const double>{}),
+      0.0);
+}
+
+TEST(Calibration, ZeroRowTargetYieldsZeroCoverage) {
+  PredictiveGaussian pred;
+  pred.mean = Matrix(0, 1);
+  pred.var = Matrix(0, 1);
+  const Matrix target(0, 1);
+  const double levels[] = {0.5, 0.9};
+  const auto curve = calibration_curve(pred, target, levels);
+  ASSERT_EQ(curve.size(), 2u);
+  for (const auto& p : curve) EXPECT_EQ(p.empirical, 0.0);
+  // ECE over zero observations is the mean |0 - nominal| of the curve,
+  // still finite and well defined.
+  EXPECT_NEAR(expected_calibration_error(pred, target, levels), 0.7, 1e-12);
 }
 
 }  // namespace

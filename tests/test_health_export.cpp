@@ -1,0 +1,80 @@
+// Tier-1 guard for the health-export path: runs the real `quickstart`
+// example with `--health`/`--prom`/`--slo` and validates the emitted
+// snapshot JSON and Prometheus text, so the ObsSession flag wiring and the
+// exporters cannot silently rot. QUICKSTART_BIN is injected by
+// tests/CMakeLists.txt.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "json_check.h"
+
+namespace apds {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+TEST(HealthExport, QuickstartEmitsValidSnapshotAndPrometheusText) {
+#ifndef QUICKSTART_BIN
+  GTEST_SKIP() << "QUICKSTART_BIN not configured";
+#else
+  const std::string health_path = "quickstart_health_e2e.json";
+  const std::string prom_path = "quickstart_health_e2e.prom";
+  std::remove(health_path.c_str());
+  std::remove(prom_path.c_str());
+
+  // A generous SLO keeps the run alert-free; the thresholds still have to
+  // round-trip into both exports.
+  const std::string cmd = std::string(QUICKSTART_BIN) + " --health " +
+                          health_path + " --prom " + prom_path +
+                          " --slo 5000,8000,10000" +
+                          " > quickstart_health_e2e.out 2>&1";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << read_file(
+      "quickstart_health_e2e.out");
+
+  const std::string json = read_file(health_path);
+  ASSERT_FALSE(json.empty()) << "health file missing or empty";
+  EXPECT_TRUE(testing::json_valid(json)) << json;
+  // The snapshot must carry real data from the run: calibration coverage,
+  // per-feature drift, latency percentiles, and modelled energy.
+  EXPECT_NE(json.find("\"calibration\":{\"count\":200"), std::string::npos);
+  EXPECT_NE(json.find("\"nominal\":0.9"), std::string::npos);
+  EXPECT_NE(json.find("\"drift\":{\"rows\":200"), std::string::npos);
+  EXPECT_NE(json.find("\"ks_p\":"), std::string::npos);
+  EXPECT_NE(json.find("\"latency\":{\"count\":200"), std::string::npos);
+  EXPECT_NE(json.find("\"p99_ms\":"), std::string::npos);
+  EXPECT_NE(json.find("\"slo\":{\"p50_ms\":5000"), std::string::npos);
+  EXPECT_NE(json.find("\"energy_total_mj\":"), std::string::npos);
+
+  const std::string prom = read_file(prom_path);
+  ASSERT_FALSE(prom.empty()) << "prometheus file missing or empty";
+  EXPECT_NE(prom.find("# TYPE apds_health_calibration_coverage gauge"),
+            std::string::npos);
+  EXPECT_NE(prom.find("apds_health_calibration_count 200"),
+            std::string::npos);
+  EXPECT_NE(prom.find("apds_health_latency_ms{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("apds_health_latency_slo_ms{quantile=\"0.5\"} 5000"),
+            std::string::npos);
+  EXPECT_NE(prom.find("apds_health_drift_z{feature=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("apds_health_energy_mj_total"), std::string::npos);
+
+  // The example's own console summary of the streaming monitors.
+  const std::string stdout_text = read_file("quickstart_health_e2e.out");
+  EXPECT_NE(stdout_text.find("Streaming health"), std::string::npos);
+  EXPECT_NE(stdout_text.find("latency p50"), std::string::npos);
+#endif
+}
+
+}  // namespace
+}  // namespace apds

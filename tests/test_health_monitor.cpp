@@ -1,0 +1,305 @@
+#include "obs/monitor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "json_check.h"
+#include "obs/health.h"
+
+namespace apds::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SlidingWindow / percentile_sorted
+
+TEST(SlidingWindowTest, RingEvictsOldestAndTracksLifetimeTotal) {
+  SlidingWindow w(3);
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) w.push(v);
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_EQ(w.total(), 5u);
+  EXPECT_NEAR(w.mean(), (3.0 + 4.0 + 5.0) / 3.0, 1e-12);
+  const auto sorted = w.sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted.front(), 3.0);
+  EXPECT_EQ(sorted.back(), 5.0);
+  w.clear();
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_EQ(w.total(), 0u);
+}
+
+TEST(PercentileSortedTest, InterpolatesBetweenRanks) {
+  std::vector<double> sorted;
+  for (int i = 1; i <= 100; ++i) sorted.push_back(static_cast<double>(i));
+  EXPECT_NEAR(percentile_sorted(sorted, 0.50), 50.5, 1e-12);
+  EXPECT_NEAR(percentile_sorted(sorted, 0.95), 95.05, 1e-9);
+  EXPECT_EQ(percentile_sorted(sorted, 0.0), 1.0);
+  EXPECT_EQ(percentile_sorted(sorted, 1.0), 100.0);
+  EXPECT_EQ(percentile_sorted({}, 0.5), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// CalibrationMonitor
+
+TEST(CalibrationMonitorTest, CoverageConvergesToNominalWhenCalibrated) {
+  AlertSink sink;
+  CalibrationMonitorConfig cfg;
+  cfg.window = 4096;
+  CalibrationMonitor mon(cfg, &sink);
+  Rng rng(17);
+  for (std::size_t i = 0; i < 4096; ++i) {
+    const double mean = rng.normal(0.0, 3.0);
+    const double sd = rng.uniform(0.5, 2.0);
+    mon.observe(mean, sd * sd, mean + rng.normal(0.0, sd));
+  }
+  const auto cov = mon.coverage();
+  ASSERT_EQ(cov.size(), cfg.nominal_levels.size());
+  for (const auto& c : cov)
+    EXPECT_NEAR(c.empirical, c.nominal, 0.03) << "level " << c.nominal;
+  // A well-specified unit-free Gaussian stream should stay well within the
+  // coverage tolerance: no alerts.
+  EXPECT_EQ(sink.count(), 0u);
+  // Windowed NLL of a calibrated stream is near the analytic expectation
+  // 0.5*log(2*pi*sd^2) + 0.5 averaged over sd ~ U(0.5, 2).
+  EXPECT_GT(mon.nll(), 0.5);
+  EXPECT_LT(mon.nll(), 2.5);
+}
+
+TEST(CalibrationMonitorTest, OverconfidentStreamRaisesCoverageAlert) {
+  AlertSink sink;
+  CalibrationMonitorConfig cfg;
+  cfg.min_count = 64;
+  CalibrationMonitor mon(cfg, &sink);
+  Rng rng(18);
+  // Claims sd = 0.1 while the truth spreads sd = 1: coverage collapses.
+  for (std::size_t i = 0; i < 256; ++i)
+    mon.observe(0.0, 0.01, rng.normal());
+  ASSERT_GE(sink.count(), 1u);
+  const auto alerts = sink.alerts();
+  EXPECT_EQ(alerts.front().monitor, "calibration");
+  EXPECT_EQ(alerts.front().severity, AlertSeverity::kWarning);
+  // Edge-triggered: a persistent breach must not alert once per observation.
+  EXPECT_LE(sink.count(), cfg.nominal_levels.size());
+}
+
+TEST(CalibrationMonitorTest, BatchObserveMatchesScalarObserve) {
+  CalibrationMonitor a;
+  CalibrationMonitor b;
+  const std::vector<double> mean = {0.0, 1.0, -2.0};
+  const std::vector<double> var = {1.0, 4.0, 0.25};
+  const std::vector<double> target = {0.5, -1.0, -2.1};
+  a.observe_batch(mean, var, target);
+  for (std::size_t i = 0; i < mean.size(); ++i)
+    b.observe(mean[i], var[i], target[i]);
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_NEAR(a.nll(), b.nll(), 1e-12);
+  const auto ca = a.coverage();
+  const auto cb = b.coverage();
+  ASSERT_EQ(ca.size(), cb.size());
+  for (std::size_t i = 0; i < ca.size(); ++i)
+    EXPECT_EQ(ca[i].empirical, cb[i].empirical);
+}
+
+// ---------------------------------------------------------------------------
+// DriftMonitor
+
+TEST(DriftMonitorTest, QuietOnInDistributionStream) {
+  AlertSink sink;
+  DriftMonitor mon({}, &sink);
+  const std::vector<double> ref_mean = {0.0, 10.0};
+  const std::vector<double> ref_var = {1.0, 4.0};
+  mon.set_reference(ref_mean, ref_var);
+  ASSERT_TRUE(mon.has_reference());
+  EXPECT_EQ(mon.dim(), 2u);
+  Rng rng(19);
+  for (std::size_t i = 0; i < 1024; ++i) {
+    const double row[] = {rng.normal(0.0, 1.0), rng.normal(10.0, 2.0)};
+    mon.observe(row);
+  }
+  EXPECT_EQ(sink.count(), 0u);
+  EXPECT_LT(mon.max_abs_z(), 4.0);
+  const auto drift = mon.drift();
+  ASSERT_EQ(drift.size(), 2u);
+  for (const auto& d : drift) {
+    EXPECT_GT(d.ks_p, 1e-3);  // KS agrees the window matches the reference
+    EXPECT_LT(d.ks_stat, 0.2);
+  }
+}
+
+TEST(DriftMonitorTest, FiresOnMeanShift) {
+  AlertSink sink;
+  DriftMonitor mon({}, &sink);
+  const std::vector<double> ref_mean = {0.0};
+  const std::vector<double> ref_var = {1.0};
+  mon.set_reference(ref_mean, ref_var);
+  Rng rng(20);
+  // Shift the serving distribution by +1 sd: with a 256-row window the
+  // standardized window-mean shift is ~16, far past the threshold of 6.
+  for (std::size_t i = 0; i < 512; ++i) {
+    const double row[] = {rng.normal(1.0, 1.0)};
+    mon.observe(row);
+  }
+  ASSERT_GE(sink.count(), 1u);
+  EXPECT_EQ(sink.alerts().front().monitor, "drift");
+  EXPECT_GT(mon.max_abs_z(), 6.0);
+}
+
+TEST(DriftMonitorTest, ObserveBeforeReferenceAndBadShapesThrow) {
+  DriftMonitor mon;
+  const double row[] = {1.0};
+  EXPECT_THROW(mon.observe(row), InvalidArgument);
+  const std::vector<double> mean = {0.0, 1.0};
+  const std::vector<double> var = {1.0};  // length mismatch
+  EXPECT_THROW(mon.set_reference(mean, var), InvalidArgument);
+  const std::vector<double> zero_var = {1.0, 0.0};
+  EXPECT_THROW(mon.set_reference(mean, zero_var), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// LatencySloMonitor
+
+TEST(LatencySloMonitorTest, PercentilesTrackTheWindow) {
+  LatencySloMonitor mon;
+  for (int i = 1; i <= 100; ++i) mon.observe(static_cast<double>(i));
+  const auto p = mon.percentiles();
+  EXPECT_NEAR(p.p50_ms, 50.5, 1e-9);
+  EXPECT_NEAR(p.p95_ms, 95.05, 1e-9);
+  EXPECT_NEAR(p.p99_ms, 99.01, 1e-9);
+  EXPECT_EQ(mon.count(), 100u);
+}
+
+TEST(LatencySloMonitorTest, BreachingSloRaisesCriticalAlertOnce) {
+  AlertSink sink;
+  LatencySloMonitorConfig cfg;
+  cfg.slo.p50_ms = 5.0;
+  cfg.min_count = 32;
+  LatencySloMonitor mon(cfg, &sink);
+  for (int i = 0; i < 100; ++i) mon.observe(10.0);
+  ASSERT_EQ(sink.count(), 1u);  // edge-triggered, not once per observation
+  const Alert a = sink.alerts().front();
+  EXPECT_EQ(a.monitor, "latency_slo");
+  EXPECT_EQ(a.severity, AlertSeverity::kCritical);
+  EXPECT_EQ(a.threshold, 5.0);
+  EXPECT_NEAR(a.value, 10.0, 1e-9);
+}
+
+TEST(LatencySloMonitorTest, FastStreamStaysQuiet) {
+  AlertSink sink;
+  LatencySloMonitorConfig cfg;
+  cfg.slo = {5.0, 8.0, 10.0};
+  LatencySloMonitor mon(cfg, &sink);
+  for (int i = 0; i < 100; ++i) mon.observe(1.0);
+  EXPECT_EQ(sink.count(), 0u);
+}
+
+TEST(LatencySloMonitorTest, AccumulatesModelledEnergy) {
+  LatencySloMonitor mon;
+  const double flops = 2.0e6;
+  const double expected_mj = mon.config().edison.energy_mj(flops);
+  mon.observe(1.0, flops);
+  mon.observe(1.0, flops);
+  mon.observe(1.0);  // no FLOP count: latency only, no energy contribution
+  EXPECT_NEAR(mon.energy_total_mj(), 2.0 * expected_mj, 1e-12);
+  EXPECT_NEAR(mon.energy_mean_mj(), expected_mj, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// HealthSnapshot export
+
+// The monitors hold mutexes, so HealthMonitor is neither copyable nor
+// movable — populate a caller-owned instance instead of returning one.
+void populate_monitor(HealthMonitor& health) {
+  Rng rng(21);
+  const std::vector<double> ref_mean = {0.0};
+  const std::vector<double> ref_var = {1.0};
+  health.drift().set_reference(ref_mean, ref_var);
+  for (std::size_t i = 0; i < 128; ++i) {
+    const double row[] = {rng.normal()};
+    health.drift().observe(row);
+    health.calibration().observe(0.0, 1.0, rng.normal());
+    health.latency().observe(rng.uniform(0.5, 2.0), 1.0e6);
+  }
+}
+
+TEST(HealthSnapshotTest, JsonIsValidAndCarriesEverySection) {
+  HealthMonitor health;
+  populate_monitor(health);
+  const HealthSnapshot snap = health.snapshot();
+  EXPECT_EQ(snap.calibration_count, 128u);
+  EXPECT_EQ(snap.drift_rows, 128u);
+  EXPECT_EQ(snap.latency_count, 128u);
+  const std::string json = snap.to_json();
+  EXPECT_TRUE(apds::testing::json_valid(json)) << json;
+  for (const char* key :
+       {"\"calibration\"", "\"coverage\"", "\"nll\"", "\"drift\"",
+        "\"features\"", "\"latency\"", "\"p50_ms\"", "\"p95_ms\"",
+        "\"p99_ms\"", "\"energy_total_mj\"", "\"alerts\""})
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+}
+
+TEST(HealthSnapshotTest, PrometheusExportIsWellFormedLineByLine) {
+  HealthMonitor health;
+  populate_monitor(health);
+  const std::string text = health.snapshot().to_prometheus();
+  ASSERT_FALSE(text.empty());
+  ASSERT_EQ(text.back(), '\n');
+
+  const std::regex help_re(R"(# HELP apds_health_[a-z0-9_]+ .+)");
+  const std::regex type_re(R"(# TYPE apds_health_[a-z0-9_]+ (gauge|counter))");
+  const std::regex sample_re(
+      R"(apds_health_[a-z0-9_]+(\{[a-z0-9_]+="[^"]*"(,[a-z0-9_]+="[^"]*")*\})? -?[0-9]+(\.[0-9]+)?([eE][-+]?[0-9]+)?)");
+
+  std::istringstream is(text);
+  std::string line;
+  std::size_t samples = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# HELP", 0) == 0) {
+      EXPECT_TRUE(std::regex_match(line, help_re)) << line;
+    } else if (line.rfind("# TYPE", 0) == 0) {
+      EXPECT_TRUE(std::regex_match(line, type_re)) << line;
+    } else {
+      EXPECT_TRUE(std::regex_match(line, sample_re)) << line;
+      ++samples;
+    }
+  }
+  EXPECT_GT(samples, 10u);
+
+  for (const char* family :
+       {"apds_health_calibration_coverage", "apds_health_calibration_nll",
+        "apds_health_drift_z", "apds_health_drift_max_abs_z",
+        "apds_health_latency_ms", "apds_health_energy_mj_total",
+        "apds_health_alerts_total"})
+    EXPECT_NE(text.find(family), std::string::npos) << family;
+}
+
+TEST(HealthMonitorTest, SnapshotCollectsAlertsAndResetClears) {
+  HealthMonitor health;
+  health.set_slo({0.001, 0.0, 0.0});
+  for (int i = 0; i < 64; ++i) health.latency().observe(5.0);
+  HealthSnapshot snap = health.snapshot();
+  ASSERT_EQ(snap.alerts.size(), 1u);
+  EXPECT_EQ(snap.alerts.front().monitor, "latency_slo");
+  // The alert also lands in the serialized forms.
+  EXPECT_NE(snap.to_json().find("latency_slo"), std::string::npos);
+  EXPECT_NE(snap.to_prometheus().find("apds_health_alerts_total"),
+            std::string::npos);
+
+  health.reset();
+  snap = health.snapshot();
+  EXPECT_EQ(snap.latency_count, 0u);
+  EXPECT_TRUE(snap.alerts.empty());
+}
+
+TEST(HealthMonitorTest, GlobalInstanceIsSingleton) {
+  EXPECT_EQ(&HealthMonitor::instance(), &HealthMonitor::instance());
+}
+
+}  // namespace
+}  // namespace apds::obs

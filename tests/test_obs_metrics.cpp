@@ -68,6 +68,73 @@ TEST(LatencyHistogramTest, CountsAndBucketsObservations) {
   EXPECT_EQ(h.count(), 0u);
 }
 
+TEST(LatencyHistogramTest, PercentileInterpolatesWithinBuckets) {
+  LatencyHistogram h(0.0, 100.0, 100);  // 1 ms buckets
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i) - 0.5);
+  // With one sample per 1 ms bucket, the interpolated percentile tracks the
+  // sample rank closely.
+  EXPECT_NEAR(h.percentile(0.50), 50.0, 1.0);
+  EXPECT_NEAR(h.percentile(0.95), 95.0, 1.0);
+  EXPECT_NEAR(h.percentile(0.99), 99.0, 1.0);
+  EXPECT_NEAR(h.p50_ms(), h.percentile(0.50), 1e-12);
+  EXPECT_NEAR(h.p99_ms(), h.percentile(0.99), 1e-12);
+}
+
+TEST(LatencyHistogramTest, PercentileClampsToObservedRange) {
+  LatencyHistogram lo(0.0, 10.0, 10);
+  lo.observe(2.5);
+  // Bucket interpolation alone would report the bucket's lower edge (2.0);
+  // the observed-minimum clamp keeps the reconstruction honest.
+  EXPECT_EQ(lo.percentile(0.0), 2.5);
+  EXPECT_EQ(lo.percentile(0.5), 2.5);
+
+  LatencyHistogram hi(0.0, 10.0, 10);
+  hi.observe(200.0);  // out of range: lands in the top bucket
+  // Interpolation would say ~[9,10); the observed-maximum clamp restores
+  // the true extreme.
+  EXPECT_EQ(hi.percentile(0.5), 200.0);
+  EXPECT_EQ(hi.percentile(1.0), 200.0);
+}
+
+TEST(LatencyHistogramTest, PercentileOfEmptyHistogramIsZero) {
+  LatencyHistogram h(0.0, 10.0, 10);
+  EXPECT_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(MetricsRegistryTest, JsonExportsHistogramPercentiles) {
+  MetricsRegistry registry;
+  LatencyHistogram& h = registry.histogram("infer.ms", 0.0, 8.0, 8);
+  for (int i = 0; i < 100; ++i) h.observe(2.0);
+  const std::string json = registry.to_json();
+  EXPECT_TRUE(testing::json_valid(json)) << json;
+  EXPECT_NE(json.find("\"p50_ms\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p95_ms\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99_ms\":"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonKeysAreSortedAndStable) {
+  MetricsRegistry registry;
+  registry.counter("zeta").increment();
+  registry.counter("alpha").increment();
+  registry.counter("mid").increment();
+  const std::string json = registry.to_json();
+  const auto a = json.find("\"alpha\"");
+  const auto m = json.find("\"mid\"");
+  const auto z = json.find("\"zeta\"");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(m, std::string::npos);
+  ASSERT_NE(z, std::string::npos);
+  EXPECT_LT(a, m);
+  EXPECT_LT(m, z);
+  // Registration order must not matter: a fresh registry filled in a
+  // different order serializes identically.
+  MetricsRegistry other;
+  other.counter("mid").increment();
+  other.counter("zeta").increment();
+  other.counter("alpha").increment();
+  EXPECT_EQ(other.to_json(), json);
+}
+
 TEST(MetricsRegistryTest, LookupCreatesOnceAndIsStable) {
   MetricsRegistry registry;
   Counter& a = registry.counter("a");

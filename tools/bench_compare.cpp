@@ -1,0 +1,346 @@
+// bench_compare: CI regression gate over the machine-readable bench outputs.
+//
+//   bench_compare <baseline.json> <candidate.json> [--max-regress <pct>]
+//
+// Both inputs must be the same bench format — either `micro_kernels --json`
+// ({"bench":"micro_kernels","kernels":[{name,threads,p50_ms,...}]}) or a
+// system bench `--json` ({"bench":"system_perf","rows":[{config,host_ms,..}]}).
+// Metrics are matched by key (kernel name + thread count, or system config)
+// over the intersection of the two files; a candidate p50 more than
+// --max-regress percent (default 25) above the baseline fails the gate.
+//
+// Exit codes: 0 = no regression, 1 = regression detected,
+//             2 = usage / file / parse error.
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON reader — just enough for the flat objects
+// and arrays the bench writers emit. Throws std::runtime_error on malformed
+// input with a byte offset, so CI logs point at the problem.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* find(const std::string& key) const {
+    if (kind != Kind::kObject) return nullptr;
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("JSON error at byte " + std::to_string(pos_) +
+                             ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kString;
+      v.string = string();
+      return v;
+    }
+    if (c == 't' || c == 'f') return keyword(c == 't' ? "true" : "false");
+    if (c == 'n') return keyword("null");
+    return number();
+  }
+
+  JsonValue keyword(const std::string& word) {
+    if (text_.compare(pos_, word.size(), word) != 0) fail("bad literal");
+    pos_ += word.size();
+    JsonValue v;
+    if (word == "null") return v;
+    v.kind = JsonValue::Kind::kBool;
+    v.boolean = word == "true";
+    return v;
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+      ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+'))
+      ++pos_;
+    if (pos_ == start) fail("expected a value");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    std::size_t used = 0;
+    try {
+      v.number = std::stod(text_.substr(start, pos_ - start), &used);
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+    if (used != pos_ - start) fail("bad number");
+    return v;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u':
+          // The bench writers never emit \u escapes; keep them readable
+          // rather than decoding UTF-16 surrogates.
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          out += "\\u" + text_.substr(pos_, 4);
+          pos_ += 4;
+          break;
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      const std::string key = string();
+      expect(':');
+      v.object[key] = value();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Metric extraction: key -> representative latency (ms).
+// ---------------------------------------------------------------------------
+
+double require_number(const JsonValue& row, const std::string& key) {
+  const JsonValue* v = row.find(key);
+  if (!v || v->kind != JsonValue::Kind::kNumber)
+    throw std::runtime_error("row is missing numeric field \"" + key + "\"");
+  return v->number;
+}
+
+std::string require_string(const JsonValue& row, const std::string& key) {
+  const JsonValue* v = row.find(key);
+  if (!v || v->kind != JsonValue::Kind::kString)
+    throw std::runtime_error("row is missing string field \"" + key + "\"");
+  return v->string;
+}
+
+/// Flatten one bench report into {metric key -> p50 latency in ms}.
+/// micro_kernels rows key on name@t<threads> and report p50_ms; system
+/// benches key on config and report host_ms (skipped when not measured).
+std::map<std::string, double> extract_metrics(const JsonValue& root,
+                                              std::string* bench_name) {
+  if (root.kind != JsonValue::Kind::kObject)
+    throw std::runtime_error("top-level JSON value is not an object");
+  *bench_name = require_string(root, "bench");
+
+  std::map<std::string, double> out;
+  if (*bench_name == "micro_kernels") {
+    const JsonValue* kernels = root.find("kernels");
+    if (!kernels || kernels->kind != JsonValue::Kind::kArray)
+      throw std::runtime_error("micro_kernels report has no \"kernels\"");
+    for (const JsonValue& k : kernels->array) {
+      const std::string key =
+          require_string(k, "name") + "@t" +
+          std::to_string(static_cast<long long>(require_number(k, "threads")));
+      out[key] = require_number(k, "p50_ms");
+    }
+    return out;
+  }
+  if (*bench_name == "system_perf") {
+    const JsonValue* rows = root.find("rows");
+    if (!rows || rows->kind != JsonValue::Kind::kArray)
+      throw std::runtime_error("system_perf report has no \"rows\"");
+    for (const JsonValue& r : rows->array) {
+      const double host_ms = require_number(r, "host_ms");
+      if (host_ms <= 0.0) continue;  // host timing was not measured
+      out[require_string(r, "config")] = host_ms;
+    }
+    return out;
+  }
+  throw std::runtime_error("unknown bench \"" + *bench_name +
+                           "\" (want micro_kernels or system_perf)");
+}
+
+std::map<std::string, double> load_metrics(const std::string& path,
+                                           std::string* bench_name) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot read " + path);
+  std::stringstream buf;
+  buf << is.rdbuf();
+  const std::string text = buf.str();
+  const JsonValue root = JsonParser(text).parse();
+  return extract_metrics(root, bench_name);
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <baseline.json> <candidate.json>"
+               " [--max-regress <pct>]\n"
+               "  compares p50 latencies from two micro_kernels/system bench"
+               " --json reports;\n  exits 1 when any shared metric regresses"
+               " by more than <pct>%% (default 25).\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  double max_regress_pct = 25.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--max-regress") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      try {
+        std::size_t used = 0;
+        max_regress_pct = std::stod(argv[++i], &used);
+        if (used != std::string(argv[i]).size() || max_regress_pct < 0.0 ||
+            !std::isfinite(max_regress_pct))
+          return usage(argv[0]);
+      } catch (const std::exception&) {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) return usage(argv[0]);
+
+  try {
+    std::string base_bench;
+    std::string cand_bench;
+    const auto base = load_metrics(positional[0], &base_bench);
+    const auto cand = load_metrics(positional[1], &cand_bench);
+    if (base_bench != cand_bench) {
+      std::fprintf(stderr, "bench kinds differ: %s vs %s\n",
+                   base_bench.c_str(), cand_bench.c_str());
+      return 2;
+    }
+
+    std::size_t compared = 0;
+    std::size_t regressed = 0;
+    std::printf("%-40s %12s %12s %9s\n", "metric", "base p50", "cand p50",
+                "delta");
+    for (const auto& [key, base_ms] : base) {
+      const auto it = cand.find(key);
+      if (it == cand.end()) continue;
+      ++compared;
+      const double cand_ms = it->second;
+      const double delta_pct =
+          base_ms > 0.0 ? 100.0 * (cand_ms - base_ms) / base_ms : 0.0;
+      const bool bad = delta_pct > max_regress_pct;
+      if (bad) ++regressed;
+      std::printf("%-40s %10.4fms %10.4fms %+8.1f%%%s\n", key.c_str(), base_ms,
+                  cand_ms, delta_pct, bad ? "  REGRESSION" : "");
+    }
+    if (compared == 0) {
+      std::fprintf(stderr, "no shared metrics between the two reports\n");
+      return 2;
+    }
+    std::printf("%zu metric(s) compared, %zu regression(s) beyond +%.1f%%\n",
+                compared, regressed, max_regress_pct);
+    return regressed > 0 ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_compare: %s\n", e.what());
+    return 2;
+  }
+}
