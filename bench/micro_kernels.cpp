@@ -10,7 +10,10 @@
 // `--json <path>`: measure the batched hot kernels at pool widths 1 and N
 // (N = --threads / APDS_THREADS / hardware) and write name/mean/p50/p95
 // rows as JSON, so the serial-vs-parallel perf trajectory is
-// machine-readable across PRs.
+// machine-readable across PRs. Each batched kernel has an explicit `_f32`
+// twin row pinned to the single-precision fast path; `apd_propagate_b64`
+// itself follows the ambient --precision/APDS_PRECISION setting so a
+// second run at f32 exercises the flag wiring end to end.
 #include <benchmark/benchmark.h>
 
 #include <cmath>
@@ -54,6 +57,21 @@ void BM_Gemm(benchmark::State& state) {
                           static_cast<std::int64_t>(n * n * n));
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_GemmF32(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const MatrixF a = to_f32(random_matrix(n, n, rng));
+  const MatrixF b = to_f32(random_matrix(n, n, rng));
+  MatrixF c(n, n);
+  for (auto _ : state) {
+    gemm(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_GemmF32)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
 
 void BM_GemmRowVector(benchmark::State& state) {
   // The single-input inference shape: [1, 512] x [512, 512].
@@ -101,6 +119,22 @@ void BM_ActivationMoments(benchmark::State& state) {
 }
 BENCHMARK(BM_ActivationMoments)->Arg(3)->Arg(7)->Arg(15);
 
+void BM_ActivationMomentsF32(benchmark::State& state) {
+  const auto pieces = static_cast<std::size_t>(state.range(0));
+  const auto f = PiecewiseLinear::fit_tanh(pieces);
+  Rng rng(4);
+  MeanVar mv(1, 512);
+  for (double& v : mv.mean.flat()) v = rng.normal();
+  for (double& v : mv.var.flat()) v = std::fabs(rng.normal());
+  const MeanVarF mvf = to_f32(mv);
+  for (auto _ : state) {
+    MeanVarF copy = mvf;
+    moment_activation_inplace(f, copy);
+    benchmark::DoNotOptimize(copy.mean.data());
+  }
+}
+BENCHMARK(BM_ActivationMomentsF32)->Arg(3)->Arg(7)->Arg(15);
+
 Mlp paper_mlp(Activation act, Rng& rng) {
   MlpSpec spec;
   spec.dims = {250, 512, 512, 512, 512, 250};
@@ -121,6 +155,19 @@ void BM_ApDeepSensePass(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ApDeepSensePass)->Arg(0)->Arg(1);
+
+void BM_ApDeepSensePassF32(benchmark::State& state) {
+  Rng rng(5);
+  const Mlp mlp = paper_mlp(
+      state.range(0) == 0 ? Activation::kRelu : Activation::kTanh, rng);
+  const ApDeepSense apd(mlp);
+  const MeanVar input = MeanVar::point(random_matrix(1, 250, rng));
+  for (auto _ : state) {
+    MeanVar out = apd.propagate(input, Precision::kF32);
+    benchmark::DoNotOptimize(out.mean.data());
+  }
+}
+BENCHMARK(BM_ApDeepSensePassF32)->Arg(0)->Arg(1);
 
 void BM_McDropPass(benchmark::State& state) {
   // One stochastic forward pass; MCDrop-k costs k of these.
@@ -205,6 +252,13 @@ void run_kernel_suite(std::size_t threads, std::vector<KernelRow>& rows) {
       gemm(a, b, c);
       benchmark::DoNotOptimize(c.data());
     });
+    const MatrixF af = to_f32(a);
+    const MatrixF bf = to_f32(b);
+    MatrixF cf(256, 256);
+    record("gemm_256_f32", [&] {
+      gemm(af, bf, cf);
+      benchmark::DoNotOptimize(cf.data());
+    });
   }
   {
     const Matrix weight = random_matrix(512, 512, rng);
@@ -217,9 +271,22 @@ void run_kernel_suite(std::size_t threads, std::vector<KernelRow>& rows) {
       MeanVar out = moment_linear(input, weight, w2, bias, 0.9);
       benchmark::DoNotOptimize(out.mean.data());
     });
+    const MatrixF wf = to_f32(weight);
+    const MatrixF w2f = to_f32(w2);
+    const MatrixF bf = to_f32(bias);
+    const MeanVarF inputf = to_f32(input);
+    record("moment_linear_b64_f32", [&] {
+      MeanVarF out = moment_linear(inputf, wf, w2f, bf, 0.9);
+      benchmark::DoNotOptimize(out.mean.data());
+    });
     const auto f = PiecewiseLinear::fit_tanh(7);
     record("activation_moments_b64", [&] {
       MeanVar copy = input;
+      moment_activation_inplace(f, copy);
+      benchmark::DoNotOptimize(copy.mean.data());
+    });
+    record("activation_moments_b64_f32", [&] {
+      MeanVarF copy = inputf;
       moment_activation_inplace(f, copy);
       benchmark::DoNotOptimize(copy.mean.data());
     });
@@ -229,8 +296,16 @@ void run_kernel_suite(std::size_t threads, std::vector<KernelRow>& rows) {
     const Mlp mlp = paper_mlp(Activation::kTanh, net_rng);
     const ApDeepSense apd(mlp);
     const Matrix x = random_matrix(64, 250, rng);
+    // Ambient precision on purpose: a --precision f32 run moves this row
+    // (and only this row) to the fast path, exercising the flag wiring
+    // end to end. The *_f32 rows below pin their precision explicitly.
     record("apd_propagate_b64", [&] {
       MeanVar out = apd.propagate(x);
+      benchmark::DoNotOptimize(out.mean.data());
+    });
+    const MeanVar input = MeanVar::point(x);
+    record("apd_propagate_b64_f32", [&] {
+      MeanVar out = apd.propagate(input, Precision::kF32);
       benchmark::DoNotOptimize(out.mean.data());
     });
   }

@@ -21,12 +21,10 @@ ApDeepSense::ApDeepSense(const Mlp& mlp, ApDeepSenseConfig config)
     : mlp_(&mlp), config_(config) {
   APDS_CHECK(config_.saturating_pieces >= 3);
   surrogates_.reserve(mlp.num_layers());
-  weight_sq_.reserve(mlp.num_layers());
-  for (std::size_t l = 0; l < mlp.num_layers(); ++l) {
+  for (std::size_t l = 0; l < mlp.num_layers(); ++l)
     surrogates_.push_back(PiecewiseLinear::for_activation(
         mlp.layer(l).act, config_.saturating_pieces));
-    weight_sq_.push_back(square(mlp.layer(l).weight));
-  }
+  pack_weights();
 }
 
 ApDeepSense::ApDeepSense(const Mlp& mlp,
@@ -34,9 +32,22 @@ ApDeepSense::ApDeepSense(const Mlp& mlp,
     : mlp_(&mlp), surrogates_(std::move(surrogates)) {
   APDS_CHECK_MSG(surrogates_.size() == mlp.num_layers(),
                  "ApDeepSense: one surrogate per layer required");
-  weight_sq_.reserve(mlp.num_layers());
-  for (std::size_t l = 0; l < mlp.num_layers(); ++l)
-    weight_sq_.push_back(square(mlp.layer(l).weight));
+  pack_weights();
+}
+
+void ApDeepSense::pack_weights() {
+  const std::size_t layers = mlp_->num_layers();
+  weight_sq_.reserve(layers);
+  weight_f_.reserve(layers);
+  weight_sq_f_.reserve(layers);
+  bias_f_.reserve(layers);
+  for (std::size_t l = 0; l < layers; ++l) {
+    const DenseLayer& layer = mlp_->layer(l);
+    weight_sq_.push_back(square(layer.weight));
+    weight_f_.push_back(to_f32(layer.weight));
+    weight_sq_f_.push_back(to_f32(weight_sq_[l]));
+    bias_f_.push_back(to_f32(layer.bias));
+  }
 }
 
 MeanVar ApDeepSense::propagate(const Matrix& x) const {
@@ -44,6 +55,16 @@ MeanVar ApDeepSense::propagate(const Matrix& x) const {
 }
 
 MeanVar ApDeepSense::propagate(const MeanVar& input) const {
+  return propagate(input, global_precision());
+}
+
+MeanVar ApDeepSense::propagate(const MeanVar& input,
+                               Precision precision) const {
+  return precision == Precision::kF32 ? propagate_f32(input)
+                                      : propagate_f64(input);
+}
+
+MeanVar ApDeepSense::propagate_f64(const MeanVar& input) const {
   APDS_TRACE_SCOPE("apd.propagate");
   MeanVar h = input;
   for (std::size_t l = 0; l < mlp_->num_layers(); ++l) {
@@ -55,6 +76,22 @@ MeanVar ApDeepSense::propagate(const MeanVar& input) const {
     moment_activation_inplace(surrogates_[l], h);
   }
   return h;
+}
+
+MeanVar ApDeepSense::propagate_f32(const MeanVar& input) const {
+  APDS_TRACE_SCOPE("apd.propagate_f32");
+  // Narrow once at entry and widen once at exit; the whole layer stack
+  // stays single-precision in between (packed weights, f32 kernels).
+  MeanVarF h = to_f32(input);
+  for (std::size_t l = 0; l < mlp_->num_layers(); ++l) {
+    const DenseLayer& layer = mlp_->layer(l);
+    TraceSpan span("apd.layer");
+    if (span.active()) span.set_args(layer_span_args(l, layer));
+    h = moment_linear(h, weight_f_[l], weight_sq_f_[l], bias_f_[l],
+                      layer.keep_prob);
+    moment_activation_inplace(surrogates_[l], h);
+  }
+  return to_f64(h);
 }
 
 GaussianVec ApDeepSense::propagate_one(std::span<const double> x) const {

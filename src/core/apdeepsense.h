@@ -10,6 +10,7 @@
 #include <map>
 #include <vector>
 
+#include "common/precision.h"
 #include "core/gaussian_vec.h"
 #include "core/moment_activation.h"
 #include "core/moment_linear.h"
@@ -37,18 +38,31 @@ class ApDeepSense {
   ApDeepSense(const Mlp& mlp, std::vector<PiecewiseLinear> surrogates);
 
   /// Propagate a deterministic input batch; returns the Gaussian output.
+  /// Runs in the ambient global_precision() (see overload below).
   MeanVar propagate(const Matrix& x) const;
 
   /// Propagate an uncertain (Gaussian) input batch — e.g. sensor noise
-  /// models feeding uncertainty in at the input.
+  /// models feeding uncertainty in at the input. Dispatches on
+  /// global_precision(): kF64 is the original bit-exact path; kF32 runs
+  /// the whole layer stack through the single-precision kernels (packed
+  /// f32 weights, fast_math transcendentals) and widens the result.
   MeanVar propagate(const MeanVar& input) const;
+
+  /// Propagate at an explicit precision regardless of the global setting.
+  /// The f32 path converts the input once, keeps every intermediate layer
+  /// batch in f32, and converts the final moments back to f64; API types
+  /// stay double either way.
+  MeanVar propagate(const MeanVar& input, Precision precision) const;
 
   /// Single-input convenience.
   GaussianVec propagate_one(std::span<const double> x) const;
 
   /// Propagate and also record the per-layer post-activation Gaussians
   /// (used by the Fig. 1 toy validation and by tests). layer_outputs[l]
-  /// is the distribution after layer l's activation.
+  /// is the distribution after layer l's activation. Always runs the f64
+  /// reference path — this is the validation surface the Fig. 1 harness
+  /// and the precision-agreement tests compare against, so it must not
+  /// follow the global precision switch.
   MeanVar propagate_recording(const MeanVar& input,
                               std::vector<MeanVar>& layer_outputs) const;
 
@@ -59,10 +73,21 @@ class ApDeepSense {
   const PiecewiseLinear& surrogate(std::size_t l) const;
 
  private:
+  MeanVar propagate_f64(const MeanVar& input) const;
+  MeanVar propagate_f32(const MeanVar& input) const;
+  void pack_weights();
+
   const Mlp* mlp_;  ///< non-owning; must outlive this object
   ApDeepSenseConfig config_;
   std::vector<PiecewiseLinear> surrogates_;  ///< one per layer
   std::vector<Matrix> weight_sq_;            ///< cached W∘W per layer
+  // f32 fast-path packs, precomputed once at construction (the "weight
+  // packing" step): single-precision copies of W, W∘W and b per layer, so
+  // propagate() at kF32 never converts weights per call. weight_sq_f_ is
+  // squared in f64 then narrowed — one rounding instead of two.
+  std::vector<MatrixF> weight_f_;
+  std::vector<MatrixF> weight_sq_f_;
+  std::vector<MatrixF> bias_f_;
 };
 
 }  // namespace apds

@@ -2,7 +2,11 @@
 //
 // The paper approximates every intermediate layer output by a multivariate
 // Gaussian with diagonal covariance (Section III-A); GaussianVec is that
-// object for a single input, MeanVar the batched form.
+// object for a single input, MeanVar the batched form. MeanVarT is
+// parameterized on the scalar type so the f32 inference fast path can
+// carry single-precision batches (`MeanVarF`) through the moment kernels;
+// `MeanVar` stays the f64 alias the rest of the library is written
+// against, and GaussianVec is always double (it lives at API boundaries).
 #pragma once
 
 #include <vector>
@@ -38,18 +42,19 @@ struct GaussianVec {
 };
 
 /// Batched diagonal Gaussians: row i of `mean`/`var` describes sample i.
-struct MeanVar {
-  Matrix mean;  ///< [batch, dim]
-  Matrix var;   ///< [batch, dim]
+template <typename T>
+struct MeanVarT {
+  MatrixT<T> mean;  ///< [batch, dim]
+  MatrixT<T> var;   ///< [batch, dim]
 
-  MeanVar() = default;
-  MeanVar(std::size_t batch, std::size_t dim)
+  MeanVarT() = default;
+  MeanVarT(std::size_t batch, std::size_t dim)
       : mean(batch, dim), var(batch, dim) {}
 
   /// Deterministic batch (zero variance).
-  static MeanVar point(Matrix values) {
-    MeanVar mv;
-    mv.var = Matrix(values.rows(), values.cols());
+  static MeanVarT point(MatrixT<T> values) {
+    MeanVarT mv;
+    mv.var = MatrixT<T>(values.rows(), values.cols());
     mv.mean = std::move(values);
     return mv;
   }
@@ -65,5 +70,24 @@ struct MeanVar {
     return g;
   }
 };
+
+/// The f64 batch type all pre-existing code is written against.
+using MeanVar = MeanVarT<double>;
+/// Single-precision batches flowing through the f32 fast path.
+using MeanVarF = MeanVarT<float>;
+
+/// Scalar-type conversions between the two batch widths.
+inline MeanVarF to_f32(const MeanVar& mv) {
+  MeanVarF out;
+  out.mean = to_f32(mv.mean);
+  out.var = to_f32(mv.var);
+  return out;
+}
+inline MeanVar to_f64(const MeanVarF& mv) {
+  MeanVar out;
+  out.mean = to_f64(mv.mean);
+  out.var = to_f64(mv.var);
+  return out;
+}
 
 }  // namespace apds

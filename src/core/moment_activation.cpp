@@ -165,6 +165,11 @@ void moment_activation_inplace(const PiecewiseLinear& f, MeanVar& mv) {
   moment_activation_batch(f, mv.mean.data(), mv.var.data(), mv.mean.size());
 }
 
+void moment_activation_inplace(const PiecewiseLinear& f, MeanVarF& mv) {
+  APDS_TRACE_SCOPE("core.moment_activation_f32");
+  moment_activation_batch(f, mv.mean.data(), mv.var.data(), mv.mean.size());
+}
+
 void moment_activation_inplace(const PiecewiseLinear& f, GaussianVec& g) {
   moment_activation_batch(f, g.mean.data(), g.var.data(), g.dim());
 }

@@ -27,6 +27,12 @@ struct ScalarMoments {
 
 inline constexpr double kDeterministicVar = 1e-18;
 
+/// f32 fast-path threshold for the same short-circuit. Larger than the f64
+/// one because the E[Y^2] - E[Y]^2 cancellation loses accuracy at f32
+/// epsilon (~1.2e-7) relative; below this variance the linearization is
+/// more accurate than the closed form evaluated in single precision.
+inline constexpr float kDeterministicVarF = 1e-12f;
+
 ScalarMoments activation_moments(const PiecewiseLinear& f, double mu,
                                  double var);
 
@@ -44,8 +50,20 @@ ScalarMoments activation_moments(const PiecewiseLinear& f, double mu,
 void moment_activation_batch(const PiecewiseLinear& f, double* mean,
                              double* var, std::size_t n);
 
+/// Single-precision fast path: same piece-major tile structure, but the
+/// per-boundary transcendentals come from stats/fast_math.h (branch-free
+/// polynomial erf/exp that the compiler vectorizes) instead of libm, and
+/// all tile scratch is f32. Near-deterministic lanes (var below
+/// `kDeterministicVarF`) fall back to the f64 scalar activation_moments.
+/// Implemented in moment_activation_f32.cpp (own TU, -fno-trapping-math).
+void moment_activation_batch(const PiecewiseLinear& f, float* mean,
+                             float* var, std::size_t n);
+
 /// Apply activation_moments elementwise across a batch, in place.
 void moment_activation_inplace(const PiecewiseLinear& f, MeanVar& mv);
+
+/// Single-precision batched variant, in place (f32 fast path).
+void moment_activation_inplace(const PiecewiseLinear& f, MeanVarF& mv);
 
 /// Single-vector variant, in place.
 void moment_activation_inplace(const PiecewiseLinear& f, GaussianVec& g);

@@ -1,5 +1,6 @@
 #include "core/moment_linear.h"
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "platform/thread_pool.h"
 #include "tensor/gemm.h"
@@ -12,47 +13,51 @@ namespace {
 // Per-thread scratch for the two GEMM inputs derived from the layer input.
 // Reused across layers and calls, so a deep propagate() allocates only its
 // per-layer outputs and the parallel kernels are not allocator-bound.
+// Both precisions keep their own buffers; mixed-precision callers (the
+// validation harness comparing paths) would otherwise thrash one set.
+template <typename T>
 struct MomentLinearScratch {
-  Matrix scaled_mean;  ///< mu * p
-  Matrix var_in;       ///< (mu^2 + sigma^2) p - mu^2 p^2
+  MatrixT<T> scaled_mean;  ///< mu * p
+  MatrixT<T> var_in;       ///< (mu^2 + sigma^2) p - mu^2 p^2
 };
 
-MomentLinearScratch& local_scratch() {
-  thread_local MomentLinearScratch scratch;
+template <typename T>
+MomentLinearScratch<T>& local_scratch() {
+  thread_local MomentLinearScratch<T> scratch;
   return scratch;
 }
 
 constexpr std::size_t kElementwiseGrain = 1 << 15;
 
-}  // namespace
-
-MeanVar moment_linear(const MeanVar& input, const Matrix& weight,
-                      const Matrix& weight_sq, const Matrix& bias,
-                      double keep_prob) {
+template <typename T>
+MeanVarT<T> moment_linear_impl(const MeanVarT<T>& input,
+                               const MatrixT<T>& weight,
+                               const MatrixT<T>& weight_sq,
+                               const MatrixT<T>& bias, double keep_prob) {
   APDS_CHECK_MSG(input.dim() == weight.rows(), "moment_linear: input dim");
   APDS_CHECK_MSG(weight_sq.same_shape(weight), "moment_linear: weight_sq");
   APDS_CHECK(keep_prob > 0.0 && keep_prob <= 1.0);
   APDS_TRACE_SCOPE("core.moment_linear");
-  const double p = keep_prob;
-  const double p2 = p * p;
+  const T p = static_cast<T>(keep_prob);
+  const T p2 = p * p;
 
-  MeanVar out(input.batch(), weight.cols());
+  MeanVarT<T> out(input.batch(), weight.cols());
 
   // One fused elementwise pass builds both GEMM inputs:
   //   scaled_mean = mu p                          (E[y] = (mu p) W + b)
   //   var_in      = (mu^2 + sigma^2) p - mu^2 p^2 (Var[y] = var_in W^2)
-  MomentLinearScratch& scratch = local_scratch();
+  MomentLinearScratch<T>& scratch = local_scratch<T>();
   scratch.scaled_mean.resize(input.batch(), input.dim());
   scratch.var_in.resize(input.batch(), input.dim());
   {
-    const double* mu = input.mean.data();
-    const double* var = input.var.data();
-    double* sm = scratch.scaled_mean.data();
-    double* vi = scratch.var_in.data();
+    const T* mu = input.mean.data();
+    const T* var = input.var.data();
+    T* sm = scratch.scaled_mean.data();
+    T* vi = scratch.var_in.data();
     parallel_for(0, input.mean.size(), kElementwiseGrain,
                  [&](std::size_t lo, std::size_t hi) {
                    for (std::size_t i = lo; i < hi; ++i) {
-                     const double mu2 = mu[i] * mu[i];
+                     const T mu2 = mu[i] * mu[i];
                      sm[i] = mu[i] * p;
                      vi[i] = (mu2 + var[i]) * p - mu2 * p2;
                    }
@@ -65,17 +70,42 @@ MeanVar moment_linear(const MeanVar& input, const Matrix& weight,
 
   // Clamp tiny negative values caused by floating-point cancellation when
   // p == 1 and sigma == 0.
-  double* ov = out.var.data();
+  T* ov = out.var.data();
   parallel_for(0, out.var.size(), kElementwiseGrain,
                [&](std::size_t lo, std::size_t hi) {
                  for (std::size_t i = lo; i < hi; ++i)
-                   if (ov[i] < 0.0) ov[i] = 0.0;
+                   if (ov[i] < T(0)) ov[i] = T(0);
                });
   return out;
 }
 
+}  // namespace
+
+MeanVar moment_linear(const MeanVar& input, const Matrix& weight,
+                      const Matrix& weight_sq, const Matrix& bias,
+                      double keep_prob) {
+  return moment_linear_impl(input, weight, weight_sq, bias, keep_prob);
+}
+
+MeanVarF moment_linear(const MeanVarF& input, const MatrixF& weight,
+                       const MatrixF& weight_sq, const MatrixF& bias,
+                       double keep_prob) {
+  return moment_linear_impl(input, weight, weight_sq, bias, keep_prob);
+}
+
 MeanVar moment_linear(const MeanVar& input, const Matrix& weight,
                       const Matrix& bias, double keep_prob) {
+#ifndef NDEBUG
+  // The on-the-fly square(weight) is O(in*out) per call; repeated callers
+  // must precompute. Count it so a hot-path regression is visible in any
+  // metrics dump, and whisper at debug verbosity for interactive runs.
+  MetricsRegistry::instance()
+      .counter("moment_linear.weight_sq_recompute")
+      .increment();
+  APDS_DEBUG("moment_linear: recomputing square(weight) ("
+             << weight.rows() << "x" << weight.cols()
+             << "); repeated callers should precompute weight_sq");
+#endif
   return moment_linear(input, weight, square(weight), bias, keep_prob);
 }
 

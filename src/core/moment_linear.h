@@ -21,11 +21,19 @@ MeanVar moment_linear(const MeanVar& input, const Matrix& weight,
                       const Matrix& weight_sq, const Matrix& bias,
                       double keep_prob);
 
+/// Single-precision fast-path variant. Same math, same loop structure; the
+/// caller supplies f32-packed weights (ApDeepSense packs them at load).
+MeanVarF moment_linear(const MeanVarF& input, const MatrixF& weight,
+                       const MatrixF& weight_sq, const MatrixF& bias,
+                       double keep_prob);
+
 /// Convenience overload that squares the weights on the fly. One-shot
 /// callers only: anything that propagates through the same weights more
 /// than once (ApDeepSense, moment_rnn, conv heads) must precompute
 /// square(weight) and use the overload above, or it pays an O(in*out)
-/// allocation + squaring per call.
+/// allocation + squaring per call. Debug builds count every call in the
+/// `moment_linear.weight_sq_recompute` metric so hot-path regressions show
+/// up in metrics dumps.
 MeanVar moment_linear(const MeanVar& input, const Matrix& weight,
                       const Matrix& bias, double keep_prob);
 

@@ -111,6 +111,12 @@ ObsOptions parse_obs_flags(int& argc, char** argv) {
         throw InvalidArgument("--threads: want a positive integer, got '" +
                               value + "'");
       options.threads = static_cast<std::size_t>(n);
+    } else if (arg == "--precision") {
+      try {
+        options.precision = parse_precision(take_value("--precision"));
+      } catch (const InvalidArgument& e) {
+        throw InvalidArgument(std::string("--precision: ") + e.what());
+      }
     } else {
       kept.push_back(argv[i]);
     }
@@ -130,14 +136,19 @@ const char* obs_flags_help() {
          "  --slo <p50,p95,p99> latency SLO thresholds in ms (0 = unchecked)\n"
          "  --log-level <lvl>   debug|info|warn|error|off\n"
          "  --threads <n>       thread-pool width (1 = serial; default\n"
-         "                      APDS_THREADS env, then hardware)";
+         "                      APDS_THREADS env, then hardware)\n"
+         "  --precision <p>     inference scalar width: f64 (default) or\n"
+         "                      f32 fast path (default APDS_PRECISION env)";
 }
 
 ObsSession::ObsSession(ObsOptions options) : options_(std::move(options)) {
   if (options_.tracing()) TraceCollector::instance().set_enabled(true);
   if (options_.threads > 0) set_global_threads(options_.threads);
+  if (options_.precision) set_global_precision(*options_.precision);
   MetricsRegistry::instance().gauge("pool.threads").set(
       static_cast<double>(global_threads()));
+  MetricsRegistry::instance().gauge("run.precision_f32").set(
+      global_precision() == Precision::kF32 ? 1.0 : 0.0);
   if (options_.slo_p50_ms > 0.0 || options_.slo_p95_ms > 0.0 ||
       options_.slo_p99_ms > 0.0) {
     HealthMonitor::instance().set_slo(

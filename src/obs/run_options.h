@@ -14,6 +14,9 @@
 //   --threads <n>       width of the global thread pool (1 = serial).
 //                       Precedence: --threads > APDS_THREADS env >
 //                       hardware concurrency.
+//   --precision <p>     inference scalar width: f64 (reference, default)
+//                       or f32 (packed-weight SIMD fast path).
+//                       Precedence: --precision > APDS_PRECISION env > f64.
 //
 // Every bench/example parses these through parse_obs_flags() + ObsSession
 // instead of hand-rolling argv handling, so any binary can emit a trace
@@ -21,7 +24,10 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
+
+#include "common/precision.h"
 
 namespace apds::obs {
 
@@ -31,6 +37,8 @@ struct ObsOptions {
   std::string health_path;   ///< empty = no health-snapshot JSON export
   std::string prom_path;     ///< empty = no Prometheus export
   std::size_t threads = 0;   ///< 0 = APDS_THREADS env / hardware default
+  /// --precision; unset = APDS_PRECISION env / f64 default.
+  std::optional<Precision> precision;
   /// Latency SLO thresholds (--slo); all 0 = no checks.
   double slo_p50_ms = 0.0;
   double slo_p95_ms = 0.0;
@@ -51,8 +59,9 @@ ObsOptions parse_obs_flags(int& argc, char** argv);
 const char* obs_flags_help();
 
 /// RAII wiring: enables tracing on construction when options ask for it,
-/// configures the global thread pool (--threads) and publishes the
-/// `pool.threads` gauge; on destruction writes the Chrome-trace JSON,
+/// configures the global thread pool (--threads) and inference precision
+/// (--precision), publishes the `pool.threads` and `run.precision_f32`
+/// gauges; on destruction writes the Chrome-trace JSON,
 /// prints the aggregate span table to stdout, and writes the metrics JSON.
 /// Export errors are logged, never thrown (safe in main()'s unwind path).
 class ObsSession {

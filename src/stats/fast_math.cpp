@@ -1,0 +1,13 @@
+#include "stats/fast_math.h"
+
+namespace apds {
+
+void vec_exp(const float* x, float* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = fast_expf(x[i]);
+}
+
+void vec_erf(const float* x, float* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = fast_erff(x[i]);
+}
+
+}  // namespace apds

@@ -1,0 +1,128 @@
+// Fast vectorizable single-precision erf/exp for the f32 inference path.
+//
+// The closed-form activation moments spend almost all of their time in
+// per-boundary transcendentals: every PWL boundary of the surrogate costs
+// one erf (for the Gaussian cdf) and one exp (for the pdf) per element.
+// libm's erf/erfc do not auto-vectorize (they branch internally), so the
+// f32 tile kernel calls these branch-free polynomial approximations
+// instead; with plain -O3 the surrounding loops vectorize to 4 (SSE2) or
+// 8/16 (AVX2/AVX-512) lanes.
+//
+// Accuracy contracts (pinned by tests/test_fast_math.cpp so future tuning
+// cannot silently degrade calibration; all bounds are vs the f64 libm
+// value at the same f32 input, i.e. algorithmic error — the unavoidable
+// f64->f32 input rounding of up to |x| * 2^-24 is the caller's):
+//
+//   fast_expf  — cephes-style 2^n * P(r) reduction, degree-5 minimax
+//                polynomial. Max relative error <= 2e-7 over [-87, 88]
+//                (measured 7.9e-8). Inputs are clamped to [-104, 88]:
+//                above 88 returns exp(88) (~1.65e38, still finite in
+//                f32), below -104 returns 0 through gradual underflow —
+//                exactly what the Gaussian pdf tail needs (exp(-z²/2)
+//                for far-away boundaries).
+//
+//   fast_erff  — Abramowitz & Stegun 7.1.28 rational-power form
+//                1 - 1/(1 + a1|x| + ... + a6|x|^6)^16 with branch-free
+//                sign handling. Max absolute error <= 3e-6 (measured
+//                1.7e-6; the f32 cancellation in 1 - 1/p^16 dominates
+//                the 3e-7 truncation of the formula itself). Max
+//                relative error <= 3e-5 for |x| >= 0.1 (measured
+//                1.2e-5); below that the absolute bound is the useful
+//                one — the relative error grows as x -> 0 because
+//                a1|x| falls under the f32 epsilon of the 1 + ... sum.
+//                Saturates to +-1 for |x| >= 6 (erf(6) already rounds
+//                to 1 in f32).
+//
+//   derived    — fast_std_normal_cdf absolute error <= 2e-6 (measured
+//                9.1e-7), fast_std_normal_pdf absolute error <= 1e-7
+//                (measured 4.4e-8), both over z in [-12, 12].
+//
+// The scalar functions are inline so tight per-element loops (the
+// activation-moment tile) fuse and vectorize without staging through
+// arrays; vec_exp/vec_erf are the array forms used by the accuracy
+// harness and any batch caller.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace apds {
+
+inline constexpr float kSqrt2F = 1.41421356f;
+inline constexpr float kInvSqrt2F = 0.70710678f;
+inline constexpr float kInvSqrt2PiF = 0.39894228f;
+
+/// Branch-free single-precision e^x (see accuracy contract above).
+inline float fast_expf(float x) {
+  constexpr float kLog2e = 1.44269504f;
+  // ln2 split high/low so r = x - n*ln2 keeps extra bits of accuracy.
+  constexpr float kLn2Hi = 0.693359375f;
+  constexpr float kLn2Lo = -2.12194440e-4f;
+  x = x > 88.0f ? 88.0f : x;
+  x = x < -104.0f ? -104.0f : x;
+
+  // n = round(x / ln2) without floorf (which defeats SSE2 vectorization):
+  // truncate toward zero, step down for negatives, then round-to-nearest.
+  const float z = x * kLog2e;
+  float n = static_cast<float>(static_cast<std::int32_t>(z));
+  n -= static_cast<float>(n > z);
+  n += static_cast<float>(z - n > 0.5f);
+
+  const float r = (x - n * kLn2Hi) - n * kLn2Lo;
+  // Degree-5 minimax polynomial for e^r on [-ln2/2, ln2/2] (cephes expf).
+  float p = 1.9875691500e-4f;
+  p = p * r + 1.3981999507e-3f;
+  p = p * r + 8.3334519073e-3f;
+  p = p * r + 4.1665795894e-2f;
+  p = p * r + 1.6666665459e-1f;
+  p = p * r + 5.0000001201e-1f;
+  p = p * r * r + r + 1.0f;
+
+  // Scale by 2^n as two factors so n in [-151, 127] never over/underflows
+  // the exponent field, and results below 2^-126 degrade gracefully to 0.
+  const std::int32_t ni = static_cast<std::int32_t>(n);
+  const std::int32_t n1 = ni / 2;
+  const std::int32_t n2 = ni - n1;
+  const float s1 = std::bit_cast<float>((n1 + 127) << 23);
+  const float s2 = std::bit_cast<float>((n2 + 127) << 23);
+  return p * s1 * s2;
+}
+
+/// Branch-free single-precision erf(x) (see accuracy contract above).
+inline float fast_erff(float x) {
+  float ax = x < 0.0f ? -x : x;
+  ax = ax > 6.0f ? 6.0f : ax;  // saturated region; keeps p^16 finite
+  // A&S 7.1.28: erf(|x|) ~= 1 - (1 + a1|x| + ... + a6|x|^6)^-16.
+  float p = 4.30638e-5f;
+  p = p * ax + 2.765672e-4f;
+  p = p * ax + 1.520143e-4f;
+  p = p * ax + 9.2705272e-3f;
+  p = p * ax + 4.22820123e-2f;
+  p = p * ax + 7.05230784e-2f;
+  p = p * ax + 1.0f;
+  float p16 = p * p;
+  p16 *= p16;
+  p16 *= p16;
+  p16 *= p16;
+  const float e = 1.0f - 1.0f / p16;
+  return x < 0.0f ? -e : e;
+}
+
+/// Standard normal pdf in f32: exp(-z²/2) / sqrt(2π).
+inline float fast_std_normal_pdf(float z) {
+  return fast_expf(-0.5f * z * z) * kInvSqrt2PiF;
+}
+
+/// Standard normal cdf in f32: (1 + erf(z/√2)) / 2.
+inline float fast_std_normal_cdf(float z) {
+  return 0.5f * (1.0f + fast_erff(z * kInvSqrt2F));
+}
+
+/// out[i] = fast_expf(x[i]). Contiguous arrays; x and out may alias.
+void vec_exp(const float* x, float* out, std::size_t n);
+
+/// out[i] = fast_erff(x[i]). Contiguous arrays; x and out may alias.
+void vec_erf(const float* x, float* out, std::size_t n);
+
+}  // namespace apds

@@ -3,6 +3,13 @@
 // Cache-blocked, i-k-j loop order so the inner loop is a contiguous
 // axpy over the output row — this auto-vectorizes well and is the
 // performance backbone of both training and MCDrop inference.
+//
+// Every kernel exists at both scalar widths: the f64 overloads are the
+// reference/training path (bit-identical to previous releases), the
+// MatrixF overloads are the single-precision inference fast path (same
+// blocking and per-element accumulation order, twice the SIMD lanes and
+// half the memory traffic). Both are parallelized over the shared pool
+// with partition-independent results.
 #pragma once
 
 #include "tensor/matrix.h"
@@ -11,17 +18,22 @@ namespace apds {
 
 /// C = A * B. Shapes: [m,k] x [k,n] -> [m,n]. C is overwritten.
 void gemm(const Matrix& a, const Matrix& b, Matrix& c);
+void gemm(const MatrixF& a, const MatrixF& b, MatrixF& c);
 
 /// C += A * B (accumulating variant).
 void gemm_acc(const Matrix& a, const Matrix& b, Matrix& c);
+void gemm_acc(const MatrixF& a, const MatrixF& b, MatrixF& c);
 
 /// C = A^T * B. Shapes: [k,m] x [k,n] -> [m,n]. Used for weight gradients.
 void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c);
+void gemm_tn(const MatrixF& a, const MatrixF& b, MatrixF& c);
 
 /// C = A * B^T. Shapes: [m,k] x [n,k] -> [m,n]. Used for input gradients.
 void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c);
+void gemm_nt(const MatrixF& a, const MatrixF& b, MatrixF& c);
 
 /// Convenience: returns A * B by value.
 Matrix matmul(const Matrix& a, const Matrix& b);
+MatrixF matmul(const MatrixF& a, const MatrixF& b);
 
 }  // namespace apds

@@ -1,65 +1,10 @@
 #include "tensor/matrix.h"
 
-#include <algorithm>
-
 namespace apds {
 
-Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
-  rows_ = init.size();
-  cols_ = rows_ == 0 ? 0 : init.begin()->size();
-  data_.reserve(rows_ * cols_);
-  for (const auto& r : init) {
-    APDS_CHECK_MSG(r.size() == cols_, "ragged initializer list");
-    data_.insert(data_.end(), r.begin(), r.end());
-  }
-}
-
-Matrix Matrix::row_vector(std::span<const double> values) {
-  Matrix m;
-  m.rows_ = 1;
-  m.cols_ = values.size();
-  m.data_.assign(values.begin(), values.end());
-  return m;
-}
-
-Matrix Matrix::from_data(std::size_t rows, std::size_t cols,
-                         std::vector<double> data) {
-  APDS_CHECK_MSG(data.size() == rows * cols,
-                 "from_data: size " << data.size() << " != " << rows << "x"
-                                    << cols);
-  Matrix m;
-  m.rows_ = rows;
-  m.cols_ = cols;
-  m.data_ = std::move(data);
-  return m;
-}
-
-double& Matrix::at(std::size_t r, std::size_t c) {
-  APDS_CHECK_MSG(r < rows_ && c < cols_, "at(" << r << "," << c << ") out of "
-                                               << rows_ << "x" << cols_);
-  return (*this)(r, c);
-}
-
-double Matrix::at(std::size_t r, std::size_t c) const {
-  APDS_CHECK_MSG(r < rows_ && c < cols_, "at(" << r << "," << c << ") out of "
-                                               << rows_ << "x" << cols_);
-  return (*this)(r, c);
-}
-
-Matrix Matrix::row_copy(std::size_t r) const {
-  APDS_CHECK(r < rows_);
-  return row_vector(row(r));
-}
-
-void Matrix::fill(double value) {
-  std::fill(data_.begin(), data_.end(), value);
-}
-
-Matrix Matrix::transposed() const {
-  Matrix t(cols_, rows_);
-  for (std::size_t r = 0; r < rows_; ++r)
-    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
-  return t;
-}
+// The library's two scalar widths; instantiated once here so every other
+// translation unit links against these instead of re-instantiating.
+template class MatrixT<double>;
+template class MatrixT<float>;
 
 }  // namespace apds

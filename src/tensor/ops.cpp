@@ -83,20 +83,31 @@ void scale_inplace(Matrix& a, double s) {
                });
 }
 
-void add_row_broadcast(Matrix& a, const Matrix& row) {
+namespace {
+template <typename T>
+void add_row_broadcast_impl(MatrixT<T>& a, const MatrixT<T>& row) {
   APDS_CHECK_MSG(row.rows() == 1 && row.cols() == a.cols(),
                  "add_row_broadcast: row shape");
-  const double* rd = row.data();
+  const T* rd = row.data();
   const std::size_t cols = a.cols();
-  double* ad = a.data();
+  T* ad = a.data();
   const std::size_t grain =
       std::max<std::size_t>(1, kElementwiseGrain / (cols + 1));
   parallel_for(0, a.rows(), grain, [&](std::size_t r0, std::size_t r1) {
     for (std::size_t r = r0; r < r1; ++r) {
-      double* ar = ad + r * cols;
+      T* ar = ad + r * cols;
       for (std::size_t c = 0; c < cols; ++c) ar[c] += rd[c];
     }
   });
+}
+}  // namespace
+
+void add_row_broadcast(Matrix& a, const Matrix& row) {
+  add_row_broadcast_impl(a, row);
+}
+
+void add_row_broadcast(MatrixF& a, const MatrixF& row) {
+  add_row_broadcast_impl(a, row);
 }
 
 void mul_row_broadcast(Matrix& a, const Matrix& row) {
@@ -169,6 +180,24 @@ double max_abs_diff(const Matrix& a, const Matrix& b) {
   const double* bd = b.data();
   for (std::size_t i = 0; i < a.size(); ++i)
     m = std::max(m, std::fabs(ad[i] - bd[i]));
+  return m;
+}
+
+MatrixF square(const MatrixF& a) {
+  MatrixF out = a;
+  const std::size_t n = out.size();
+  float* od = out.data();
+  for (std::size_t i = 0; i < n; ++i) od[i] *= od[i];
+  return out;
+}
+
+double max_abs_diff(const MatrixF& a, const MatrixF& b) {
+  APDS_CHECK_MSG(a.same_shape(b), "max_abs_diff: shape mismatch");
+  double m = 0.0;
+  const float* ad = a.data();
+  const float* bd = b.data();
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::fabs(static_cast<double>(ad[i]) - bd[i]));
   return m;
 }
 

@@ -71,6 +71,40 @@ TEST(BenchCompare, SystemReportsCompareHostTimesAndSkipUnmeasuredRows) {
   EXPECT_EQ(run_compare("bc_sys_base.json bc_sys_regressed.json"), 1);
 }
 
+// The candidate report with one extra kernel the baseline predates.
+const char kMicroWithNewKernel[] =
+    R"({"bench":"micro_kernels","threads":2,"kernels":[)"
+    R"({"name":"gemm_moments","threads":1,"mean_ms":2.1,"p50_ms":2.0,"p95_ms":2.4,"iterations":40},)"
+    R"({"name":"gemm_moments","threads":2,"mean_ms":1.2,"p50_ms":1.1,"p95_ms":1.4,"iterations":40},)"
+    R"({"name":"gemm_moments_f32","threads":1,"mean_ms":1.0,"p50_ms":0.9,"p95_ms":1.2,"iterations":40}]})";
+
+TEST(BenchCompare, UnsharedKeysAreLoggedSkipsNotFailures) {
+  write_file("bc_micro_base.json", kMicroBase);
+  write_file("bc_micro_new.json", kMicroWithNewKernel);
+  // Candidate-only kernel (newer than the committed baseline): passes.
+  EXPECT_EQ(run_compare("bc_micro_base.json bc_micro_new.json"), 0);
+  // Baseline-only kernel (candidate no longer measures it): also passes.
+  EXPECT_EQ(run_compare("bc_micro_new.json bc_micro_base.json"), 0);
+}
+
+TEST(BenchCompare, SpeedupFloorGatesWithinCandidate) {
+  write_file("bc_micro_base.json", kMicroBase);
+  // t1 p50 = 2.0, t2 p50 = 1.1: the measured speedup is ~1.82x.
+  EXPECT_EQ(run_compare("bc_micro_base.json bc_micro_base.json"
+                        " --speedup gemm_moments@t2:gemm_moments@t1:1.5"),
+            0);
+  EXPECT_EQ(run_compare("bc_micro_base.json bc_micro_base.json"
+                        " --speedup gemm_moments@t2:gemm_moments@t1:2.0"),
+            1);
+  // A gate naming a key the candidate lacks must not silently pass.
+  EXPECT_EQ(run_compare("bc_micro_base.json bc_micro_base.json"
+                        " --speedup nope@t1:gemm_moments@t1:1.5"),
+            2);
+  EXPECT_EQ(run_compare("bc_micro_base.json bc_micro_base.json"
+                        " --speedup malformed"),
+            2);
+}
+
 TEST(BenchCompare, BadInputsAreUsageErrors) {
   write_file("bc_micro_base.json", kMicroBase);
   write_file("bc_sys_base.json", kSystemBase);

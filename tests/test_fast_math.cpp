@@ -1,0 +1,147 @@
+// Accuracy harness for stats/fast_math.h: asserts the error bounds the
+// header documents, so any future re-tuning of the polynomial kernels that
+// degrades them fails here instead of silently mis-calibrating the f32
+// uncertainty path. All comparisons are against the f64 libm value at the
+// same f32 input (algorithmic error, per the header's contract).
+#include "stats/fast_math.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/piecewise_linear.h"
+#include "stats/gaussian.h"
+
+namespace apds {
+namespace {
+
+// The documented contracts (keep in sync with the fast_math.h header).
+constexpr double kExpRelBound = 2e-7;
+constexpr double kErfAbsBound = 3e-6;
+constexpr double kErfRelBound = 3e-5;   // for |x| >= 0.1
+constexpr double kCdfAbsBound = 2e-6;
+constexpr double kPdfAbsBound = 1e-7;
+
+TEST(FastExp, RelativeErrorBoundOverWorkingRange) {
+  double max_rel = 0.0;
+  for (double x = -87.0; x <= 88.0; x += 7.3e-4) {
+    const float xf = static_cast<float>(x);
+    const double ref = std::exp(static_cast<double>(xf));
+    const double rel = std::fabs(fast_expf(xf) - ref) / ref;
+    max_rel = std::max(max_rel, rel);
+  }
+  EXPECT_LE(max_rel, kExpRelBound);
+}
+
+TEST(FastExp, ClampsHighAndUnderflowsLowGracefully) {
+  // Above the clamp everything returns exp(88), still finite in f32.
+  const double exp88 = std::exp(88.0);
+  EXPECT_NEAR(fast_expf(100.0f) / exp88, 1.0, kExpRelBound);
+  EXPECT_TRUE(std::isfinite(fast_expf(1e30f)));
+  // Deep negative inputs reach exact zero through gradual underflow, and
+  // the tail is monotonically nonnegative — no wrap-around to garbage.
+  EXPECT_EQ(fast_expf(-104.0f), 0.0f);
+  EXPECT_EQ(fast_expf(-150.0f), 0.0f);
+  EXPECT_EQ(fast_expf(-1e30f), 0.0f);
+  for (double x = -103.0; x <= -87.0; x += 0.01) {
+    const float v = fast_expf(static_cast<float>(x));
+    EXPECT_GE(v, 0.0f);
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(FastErf, AbsoluteAndRelativeErrorBounds) {
+  double max_abs = 0.0;
+  double max_rel = 0.0;
+  for (double x = -6.5; x <= 6.5; x += 4.7e-5) {
+    const float xf = static_cast<float>(x);
+    const double ref = std::erf(static_cast<double>(xf));
+    const double abs_err = std::fabs(fast_erff(xf) - ref);
+    max_abs = std::max(max_abs, abs_err);
+    if (std::fabs(x) >= 0.1)
+      max_rel = std::max(max_rel, abs_err / std::fabs(ref));
+  }
+  EXPECT_LE(max_abs, kErfAbsBound);
+  EXPECT_LE(max_rel, kErfRelBound);
+}
+
+TEST(FastErf, SaturatesAndIsExactlyOdd) {
+  EXPECT_EQ(fast_erff(8.0f), 1.0f);
+  EXPECT_EQ(fast_erff(-8.0f), -1.0f);
+  EXPECT_EQ(fast_erff(0.0f), 0.0f);
+  // The sign is branch-free off |x|, so oddness is exact, not approximate.
+  for (double x = 0.0; x <= 7.0; x += 0.0113)
+    EXPECT_EQ(fast_erff(static_cast<float>(-x)),
+              -fast_erff(static_cast<float>(x)));
+}
+
+TEST(FastNormal, PdfAndCdfBoundsOverStandardizedRange) {
+  double cdf_abs = 0.0;
+  double pdf_abs = 0.0;
+  for (double z = -12.0; z <= 12.0; z += 9.1e-5) {
+    const float zf = static_cast<float>(z);
+    const double zd = static_cast<double>(zf);
+    cdf_abs = std::max(
+        cdf_abs, std::fabs(fast_std_normal_cdf(zf) - std_normal_cdf(zd)));
+    pdf_abs = std::max(
+        pdf_abs, std::fabs(fast_std_normal_pdf(zf) - std_normal_pdf(zd)));
+  }
+  EXPECT_LE(cdf_abs, kCdfAbsBound);
+  EXPECT_LE(pdf_abs, kPdfAbsBound);
+}
+
+TEST(FastNormal, BoundsHoldOverPwlBoundaryStandardizations) {
+  // The f32 activation-moment tile feeds these functions z = (b - mu)/sigma
+  // for every finite surrogate boundary b. Sweep exactly that input
+  // population for the surrogates inference actually uses, across the
+  // mu/sigma ranges a propagated layer produces.
+  std::vector<PiecewiseLinear> surrogates;
+  surrogates.push_back(PiecewiseLinear::fit_tanh(7));
+  surrogates.push_back(PiecewiseLinear::fit_tanh(15));
+  surrogates.push_back(PiecewiseLinear::for_activation(Activation::kRelu, 7));
+  double cdf_abs = 0.0;
+  double pdf_abs = 0.0;
+  for (const auto& f : surrogates) {
+    for (const auto& piece : f.pieces()) {
+      for (const double b : {piece.lo, piece.hi}) {
+        if (std::isinf(b)) continue;
+        for (double mu = -5.0; mu <= 5.0; mu += 0.37) {
+          for (const double sigma : {1e-3, 0.1, 1.0, 30.0}) {
+            const float z = static_cast<float>((b - mu) / sigma);
+            const double zd = static_cast<double>(z);
+            cdf_abs = std::max(cdf_abs, std::fabs(fast_std_normal_cdf(z) -
+                                                  std_normal_cdf(zd)));
+            pdf_abs = std::max(pdf_abs, std::fabs(fast_std_normal_pdf(z) -
+                                                  std_normal_pdf(zd)));
+          }
+        }
+      }
+    }
+  }
+  EXPECT_LE(cdf_abs, kCdfAbsBound);
+  EXPECT_LE(pdf_abs, kPdfAbsBound);
+}
+
+TEST(FastMath, VectorFormsMatchScalarsIncludingAliased) {
+  std::vector<float> x;
+  for (double v = -20.0; v <= 20.0; v += 0.0137)
+    x.push_back(static_cast<float>(v));
+
+  std::vector<float> out(x.size());
+  vec_exp(x.data(), out.data(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_EQ(out[i], fast_expf(x[i])) << "x=" << x[i];
+  vec_erf(x.data(), out.data(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_EQ(out[i], fast_erff(x[i])) << "x=" << x[i];
+
+  // In-place (aliased) use is part of the declared contract.
+  std::vector<float> aliased = x;
+  vec_exp(aliased.data(), aliased.data(), aliased.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_EQ(aliased[i], fast_expf(x[i]));
+}
+
+}  // namespace
+}  // namespace apds

@@ -103,5 +103,39 @@ TEST(Matrix, SameShape) {
   EXPECT_FALSE(Matrix(2, 3).same_shape(Matrix(3, 2)));
 }
 
+TEST(MatrixF, SingleFloatInstantiationBehavesLikeDouble) {
+  MatrixF m(2, 3, 1.5f);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(1, 2), 1.5f);
+  m.fill(0.25f);
+  EXPECT_EQ(m(0, 0), 0.25f);
+  m(0, 1) = -2.0f;
+  const MatrixF t = m.transposed();
+  EXPECT_EQ(t(1, 0), -2.0f);
+  EXPECT_THROW(m.at(5, 0), InvalidArgument);
+  EXPECT_TRUE(m.same_shape(MatrixF(2, 3)));
+  EXPECT_EQ(m, m);
+}
+
+TEST(MatrixF, CastsRoundTripExactlyForF32Values) {
+  Matrix d{{1.0, -2.5, 0.125}, {3.0, 4.75, -0.0625}};
+  const MatrixF f = to_f32(d);
+  ASSERT_TRUE(f.same_shape(MatrixF(2, 3)));
+  // These values are exactly representable in f32, so the round trip
+  // through to_f64 reproduces the original bits.
+  EXPECT_EQ(to_f64(f), d);
+  // The generic cast matches the named helpers.
+  EXPECT_EQ(matrix_cast<float>(d), f);
+  EXPECT_EQ(matrix_cast<double>(f), d);
+}
+
+TEST(MatrixF, NarrowingRoundsToNearestFloat) {
+  Matrix d(1, 1, 0.1);  // not representable in binary f32
+  const MatrixF f = to_f32(d);
+  EXPECT_EQ(f(0, 0), 0.1f);
+  EXPECT_NE(static_cast<double>(f(0, 0)), 0.1);
+}
+
 }  // namespace
 }  // namespace apds

@@ -96,6 +96,44 @@ TEST(ParallelDeterminism, ApDeepSensePropagateBitIdentical) {
   EXPECT_EQ(max_abs_diff(serial.var, parallel.var), 0.0);
 }
 
+TEST(ParallelDeterminism, F32KernelsBitIdentical) {
+  // The single-precision fast path keeps the same chunking/accumulation
+  // contract as f64: any pool width, same bits.
+  Rng rng(9);
+  const MatrixF a = to_f32(random_matrix(67, 41, rng));
+  const MatrixF b = to_f32(random_matrix(41, 53, rng));
+  const auto f = PiecewiseLinear::fit_tanh(7);
+  MeanVarF input(8, 97);
+  for (float& v : input.mean.flat()) v = static_cast<float>(rng.normal());
+  for (float& v : input.var.flat())
+    v = std::fabs(static_cast<float>(rng.normal()));
+  input.var(0, 0) = 0.0f;  // exercise the deterministic fallback lane
+  auto run = [&] {
+    MatrixF c(67, 53);
+    gemm(a, b, c);
+    MeanVarF act = input;
+    moment_activation_inplace(f, act);
+    std::vector<MatrixF> out{c, act.mean, act.var};
+    return out;
+  };
+  const auto serial = with_threads(1, run);
+  const auto parallel = with_threads(4, run);
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_EQ(max_abs_diff(serial[i], parallel[i]), 0.0) << "result " << i;
+}
+
+TEST(ParallelDeterminism, ApDeepSenseF32PropagateBitIdentical) {
+  Rng rng(10);
+  const Mlp mlp = wide_net(Activation::kTanh, 0.9, rng);
+  const ApDeepSense apd(mlp);
+  const MeanVar input = MeanVar::point(random_matrix(6, 16, rng));
+  auto run = [&] { return apd.propagate(input, Precision::kF32); };
+  const auto serial = with_threads(1, run);
+  const auto parallel = with_threads(4, run);
+  EXPECT_EQ(max_abs_diff(serial.mean, parallel.mean), 0.0);
+  EXPECT_EQ(max_abs_diff(serial.var, parallel.var), 0.0);
+}
+
 TEST(ParallelDeterminism, McDropSamplesAndRngStateBitIdentical) {
   Rng rng(4);
   const Mlp mlp = wide_net(Activation::kRelu, 0.8, rng);

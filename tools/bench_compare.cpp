@@ -1,6 +1,7 @@
 // bench_compare: CI regression gate over the machine-readable bench outputs.
 //
 //   bench_compare <baseline.json> <candidate.json> [--max-regress <pct>]
+//                 [--speedup <fast>:<slow>:<ratio>]...
 //
 // Both inputs must be the same bench format — either `micro_kernels --json`
 // ({"bench":"micro_kernels","kernels":[{name,threads,p50_ms,...}]}) or a
@@ -8,8 +9,18 @@
 // Metrics are matched by key (kernel name + thread count, or system config)
 // over the intersection of the two files; a candidate p50 more than
 // --max-regress percent (default 25) above the baseline fails the gate.
+// Keys present on only one side are logged as skips, never failed: a
+// candidate-only key is a kernel newer than the committed baseline, a
+// baseline-only key a kernel the candidate build doesn't measure (yet).
 //
-// Exit codes: 0 = no regression, 1 = regression detected,
+// --speedup gates a ratio WITHIN the candidate report: the p50 of <slow>
+// divided by the p50 of <fast> must be at least <ratio> (e.g.
+// `--speedup gemm_256_f32@t1:gemm_256@t1:1.5` enforces the f32 fast path
+// staying >= 1.5x quicker than f64). Repeatable. Referencing a key the
+// candidate lacks is a usage error (exit 2) — a silently missing gate
+// would pass CI forever.
+//
+// Exit codes: 0 = no regression, 1 = regression / speedup-floor miss,
 //             2 = usage / file / parse error.
 #include <cctype>
 #include <cmath>
@@ -267,13 +278,41 @@ std::map<std::string, double> load_metrics(const std::string& path,
   return extract_metrics(root, bench_name);
 }
 
+/// One --speedup gate: cand[slow_key].p50 / cand[fast_key].p50 >= min_ratio.
+struct SpeedupGate {
+  std::string fast_key;
+  std::string slow_key;
+  double min_ratio = 1.0;
+};
+
+/// Parse "<fast>:<slow>:<ratio>". Returns false on malformed input.
+bool parse_speedup(const std::string& spec, SpeedupGate* gate) {
+  const std::size_t first = spec.find(':');
+  const std::size_t last = spec.rfind(':');
+  if (first == std::string::npos || last == first) return false;
+  gate->fast_key = spec.substr(0, first);
+  gate->slow_key = spec.substr(first + 1, last - first - 1);
+  const std::string ratio = spec.substr(last + 1);
+  if (gate->fast_key.empty() || gate->slow_key.empty() || ratio.empty())
+    return false;
+  try {
+    std::size_t used = 0;
+    gate->min_ratio = std::stod(ratio, &used);
+    if (used != ratio.size()) return false;
+  } catch (const std::exception&) {
+    return false;
+  }
+  return gate->min_ratio > 0.0 && std::isfinite(gate->min_ratio);
+}
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <baseline.json> <candidate.json>"
-               " [--max-regress <pct>]\n"
+               " [--max-regress <pct>] [--speedup <fast>:<slow>:<ratio>]...\n"
                "  compares p50 latencies from two micro_kernels/system bench"
                " --json reports;\n  exits 1 when any shared metric regresses"
-               " by more than <pct>%% (default 25).\n",
+               " by more than <pct>%% (default 25)\n  or a --speedup floor"
+               " (cand p50 of <slow> / <fast> >= <ratio>) is missed.\n",
                argv0);
   return 2;
 }
@@ -282,10 +321,19 @@ int usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   std::vector<std::string> positional;
+  std::vector<SpeedupGate> speedup_gates;
   double max_regress_pct = 25.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--max-regress") {
+    if (arg == "--speedup") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      SpeedupGate gate;
+      if (!parse_speedup(argv[++i], &gate)) {
+        std::fprintf(stderr, "--speedup: malformed spec '%s'\n", argv[i]);
+        return usage(argv[0]);
+      }
+      speedup_gates.push_back(std::move(gate));
+    } else if (arg == "--max-regress") {
       if (i + 1 >= argc) return usage(argv[0]);
       try {
         std::size_t used = 0;
@@ -318,11 +366,17 @@ int main(int argc, char** argv) {
 
     std::size_t compared = 0;
     std::size_t regressed = 0;
+    std::size_t skipped = 0;
     std::printf("%-40s %12s %12s %9s\n", "metric", "base p50", "cand p50",
                 "delta");
     for (const auto& [key, base_ms] : base) {
       const auto it = cand.find(key);
-      if (it == cand.end()) continue;
+      if (it == cand.end()) {
+        ++skipped;
+        std::printf("%-40s %10.4fms %12s   skipped (not in candidate)\n",
+                    key.c_str(), base_ms, "-");
+        continue;
+      }
       ++compared;
       const double cand_ms = it->second;
       const double delta_pct =
@@ -332,13 +386,47 @@ int main(int argc, char** argv) {
       std::printf("%-40s %10.4fms %10.4fms %+8.1f%%%s\n", key.c_str(), base_ms,
                   cand_ms, delta_pct, bad ? "  REGRESSION" : "");
     }
+    // Kernels newer than the committed baseline: visible, never a failure —
+    // the baseline catches up the next time it is regenerated.
+    for (const auto& [key, cand_ms] : cand) {
+      if (base.find(key) != base.end()) continue;
+      ++skipped;
+      std::printf("%-40s %12s %10.4fms   skipped (not in baseline)\n",
+                  key.c_str(), "-", cand_ms);
+    }
     if (compared == 0) {
       std::fprintf(stderr, "no shared metrics between the two reports\n");
       return 2;
     }
-    std::printf("%zu metric(s) compared, %zu regression(s) beyond +%.1f%%\n",
-                compared, regressed, max_regress_pct);
-    return regressed > 0 ? 1 : 0;
+
+    std::size_t speedup_missed = 0;
+    for (const SpeedupGate& gate : speedup_gates) {
+      const auto fast_it = cand.find(gate.fast_key);
+      const auto slow_it = cand.find(gate.slow_key);
+      if (fast_it == cand.end() || slow_it == cand.end()) {
+        std::fprintf(stderr,
+                     "--speedup %s:%s:%.2f: key missing from candidate\n",
+                     gate.fast_key.c_str(), gate.slow_key.c_str(),
+                     gate.min_ratio);
+        return 2;
+      }
+      const double ratio =
+          fast_it->second > 0.0 ? slow_it->second / fast_it->second : 0.0;
+      const bool bad = ratio < gate.min_ratio;
+      if (bad) ++speedup_missed;
+      std::printf("speedup %s / %s = %.2fx (floor %.2fx)%s\n",
+                  gate.slow_key.c_str(), gate.fast_key.c_str(), ratio,
+                  gate.min_ratio, bad ? "  BELOW FLOOR" : "");
+    }
+
+    std::printf("%zu metric(s) compared, %zu skipped, %zu regression(s)"
+                " beyond +%.1f%%",
+                compared, skipped, regressed, max_regress_pct);
+    if (!speedup_gates.empty())
+      std::printf(", %zu/%zu speedup floor(s) missed", speedup_missed,
+                  speedup_gates.size());
+    std::printf("\n");
+    return regressed > 0 || speedup_missed > 0 ? 1 : 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bench_compare: %s\n", e.what());
     return 2;
