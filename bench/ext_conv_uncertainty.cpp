@@ -25,7 +25,7 @@ void make_waveform(std::size_t n, std::size_t len, Rng& rng, Matrix& x,
   x = Matrix(n, len);
   y = Matrix(n, 1);
   for (std::size_t i = 0; i < n; ++i) {
-    const double spikes = rng.uniform_index(4);  // 0..3 spikes
+    const std::size_t spikes = rng.uniform_index(4);  // 0..3 spikes
     for (std::size_t t = 0; t < len; ++t) x(i, t) = rng.normal(0.0, 0.4);
     for (std::size_t s = 0; s < spikes; ++s) {
       const std::size_t pos = 2 + rng.uniform_index(len - 4);
@@ -34,7 +34,7 @@ void make_waveform(std::size_t n, std::size_t len, Rng& rng, Matrix& x,
       x(i, pos) += amp;
       x(i, pos + 1) += 0.5 * amp;
     }
-    y(i, 0) = spikes + rng.normal(0.0, 0.1);  // count with label noise
+    y(i, 0) = static_cast<double>(spikes) + rng.normal(0.0, 0.1);  // count with label noise
   }
 }
 

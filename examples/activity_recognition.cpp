@@ -76,7 +76,9 @@ int main(int argc, char** argv) {
             << "  committed (confidence >= " << kConfidenceGate
             << "): " << committed << " windows\n"
             << "  accuracy when committed:        "
-            << (committed > 0 ? 100.0 * committed_correct / committed : 0.0)
+            << (committed > 0 ? 100.0 * static_cast<double>(committed_correct) /
+                                    static_cast<double>(committed)
+                              : 0.0)
             << "%\n"
             << "  abstained (hand to user/app):   " << abstained << "\n";
 

@@ -1,0 +1,51 @@
+// Strict numeric parsing for CLI flags and environment variables.
+//
+// std::stoul accepts leading whitespace and a '-' sign — the negated value
+// wraps into a huge unsigned — and std::stod accepts partial prefixes, so
+// every flag that went through them had to re-validate by hand (and the
+// ones that forgot wrapped on negative input). These helpers centralize
+// the strict contract: the whole string must be consumed, unsigned values
+// are plain ASCII digits, doubles must be finite.
+//
+// Header-only so freestanding tools (bench_compare, apds_lint) can use it
+// without linking apds_common.
+#pragma once
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace apds {
+
+/// Parse a base-10 unsigned integer from ASCII digits only. Rejects empty
+/// input, signs, whitespace, base prefixes and overflow.
+inline std::optional<std::uint64_t> parse_unsigned(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return std::nullopt;
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+/// Parse a finite double. The entire string must be consumed: rejects empty
+/// input, leading whitespace, trailing junk, and inf/nan.
+inline std::optional<double> parse_double(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  if (std::isspace(static_cast<unsigned char>(s.front()))) return std::nullopt;
+  const std::string buf(s);  // strtod needs a NUL terminator
+  char* end = nullptr;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) return std::nullopt;
+  if (!std::isfinite(value)) return std::nullopt;
+  return value;
+}
+
+}  // namespace apds

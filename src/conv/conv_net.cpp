@@ -186,7 +186,9 @@ ConvNetGradients ConvNet::backward(const ConvForwardCache& cache,
             dpre.data() + b * dpre.cols() + t * layer.out_channels;
         for (std::size_t oc = 0; oc < layer.out_channels; ++oc) {
           const double g = d[oc];
-          if (g == 0.0) continue;
+          // Exact zero is the ReLU-masked sentinel; any nonzero gradient,
+          // however small, must still accumulate.
+          if (g == 0.0) continue;  // apds-lint: allow(float-equal)
           db(0, oc) += g;
           for (std::size_t i = 0; i < window; ++i) {
             dw(i, oc) += in_row[base + i] * g;

@@ -1,5 +1,6 @@
 #include "core/apdeepsense.h"
 
+#include "core/moment_contract.h"
 #include "obs/trace.h"
 #include "tensor/ops.h"
 
@@ -67,6 +68,7 @@ MeanVar ApDeepSense::propagate(const MeanVar& input,
 MeanVar ApDeepSense::propagate_f64(const MeanVar& input) const {
   APDS_TRACE_SCOPE("apd.propagate");
   MeanVar h = input;
+  APDS_MOMENT_CONTRACT(h, "apd.propagate input");
   for (std::size_t l = 0; l < mlp_->num_layers(); ++l) {
     const DenseLayer& layer = mlp_->layer(l);
     TraceSpan span("apd.layer");
@@ -74,6 +76,7 @@ MeanVar ApDeepSense::propagate_f64(const MeanVar& input) const {
     h = moment_linear(h, layer.weight, weight_sq_[l], layer.bias,
                       layer.keep_prob);
     moment_activation_inplace(surrogates_[l], h);
+    APDS_MOMENT_CONTRACT(h, "apd.propagate layer output");
   }
   return h;
 }
@@ -83,6 +86,7 @@ MeanVar ApDeepSense::propagate_f32(const MeanVar& input) const {
   // Narrow once at entry and widen once at exit; the whole layer stack
   // stays single-precision in between (packed weights, f32 kernels).
   MeanVarF h = to_f32(input);
+  APDS_MOMENT_CONTRACT(h, "apd.propagate_f32 input");
   for (std::size_t l = 0; l < mlp_->num_layers(); ++l) {
     const DenseLayer& layer = mlp_->layer(l);
     TraceSpan span("apd.layer");
@@ -90,6 +94,7 @@ MeanVar ApDeepSense::propagate_f32(const MeanVar& input) const {
     h = moment_linear(h, weight_f_[l], weight_sq_f_[l], bias_f_[l],
                       layer.keep_prob);
     moment_activation_inplace(surrogates_[l], h);
+    APDS_MOMENT_CONTRACT(h, "apd.propagate_f32 layer output");
   }
   return to_f64(h);
 }
@@ -104,6 +109,7 @@ MeanVar ApDeepSense::propagate_recording(
   layer_outputs.clear();
   layer_outputs.reserve(mlp_->num_layers());
   MeanVar h = input;
+  APDS_MOMENT_CONTRACT(h, "apd.propagate_recording input");
   for (std::size_t l = 0; l < mlp_->num_layers(); ++l) {
     const DenseLayer& layer = mlp_->layer(l);
     TraceSpan span("apd.layer");
@@ -111,6 +117,7 @@ MeanVar ApDeepSense::propagate_recording(
     h = moment_linear(h, layer.weight, weight_sq_[l], layer.bias,
                       layer.keep_prob);
     moment_activation_inplace(surrogates_[l], h);
+    APDS_MOMENT_CONTRACT(h, "apd.propagate_recording layer output");
     layer_outputs.push_back(h);
   }
   return h;

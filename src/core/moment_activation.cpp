@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/moment_contract.h"
 #include "obs/trace.h"
 #include "platform/thread_pool.h"
 #include "stats/gaussian.h"
@@ -137,6 +138,9 @@ ScalarMoments activation_moments(const PiecewiseLinear& f, double mu,
     const BoundaryEval hi = eval_boundary(p.hi, mu, inv_sigma);
     const PartialMoments pm = truncated_moments_between(lo, hi, sigma);
     lo = hi;
+    // Exact zeros: a piece the whole distribution misses contributes
+    // nothing; skipping it is an identity, not a tolerance question.
+    // apds-lint: allow(float-equal)
     if (pm.mass <= 0.0 && pm.first == 0.0 && pm.second == 0.0) continue;
     // E[X 1] and E[X^2 1] from central partial moments.
     const double ex1 = mu * pm.mass + pm.first;
@@ -163,11 +167,13 @@ void moment_activation_batch(const PiecewiseLinear& f, double* mean,
 void moment_activation_inplace(const PiecewiseLinear& f, MeanVar& mv) {
   APDS_TRACE_SCOPE("core.moment_activation");
   moment_activation_batch(f, mv.mean.data(), mv.var.data(), mv.mean.size());
+  APDS_MOMENT_CONTRACT(mv, "core.moment_activation output");
 }
 
 void moment_activation_inplace(const PiecewiseLinear& f, MeanVarF& mv) {
   APDS_TRACE_SCOPE("core.moment_activation_f32");
   moment_activation_batch(f, mv.mean.data(), mv.var.data(), mv.mean.size());
+  APDS_MOMENT_CONTRACT(mv, "core.moment_activation_f32 output");
 }
 
 void moment_activation_inplace(const PiecewiseLinear& f, GaussianVec& g) {

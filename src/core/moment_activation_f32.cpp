@@ -58,7 +58,7 @@ void activation_moments_tile_f32(const PiecewiseLinear& f, float* m, float* v,
   auto eval_boundary_span = [&](double x, float* pdf, float* cdf,
                                 float* zpdf) {
     if (std::isinf(x)) {
-      const float cdf_value = x > 0.0 ? 1.0f : 0.0f;
+      const float cdf_value = x > 0 ? 1.0f : 0.0f;
       for (std::size_t i = 0; i < n; ++i) {
         pdf[i] = 0.0f;
         cdf[i] = cdf_value;

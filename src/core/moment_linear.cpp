@@ -1,5 +1,7 @@
 #include "core/moment_linear.h"
 
+#include "common/logging.h"
+#include "core/moment_contract.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "platform/thread_pool.h"
@@ -76,6 +78,7 @@ MeanVarT<T> moment_linear_impl(const MeanVarT<T>& input,
                  for (std::size_t i = lo; i < hi; ++i)
                    if (ov[i] < T(0)) ov[i] = T(0);
                });
+  APDS_MOMENT_CONTRACT(out, "core.moment_linear output");
   return out;
 }
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "tensor/ops.h"
+
 namespace apds {
 
 namespace {
@@ -10,12 +12,12 @@ namespace {
 double pulse_shape(double u, double rise, double decay, double dicrotic) {
   // Primary wave: gamma-like bump peaking near u = rise.
   const double primary =
-      std::exp(-0.5 * std::pow((u - rise) / (0.35 * rise + 0.02), 2.0)) +
+      std::exp(-0.5 * square((u - rise) / (0.35 * rise + 0.02))) +
       std::exp(-(u - rise) / decay) * (u > rise ? 0.55 : 0.0);
   // Dicrotic wave around u = rise + 0.25.
   const double d_center = rise + 0.25;
   const double dic =
-      dicrotic * std::exp(-0.5 * std::pow((u - d_center) / 0.06, 2.0));
+      dicrotic * std::exp(-0.5 * square((u - d_center) / 0.06));
   return std::min(1.4, primary + dic);
 }
 }  // namespace

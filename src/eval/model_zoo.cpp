@@ -37,7 +37,9 @@ TaskData ModelZoo::make_data(TaskId id) {
     case TaskId::kBpest: {
       Dataset all = generate_bpest(n_total, rng);
       const DataSplit split = split_dataset(
-          all, 0.0, static_cast<double>(config_.n_test) / n_total, rng);
+          all, 0.0,
+          static_cast<double>(config_.n_test) / static_cast<double>(n_total),
+          rng);
       train_pool = split.train;
       test_set = split.test;
       break;
@@ -45,7 +47,9 @@ TaskData ModelZoo::make_data(TaskId id) {
     case TaskId::kNyCommute: {
       Dataset all = generate_nycommute(n_total, rng);
       const DataSplit split = split_dataset(
-          all, 0.0, static_cast<double>(config_.n_test) / n_total, rng);
+          all, 0.0,
+          static_cast<double>(config_.n_test) / static_cast<double>(n_total),
+          rng);
       train_pool = split.train;
       test_set = split.test;
       break;
@@ -53,7 +57,9 @@ TaskData ModelZoo::make_data(TaskId id) {
     case TaskId::kGasSen: {
       Dataset all = generate_gassen(n_total, rng);
       const DataSplit split = split_dataset(
-          all, 0.0, static_cast<double>(config_.n_test) / n_total, rng);
+          all, 0.0,
+          static_cast<double>(config_.n_test) / static_cast<double>(n_total),
+          rng);
       train_pool = split.train;
       test_set = split.test;
       break;
@@ -72,8 +78,10 @@ TaskData ModelZoo::make_data(TaskId id) {
   // Carve validation rows off the training pool.
   Rng split_rng = rng.split();
   const DataSplit tv = split_dataset(
-      train_pool, static_cast<double>(config_.n_val) / train_pool.size(), 0.0,
-      split_rng);
+      train_pool,
+      static_cast<double>(config_.n_val) /
+          static_cast<double>(train_pool.size()),
+      0.0, split_rng);
 
   td.output_dim = test_set.output_dim();
   td.x_scaler = StandardScaler::fit(tv.train.x);

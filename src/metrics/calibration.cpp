@@ -10,7 +10,21 @@ namespace apds {
 std::vector<CalibrationPoint> calibration_curve(
     const PredictiveGaussian& pred, const Matrix& target,
     std::span<const double> nominal_levels) {
-  APDS_CHECK(pred.mean.same_shape(target) && pred.var.same_shape(target));
+  APDS_CHECK_MSG(pred.mean.same_shape(target) && pred.var.same_shape(target),
+                 "calibration_curve: prediction shape ("
+                     << pred.mean.rows() << "x" << pred.mean.cols()
+                     << ") must match target (" << target.rows() << "x"
+                     << target.cols() << ")");
+  // Predictions often arrive from files or external estimators; a negative
+  // or NaN variance would silently turn coverage into NaN via sqrt, so
+  // reject it here with the offending index instead.
+  for (std::size_t i = 0; i < pred.var.size(); ++i) {
+    const double v = pred.var.flat()[i];
+    APDS_CHECK_MSG(v >= 0.0 && std::isfinite(v),
+                   "calibration_curve: predictive variance at flat index "
+                       << i << " is " << v
+                       << "; variances must be finite and >= 0");
+  }
   std::vector<CalibrationPoint> curve;
   curve.reserve(nominal_levels.size());
   for (double level : nominal_levels) {

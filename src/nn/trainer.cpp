@@ -98,7 +98,9 @@ TrainReport train_mlp(Mlp& mlp, const Matrix& x, const Matrix& y,
       APDS_DEBUG("early stop after epoch " << epoch + 1);
       break;
     }
-    if (config.lr_decay != 1.0) optimizer.scale_learning_rate(config.lr_decay);
+    // 1.0 is the documented "no decay" sentinel, set exactly by callers.
+    if (config.lr_decay != 1.0)  // apds-lint: allow(float-equal)
+      optimizer.scale_learning_rate(config.lr_decay);
   }
   return report;
 }

@@ -7,6 +7,7 @@
 
 #include "common/error.h"
 #include "common/logging.h"
+#include "common/parse_num.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -49,15 +50,9 @@ void parse_slo(const std::string& value, ObsOptions& options) {
   if (tokens.empty() || tokens.size() > 3) throw bad();
   double parts[3] = {0.0, 0.0, 0.0};
   for (std::size_t i = 0; i < tokens.size(); ++i) {
-    std::size_t pos = 0;
-    double v = -1.0;
-    try {
-      v = std::stod(tokens[i], &pos);
-    } catch (const std::exception&) {
-      pos = 0;
-    }
-    if (tokens[i].empty() || pos != tokens[i].size() || v < 0.0) throw bad();
-    parts[i] = v;
+    const auto v = parse_double(tokens[i]);
+    if (!v || *v < 0.0) throw bad();
+    parts[i] = *v;
   }
   options.slo_p50_ms = parts[0];
   options.slo_p95_ms = parts[1];
@@ -92,25 +87,11 @@ ObsOptions parse_obs_flags(int& argc, char** argv) {
       set_log_level(parse_level(take_value("--log-level")));
     } else if (arg == "--threads") {
       const std::string value = take_value("--threads");
-      // stoul silently accepts a leading '-' (and whitespace) and wraps the
-      // negated value into a huge unsigned, so require plain digits first.
-      const bool digits_only =
-          !value.empty() &&
-          std::all_of(value.begin(), value.end(),
-                      [](unsigned char c) { return std::isdigit(c) != 0; });
-      std::size_t pos = 0;
-      unsigned long n = 0;
-      if (digits_only) {
-        try {
-          n = std::stoul(value, &pos);
-        } catch (const std::exception&) {
-          pos = 0;
-        }
-      }
-      if (!digits_only || pos != value.size() || n == 0)
+      const auto n = parse_unsigned(value);
+      if (!n || *n == 0)
         throw InvalidArgument("--threads: want a positive integer, got '" +
                               value + "'");
-      options.threads = static_cast<std::size_t>(n);
+      options.threads = static_cast<std::size_t>(*n);
     } else if (arg == "--precision") {
       try {
         options.precision = parse_precision(take_value("--precision"));

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <memory>
 
+#include "common/parse_num.h"
+
 namespace apds {
 
 namespace {
@@ -154,10 +156,10 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
 std::size_t resolve_num_threads(std::size_t requested) {
   if (requested > 0) return requested;
   if (const char* env = std::getenv("APDS_THREADS")) {
-    char* endp = nullptr;
-    const long v = std::strtol(env, &endp, 10);
-    if (endp != env && *endp == '\0' && v > 0)
-      return static_cast<std::size_t>(v);
+    // Digits-only: a negative or junk APDS_THREADS falls back to hardware
+    // width rather than wrapping into a huge pool.
+    const auto v = parse_unsigned(env);
+    if (v && *v > 0) return static_cast<std::size_t>(*v);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? hw : 1;

@@ -13,24 +13,29 @@ double std_normal_pdf(double z) {
 double std_normal_cdf(double z) { return 0.5 * std::erfc(-z / kSqrt2); }
 
 double normal_pdf(double x, double mu, double sigma) {
-  APDS_CHECK(sigma > 0.0);
+  APDS_CHECK_MSG(sigma > 0.0, "normal_pdf: sigma must be > 0, got " << sigma);
   return std_normal_pdf((x - mu) / sigma) / sigma;
 }
 
 double normal_log_pdf(double x, double mu, double sigma) {
-  APDS_CHECK(sigma > 0.0);
+  APDS_CHECK_MSG(sigma > 0.0,
+                 "normal_log_pdf: sigma must be > 0, got " << sigma);
   const double z = (x - mu) / sigma;
   return -0.5 * z * z - std::log(sigma) - 0.5 * kLog2Pi;
 }
 
 double gaussian_nll(double x, double mu, double var) {
-  APDS_CHECK(var > 0.0);
+  APDS_CHECK_MSG(var > 0.0,
+                 "gaussian_nll: variance must be > 0, got " << var);
   const double d = x - mu;
   return 0.5 * (kLog2Pi + std::log(var) + d * d / var);
 }
 
 double central_interval_z(double level) {
-  APDS_CHECK(level > 0.0 && level < 1.0);
+  APDS_CHECK_MSG(level > 0.0 && level < 1.0,
+                 "central_interval_z: confidence level must lie strictly "
+                 "inside (0, 1), got "
+                     << level);
   // Invert P(|Z| <= z) = 2 Phi(z) - 1 by bisection on the cdf.
   double lo = 0.0;
   double hi = 10.0;
@@ -75,8 +80,10 @@ PartialMoments truncated_moments_between(const BoundaryEval& lo,
 }
 
 PartialMoments truncated_moments(double a, double b, double mu, double sigma) {
-  APDS_CHECK(sigma > 0.0);
-  APDS_CHECK(a <= b);
+  APDS_CHECK_MSG(sigma > 0.0,
+                 "truncated_moments: sigma must be > 0, got " << sigma);
+  APDS_CHECK_MSG(a <= b, "truncated_moments: interval [" << a << ", " << b
+                                                         << "] is reversed");
   const double inv_sigma = 1.0 / sigma;
   return truncated_moments_between(eval_boundary(a, mu, inv_sigma),
                                    eval_boundary(b, mu, inv_sigma), sigma);

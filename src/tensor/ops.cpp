@@ -197,7 +197,8 @@ double max_abs_diff(const MatrixF& a, const MatrixF& b) {
   const float* ad = a.data();
   const float* bd = b.data();
   for (std::size_t i = 0; i < a.size(); ++i)
-    m = std::max(m, std::fabs(static_cast<double>(ad[i]) - bd[i]));
+    m = std::max(m, std::fabs(static_cast<double>(ad[i]) -
+                              static_cast<double>(bd[i])));
   return m;
 }
 

@@ -22,6 +22,11 @@ Matrix scale(const Matrix& a, double s);
 /// out = a ∘ a (the paper's X^2 notation).
 Matrix square(const Matrix& a);
 
+/// Scalar squares: what the pow-square lint rule asks for in place of
+/// std::pow(x, 2).
+constexpr double square(double x) { return x * x; }
+constexpr float square(float x) { return x * x; }
+
 /// a += b, in place.
 void add_inplace(Matrix& a, const Matrix& b);
 

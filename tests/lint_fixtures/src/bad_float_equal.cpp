@@ -1,0 +1,4 @@
+// Golden fixture: float-equal must fire exactly once, on the == below.
+bool is_unit(double x) {
+  return x == 1.0;
+}

@@ -1,0 +1,11 @@
+// Golden fixture: naked-new must fire exactly once, on the new expression.
+// The deleted copy constructor below must NOT fire: "= delete" is a
+// deleted special member, not a delete expression.
+struct Counter {
+  Counter(const Counter&) = delete;
+  int value = 0;
+};
+
+int* make_counter() {
+  return new int(0);
+}

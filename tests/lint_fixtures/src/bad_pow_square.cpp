@@ -1,0 +1,7 @@
+// Golden fixture: pow-square must fire exactly once, on the nested-paren
+// pow call below (the argument scanner has to balance the inner parens).
+#include <cmath>
+
+double energy(double x, double shift) {
+  return std::pow((x - shift) / (shift + 2.5), 2.0);
+}

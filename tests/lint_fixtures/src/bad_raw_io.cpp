@@ -1,0 +1,10 @@
+// Golden fixture: raw-io must fire exactly once, on std::cout. The
+// "printf" in this comment and the snprintf below must not fire.
+#include <cstdio>
+#include <iostream>
+
+void report(int n) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%d", n);
+  std::cout << buf;
+}

@@ -1,0 +1,7 @@
+// Golden fixture: no-unseeded-rng must fire exactly once, on the rand()
+// call below. Never compiled — scanned by test_apds_lint only.
+#include <cstdlib>
+
+int noisy_seed() {
+  return rand();
+}

@@ -1,0 +1,16 @@
+// Golden fixture: zero violations. Exercises the constructs the rules
+// must NOT flag — tolerance compares, x*x squaring, containers, masked
+// literals in strings and comments ("rand()", "new", "1.0 == x").
+#include <memory>
+#include <string>
+#include <vector>
+
+double square_of(double x) { return x * x; }
+
+bool close(double a, double b, double tol) {
+  return (a > b ? a - b : b - a) <= tol;
+}
+
+std::unique_ptr<int> owned() { return std::make_unique<int>(3); }
+
+std::string prose() { return "rand() == 1.0 is new here, delete that"; }

@@ -1,0 +1,7 @@
+// Golden fixture: f32-double-literal must fire exactly once, on the
+// unsuffixed 2.0 below. The f-suffixed literal must not fire. The path
+// mirrors the real f32-only TU so the rule's scoping applies.
+float widen(float x) {
+  const float scale = 0.5f;
+  return x * scale * 2.0;
+}

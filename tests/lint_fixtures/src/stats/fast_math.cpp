@@ -1,0 +1,10 @@
+// Golden fixture: f32-libm-double must fire exactly once, on std::erf.
+// fast_erff must not fire (prefixed identifier). The path mirrors the
+// real f32-only TU so the rule's scoping applies.
+#include <cmath>
+
+float fast_erff(float z);
+
+float slow_erf(float z) {
+  return static_cast<float>(std::erf(static_cast<double>(z)));
+}

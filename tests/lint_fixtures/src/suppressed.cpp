@@ -1,0 +1,18 @@
+// Golden fixture: every seeded violation below is suppressed — one per
+// suppression form (file-wide, same-line, line-above). apds_lint must
+// report this file clean with a suppressed count of 3.
+// apds-lint: allow-file(naked-new)
+#include <cstdlib>
+
+int* owned_elsewhere() {
+  return new int(7);
+}
+
+bool exactly_zero(double x) {
+  return x == 0.0;  // apds-lint: allow(float-equal)
+}
+
+int entropy() {
+  // apds-lint: allow(no-unseeded-rng)
+  return rand();
+}

@@ -94,5 +94,42 @@ TEST(Calibration, ZeroRowTargetYieldsZeroCoverage) {
   EXPECT_NEAR(expected_calibration_error(pred, target, levels), 0.7, 1e-12);
 }
 
+TEST(Calibration, InvalidVarianceThrowsWithContext) {
+  PredictiveGaussian pred;
+  pred.mean = Matrix(2, 2, 0.0);
+  pred.var = Matrix(2, 2, 1.0);
+  const Matrix target(2, 2, 0.0);
+  const double levels[] = {0.9};
+
+  pred.var(1, 0) = -0.5;
+  try {
+    calibration_curve(pred, target, levels);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("variance"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("-0.5"), std::string::npos) << msg;
+  }
+
+  pred.var(1, 0) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(calibration_curve(pred, target, levels), InvalidArgument);
+}
+
+TEST(Calibration, ShapeMismatchThrowsWithShapes) {
+  PredictiveGaussian pred;
+  pred.mean = Matrix(2, 3, 0.0);
+  pred.var = Matrix(2, 3, 1.0);
+  const Matrix target(2, 2, 0.0);
+  const double levels[] = {0.9};
+  try {
+    calibration_curve(pred, target, levels);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("2x3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("2x2"), std::string::npos) << msg;
+  }
+}
+
 }  // namespace
 }  // namespace apds

@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/logging.h"
+#include "common/parse_num.h"
 #include "common/stopwatch.h"
 #include "platform/profiler.h"
 
@@ -69,6 +70,38 @@ TEST(Profiler, AccumulatesUntilTimeBudget) {
 
 TEST(Profiler, RejectsZeroIterations) {
   EXPECT_THROW(measure([] {}, 0), InvalidArgument);
+}
+
+TEST(ParseNum, UnsignedAcceptsOnlyDigitStrings) {
+  EXPECT_EQ(parse_unsigned("0"), 0u);
+  EXPECT_EQ(parse_unsigned("42"), 42u);
+  EXPECT_EQ(parse_unsigned("18446744073709551615"), UINT64_MAX);
+  EXPECT_FALSE(parse_unsigned(""));
+  EXPECT_FALSE(parse_unsigned("-1"));
+  EXPECT_FALSE(parse_unsigned("+1"));
+  EXPECT_FALSE(parse_unsigned(" 1"));
+  EXPECT_FALSE(parse_unsigned("1 "));
+  EXPECT_FALSE(parse_unsigned("1.5"));
+  EXPECT_FALSE(parse_unsigned("4x"));
+  EXPECT_FALSE(parse_unsigned("0x10"));
+}
+
+TEST(ParseNum, UnsignedRejectsOverflow) {
+  EXPECT_FALSE(parse_unsigned("18446744073709551616"));  // UINT64_MAX + 1
+  EXPECT_FALSE(parse_unsigned("99999999999999999999999"));
+}
+
+TEST(ParseNum, DoubleParsesFullTokenOrNothing) {
+  EXPECT_DOUBLE_EQ(*parse_double("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(*parse_double("-0.25"), -0.25);
+  EXPECT_DOUBLE_EQ(*parse_double("2e3"), 2000.0);
+  EXPECT_FALSE(parse_double(""));
+  EXPECT_FALSE(parse_double("abc"));
+  EXPECT_FALSE(parse_double("1.5x"));
+  EXPECT_FALSE(parse_double(" 1.5"));
+  EXPECT_FALSE(parse_double("nan"));
+  EXPECT_FALSE(parse_double("inf"));
+  EXPECT_FALSE(parse_double("1e999"));  // overflows to inf
 }
 
 }  // namespace

@@ -94,9 +94,11 @@ TEST_F(ExperimentTest, ApdIsCheaperThanBigKMcdrop) {
   for (const auto& r : rows)
     if (r.config == "DNN-ReLU-ApDeepSense") apd_relu = r.edison_mj;
   ASSERT_GT(apd_relu, 0.0);
-  for (const auto& r : rows)
-    if (r.config.find("ReLU-MCDrop") != std::string::npos)
+  for (const auto& r : rows) {
+    if (r.config.find("ReLU-MCDrop") != std::string::npos) {
       EXPECT_GT(r.edison_mj, apd_relu) << r.config;
+    }
+  }
 }
 
 TEST_F(ExperimentTest, HostMeasurementsPopulateWhenRequested) {

@@ -28,7 +28,8 @@ TEST(FastExp, RelativeErrorBoundOverWorkingRange) {
   for (double x = -87.0; x <= 88.0; x += 7.3e-4) {
     const float xf = static_cast<float>(x);
     const double ref = std::exp(static_cast<double>(xf));
-    const double rel = std::fabs(fast_expf(xf) - ref) / ref;
+    const double rel =
+        std::fabs(static_cast<double>(fast_expf(xf)) - ref) / ref;
     max_rel = std::max(max_rel, rel);
   }
   EXPECT_LE(max_rel, kExpRelBound);
@@ -37,7 +38,8 @@ TEST(FastExp, RelativeErrorBoundOverWorkingRange) {
 TEST(FastExp, ClampsHighAndUnderflowsLowGracefully) {
   // Above the clamp everything returns exp(88), still finite in f32.
   const double exp88 = std::exp(88.0);
-  EXPECT_NEAR(fast_expf(100.0f) / exp88, 1.0, kExpRelBound);
+  EXPECT_NEAR(static_cast<double>(fast_expf(100.0f)) / exp88, 1.0,
+              kExpRelBound);
   EXPECT_TRUE(std::isfinite(fast_expf(1e30f)));
   // Deep negative inputs reach exact zero through gradual underflow, and
   // the tail is monotonically nonnegative — no wrap-around to garbage.
@@ -57,7 +59,8 @@ TEST(FastErf, AbsoluteAndRelativeErrorBounds) {
   for (double x = -6.5; x <= 6.5; x += 4.7e-5) {
     const float xf = static_cast<float>(x);
     const double ref = std::erf(static_cast<double>(xf));
-    const double abs_err = std::fabs(fast_erff(xf) - ref);
+    const double abs_err =
+        std::fabs(static_cast<double>(fast_erff(xf)) - ref);
     max_abs = std::max(max_abs, abs_err);
     if (std::fabs(x) >= 0.1)
       max_rel = std::max(max_rel, abs_err / std::fabs(ref));
@@ -83,9 +86,11 @@ TEST(FastNormal, PdfAndCdfBoundsOverStandardizedRange) {
     const float zf = static_cast<float>(z);
     const double zd = static_cast<double>(zf);
     cdf_abs = std::max(
-        cdf_abs, std::fabs(fast_std_normal_cdf(zf) - std_normal_cdf(zd)));
+        cdf_abs, std::fabs(static_cast<double>(fast_std_normal_cdf(zf)) -
+                           std_normal_cdf(zd)));
     pdf_abs = std::max(
-        pdf_abs, std::fabs(fast_std_normal_pdf(zf) - std_normal_pdf(zd)));
+        pdf_abs, std::fabs(static_cast<double>(fast_std_normal_pdf(zf)) -
+                           std_normal_pdf(zd)));
   }
   EXPECT_LE(cdf_abs, kCdfAbsBound);
   EXPECT_LE(pdf_abs, kPdfAbsBound);
@@ -110,10 +115,14 @@ TEST(FastNormal, BoundsHoldOverPwlBoundaryStandardizations) {
           for (const double sigma : {1e-3, 0.1, 1.0, 30.0}) {
             const float z = static_cast<float>((b - mu) / sigma);
             const double zd = static_cast<double>(z);
-            cdf_abs = std::max(cdf_abs, std::fabs(fast_std_normal_cdf(z) -
-                                                  std_normal_cdf(zd)));
-            pdf_abs = std::max(pdf_abs, std::fabs(fast_std_normal_pdf(z) -
-                                                  std_normal_pdf(zd)));
+            cdf_abs = std::max(
+                cdf_abs,
+                std::fabs(static_cast<double>(fast_std_normal_cdf(z)) -
+                          std_normal_cdf(zd)));
+            pdf_abs = std::max(
+                pdf_abs,
+                std::fabs(static_cast<double>(fast_std_normal_pdf(z)) -
+                          std_normal_pdf(zd)));
           }
         }
       }

@@ -156,7 +156,8 @@ TEST(GasSen, SensorsRespondToConcentration) {
   }
   ASSERT_GT(lo_n, 10u);
   ASSERT_GT(hi_n, 10u);
-  EXPECT_GT(hi_resp / hi_n, lo_resp / lo_n + 1.0);
+  EXPECT_GT(hi_resp / static_cast<double>(hi_n),
+            lo_resp / static_cast<double>(lo_n) + 1.0);
 }
 
 TEST(GasSen, SensorPersonalitiesAreStableAcrossSeeds) {

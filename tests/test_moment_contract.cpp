@@ -1,0 +1,94 @@
+#include "core/moment_contract.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/apdeepsense.h"
+#include "nn/mlp.h"
+
+namespace apds {
+namespace {
+
+MeanVar healthy_batch() {
+  MeanVar mv(2, 3);
+  for (std::size_t i = 0; i < mv.mean.size(); ++i) {
+    mv.mean.flat()[i] = 0.25 * static_cast<double>(i) - 0.5;
+    mv.var.flat()[i] = 0.1 * static_cast<double>(i);
+  }
+  return mv;
+}
+
+TEST(MomentContract, AcceptsHealthyBatchesInBothPrecisions) {
+  const MeanVar mv = healthy_batch();
+  EXPECT_NO_THROW(check_moment_contract(mv, "test"));
+  const MeanVarF mvf = to_f32(mv);
+  EXPECT_NO_THROW(check_moment_contract(mvf, "test"));
+  // Zero variance (deterministic point mass) is valid, not degenerate.
+  const MeanVar point = MeanVar::point(Matrix(3, 4, 1.5));
+  EXPECT_NO_THROW(check_moment_contract(point, "test"));
+}
+
+TEST(MomentContract, RejectsNonFiniteMean) {
+  MeanVar mv = healthy_batch();
+  mv.mean(1, 2) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(check_moment_contract(mv, "test"), MomentContractViolation);
+  mv = healthy_batch();
+  mv.mean(0, 0) = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(check_moment_contract(mv, "test"), MomentContractViolation);
+}
+
+TEST(MomentContract, RejectsNegativeNanAndInfiniteVariance) {
+  MeanVar mv = healthy_batch();
+  mv.var(0, 1) = -1e-12;
+  EXPECT_THROW(check_moment_contract(mv, "test"), MomentContractViolation);
+  mv = healthy_batch();
+  mv.var(1, 0) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(check_moment_contract(mv, "test"), MomentContractViolation);
+  mv = healthy_batch();
+  mv.var(1, 1) = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(check_moment_contract(mv, "test"), MomentContractViolation);
+}
+
+TEST(MomentContract, RejectsShapeMismatch) {
+  MeanVar mv;
+  mv.mean = Matrix(2, 3);
+  mv.var = Matrix(2, 2);
+  EXPECT_THROW(check_moment_contract(mv, "test"), MomentContractViolation);
+}
+
+TEST(MomentContract, MessageNamesSiteAndElement) {
+  MeanVar mv = healthy_batch();
+  mv.var(1, 2) = -4.0;
+  try {
+    check_moment_contract(mv, "apd.layer 3");
+    FAIL() << "expected MomentContractViolation";
+  } catch (const MomentContractViolation& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("apd.layer 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("[1,2]"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("variance"), std::string::npos) << msg;
+  }
+}
+
+#if defined(APDS_CHECK_MOMENTS) && APDS_CHECK_MOMENTS
+// Only meaningful when the contract call sites are compiled in: a poisoned
+// input must be reported by the propagate pipeline, not silently carried
+// through to the output uncertainty.
+TEST(MomentContract, PropagateRejectsPoisonedInputWhenEnabled) {
+  Rng rng(7);
+  MlpSpec spec;
+  spec.dims = {4, 8, 2};
+  const Mlp mlp = Mlp::make(spec, rng);
+  const ApDeepSense apd(mlp);
+  MeanVar in(3, 4);
+  in.mean(2, 1) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(apd.propagate(in), MomentContractViolation);
+  MeanVar bad_var(3, 4);
+  bad_var.var(0, 3) = -1.0;
+  EXPECT_THROW(apd.propagate(bad_var), MomentContractViolation);
+}
+#endif
+
+}  // namespace
+}  // namespace apds

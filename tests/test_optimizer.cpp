@@ -87,7 +87,9 @@ TEST(Sgd, MomentumAcceleratesAlongConsistentGradient) {
     std::vector<Matrix*> grads = {&grad};
     opt.step(params, grads);
     const double step = w(0, 0) - prev;
-    if (i > 0) EXPECT_GT(step, prev_step);
+    if (i > 0) {
+      EXPECT_GT(step, prev_step);
+    }
     prev_step = step;
     prev = w(0, 0);
   }

@@ -33,6 +33,8 @@
 #include <string>
 #include <vector>
 
+#include "common/parse_num.h"
+
 namespace {
 
 // ---------------------------------------------------------------------------
@@ -295,14 +297,10 @@ bool parse_speedup(const std::string& spec, SpeedupGate* gate) {
   const std::string ratio = spec.substr(last + 1);
   if (gate->fast_key.empty() || gate->slow_key.empty() || ratio.empty())
     return false;
-  try {
-    std::size_t used = 0;
-    gate->min_ratio = std::stod(ratio, &used);
-    if (used != ratio.size()) return false;
-  } catch (const std::exception&) {
-    return false;
-  }
-  return gate->min_ratio > 0.0 && std::isfinite(gate->min_ratio);
+  const auto parsed = apds::parse_double(ratio);
+  if (!parsed) return false;
+  gate->min_ratio = *parsed;
+  return gate->min_ratio > 0.0;
 }
 
 int usage(const char* argv0) {
@@ -335,15 +333,9 @@ int main(int argc, char** argv) {
       speedup_gates.push_back(std::move(gate));
     } else if (arg == "--max-regress") {
       if (i + 1 >= argc) return usage(argv[0]);
-      try {
-        std::size_t used = 0;
-        max_regress_pct = std::stod(argv[++i], &used);
-        if (used != std::string(argv[i]).size() || max_regress_pct < 0.0 ||
-            !std::isfinite(max_regress_pct))
-          return usage(argv[0]);
-      } catch (const std::exception&) {
-        return usage(argv[0]);
-      }
+      const auto pct = apds::parse_double(argv[++i]);
+      if (!pct || *pct < 0.0) return usage(argv[0]);
+      max_regress_pct = *pct;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
