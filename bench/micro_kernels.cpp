@@ -27,6 +27,7 @@
 #include "common/rng.h"
 #include "core/apdeepsense.h"
 #include "obs/run_options.h"
+#include "obs/trace.h"
 #include "platform/profiler.h"
 #include "platform/thread_pool.h"
 #include "tensor/gemm.h"
@@ -317,6 +318,19 @@ void run_kernel_suite(std::size_t threads, std::vector<KernelRow>& rows) {
       Rng sample_rng(17);
       const auto samples = mcdrop_collect(mlp, x, 30, sample_rng);
       benchmark::DoNotOptimize(samples.data());
+    });
+  }
+  {
+    // Tracing-off span overhead: 64k disabled APDS_TRACE_SCOPE entries. The
+    // guard must be a cheap enabled() check; this row gates regressions in
+    // it (e.g. the span-id/context bookkeeping leaking past the guard).
+    record("trace_span_overhead", [&] {
+      std::uint64_t sink = 0;
+      for (std::uint64_t i = 0; i < 65536; ++i) {
+        APDS_TRACE_SCOPE("bench.noop");
+        sink += i;
+      }
+      benchmark::DoNotOptimize(sink);
     });
   }
 }

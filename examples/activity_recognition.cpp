@@ -12,6 +12,7 @@
 #include "metrics/classification_metrics.h"
 #include "nn/loss.h"
 #include "nn/trainer.h"
+#include "obs/flight_recorder.h"
 #include "obs/run_options.h"
 #include "tensor/ops.h"
 #include "uncertainty/apd_estimator.h"
@@ -44,8 +45,18 @@ int main(int argc, char** argv) {
             Matrix(), SoftmaxCrossEntropyLoss(), cfg, rng);
 
   const ApdEstimator apd(mlp);
-  const PredictiveCategorical pred =
-      apd.predict_classification(xs.transform(split.test.x));
+  // The batched pass over the held-out windows is one request: spans, the
+  // latency exemplar and the flight-recorder record attribute to its id.
+  const PredictiveCategorical pred = [&] {
+    obs::RequestScope request;
+    const Matrix x_scaled = xs.transform(split.test.x);
+    request.set_input_stats(x_scaled.flat());
+    PredictiveCategorical p = apd.predict_classification(x_scaled);
+    double top = 0.0;
+    for (double v : p.probs.row(0)) top = std::max(top, v);
+    request.set_prediction(top, top * (1.0 - top));
+    return p;
+  }();
   const auto labels = onehot_to_labels(split.test.y);
 
   // Selective prediction: commit only when the top probability is high.

@@ -10,6 +10,7 @@
 #include "data/scaler.h"
 #include "nn/loss.h"
 #include "nn/trainer.h"
+#include "obs/flight_recorder.h"
 #include "obs/health.h"
 #include "obs/run_options.h"
 #include "uncertainty/apd_estimator.h"
@@ -48,8 +49,16 @@ int main(int argc, char** argv) {
   std::size_t true_exceedances = 0;
   std::size_t caught = 0;
 
-  PredictiveGaussian pred =
-      apd.predict_regression(xs.transform(split.test.x));
+  // The batched pass over the held-out readings is one request: spans, the
+  // latency exemplar and the flight-recorder record attribute to its id.
+  PredictiveGaussian pred = [&] {
+    obs::RequestScope request;
+    const Matrix x_scaled = xs.transform(split.test.x);
+    request.set_input_stats(x_scaled.flat());
+    PredictiveGaussian p = apd.predict_regression(x_scaled);
+    request.set_prediction(p.mean(0, 0), p.var(0, 0));
+    return p;
+  }();
   pred.mean = ys.inverse_transform(pred.mean);
   pred.var = ys.inverse_transform_variance(pred.var);
 

@@ -15,6 +15,7 @@
 // Run with no arguments for a self-contained demo: it trains a small model
 // on the synthetic gas-sensing task, saves it, exports sample inputs and
 // labels, and then runs itself end-to-end with calibration monitoring.
+#include <algorithm>
 #include <cmath>
 #include <iostream>
 #include <string>
@@ -27,6 +28,7 @@
 #include "nn/loss.h"
 #include "nn/model_io.h"
 #include "nn/trainer.h"
+#include "obs/flight_recorder.h"
 #include "obs/health.h"
 #include "obs/run_options.h"
 #include "platform/cost_model.h"
@@ -55,7 +57,17 @@ int predict(const std::string& model_path, const std::string& in_csv,
                    "models only\n";
       return 1;
     }
-    const PredictiveCategorical pred = apd.predict_classification(inputs);
+    // The whole batch is one request: spans, the latency exemplar and the
+    // flight-recorder record all attribute to its id.
+    const PredictiveCategorical pred = [&] {
+      obs::RequestScope request;
+      request.set_input_stats(inputs.flat());
+      PredictiveCategorical p = apd.predict_classification(inputs);
+      double top = 0.0;
+      for (double v : p.probs.row(0)) top = std::max(top, v);
+      request.set_prediction(top, top * (1.0 - top));
+      return p;
+    }();
     std::vector<std::string> header;
     for (std::size_t c = 0; c < pred.probs.cols(); ++c)
       header.push_back("p_class" + std::to_string(c));
@@ -66,7 +78,14 @@ int predict(const std::string& model_path, const std::string& in_csv,
   }
 
   Stopwatch sw;
-  const PredictiveGaussian pred = apd.predict_regression(inputs);
+  // One request per batched pass (see the classification branch above).
+  const PredictiveGaussian pred = [&] {
+    obs::RequestScope request;
+    request.set_input_stats(inputs.flat());
+    PredictiveGaussian p = apd.predict_regression(inputs);
+    request.set_prediction(p.mean(0, 0), p.var(0, 0));
+    return p;
+  }();
   // One batched pass; charge the modelled per-row FLOPs for the energy
   // budget and the measured per-row share of the batch latency.
   const double batch_ms = sw.elapsed_ms();

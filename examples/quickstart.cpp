@@ -6,10 +6,11 @@
 //                ./build/examples/quickstart
 //
 // Pass `--trace out.json` to capture a Chrome-trace of the whole run
-// (training epochs, per-layer inference spans), or
+// (training epochs, per-layer inference spans, request-scoped span trees),
 // `--health h.json --prom h.prom` to export the streaming health snapshot
 // (windowed calibration coverage/NLL, input drift, latency p50/p95/p99 and
-// modelled Edison energy) — see docs/OBSERVABILITY.md.
+// modelled Edison energy), or `--flight f.json` to dump the flight
+// recorder's per-request ring — see docs/OBSERVABILITY.md.
 #include <cmath>
 #include <iostream>
 
@@ -17,6 +18,7 @@
 #include "common/stopwatch.h"
 #include "nn/loss.h"
 #include "nn/trainer.h"
+#include "obs/flight_recorder.h"
 #include "obs/health.h"
 #include "obs/run_options.h"
 #include "platform/cost_model.h"
@@ -90,10 +92,15 @@ int main(int argc, char** argv) {
       input(0, 0) = rng.uniform(-1.0, 1.0);
       const double truth =
           std::sin(3.0 * input(0, 0)) + rng.normal(0.0, 0.1);
+      // One RequestScope per inference: gives the request an id that spans,
+      // latency exemplars and the flight-recorder record all attribute to.
+      obs::RequestScope request;
+      request.set_input_stats(input.flat());
       health.drift().observe(input.row(0));
       Stopwatch sw;
       const PredictiveGaussian p = apd.predict_regression(input);
       health.latency().observe(sw.elapsed_ms(), flops);
+      request.set_prediction(p.mean(0, 0), p.var(0, 0));
       health.calibration().observe(p.mean(0, 0), p.var(0, 0), truth);
     }
     const auto cov = health.calibration().coverage();

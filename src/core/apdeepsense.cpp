@@ -1,6 +1,7 @@
 #include "core/apdeepsense.h"
 
 #include "core/moment_contract.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "tensor/ops.h"
 
@@ -71,6 +72,7 @@ MeanVar ApDeepSense::propagate_f64(const MeanVar& input) const {
   APDS_MOMENT_CONTRACT(h, "apd.propagate input");
   for (std::size_t l = 0; l < mlp_->num_layers(); ++l) {
     const DenseLayer& layer = mlp_->layer(l);
+    obs::FlightLayerTimer layer_timer;
     TraceSpan span("apd.layer");
     if (span.active()) span.set_args(layer_span_args(l, layer));
     h = moment_linear(h, layer.weight, weight_sq_[l], layer.bias,
@@ -89,6 +91,7 @@ MeanVar ApDeepSense::propagate_f32(const MeanVar& input) const {
   APDS_MOMENT_CONTRACT(h, "apd.propagate_f32 input");
   for (std::size_t l = 0; l < mlp_->num_layers(); ++l) {
     const DenseLayer& layer = mlp_->layer(l);
+    obs::FlightLayerTimer layer_timer;
     TraceSpan span("apd.layer");
     if (span.active()) span.set_args(layer_span_args(l, layer));
     h = moment_linear(h, weight_f_[l], weight_sq_f_[l], bias_f_[l],
@@ -112,6 +115,7 @@ MeanVar ApDeepSense::propagate_recording(
   APDS_MOMENT_CONTRACT(h, "apd.propagate_recording input");
   for (std::size_t l = 0; l < mlp_->num_layers(); ++l) {
     const DenseLayer& layer = mlp_->layer(l);
+    obs::FlightLayerTimer layer_timer;
     TraceSpan span("apd.layer");
     if (span.active()) span.set_args(layer_span_args(l, layer));
     h = moment_linear(h, layer.weight, weight_sq_[l], layer.bias,

@@ -8,6 +8,7 @@
 #include "eval/table_printer.h"
 #include "metrics/classification_metrics.h"
 #include "metrics/regression_metrics.h"
+#include "obs/flight_recorder.h"
 #include "obs/health.h"
 #include "platform/profiler.h"
 #include "uncertainty/apd_estimator.h"
@@ -157,11 +158,26 @@ std::vector<SystemRow> run_system_perf(ModelZoo& zoo, TaskId task,
     // Stream per-inference latencies of the serving path (ApDeepSense, the
     // configuration a deployment would run) into the health monitor, with
     // the modelled per-inference FLOP count for the Edison energy budget.
+    // Each iteration is one request: the RequestScope gives it an id (so
+    // spans, exemplars and the flight-recorder record attribute to it).
     if (opt.measure_host) {
       obs::LatencySloMonitor& slo = obs::HealthMonitor::instance().latency();
       for (int i = 0; i < 20; ++i) {
+        obs::RequestScope request;
+        request.set_input_stats(one_input.flat());
         Stopwatch sw;
-        apd_once();
+        if (td.kind == TaskKind::kRegression) {
+          const PredictiveGaussian pred = apd.predict_regression(one_input);
+          request.set_prediction(pred.mean(0, 0), pred.var(0, 0));
+        } else {
+          const PredictiveCategorical pred =
+              apd.predict_classification(one_input);
+          double top = 0.0;
+          for (double p : pred.probs.row(0)) top = std::max(top, p);
+          // Categorical head: report the argmax probability and its
+          // Bernoulli variance as the record's prediction summary.
+          request.set_prediction(top, top * (1.0 - top));
+        }
         slo.observe(sw.elapsed_ms(), apd_flops);
       }
     }

@@ -6,32 +6,12 @@
 #include <sstream>
 
 #include "common/error.h"
+#include "obs/prom.h"
 #include "obs/trace.h"
 
 namespace apds::obs {
 
 namespace {
-
-/// Escape a Prometheus label value (backslash, double quote, newline).
-std::string prom_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '\\': out += "\\\\"; break;
-      case '"': out += "\\\""; break;
-      case '\n': out += "\\n"; break;
-      default: out += c;
-    }
-  }
-  return out;
-}
-
-void prom_family(std::ostream& os, const char* name, const char* type,
-                 const char* help) {
-  os << "# HELP " << name << " " << help << "\n"
-     << "# TYPE " << name << " " << type << "\n";
-}
 
 std::string format_level(double level) {
   std::ostringstream os;

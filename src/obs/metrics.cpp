@@ -6,6 +6,8 @@
 #include <sstream>
 
 #include "common/error.h"
+#include "obs/prom.h"
+#include "obs/request_context.h"
 #include "obs/trace.h"
 
 namespace apds {
@@ -14,10 +16,32 @@ LatencyHistogram::LatencyHistogram(double lo_ms, double hi_ms,
                                    std::size_t bins)
     : lo_ms_(lo_ms), hi_ms_(hi_ms), bins_(bins), hist_(lo_ms, hi_ms, bins) {}
 
+std::size_t LatencyHistogram::bucket_index(double ms) const {
+  // Same clamp-to-edge-buckets semantics Histogram::add applies.
+  if (ms <= lo_ms_) return 0;
+  if (ms >= hi_ms_) return bins_ - 1;
+  const double width = (hi_ms_ - lo_ms_) / static_cast<double>(bins_);
+  const auto b = static_cast<std::size_t>((ms - lo_ms_) / width);
+  return std::min(b, bins_ - 1);
+}
+
 void LatencyHistogram::observe(double ms) {
+  observe(ms, obs::current_request_context().request_id);
+}
+
+void LatencyHistogram::observe(double ms, std::uint64_t request_id) {
   std::lock_guard<std::mutex> lock(mu_);
   hist_.add(ms);
   stats_.add(ms);
+  if (request_id != 0) {
+    if (exemplars_.empty()) exemplars_.resize(bins_);
+    exemplars_[bucket_index(ms)] = Exemplar{request_id, ms};
+  }
+}
+
+std::vector<Exemplar> LatencyHistogram::exemplars() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return exemplars_;
 }
 
 std::size_t LatencyHistogram::count() const {
@@ -65,6 +89,7 @@ void LatencyHistogram::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   hist_ = Histogram(lo_ms_, hi_ms_, bins_);
   stats_ = RunningStats();
+  exemplars_.clear();
 }
 
 MetricsRegistry& MetricsRegistry::instance() {
@@ -129,9 +154,75 @@ void MetricsRegistry::write_json(std::ostream& os) const {
       if (b > 0) os << ",";
       os << buckets.count(b);
     }
-    os << "]}";
+    os << "]";
+    const std::vector<Exemplar> exemplars = h->exemplars();
+    bool any_exemplar = false;
+    for (const Exemplar& e : exemplars) any_exemplar |= e.request_id != 0;
+    if (any_exemplar) {
+      os << ",\"exemplars\":[";
+      bool first_ex = true;
+      for (std::size_t b = 0; b < exemplars.size(); ++b) {
+        if (exemplars[b].request_id == 0) continue;
+        if (!first_ex) os << ",";
+        first_ex = false;
+        os << "{\"bucket\":" << b
+           << ",\"request_id\":" << exemplars[b].request_id
+           << ",\"value_ms\":" << exemplars[b].value_ms << "}";
+      }
+      os << "]";
+    }
+    os << "}";
   }
   os << "\n}\n}\n";
+}
+
+void MetricsRegistry::write_prometheus(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) {
+    const std::string prom = "apds_metric_" + obs::prom_sanitize_name(name) +
+                             "_total";
+    obs::prom_family(os, prom, "counter", "Counter " + name);
+    os << prom << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string prom = "apds_metric_" + obs::prom_sanitize_name(name);
+    obs::prom_family(os, prom, "gauge", "Gauge " + name);
+    os << prom << " " << g->value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string prom = "apds_metric_" + obs::prom_sanitize_name(name);
+    obs::prom_family(os, prom, "histogram", "Histogram " + name);
+    const Histogram buckets = h->buckets();
+    const RunningStats stats = h->stats();
+    const std::vector<Exemplar> exemplars = h->exemplars();
+    const double width =
+        (h->hi_ms() - h->lo_ms()) / static_cast<double>(buckets.bins());
+    std::size_t cumulative = 0;
+    for (std::size_t b = 0; b < buckets.bins(); ++b) {
+      cumulative += buckets.count(b);
+      const double le =
+          h->lo_ms() + static_cast<double>(b + 1) * width;
+      os << prom << "_bucket{le=\"" << le << "\"} " << cumulative;
+      // OpenMetrics exemplar: the bucket's retained request id, so a tail
+      // bucket links straight to a trace apds_trace_report can resolve.
+      if (b < exemplars.size() && exemplars[b].request_id != 0)
+        os << " # {request_id=\"" << exemplars[b].request_id << "\"} "
+           << exemplars[b].value_ms;
+      os << "\n";
+    }
+    os << prom << "_bucket{le=\"+Inf\"} " << buckets.total() << "\n";
+    const double sum =
+        stats.count() > 0 ? stats.mean() * static_cast<double>(stats.count())
+                          : 0.0;
+    os << prom << "_sum " << sum << "\n";
+    os << prom << "_count " << buckets.total() << "\n";
+  }
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::ostringstream os;
+  write_prometheus(os);
+  return os.str();
 }
 
 std::string MetricsRegistry::to_json() const {

@@ -11,6 +11,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "stats/histogram.h"
 #include "stats/running_stats.h"
@@ -44,15 +45,34 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+/// Most recent (request id, value) pair that landed in one histogram
+/// bucket — the OpenMetrics exemplar linking a latency bucket back to a
+/// replayable request trace. request_id 0 means the bucket has none.
+struct Exemplar {
+  std::uint64_t request_id = 0;
+  double value_ms = 0.0;
+};
+
 /// Fixed-bucket latency histogram plus streaming mean/min/max, built on
 /// stats/histogram.h and stats/running_stats.h. Out-of-range observations
 /// clamp to the edge buckets (Histogram semantics), so the count is exact
 /// even when the range is misjudged. Thread-safe.
+///
+/// When an observation is made under an active RequestContext (directly or
+/// via the explicit overload), its bucket retains the request id + value as
+/// an exemplar; observations with no request attached cost nothing extra.
 class LatencyHistogram {
  public:
   LatencyHistogram(double lo_ms, double hi_ms, std::size_t bins);
 
+  /// Observe under the calling thread's current request context.
   void observe(double ms);
+  /// Observe attributed to an explicit request id (0 = no exemplar).
+  void observe(double ms, std::uint64_t request_id);
+
+  /// Per-bucket exemplars (empty vector until the first attributed
+  /// observation; entries with request_id 0 are buckets without one).
+  std::vector<Exemplar> exemplars() const;
 
   std::size_t count() const;
   /// Copies of the accumulated state (consistent snapshot under the lock).
@@ -72,12 +92,15 @@ class LatencyHistogram {
   void reset();
 
  private:
+  std::size_t bucket_index(double ms) const;  ///< clamped, mirrors Histogram
+
   double lo_ms_;
   double hi_ms_;
   std::size_t bins_;
   mutable std::mutex mu_;
   Histogram hist_;
   RunningStats stats_;
+  std::vector<Exemplar> exemplars_;  ///< sized lazily on first exemplar
 };
 
 /// Registry of named metrics. Lookup creates on first use and returns a
@@ -99,10 +122,21 @@ class MetricsRegistry {
   /// {"counters":{...},"gauges":{...},"histograms":{...}}. Keys within each
   /// section are emitted in sorted (std::map) order, so two exports of the
   /// same registry state are byte-identical and diffable across runs.
+  /// Histograms with exemplars gain an "exemplars" array of
+  /// {"bucket","request_id","value_ms"} objects.
   void write_json(std::ostream& os) const;
   std::string to_json() const;
   /// Throws IoError on failure.
   void write_json_file(const std::string& path) const;
+
+  /// Prometheus text exposition: `apds_metric_<name>` families (names
+  /// sanitized to the Prometheus charset; counters get a `_total` suffix,
+  /// histograms emit cumulative le-buckets/_sum/_count with OpenMetrics
+  /// `# {request_id="..."}` exemplars on buckets that retained one).
+  /// Shares the writer conventions of HealthSnapshot::write_prometheus so
+  /// `--prom` can concatenate both registries into one scrape file.
+  void write_prometheus(std::ostream& os) const;
+  std::string to_prometheus() const;
 
   /// Zero every metric (objects and references stay valid).
   void reset();

@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "common/logging.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "stats/gaussian.h"
 #include "stats/ks_test.h"
@@ -25,10 +26,13 @@ void AlertSink::raise(Alert alert) {
   } else {
     APDS_WARN("health alert [" << alert.monitor << "] " << alert.message);
   }
+  // Let the flight recorder count the alert against in-flight requests and
+  // dump the surrounding ring when a dump path is configured.
+  FlightRecorder::instance().on_alert();
   if (trace_enabled()) {
     TraceCollector& collector = TraceCollector::instance();
     TraceEvent event;
-    event.name = "alert." + alert.monitor;
+    event.name = collector.intern("alert." + alert.monitor);
     event.category = "alert";
     std::ostringstream args;
     args << "\"message\":\"" << json_escape(alert.message)

@@ -1,0 +1,46 @@
+// Shared helpers for the Prometheus text exposition writers: the
+// HealthSnapshot exporter (`apds_health_*`) and the MetricsRegistry
+// exporter (`apds_metric_*`) emit into the same `--prom` scrape file and
+// must agree on escaping and family headers.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+namespace apds::obs {
+
+/// Escape a Prometheus label value (backslash, double quote, newline).
+inline std::string prom_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// `# HELP` / `# TYPE` header pair for one metric family.
+inline void prom_family(std::ostream& os, const std::string& name,
+                        const char* type, const std::string& help) {
+  os << "# HELP " << name << " " << help << "\n"
+     << "# TYPE " << name << " " << type << "\n";
+}
+
+/// Map an internal dotted metric name ("request.latency_ms") onto the
+/// Prometheus name charset: anything outside [a-zA-Z0-9_] becomes '_'.
+inline std::string prom_sanitize_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace apds::obs

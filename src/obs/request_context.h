@@ -1,0 +1,69 @@
+// Request-scoped trace context: a 64-bit request id plus the innermost
+// active span id, carried in a thread-local so instrumentation anywhere in
+// the stack (per-layer spans, latency exemplars, the flight recorder) can
+// attribute its observation to the inference request that caused it.
+//
+// Deliberately header-only with inline storage: platform/thread_pool sits
+// *below* apds_obs in the link graph but must propagate the submitting
+// thread's context into pool workers, so this header must be includable
+// without linking the obs library.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace apds::obs {
+
+/// The (request, span) pair a thread is currently executing under.
+/// request_id 0 means "no request in flight"; span_id 0 means "no
+/// enclosing span" (a span recorded with parent 0 is a root).
+struct RequestContext {
+  std::uint64_t request_id = 0;
+  std::uint64_t span_id = 0;
+  bool active() const { return request_id != 0; }
+};
+
+namespace detail {
+// Ids start at 1 so 0 stays the reserved "none" value everywhere.
+inline std::atomic<std::uint64_t> g_next_request_id{1};
+inline std::atomic<std::uint64_t> g_next_span_id{1};
+inline thread_local RequestContext tl_request_context;
+}  // namespace detail
+
+/// The calling thread's current context (a copy; cheap).
+inline RequestContext current_request_context() {
+  return detail::tl_request_context;
+}
+
+inline void set_current_request_context(const RequestContext& ctx) {
+  detail::tl_request_context = ctx;
+}
+
+/// Process-unique id allocators (monotonic, never 0).
+inline std::uint64_t next_request_id() {
+  return detail::g_next_request_id.fetch_add(1, std::memory_order_relaxed);
+}
+inline std::uint64_t next_span_id() {
+  return detail::g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// RAII swap of the calling thread's context: pool workers install the
+/// submitting thread's context for the duration of a chunk so every span
+/// (and exemplar) they emit is attributed to the owning request, then
+/// restore whatever the thread carried before.
+class RequestContextGuard {
+ public:
+  explicit RequestContextGuard(const RequestContext& ctx)
+      : saved_(current_request_context()) {
+    set_current_request_context(ctx);
+  }
+  ~RequestContextGuard() { set_current_request_context(saved_); }
+
+  RequestContextGuard(const RequestContextGuard&) = delete;
+  RequestContextGuard& operator=(const RequestContextGuard&) = delete;
+
+ private:
+  RequestContext saved_;
+};
+
+}  // namespace apds::obs

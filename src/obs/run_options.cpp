@@ -5,9 +5,12 @@
 #include <iostream>
 #include <vector>
 
+#include <fstream>
+
 #include "common/error.h"
 #include "common/logging.h"
 #include "common/parse_num.h"
+#include "obs/flight_recorder.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -81,6 +84,8 @@ ObsOptions parse_obs_flags(int& argc, char** argv) {
       options.health_path = take_value("--health");
     } else if (arg == "--prom") {
       options.prom_path = take_value("--prom");
+    } else if (arg == "--flight") {
+      options.flight_path = take_value("--flight");
     } else if (arg == "--slo") {
       parse_slo(take_value("--slo"), options);
     } else if (arg == "--log-level") {
@@ -112,8 +117,10 @@ const char* obs_flags_help() {
          "  --metrics <file>    write metrics (counters/gauges) JSON\n"
          "  --health <file>     write health snapshot JSON (calibration,\n"
          "                      drift, latency/energy, alerts)\n"
-         "  --prom <file>       write health snapshot in Prometheus text\n"
-         "                      exposition format\n"
+         "  --prom <file>       write health snapshot + metrics registry in\n"
+         "                      Prometheus text exposition format\n"
+         "  --flight <file>     write flight-recorder request ring as JSON\n"
+         "                      (alert dumps go to <file>.alert)\n"
          "  --slo <p50,p95,p99> latency SLO thresholds in ms (0 = unchecked)\n"
          "  --log-level <lvl>   debug|info|warn|error|off\n"
          "  --threads <n>       thread-pool width (1 = serial; default\n"
@@ -135,6 +142,10 @@ ObsSession::ObsSession(ObsOptions options) : options_(std::move(options)) {
     HealthMonitor::instance().set_slo(
         {options_.slo_p50_ms, options_.slo_p95_ms, options_.slo_p99_ms});
   }
+  if (!options_.flight_path.empty())
+    FlightRecorder::instance().set_dump_path(options_.flight_path);
+  // SIGUSR1 dumps work even without --flight (default apds_flight.json).
+  FlightRecorder::install_sigusr1_handler();
 }
 
 ObsSession::ObsSession(int& argc, char** argv)
@@ -162,13 +173,29 @@ ObsSession::~ObsSession() {
                   << "\n";
       }
       if (!options_.prom_path.empty()) {
-        snap.write_prometheus_file(options_.prom_path);
+        // One scrape file covering both registries: the health snapshot
+        // (apds_health_*) and the metrics registry (apds_metric_*, with
+        // exemplars on attributed histogram buckets).
+        std::ofstream prom(options_.prom_path, std::ios::trunc);
+        if (!prom)
+          throw IoError("cannot open prometheus file for writing: " +
+                        options_.prom_path);
+        snap.write_prometheus(prom);
+        MetricsRegistry::instance().write_prometheus(prom);
+        if (!prom)
+          throw IoError("prometheus file write failure: " +
+                        options_.prom_path);
         std::cout << "prometheus metrics written to " << options_.prom_path
                   << "\n";
       }
       if (!snap.alerts.empty())
         std::cout << "health: " << snap.alerts.size()
                   << " alert(s) raised during this run\n";
+    }
+    if (!options_.flight_path.empty()) {
+      FlightRecorder::instance().write_json_file(options_.flight_path);
+      std::cout << "flight records written to " << options_.flight_path
+                << "\n";
     }
   } catch (const std::exception& e) {
     APDS_ERROR("observability export failed: " << e.what());

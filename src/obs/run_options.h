@@ -6,8 +6,12 @@
 //   --health <file>     write the HealthMonitor snapshot JSON on exit
 //                       (calibration coverage/NLL, drift z-scores,
 //                       latency p50/p95/p99, modelled energy, alerts)
-//   --prom <file>       write the same snapshot in Prometheus text
-//                       exposition format
+//   --prom <file>       write the health snapshot AND the MetricsRegistry
+//                       (apds_health_* + apds_metric_* families, with
+//                       OpenMetrics exemplars) as one Prometheus text file
+//   --flight <file>     write the flight-recorder ring (last N completed
+//                       requests) as JSON on exit; also enables the
+//                       alert-triggered dump to <file>.alert
 //   --slo <p50,p95,p99> latency SLO thresholds in ms fed to the health
 //                       monitor (0 disables a percentile's check)
 //   --log-level <lvl>   debug | info | warn | error | off
@@ -36,6 +40,7 @@ struct ObsOptions {
   std::string metrics_path;  ///< empty = no metrics export
   std::string health_path;   ///< empty = no health-snapshot JSON export
   std::string prom_path;     ///< empty = no Prometheus export
+  std::string flight_path;   ///< empty = no flight-recorder exit dump
   std::size_t threads = 0;   ///< 0 = APDS_THREADS env / hardware default
   /// --precision; unset = APDS_PRECISION env / f64 default.
   std::optional<Precision> precision;
@@ -61,8 +66,10 @@ const char* obs_flags_help();
 /// RAII wiring: enables tracing on construction when options ask for it,
 /// configures the global thread pool (--threads) and inference precision
 /// (--precision), publishes the `pool.threads` and `run.precision_f32`
-/// gauges; on destruction writes the Chrome-trace JSON,
-/// prints the aggregate span table to stdout, and writes the metrics JSON.
+/// gauges, points the flight recorder at --flight's path and installs its
+/// SIGUSR1 dump handler; on destruction writes the Chrome-trace JSON,
+/// prints the aggregate span table to stdout, and writes the metrics,
+/// health, Prometheus (both registries) and flight-recorder files.
 /// Export errors are logged, never thrown (safe in main()'s unwind path).
 class ObsSession {
  public:

@@ -31,6 +31,10 @@ double percentile_sorted(const std::vector<double>& sorted, double q) {
   return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
+/// Distinguishes collectors across destroy/recreate at the same address,
+/// so a thread's cached buffer can never be mistaken for a new collector's.
+std::atomic<std::uint64_t> g_next_collector_id{1};
+
 }  // namespace
 
 std::string json_escape(const std::string& s) {
@@ -62,7 +66,10 @@ struct TraceCollector::ThreadBuffer {
   std::uint32_t tid = 0;
 };
 
-TraceCollector::TraceCollector() : epoch_ns_(steady_ns()) {}
+TraceCollector::TraceCollector()
+    : epoch_ns_(steady_ns()),
+      collector_id_(
+          g_next_collector_id.fetch_add(1, std::memory_order_relaxed)) {}
 
 TraceCollector& TraceCollector::instance() {
   static TraceCollector collector;
@@ -77,18 +84,27 @@ double TraceCollector::now_us() const {
   return static_cast<double>(steady_ns() - epoch_ns_) * 1e-3;
 }
 
+const char* TraceCollector::intern(std::string_view name) {
+  std::lock_guard<std::mutex> lock(intern_mu_);
+  auto it = interned_.find(name);
+  if (it == interned_.end()) it = interned_.emplace(name).first;
+  return it->c_str();
+}
+
 TraceCollector::ThreadBuffer& TraceCollector::local_buffer() {
-  // One buffer per (thread, collector); the common case is the singleton,
-  // for which this is a plain thread_local hit after first registration.
-  thread_local TraceCollector* cached_owner = nullptr;
+  // One buffer per (thread, collector), cached by collector id — not by
+  // address, which could be reused by a later collector. The shared_ptr is
+  // co-owned by the registry, so the buffer (and its recorded events)
+  // outlives the thread.
+  thread_local std::uint64_t cached_owner_id = 0;
   thread_local std::shared_ptr<ThreadBuffer> cached;
-  if (cached_owner != this) {
+  if (cached_owner_id != collector_id_) {
     auto buffer = std::make_shared<ThreadBuffer>();
     std::lock_guard<std::mutex> lock(registry_mu_);
     buffer->tid = next_tid_++;
     buffers_.push_back(buffer);
     cached = std::move(buffer);
-    cached_owner = this;
+    cached_owner_id = collector_id_;
   }
   return *cached;
 }
@@ -136,16 +152,49 @@ void TraceCollector::clear() {
 
 void TraceCollector::write_chrome_trace(std::ostream& os) const {
   const auto all = events();
+
+  // Which thread recorded each span — a child whose parent completed on a
+  // different thread gets a flow pair so Perfetto draws the arrow.
+  std::map<std::uint64_t, std::uint32_t> span_tid;
+  for (const TraceEvent& e : all)
+    if (e.span_id != 0) span_tid[e.span_id] = e.tid;
+
   os << "{\"traceEvents\":[";
   bool first = true;
-  for (const TraceEvent& e : all) {
+  auto sep = [&os, &first]() {
     if (!first) os << ",";
     first = false;
-    os << "\n{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
+    os << "\n";
+  };
+  for (const TraceEvent& e : all) {
+    sep();
+    os << "{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
        << json_escape(e.category) << "\",\"ph\":\"X\",\"pid\":0,\"tid\":"
        << e.tid << ",\"ts\":" << e.ts_us << ",\"dur\":" << e.dur_us;
-    if (!e.args_json.empty()) os << ",\"args\":{" << e.args_json << "}";
+    const bool has_ids = e.span_id != 0;
+    if (!e.args_json.empty() || has_ids) {
+      os << ",\"args\":{" << e.args_json;
+      if (has_ids) {
+        if (!e.args_json.empty()) os << ",";
+        os << "\"req\":" << e.request_id << ",\"span\":" << e.span_id
+           << ",\"parent\":" << e.parent_span_id;
+      }
+      os << "}";
+    }
     os << "}";
+    const auto parent = span_tid.find(e.parent_span_id);
+    if (parent != span_tid.end() && parent->second != e.tid) {
+      // Flow start anchors on the parent's thread, finish on the child's;
+      // both use the child's span id so every cross-thread edge is unique.
+      sep();
+      os << "{\"name\":\"req\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":"
+         << e.span_id << ",\"pid\":0,\"tid\":" << parent->second
+         << ",\"ts\":" << e.ts_us << "}";
+      sep();
+      os << "{\"name\":\"req\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\","
+         << "\"id\":" << e.span_id << ",\"pid\":0,\"tid\":" << e.tid
+         << ",\"ts\":" << e.ts_us << "}";
+    }
   }
   os << "\n],\"displayTimeUnit\":\"ms\"}\n";
 }
@@ -208,11 +257,25 @@ void TraceCollector::print_aggregate(std::ostream& os) const {
 
 TraceSpan::TraceSpan(const char* name, const char* category)
     : name_(name), category_(category), active_(trace_enabled()) {
-  if (active_) start_us_ = TraceCollector::instance().now_us();
+  if (!active_) return;
+  start_us_ = TraceCollector::instance().now_us();
+  obs::RequestContext ctx = obs::current_request_context();
+  request_id_ = ctx.request_id;
+  parent_span_id_ = ctx.span_id;
+  span_id_ = obs::next_span_id();
+  ctx.span_id = span_id_;
+  obs::set_current_request_context(ctx);
 }
 
 TraceSpan::~TraceSpan() {
   if (!active_) return;
+  // Pop this span off the thread's context (spans nest LIFO; skip the
+  // restore if something else replaced the context underneath us).
+  obs::RequestContext ctx = obs::current_request_context();
+  if (ctx.span_id == span_id_) {
+    ctx.span_id = parent_span_id_;
+    obs::set_current_request_context(ctx);
+  }
   TraceCollector& collector = TraceCollector::instance();
   TraceEvent e;
   e.name = name_;
@@ -220,6 +283,9 @@ TraceSpan::~TraceSpan() {
   e.args_json = std::move(args_json_);
   e.ts_us = start_us_;
   e.dur_us = collector.now_us() - start_us_;
+  e.request_id = request_id_;
+  e.span_id = span_id_;
+  e.parent_span_id = parent_span_id_;
   collector.record(std::move(e));
 }
 

@@ -2,6 +2,19 @@
 // thread, exportable as Chrome-trace JSON (load in chrome://tracing or
 // https://ui.perfetto.dev) and as an aggregated total/mean/p50/p95 table.
 //
+// Spans carry the request-scoped trace context (obs/request_context.h):
+// each active span allocates a process-unique span id, parents itself
+// under the thread's innermost span, and inherits the current request id —
+// so a batched propagate whose chunks run on pooled threads still exports
+// as one connected per-request tree, with Chrome flow events drawing the
+// cross-thread arrows.
+//
+// Span names are interned: TraceSpan stores the caller's `const char*`
+// (string literals; stable for the process lifetime) and TraceEvent holds
+// pointers, never per-span std::string copies. Dynamically-built names
+// must go through TraceCollector::intern(), which copies them into a
+// stable table once.
+//
 // Tracing is off by default. When off, a TraceSpan costs one relaxed
 // atomic load and a branch; compiling with -DAPDS_NO_TRACING removes the
 // APDS_TRACE_SCOPE macros entirely so instrumented hot paths carry zero
@@ -13,22 +26,34 @@
 #include <iosfwd>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "obs/request_context.h"
 
 namespace apds {
 
 /// One completed span. Timestamps are microseconds on the steady clock,
 /// relative to the owning collector's epoch (its construction time).
+/// `name` and `category` must point at storage that outlives the
+/// collector: string literals, or pointers from TraceCollector::intern().
 struct TraceEvent {
-  std::string name;
-  std::string category;
+  const char* name = "";
+  const char* category = "apds";
   /// Preformatted JSON object members (`"in":512,"out":512`), no braces;
   /// empty means no args. Emitted verbatim into the Chrome-trace "args".
   std::string args_json;
   std::uint32_t tid = 0;  ///< collector-assigned stable thread index
   double ts_us = 0.0;     ///< span start
   double dur_us = 0.0;    ///< span duration
+  // Request-scoped attribution (0 = none). parent_span_id links this span
+  // under its enclosing span — across threads when the pool propagated the
+  // context — and the exporter turns cross-thread links into flow events.
+  std::uint64_t request_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
 };
 
 /// Aggregate statistics for all spans sharing one name.
@@ -58,6 +83,12 @@ class TraceCollector {
   /// Microseconds since this collector's epoch (steady clock).
   double now_us() const;
 
+  /// Copy a dynamically-built span name into this collector's stable
+  /// intern table and return the canonical pointer (idempotent per string).
+  /// String literals do NOT need interning — pass them straight to
+  /// TraceSpan/TraceEvent.
+  const char* intern(std::string_view name);
+
   /// Append one completed span to the calling thread's buffer.
   void record(TraceEvent event);
 
@@ -70,7 +101,10 @@ class TraceCollector {
   /// Drop all buffered events (thread registrations are kept).
   void clear();
 
-  /// Chrome-trace JSON ({"traceEvents":[...]}, "X" complete events).
+  /// Chrome-trace JSON ({"traceEvents":[...]}, "X" complete events, plus
+  /// "s"/"f" flow pairs for spans whose parent lives on another thread).
+  /// Request/span/parent ids are emitted into each event's "args" as
+  /// "req"/"span"/"parent".
   void write_chrome_trace(std::ostream& os) const;
   /// Same, to a file. Throws IoError on failure.
   void write_chrome_trace_file(const std::string& path) const;
@@ -86,21 +120,33 @@ class TraceCollector {
 
   std::atomic<bool> enabled_{false};
   std::int64_t epoch_ns_ = 0;  ///< steady-clock ns at construction
+  std::uint64_t collector_id_ = 0;  ///< process-unique (thread-cache key)
 
   mutable std::mutex registry_mu_;
+  // Registrations own their buffer via shared_ptr — shared with the
+  // registering thread's cache — so a short-lived thread exiting mid-run
+  // can never dangle a snapshot reader, and its already-recorded events
+  // survive for the final export.
   std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
   std::uint32_t next_tid_ = 1;
+
+  std::mutex intern_mu_;
+  std::set<std::string, std::less<>> interned_;  ///< node-stable storage
 };
 
 /// True when the process-wide collector is currently recording.
 inline bool trace_enabled() { return TraceCollector::instance().enabled(); }
 
 /// RAII span reporting to TraceCollector::instance(). Captures the start
-/// time at construction and records [start, now] at destruction. Inactive
-/// (and nearly free) when tracing is disabled — check active() before
-/// building argument strings.
+/// time at construction and records [start, now] at destruction. An active
+/// span allocates a span id, parents itself under the thread's current
+/// context, and becomes the context's innermost span for its lifetime.
+/// Inactive (and nearly free) when tracing is disabled — check active()
+/// before building argument strings.
 class TraceSpan {
  public:
+  /// `name`/`category` must outlive the collector (string literals, or
+  /// TraceCollector::intern() results).
   explicit TraceSpan(const char* name, const char* category = "apds");
   ~TraceSpan();
 
@@ -109,6 +155,9 @@ class TraceSpan {
 
   /// Whether this span will be recorded (tracing was on at construction).
   bool active() const { return active_; }
+
+  /// This span's process-unique id (0 when inactive).
+  std::uint64_t span_id() const { return span_id_; }
 
   /// Attach preformatted JSON members (`"k":1,"s":"x"`; no braces). Only
   /// meaningful on an active span; ignored otherwise.
@@ -119,6 +168,9 @@ class TraceSpan {
   const char* category_;
   std::string args_json_;
   double start_us_ = 0.0;
+  std::uint64_t request_id_ = 0;
+  std::uint64_t span_id_ = 0;
+  std::uint64_t parent_span_id_ = 0;
   bool active_;
 };
 

@@ -34,6 +34,7 @@ void ThreadPool::worker_loop() {
   std::uint64_t seen_generation = 0;
   for (;;) {
     const RangeFn* fn = nullptr;
+    obs::RequestContext ctx;
     std::uint64_t generation = 0;
     std::size_t begin = 0, end = 0, chunk = 0, nchunks = 0;
     {
@@ -43,6 +44,7 @@ void ThreadPool::worker_loop() {
       seen_generation = generation_;
       generation = generation_;
       fn = fn_;
+      ctx = ctx_;
       begin = begin_;
       end = end_;
       chunk = chunk_;
@@ -55,7 +57,12 @@ void ThreadPool::worker_loop() {
     // after a generation-tagged claim succeeds, which cannot happen for a
     // superseded task.
     tl_in_worker = true;
-    run_chunks(fn, generation, begin, end, chunk, nchunks);
+    {
+      // Run the task's chunks under the submitting thread's request
+      // context so everything recorded inside attributes to that request.
+      obs::RequestContextGuard ctx_guard(ctx);
+      run_chunks(fn, generation, begin, end, chunk, nchunks);
+    }
     tl_in_worker = false;
     {
       std::lock_guard<std::mutex> lk(mu_);
@@ -120,6 +127,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   {
     std::lock_guard<std::mutex> lk(mu_);
     fn_ = &fn;
+    ctx_ = obs::current_request_context();
     begin_ = begin;
     end_ = end;
     chunk_ = chunk;

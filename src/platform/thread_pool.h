@@ -30,6 +30,10 @@
 #include <thread>
 #include <vector>
 
+// Header-only by design (see its comment): pulling it in here adds no link
+// dependency on apds_obs.
+#include "obs/request_context.h"
+
 namespace apds {
 
 /// Body of one parallel_for chunk: processes indices [chunk_begin,
@@ -55,6 +59,10 @@ class ThreadPool {
   /// indices. Runs inline when the range fits a single chunk, the pool has
   /// width 1, or the caller is itself a pool worker (nested call). Blocks
   /// until every chunk finished; rethrows the first chunk exception.
+  ///
+  /// The calling thread's RequestContext is captured with the task and
+  /// installed in every worker for the duration of its chunks, so spans and
+  /// exemplars emitted inside `fn` attribute to the submitting request.
   void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
                     const RangeFn& fn);
 
@@ -80,6 +88,7 @@ class ThreadPool {
   std::uint64_t generation_ = 0;
   bool stop_ = false;
   const RangeFn* fn_ = nullptr;
+  obs::RequestContext ctx_;  ///< submitting thread's context, for workers
   std::size_t begin_ = 0;
   std::size_t end_ = 0;
   std::size_t chunk_ = 0;

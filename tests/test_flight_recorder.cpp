@@ -1,0 +1,204 @@
+// Flight recorder unit tests: ring wrap/ordering, seqlock snapshot
+// consistency under concurrent writers, JSON dump validity, the
+// RequestScope producer path (record contents, latency exemplar,
+// counters), alert attribution, and the SIGUSR1 dump request.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json_check.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+
+namespace apds {
+namespace {
+
+obs::RequestRecord make_record(std::uint64_t id) {
+  obs::RequestRecord r;
+  r.request_id = id;
+  r.dur_ms = static_cast<double>(id) * 0.5;
+  r.n_layers = 2;
+  r.layer_ms[0] = 0.25f;
+  r.layer_ms[1] = 0.75f;
+  r.input_mean = 1.5;
+  r.input_absmax = 3.0;
+  r.pred_mean = 0.25;
+  r.pred_var = 0.04;
+  return r;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+TEST(FlightRecorder, RingKeepsNewestAndReportsNewestFirst) {
+  obs::FlightRecorder recorder(4);
+  for (std::uint64_t id = 1; id <= 10; ++id) recorder.record(make_record(id));
+  EXPECT_EQ(recorder.completed(), 10u);
+
+  const std::vector<obs::RequestRecord> snap = recorder.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap[0].request_id, 10u);
+  EXPECT_EQ(snap[1].request_id, 9u);
+  EXPECT_EQ(snap[2].request_id, 8u);
+  EXPECT_EQ(snap[3].request_id, 7u);
+}
+
+TEST(FlightRecorder, UnderfilledRingReturnsOnlyPublishedSlots) {
+  obs::FlightRecorder recorder(8);
+  recorder.record(make_record(1));
+  recorder.record(make_record(2));
+  const std::vector<obs::RequestRecord> snap = recorder.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].request_id, 2u);
+  EXPECT_EQ(snap[1].request_id, 1u);
+  EXPECT_FLOAT_EQ(snap[1].layer_ms[0], 0.25f);
+  EXPECT_FLOAT_EQ(snap[1].layer_ms[1], 0.75f);
+  EXPECT_DOUBLE_EQ(snap[1].input_absmax, 3.0);
+}
+
+TEST(FlightRecorder, SnapshotIsConsistentUnderConcurrentWriters) {
+  obs::FlightRecorder recorder(16);
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t)
+    writers.emplace_back([&recorder, t] {
+      for (std::uint64_t i = 0; i < 2000; ++i)
+        recorder.record(
+            make_record(static_cast<std::uint64_t>(t) * 10000 + i + 1));
+    });
+  // Reader races the writers: every record it returns must be untorn,
+  // which make_record() lets us verify (dur_ms is a function of the id).
+  for (int i = 0; i < 200; ++i)
+    for (const obs::RequestRecord& r : recorder.snapshot()) {
+      EXPECT_NE(r.request_id, 0u);
+      EXPECT_DOUBLE_EQ(r.dur_ms, static_cast<double>(r.request_id) * 0.5);
+    }
+  for (std::thread& w : writers) w.join();
+  EXPECT_EQ(recorder.completed(), 8000u);
+}
+
+TEST(FlightRecorder, JsonDumpIsValidAndNewestFirst) {
+  obs::FlightRecorder recorder(4);
+  recorder.record(make_record(11));
+  recorder.record(make_record(12));
+
+  const std::string json = recorder.to_json();
+  EXPECT_TRUE(testing::json_valid(json)) << json;
+  EXPECT_NE(json.find("\"capacity\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"completed\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"layers_ms\":[0.25,0.75]"), std::string::npos);
+  // Newest first in the requests array.
+  EXPECT_LT(json.find("\"request_id\":12"), json.find("\"request_id\":11"));
+}
+
+TEST(FlightRecorder, RequestScopePublishesAnnotatedRecord) {
+  obs::FlightRecorder::instance().clear();
+  MetricsRegistry::instance().reset();
+
+  std::uint64_t id = 0;
+  {
+    obs::RequestScope request;
+    id = request.request_id();
+    ASSERT_NE(id, 0u);
+    ASSERT_EQ(obs::RequestScope::current(), &request);
+    const std::vector<double> input = {1.0, -3.0, 2.0};
+    request.set_input_stats(input);
+    request.add_layer_ms(0.5);
+    request.add_layer_ms(1.5);
+    request.set_prediction(0.7, 0.01);
+  }
+  EXPECT_EQ(obs::RequestScope::current(), nullptr);
+
+  const std::vector<obs::RequestRecord> snap =
+      obs::FlightRecorder::instance().snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  const obs::RequestRecord& r = snap[0];
+  EXPECT_EQ(r.request_id, id);
+  EXPECT_EQ(r.n_layers, 2u);
+  EXPECT_FLOAT_EQ(r.layer_ms[0], 0.5f);
+  EXPECT_FLOAT_EQ(r.layer_ms[1], 1.5f);
+  EXPECT_DOUBLE_EQ(r.input_mean, 0.0);
+  EXPECT_DOUBLE_EQ(r.input_absmax, 3.0);
+  EXPECT_DOUBLE_EQ(r.pred_mean, 0.7);
+  EXPECT_DOUBLE_EQ(r.pred_var, 0.01);
+  EXPECT_GE(r.dur_ms, 0.0);
+
+  // The scope also fed the serving metrics: count plus an exemplar that
+  // carries this request's id in the latency histogram's bucket.
+  EXPECT_EQ(MetricsRegistry::instance().counter("request.count").value(), 1);
+  const auto exemplars =
+      MetricsRegistry::instance().histogram("request.latency_ms").exemplars();
+  bool found = false;
+  for (const auto& ex : exemplars) found = found || ex.request_id == id;
+  EXPECT_TRUE(found);
+}
+
+TEST(FlightRecorder, AlertsDuringRequestAreCountedOnItsRecord) {
+  obs::FlightRecorder::instance().clear();
+  {
+    obs::RequestScope request;
+    obs::FlightRecorder::instance().on_alert();
+    obs::FlightRecorder::instance().on_alert();
+  }
+  const std::vector<obs::RequestRecord> snap =
+      obs::FlightRecorder::instance().snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].alerts, 2u);
+  EXPECT_EQ(obs::FlightRecorder::instance().alerts_raised(), 2u);
+}
+
+TEST(FlightRecorder, RequestedDumpIsServicedByNextRecord) {
+  const std::string path = "flight_sigusr1_service_test.json";
+  std::remove(path.c_str());
+  obs::FlightRecorder::instance().clear();
+  obs::FlightRecorder::instance().set_dump_path(path);
+
+  obs::FlightRecorder::request_dump();  // what the SIGUSR1 handler does
+  obs::FlightRecorder::instance().record(make_record(77));
+
+  const std::string json = read_file(path);
+  ASSERT_FALSE(json.empty()) << "dump was not serviced";
+  EXPECT_TRUE(testing::json_valid(json));
+  EXPECT_NE(json.find("\"request_id\":77"), std::string::npos);
+
+  obs::FlightRecorder::instance().set_dump_path("");
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, HistogramExemplarLandsInItsBucketAndInPrometheus) {
+  MetricsRegistry::instance().reset();
+  auto& hist =
+      MetricsRegistry::instance().histogram("exemplar.test_ms", 0.0, 100.0, 10);
+  hist.observe(5.0, 42);
+  hist.observe(95.0, 43);
+
+  const auto exemplars = hist.exemplars();
+  bool low = false;
+  bool high = false;
+  for (const auto& ex : exemplars) {
+    if (ex.request_id == 42) low = ex.value_ms == 5.0;
+    if (ex.request_id == 43) high = ex.value_ms == 95.0;
+  }
+  EXPECT_TRUE(low);
+  EXPECT_TRUE(high);
+
+  std::ostringstream os;
+  MetricsRegistry::instance().write_prometheus(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("apds_metric_exemplar_test_ms_bucket"),
+            std::string::npos);
+  EXPECT_NE(text.find("# {request_id=\"42\"} 5"), std::string::npos);
+  EXPECT_NE(text.find("# {request_id=\"43\"} 95"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace apds

@@ -1,0 +1,213 @@
+// Request-context propagation through the thread pool: spans recorded
+// inside parallel_for workers must attribute to the SUBMITTING thread's
+// request and parent under its innermost span, and the logical trace tree
+// of a request must not depend on the pool width. Labelled `concurrency`
+// so the TSan job covers the context hand-off.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "obs/request_context.h"
+#include "obs/trace.h"
+#include "platform/thread_pool.h"
+
+namespace apds {
+namespace {
+
+/// Events belonging to one request id, keyed lookup helpers included.
+std::vector<TraceEvent> request_events(std::uint64_t request_id) {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : TraceCollector::instance().events())
+    if (e.request_id == request_id) out.push_back(e);
+  return out;
+}
+
+/// The instrumented workload under test: one request that fans a 64-index
+/// parallel_for across the pool, with a uniquely-named span per index so
+/// the logical tree is independent of chunk geometry.
+std::uint64_t run_traced_request() {
+  obs::RequestScope request;
+  const std::uint64_t id = request.request_id();
+  {
+    TraceSpan work("work.fanout");
+    parallel_for(0, 64, 1, [](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) {
+        TraceSpan item(TraceCollector::instance().intern(
+            "item." + std::to_string(i)));
+        // Hold each index for ~30us of wall time, yielding, so no one
+        // thread can drain the whole range before the others get CPU time
+        // — even on a single-core box the chunks then demonstrably spread.
+        const double until = TraceCollector::instance().now_us() + 30.0;
+        while (TraceCollector::instance().now_us() < until)
+          std::this_thread::yield();
+      }
+    });
+  }
+  return id;
+}
+
+/// Canonical form of a request's span tree: names only, children sorted,
+/// timestamps/tids/span-ids erased — byte-comparable across pool widths.
+std::string canonical_tree(const std::vector<TraceEvent>& events) {
+  std::set<std::uint64_t> ids;
+  for (const TraceEvent& e : events) ids.insert(e.span_id);
+  std::map<std::uint64_t, std::vector<const TraceEvent*>> children;
+  std::vector<const TraceEvent*> roots;
+  for (const TraceEvent& e : events) {
+    if (ids.count(e.parent_span_id))
+      children[e.parent_span_id].push_back(&e);
+    else
+      roots.push_back(&e);
+  }
+  std::function<std::string(const TraceEvent*)> fmt =
+      [&](const TraceEvent* e) {
+        std::vector<std::string> kids;
+        for (const TraceEvent* c : children[e->span_id]) kids.push_back(fmt(c));
+        std::sort(kids.begin(), kids.end());
+        std::string out = e->name;
+        out += "(";
+        for (const std::string& k : kids) out += k + ",";
+        out += ")";
+        return out;
+      };
+  std::vector<std::string> tops;
+  for (const TraceEvent* r : roots) tops.push_back(fmt(r));
+  std::sort(tops.begin(), tops.end());
+  std::string out;
+  for (const std::string& t : tops) out += t + "\n";
+  return out;
+}
+
+class RequestTelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceCollector::instance().clear();
+    TraceCollector::instance().set_enabled(true);
+  }
+  void TearDown() override {
+    TraceCollector::instance().set_enabled(false);
+    TraceCollector::instance().clear();
+    set_global_threads(0);
+  }
+};
+
+TEST_F(RequestTelemetryTest, WorkerSpansCarrySubmittingRequestId) {
+  set_global_threads(4);
+  ASSERT_EQ(global_threads(), 4u);
+
+  // The structural properties below hold on every run; how many pool
+  // threads actually claim chunks is a scheduling outcome, so retry until
+  // the spans demonstrably crossed threads (virtually always attempt 1).
+  std::uint64_t id = 0;
+  std::vector<TraceEvent> events;
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    TraceCollector::instance().clear();
+    id = run_traced_request();
+    events = request_events(id);
+    std::set<std::uint32_t> tids;
+    for (const TraceEvent& e : events) tids.insert(e.tid);
+    if (tids.size() > 1) break;
+  }
+  ASSERT_NE(id, 0u);
+  // request root + work.fanout + 64 items, all attributed to this request.
+  ASSERT_EQ(events.size(), 66u);
+
+  std::uint64_t fanout_span = 0;
+  for (const TraceEvent& e : events)
+    if (std::string(e.name) == "work.fanout") fanout_span = e.span_id;
+  ASSERT_NE(fanout_span, 0u);
+
+  std::set<std::uint32_t> item_tids;
+  std::size_t items = 0;
+  for (const TraceEvent& e : events) {
+    if (std::string(e.name).rfind("item.", 0) != 0) continue;
+    ++items;
+    item_tids.insert(e.tid);
+    // Every worker-side span parents under the submitter's innermost span
+    // — one connected tree, not 4 orphaned per-thread forests.
+    EXPECT_EQ(e.parent_span_id, fanout_span) << e.name;
+    EXPECT_EQ(e.request_id, id) << e.name;
+  }
+  EXPECT_EQ(items, 64u);
+  // The chunks really crossed threads (the submitter participates too, so
+  // anything above 1 proves propagation; usually all 4 show up).
+  EXPECT_GT(item_tids.size(), 1u);
+
+  // Cross-thread parent links become Chrome flow events in the export.
+  std::ostringstream os;
+  TraceCollector::instance().write_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"req\":" + std::to_string(id)), std::string::npos);
+}
+
+TEST_F(RequestTelemetryTest, TraceTreeIsIdenticalAcrossPoolWidths) {
+  set_global_threads(1);
+  const std::uint64_t serial_id = run_traced_request();
+  const std::string serial_tree = canonical_tree(request_events(serial_id));
+
+  TraceCollector::instance().clear();
+  set_global_threads(4);
+  const std::uint64_t parallel_id = run_traced_request();
+  const std::string parallel_tree =
+      canonical_tree(request_events(parallel_id));
+
+  ASSERT_FALSE(serial_tree.empty());
+  // Same logical request tree byte for byte — pool width only moves spans
+  // across threads, never reparents or drops them.
+  EXPECT_EQ(serial_tree, parallel_tree);
+  EXPECT_NE(serial_tree.find("request("), std::string::npos);
+  EXPECT_NE(serial_tree.find("item.63()"), std::string::npos);
+}
+
+TEST_F(RequestTelemetryTest, ContextRestoredAfterParallelFor) {
+  set_global_threads(4);
+  const obs::RequestContext before = obs::current_request_context();
+  {
+    obs::RequestScope request;
+    parallel_for(0, 16, 1, [](std::size_t, std::size_t) {});
+    EXPECT_EQ(obs::current_request_context().request_id,
+              request.request_id());
+  }
+  const obs::RequestContext after = obs::current_request_context();
+  EXPECT_EQ(after.request_id, before.request_id);
+  EXPECT_EQ(after.span_id, before.span_id);
+}
+
+TEST_F(RequestTelemetryTest, NestedParallelForStaysAttributed) {
+  set_global_threads(4);
+  obs::RequestScope request;
+  parallel_for(0, 8, 1, [](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      TraceSpan outer(TraceCollector::instance().intern(
+          "outer." + std::to_string(i)));
+      // Nested call runs inline on the worker (one chunk covering the
+      // whole range); context must still hold for spans opened inside it.
+      parallel_for(0, 4, 1, [](std::size_t nb, std::size_t ne) {
+        for (std::size_t j = nb; j < ne; ++j) {
+          TraceSpan inner("inner");
+          volatile int sink = 0;
+          sink = sink + 1;
+        }
+      });
+    }
+  });
+  const std::uint64_t id = request.request_id();
+  std::size_t inner_spans = 0;
+  for (const TraceEvent& e : request_events(id))
+    if (std::string(e.name) == "inner") ++inner_spans;
+  EXPECT_EQ(inner_spans, 8u * 4u);
+}
+
+}  // namespace
+}  // namespace apds

@@ -1,0 +1,142 @@
+// Exit-code and output contract of tools/apds_trace_report, driven end to
+// end over hand-written trace + flight fixtures (hermetic — no model run).
+// TRACE_REPORT_BIN is injected by tests/CMakeLists.txt.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace apds {
+namespace {
+
+int run(const std::string& args, const std::string& out_path) {
+#ifdef TRACE_REPORT_BIN
+  const std::string cmd =
+      std::string(TRACE_REPORT_BIN) + " " + args + " > " + out_path + " 2>&1";
+  const int status = std::system(cmd.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+#else
+  (void)args;
+  (void)out_path;
+  return -1;
+#endif
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream os(path);
+  os << text;
+  ASSERT_TRUE(os.good());
+}
+
+/// Two requests: 7 spans two threads (flow-linked), 9 a single fast span.
+/// Ids/durations chosen so request 7 is the slowest and has a two-level
+/// critical path crossing tids.
+const char* kTrace = R"({"traceEvents":[
+{"name":"process_name","ph":"M","pid":0,"args":{"name":"apds"}},
+{"name":"request","cat":"apds","ph":"X","pid":0,"tid":1,"ts":10,"dur":900,
+ "args":{"req":7,"span":100,"parent":0}},
+{"name":"apd.propagate","cat":"apds","ph":"X","pid":0,"tid":1,"ts":20,
+ "dur":850,"args":{"req":7,"span":101,"parent":100}},
+{"name":"apd.layer","cat":"apds","ph":"X","pid":0,"tid":2,"ts":30,
+ "dur":700,"args":{"req":7,"span":102,"parent":101}},
+{"name":"req","cat":"flow","ph":"s","id":102,"pid":0,"tid":1,"ts":30},
+{"name":"req","cat":"flow","ph":"f","bp":"e","id":102,"pid":0,"tid":2,"ts":30},
+{"name":"request","cat":"apds","ph":"X","pid":0,"tid":1,"ts":2000,"dur":50,
+ "args":{"req":9,"span":200,"parent":0}},
+{"name":"untagged","cat":"apds","ph":"X","pid":0,"tid":1,"ts":0,"dur":5,
+ "args":{}}
+]}
+)";
+
+const char* kFlight = R"({"capacity":256,"completed":2,"alerts_raised":1,
+"requests":[
+{"request_id":9,"start_us":2000,"dur_ms":0.05,"layers_ms":[0.01],
+ "n_layers":1,"input_mean":0.5,"input_absmax":0.5,"pred_mean":0.1,
+ "pred_var":0.02,"alerts":0},
+{"request_id":7,"start_us":10,"dur_ms":0.9,"layers_ms":[0.2,0.7],
+ "n_layers":2,"input_mean":1.25,"input_absmax":4.5,"pred_mean":0.3,
+ "pred_var":0.05,"alerts":1}
+]}
+)";
+
+class TraceReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+#ifndef TRACE_REPORT_BIN
+    GTEST_SKIP() << "TRACE_REPORT_BIN not configured";
+#endif
+    write_file("trace_report_trace.json", kTrace);
+    write_file("trace_report_flight.json", kFlight);
+  }
+};
+
+TEST_F(TraceReportTest, ReportsSlowestRequestsWithCriticalPathAndFlightJoin) {
+  ASSERT_EQ(run("trace_report_trace.json --flight trace_report_flight.json",
+                "trace_report_out.txt"),
+            0);
+  const std::string out = read_file("trace_report_out.txt");
+  EXPECT_NE(out.find("2 request(s) in trace"), std::string::npos) << out;
+  // Slowest first: request 7 (0.9 ms) before request 9 (0.05 ms).
+  EXPECT_LT(out.find("request 7:"), out.find("request 9:")) << out;
+  EXPECT_NE(out.find("3 span(s) on 2 thread(s)"), std::string::npos) << out;
+  // Critical path descends request -> propagate -> layer across tids.
+  const std::size_t root = out.find("request  0.9000 ms  (tid 1)");
+  const std::size_t mid = out.find("apd.propagate  0.8500 ms  (tid 1)");
+  const std::size_t leaf = out.find("apd.layer  0.7000 ms  (tid 2)");
+  EXPECT_NE(root, std::string::npos) << out;
+  EXPECT_NE(mid, std::string::npos) << out;
+  EXPECT_NE(leaf, std::string::npos) << out;
+  EXPECT_LT(root, mid);
+  EXPECT_LT(mid, leaf);
+  // Flight join: per-layer breakdown and the alert count made it in.
+  EXPECT_NE(out.find("alerts 1"), std::string::npos) << out;
+  EXPECT_NE(out.find("0.2000 0.7000 ms"), std::string::npos) << out;
+}
+
+TEST_F(TraceReportTest, RequestFilterFindsAndExitCodesMissing) {
+  ASSERT_EQ(run("trace_report_trace.json --request 9", "trace_report_o9.txt"),
+            0);
+  const std::string out = read_file("trace_report_o9.txt");
+  EXPECT_NE(out.find("request 9:"), std::string::npos) << out;
+  EXPECT_EQ(out.find("request 7:"), std::string::npos) << out;
+
+  // Unknown request id is the exit-1 contract CI leans on.
+  EXPECT_EQ(run("trace_report_trace.json --request 12345",
+                "trace_report_miss.txt"),
+            1);
+}
+
+TEST_F(TraceReportTest, UsageAndParseErrorsExitTwo) {
+  EXPECT_EQ(run("", "trace_report_usage.txt"), 2);
+  EXPECT_EQ(run("trace_report_trace.json --top 0", "trace_report_top0.txt"),
+            2);
+  EXPECT_EQ(run("no_such_file.json", "trace_report_nofile.txt"), 2);
+
+  write_file("trace_report_bad.json", "{\"traceEvents\":[");
+  EXPECT_EQ(run("trace_report_bad.json", "trace_report_bad.txt"), 2);
+
+  write_file("trace_report_noevents.json", "{\"other\":1}");
+  EXPECT_EQ(run("trace_report_noevents.json", "trace_report_noev.txt"), 2);
+}
+
+TEST_F(TraceReportTest, TopLimitsTheTableAndUntaggedSpansAreIgnored) {
+  ASSERT_EQ(run("trace_report_trace.json --top 1", "trace_report_top1.txt"),
+            0);
+  const std::string out = read_file("trace_report_top1.txt");
+  EXPECT_NE(out.find("slowest 1"), std::string::npos) << out;
+  EXPECT_EQ(out.find("request 9:"), std::string::npos) << out;
+  EXPECT_EQ(out.find("untagged"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace apds

@@ -1,0 +1,311 @@
+// apds_trace_report: per-request view over the request-scoped telemetry —
+// joins a `--trace` Chrome-trace JSON with an optional `--flight` dump and
+// prints the slowest requests, their span critical paths, and the flight
+// recorder's layer/input/prediction record for each.
+//
+//   apds_trace_report <trace.json> [--flight <flight.json>] [--top <K>]
+//                     [--request <id>]
+//
+// The trace's "X" events carry "req"/"span"/"parent" ids in their args
+// (obs/trace.h writes them for every span recorded under an active
+// RequestContext); events without a "req" (training spans, bench loops) are
+// ignored. --request restricts the report to one request id and exits 1
+// when the trace has no spans for it — so CI can assert that an exemplar's
+// request id resolves to a real trace.
+//
+// Exit codes: 0 = report printed, 1 = --request id not found,
+//             2 = usage / file / parse error.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/parse_num.h"
+#include "json_dom.h"
+
+namespace {
+
+using apds::tools::JsonValue;
+using apds::tools::parse_json_file;
+
+struct Span {
+  std::string name;
+  std::uint64_t request_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+  std::uint32_t tid = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+};
+
+/// Flight-recorder record for one request (subset the report prints).
+struct FlightRecord {
+  double dur_ms = 0.0;
+  std::vector<double> layers_ms;
+  double input_mean = 0.0;
+  double input_absmax = 0.0;
+  double pred_mean = 0.0;
+  double pred_var = 0.0;
+  double alerts = 0.0;
+};
+
+struct Request {
+  std::uint64_t id = 0;
+  std::vector<Span> spans;  ///< sorted by start time
+  double dur_ms = 0.0;      ///< root-span duration (longest root)
+  std::size_t threads = 0;  ///< distinct tids that recorded spans
+};
+
+double number_or(const JsonValue& obj, const std::string& key, double fb) {
+  const JsonValue* v = obj.find(key);
+  return v && v->kind == JsonValue::Kind::kNumber ? v->number : fb;
+}
+
+/// Pull the request-attributed "X" spans out of a Chrome-trace JSON.
+std::vector<Span> load_spans(const std::string& path) {
+  const JsonValue root = parse_json_file(path);
+  const JsonValue* events = root.find("traceEvents");
+  if (!events || events->kind != JsonValue::Kind::kArray)
+    throw std::runtime_error(path + ": no \"traceEvents\" array");
+  std::vector<Span> spans;
+  for (const JsonValue& e : events->array) {
+    const JsonValue* ph = e.find("ph");
+    if (!ph || ph->string != "X") continue;  // skip flow/meta events
+    const JsonValue* args = e.find("args");
+    if (!args) continue;
+    const auto req = static_cast<std::uint64_t>(number_or(*args, "req", 0.0));
+    if (req == 0) continue;  // span not attributed to a request
+    Span s;
+    s.request_id = req;
+    s.span_id = static_cast<std::uint64_t>(number_or(*args, "span", 0.0));
+    s.parent_span_id =
+        static_cast<std::uint64_t>(number_or(*args, "parent", 0.0));
+    const JsonValue* name = e.find("name");
+    s.name = name ? name->string : "?";
+    s.tid = static_cast<std::uint32_t>(number_or(e, "tid", 0.0));
+    s.ts_us = number_or(e, "ts", 0.0);
+    s.dur_us = number_or(e, "dur", 0.0);
+    spans.push_back(std::move(s));
+  }
+  return spans;
+}
+
+/// Group spans per request, newest-slowest bookkeeping included.
+std::vector<Request> group_requests(std::vector<Span> spans) {
+  std::map<std::uint64_t, Request> by_id;
+  for (Span& s : spans) {
+    Request& r = by_id[s.request_id];
+    r.id = s.request_id;
+    r.spans.push_back(std::move(s));
+  }
+  std::vector<Request> out;
+  out.reserve(by_id.size());
+  for (auto& [id, r] : by_id) {
+    std::sort(r.spans.begin(), r.spans.end(),
+              [](const Span& a, const Span& b) { return a.ts_us < b.ts_us; });
+    std::map<std::uint64_t, bool> in_request;
+    for (const Span& s : r.spans) in_request[s.span_id] = true;
+    std::vector<std::uint32_t> tids;
+    for (const Span& s : r.spans) {
+      tids.push_back(s.tid);
+      // A root is a span whose parent is outside this request's span set
+      // (normally the RequestScope's own "request" span, parent 0).
+      if (!in_request.count(s.parent_span_id))
+        r.dur_ms = std::max(r.dur_ms, s.dur_us * 1e-3);
+    }
+    std::sort(tids.begin(), tids.end());
+    r.threads = static_cast<std::size_t>(
+        std::unique(tids.begin(), tids.end()) - tids.begin());
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+/// Load the --flight dump into {request_id -> record}.
+std::map<std::uint64_t, FlightRecord> load_flight(const std::string& path) {
+  const JsonValue root = parse_json_file(path);
+  const JsonValue* requests = root.find("requests");
+  if (!requests || requests->kind != JsonValue::Kind::kArray)
+    throw std::runtime_error(path + ": no \"requests\" array");
+  std::map<std::uint64_t, FlightRecord> out;
+  for (const JsonValue& r : requests->array) {
+    const auto id =
+        static_cast<std::uint64_t>(number_or(r, "request_id", 0.0));
+    if (id == 0) continue;
+    FlightRecord rec;
+    rec.dur_ms = number_or(r, "dur_ms", 0.0);
+    rec.input_mean = number_or(r, "input_mean", 0.0);
+    rec.input_absmax = number_or(r, "input_absmax", 0.0);
+    rec.pred_mean = number_or(r, "pred_mean", 0.0);
+    rec.pred_var = number_or(r, "pred_var", 0.0);
+    rec.alerts = number_or(r, "alerts", 0.0);
+    const JsonValue* layers = r.find("layers_ms");
+    if (layers && layers->kind == JsonValue::Kind::kArray)
+      for (const JsonValue& l : layers->array) rec.layers_ms.push_back(l.number);
+    out[id] = rec;
+  }
+  return out;
+}
+
+/// Critical path: from each root, repeatedly descend into the
+/// longest-duration child. Prints an indented chain.
+void print_critical_path(const Request& r) {
+  std::map<std::uint64_t, std::vector<const Span*>> children;
+  std::map<std::uint64_t, bool> in_request;
+  for (const Span& s : r.spans) in_request[s.span_id] = true;
+  std::vector<const Span*> roots;
+  for (const Span& s : r.spans) {
+    if (in_request.count(s.parent_span_id))
+      children[s.parent_span_id].push_back(&s);
+    else
+      roots.push_back(&s);
+  }
+  const Span* best_root = nullptr;
+  for (const Span* root : roots)
+    if (!best_root || root->dur_us > best_root->dur_us) best_root = root;
+  if (!best_root) return;
+  std::printf("  critical path:\n");
+  int depth = 0;
+  for (const Span* node = best_root; node;) {
+    std::printf("    %*s%s  %.4f ms  (tid %u)\n", 2 * depth, "",
+                node->name.c_str(), node->dur_us * 1e-3, node->tid);
+    ++depth;
+    const auto it = children.find(node->span_id);
+    const Span* next = nullptr;
+    if (it != children.end())
+      for (const Span* child : it->second)
+        if (!next || child->dur_us > next->dur_us) next = child;
+    node = next;
+  }
+}
+
+/// Aggregate this request's spans by name (count + total ms).
+void print_layer_breakdown(const Request& r) {
+  std::map<std::string, std::pair<std::size_t, double>> by_name;
+  for (const Span& s : r.spans) {
+    auto& [count, total] = by_name[s.name];
+    ++count;
+    total += s.dur_us * 1e-3;
+  }
+  std::printf("  spans by name:\n");
+  for (const auto& [name, ct] : by_name)
+    std::printf("    %-24s x%-4zu %10.4f ms\n", name.c_str(), ct.first,
+                ct.second);
+}
+
+void print_flight(const FlightRecord& rec) {
+  std::printf("  flight record: dur %.4f ms, input mean %.4f absmax %.4f, "
+              "pred mean %.4f var %.4g, alerts %.0f\n",
+              rec.dur_ms, rec.input_mean, rec.input_absmax, rec.pred_mean,
+              rec.pred_var, rec.alerts);
+  if (!rec.layers_ms.empty()) {
+    std::printf("  layers (flight):");
+    for (double ms : rec.layers_ms) std::printf(" %.4f", ms);
+    std::printf(" ms\n");
+  }
+}
+
+void print_request(const Request& r,
+                   const std::map<std::uint64_t, FlightRecord>& flight) {
+  std::printf("request %llu: %.4f ms, %zu span(s) on %zu thread(s)\n",
+              static_cast<unsigned long long>(r.id), r.dur_ms, r.spans.size(),
+              r.threads);
+  print_critical_path(r);
+  print_layer_breakdown(r);
+  const auto it = flight.find(r.id);
+  if (it != flight.end()) print_flight(it->second);
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <trace.json> [--flight <flight.json>]"
+               " [--top <K>] [--request <id>]\n"
+               "  prints per-request critical paths and the slowest-K"
+               " requests from a --trace\n  JSON, joined with the --flight"
+               " recorder dump when given.\n"
+               "  exit 1 when --request <id> has no spans in the trace.\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string flight_path;
+  std::size_t top_k = 5;
+  std::uint64_t only_request = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--flight") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      flight_path = argv[++i];
+    } else if (arg == "--top") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      const auto k = apds::parse_unsigned(argv[++i]);
+      if (!k || *k == 0) return usage(argv[0]);
+      top_k = static_cast<std::size_t>(*k);
+    } else if (arg == "--request") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      const auto id = apds::parse_unsigned(argv[++i]);
+      if (!id || *id == 0) return usage(argv[0]);
+      only_request = *id;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (trace_path.empty()) {
+      trace_path = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (trace_path.empty()) return usage(argv[0]);
+
+  try {
+    std::vector<Request> requests = group_requests(load_spans(trace_path));
+    std::map<std::uint64_t, FlightRecord> flight;
+    if (!flight_path.empty()) flight = load_flight(flight_path);
+
+    if (only_request != 0) {
+      for (const Request& r : requests) {
+        if (r.id != only_request) continue;
+        print_request(r, flight);
+        return 0;
+      }
+      std::fprintf(stderr, "request %llu not found in %s\n",
+                   static_cast<unsigned long long>(only_request),
+                   trace_path.c_str());
+      return 1;
+    }
+
+    if (requests.empty()) {
+      std::printf("no request-attributed spans in %s\n", trace_path.c_str());
+      return 0;
+    }
+
+    std::sort(requests.begin(), requests.end(),
+              [](const Request& a, const Request& b) {
+                return a.dur_ms > b.dur_ms;
+              });
+    const std::size_t shown = std::min(top_k, requests.size());
+    std::printf("%zu request(s) in trace; slowest %zu:\n", requests.size(),
+                shown);
+    std::printf("%-12s %12s %8s %8s\n", "request", "dur_ms", "spans",
+                "threads");
+    for (std::size_t i = 0; i < shown; ++i)
+      std::printf("%-12llu %12.4f %8zu %8zu\n",
+                  static_cast<unsigned long long>(requests[i].id),
+                  requests[i].dur_ms, requests[i].spans.size(),
+                  requests[i].threads);
+    std::printf("\n");
+    for (std::size_t i = 0; i < shown; ++i) {
+      print_request(requests[i], flight);
+      std::printf("\n");
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "apds_trace_report: %s\n", e.what());
+    return 2;
+  }
+}
