@@ -13,7 +13,14 @@
 // machine-readable across PRs. Each batched kernel has an explicit `_f32`
 // twin row pinned to the single-precision fast path; `apd_propagate_b64`
 // itself follows the ambient --precision/APDS_PRECISION setting so a
-// second run at f32 exercises the flag wiring end to end.
+// second run at f32 exercises the flag wiring end to end. The fused
+// moment->activation tile path and the i8 quantized path get their own
+// rows (moment_act_{fused,unfused}_b64_f32, moment_act_fused_b64_i8,
+// apd_propagate_b64_i8) so bench_compare can gate the fusion and
+// quantization speedup floors. The JSON header records the resolved
+// kernel ISA tier ("isa") and ambient precision alongside the thread
+// count, so a comparison across reports taken on different machines or
+// under a forced APDS_KERNEL is visible instead of silently misleading.
 #include <benchmark/benchmark.h>
 
 #include <cmath>
@@ -24,9 +31,12 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/precision.h"
 #include "common/rng.h"
 #include "core/apdeepsense.h"
+#include "core/moment_fused.h"
 #include "obs/run_options.h"
+#include "tensor/kernels/kernel_dispatch.h"
 #include "obs/trace.h"
 #include "platform/profiler.h"
 #include "platform/thread_pool.h"
@@ -291,6 +301,26 @@ void run_kernel_suite(std::size_t threads, std::vector<KernelRow>& rows) {
       moment_activation_inplace(f, copy);
       benchmark::DoNotOptimize(copy.mean.data());
     });
+    // Fusion gate pair: same math, with vs without the intermediate
+    // pre-activation matrices. bench_compare holds their ratio >= 1.3x.
+    record("moment_act_unfused_b64_f32", [&] {
+      MeanVarF out = moment_linear(inputf, wf, w2f, bf, 0.9);
+      moment_activation_inplace(f, out);
+      benchmark::DoNotOptimize(out.mean.data());
+    });
+    record("moment_act_fused_b64_f32", [&] {
+      MeanVarF out = moment_linear_act(inputf, wf, w2f, bf, 0.9, f);
+      benchmark::DoNotOptimize(out.mean.data());
+    });
+    DenseLayer dense;
+    dense.weight = weight;
+    dense.bias = bias;
+    dense.keep_prob = 0.9;
+    const QuantizedDenseLayer qdense = quantize_dense_layer(dense);
+    record("moment_act_fused_b64_i8", [&] {
+      MeanVarF out = moment_linear_act(inputf, qdense, 0.9, f);
+      benchmark::DoNotOptimize(out.mean.data());
+    });
   }
   {
     Rng net_rng(5);
@@ -307,6 +337,32 @@ void run_kernel_suite(std::size_t threads, std::vector<KernelRow>& rows) {
     const MeanVar input = MeanVar::point(x);
     record("apd_propagate_b64_f32", [&] {
       MeanVar out = apd.propagate(input, Precision::kF32);
+      benchmark::DoNotOptimize(out.mean.data());
+    });
+    // Gemm-based comparator for the quantization floor: the same f32
+    // stack through the unfused moment_linear + activation pair (what
+    // propagate_f32 was before fusion). bench_compare holds the i8
+    // propagate's speedup over THIS row, so the gate measures what
+    // quantization buys against the path it replaces, not against the
+    // already-fused f32 kernels.
+    std::vector<MatrixF> wf, w2f, bf;
+    for (std::size_t l = 0; l < mlp.num_layers(); ++l) {
+      const DenseLayer& layer = mlp.layer(l);
+      wf.push_back(to_f32(layer.weight));
+      w2f.push_back(to_f32(square(layer.weight)));
+      bf.push_back(to_f32(layer.bias));
+    }
+    const MeanVarF inputf = to_f32(input);
+    record("apd_propagate_b64_f32_gemm", [&] {
+      MeanVarF h = inputf;
+      for (std::size_t l = 0; l < mlp.num_layers(); ++l) {
+        h = moment_linear(h, wf[l], w2f[l], bf[l], mlp.layer(l).keep_prob);
+        moment_activation_inplace(apd.surrogate(l), h);
+      }
+      benchmark::DoNotOptimize(h.mean.data());
+    });
+    record("apd_propagate_b64_i8", [&] {
+      MeanVar out = apd.propagate(input, Precision::kI8);
       benchmark::DoNotOptimize(out.mean.data());
     });
   }
@@ -347,7 +403,9 @@ void write_kernel_json(const std::string& path, std::size_t threads) {
   std::ofstream os(path);
   if (!os) throw IoError("cannot write " + path);
   os << "{\"bench\":\"micro_kernels\",\"threads\":" << threads
-     << ",\"kernels\":[";
+     << ",\"isa\":\"" << kernel_backend_name(global_kernel_backend())
+     << "\",\"precision\":\"" << precision_name(global_precision())
+     << "\",\"kernels\":[";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const TimingResult& t = rows[i].timing;
     if (i) os << ",";

@@ -18,7 +18,14 @@ std::atomic<int> g_precision{-1};
 }  // namespace
 
 const char* precision_name(Precision p) {
-  return p == Precision::kF32 ? "f32" : "f64";
+  switch (p) {
+    case Precision::kF32:
+      return "f32";
+    case Precision::kI8:
+      return "i8";
+    default:
+      return "f64";
+  }
 }
 
 Precision parse_precision(const std::string& name) {
@@ -27,8 +34,9 @@ Precision parse_precision(const std::string& name) {
                  [](unsigned char c) { return std::tolower(c); });
   if (lower == "f32" || lower == "float") return Precision::kF32;
   if (lower == "f64" || lower == "double") return Precision::kF64;
+  if (lower == "i8" || lower == "int8") return Precision::kI8;
   throw InvalidArgument("precision: unknown value '" + name +
-                        "' (want f32|f64)");
+                        "' (want f32|f64|i8)");
 }
 
 void set_global_precision(Precision p) {
@@ -47,7 +55,7 @@ Precision global_precision() {
     try {
       p = parse_precision(env);
     } catch (const InvalidArgument&) {
-      APDS_WARN("APDS_PRECISION='" << env << "' ignored (want f32|f64)");
+      APDS_WARN("APDS_PRECISION='" << env << "' ignored (want f32|f64|i8)");
     }
   }
   // Cache the resolution; a concurrent first call resolves identically.

@@ -8,11 +8,13 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "common/precision.h"
 #include "core/gaussian_vec.h"
 #include "core/moment_activation.h"
+#include "core/moment_fused.h"
 #include "core/moment_linear.h"
 #include "core/piecewise_linear.h"
 #include "nn/mlp.h"
@@ -44,14 +46,16 @@ class ApDeepSense {
   /// Propagate an uncertain (Gaussian) input batch — e.g. sensor noise
   /// models feeding uncertainty in at the input. Dispatches on
   /// global_precision(): kF64 is the original bit-exact path; kF32 runs
-  /// the whole layer stack through the single-precision kernels (packed
-  /// f32 weights, fast_math transcendentals) and widens the result.
+  /// the whole layer stack through the fused single-precision kernels
+  /// (packed f32 weights, runtime ISA dispatch) and widens the result;
+  /// kI8 runs hidden layers on symmetric-quantized i8 weights with exact
+  /// i32 accumulation and keeps the final moment head in f32.
   MeanVar propagate(const MeanVar& input) const;
 
   /// Propagate at an explicit precision regardless of the global setting.
-  /// The f32 path converts the input once, keeps every intermediate layer
-  /// batch in f32, and converts the final moments back to f64; API types
-  /// stay double either way.
+  /// The f32/i8 paths convert the input once, keep every intermediate
+  /// layer batch in f32, and convert the final moments back to f64; API
+  /// types stay double either way.
   MeanVar propagate(const MeanVar& input, Precision precision) const;
 
   /// Single-input convenience.
@@ -73,21 +77,48 @@ class ApDeepSense {
   const PiecewiseLinear& surrogate(std::size_t l) const;
 
  private:
+  /// f32 fast-path pack: single-precision copies of W, W∘W and b per
+  /// layer, so propagate() at kF32 never converts weights per call.
+  /// weight_sq is squared in f64 then narrowed — one rounding, not two.
+  struct F32Pack {
+    std::vector<MatrixF> weight;
+    std::vector<MatrixF> weight_sq;
+    std::vector<MatrixF> bias;
+  };
+
+  /// i8 pack: hidden layers carry symmetric per-output-channel quantized
+  /// W / W∘W + f32 bias; the final layer — the moment head that reports
+  /// the predictive distribution — stays f32 (quantizing it costs
+  /// calibration for ~no latency, it is one layer out of L).
+  struct I8Pack {
+    std::vector<QuantizedDenseLayer> hidden;  ///< layers 0 .. L-2
+    MatrixF final_weight;
+    MatrixF final_weight_sq;
+    MatrixF final_bias;
+  };
+
   MeanVar propagate_f64(const MeanVar& input) const;
   MeanVar propagate_f32(const MeanVar& input) const;
-  void pack_weights();
+  MeanVar propagate_i8(const MeanVar& input) const;
+
+  // Weight packs are built lazily on first use per precision (thread-safe
+  // via call_once): a process that only ever runs one precision pays for
+  // exactly one pack, instead of tripling steady-state weight memory on
+  // devices that are the paper's whole point.
+  const std::vector<Matrix>& f64_pack() const;
+  const F32Pack& f32_pack() const;
+  const I8Pack& i8_pack() const;
 
   const Mlp* mlp_;  ///< non-owning; must outlive this object
   ApDeepSenseConfig config_;
   std::vector<PiecewiseLinear> surrogates_;  ///< one per layer
-  std::vector<Matrix> weight_sq_;            ///< cached W∘W per layer
-  // f32 fast-path packs, precomputed once at construction (the "weight
-  // packing" step): single-precision copies of W, W∘W and b per layer, so
-  // propagate() at kF32 never converts weights per call. weight_sq_f_ is
-  // squared in f64 then narrowed — one rounding instead of two.
-  std::vector<MatrixF> weight_f_;
-  std::vector<MatrixF> weight_sq_f_;
-  std::vector<MatrixF> bias_f_;
+
+  mutable std::once_flag f64_once_;
+  mutable std::once_flag f32_once_;
+  mutable std::once_flag i8_once_;
+  mutable std::vector<Matrix> weight_sq_;  ///< cached W∘W per layer (f64)
+  mutable F32Pack f32_pack_storage_;
+  mutable I8Pack i8_pack_storage_;
 };
 
 }  // namespace apds

@@ -180,4 +180,19 @@ void moment_activation_inplace(const PiecewiseLinear& f, GaussianVec& g) {
   moment_activation_batch(f, g.mean.data(), g.var.data(), g.dim());
 }
 
+PwlPack pack_pwl(const PiecewiseLinear& f) {
+  PwlPack pack;
+  const auto& pieces = f.pieces();
+  pack.lo0 = pieces.front().lo;
+  pack.hi.reserve(pieces.size());
+  pack.k.reserve(pieces.size());
+  pack.c.reserve(pieces.size());
+  for (const auto& p : pieces) {
+    pack.hi.push_back(p.hi);
+    pack.k.push_back(static_cast<float>(p.k));
+    pack.c.push_back(static_cast<float>(p.c));
+  }
+  return pack;
+}
+
 }  // namespace apds

@@ -14,6 +14,7 @@
 
 #include "core/gaussian_vec.h"
 #include "core/piecewise_linear.h"
+#include "tensor/kernels/kernel_dispatch.h"
 
 namespace apds {
 
@@ -51,13 +52,18 @@ void moment_activation_batch(const PiecewiseLinear& f, double* mean,
                              double* var, std::size_t n);
 
 /// Single-precision fast path: same piece-major tile structure, but the
-/// per-boundary transcendentals come from stats/fast_math.h (branch-free
-/// polynomial erf/exp that the compiler vectorizes) instead of libm, and
-/// all tile scratch is f32. Near-deterministic lanes (var below
-/// `kDeterministicVarF`) fall back to the f64 scalar activation_moments.
-/// Implemented in moment_activation_f32.cpp (own TU, -fno-trapping-math).
+/// tile kernel is resolved through the runtime CPU dispatcher
+/// (tensor/kernels/, scalar/AVX2/AVX-512 tiers of one shared body using
+/// the branch-free fast_math erf/exp) instead of being compiled once.
+/// Near-deterministic lanes (var below `kDeterministicVarF`) fall back to
+/// the f64 scalar activation_moments. Driver in moment_activation_f32.cpp.
 void moment_activation_batch(const PiecewiseLinear& f, float* mean,
                              float* var, std::size_t n);
+
+/// Repack a surrogate into the kernel layer's PWL layout (f32 slopes and
+/// intercepts, f64 boundaries). Cheap (one small copy); hot callers that
+/// apply the same surrogate repeatedly may still cache the result.
+PwlPack pack_pwl(const PiecewiseLinear& f);
 
 /// Apply activation_moments elementwise across a batch, in place.
 void moment_activation_inplace(const PiecewiseLinear& f, MeanVar& mv);

@@ -1,117 +1,29 @@
-// Single-precision fast path of the batched activation-moment kernel.
+// Single-precision fast path of the batched activation-moment kernel —
+// now a thin driver over the runtime-dispatched tile kernels.
 //
-// This is the structural twin of activation_moments_tile in
-// moment_activation.cpp — same piece-major tiling, same boundary-sharing
-// differencing — with all tile scratch in f32 and the per-boundary
-// transcendentals coming from stats/fast_math.h instead of libm.
-//
-// It lives in its own translation unit because it is compiled with
-// -fno-trapping-math (see src/core/CMakeLists.txt): GCC's default
-// trapping-math model refuses to if-convert the floating-point compares
-// inside fast_expf/fast_erff ("control flow in loop"), which blocks
-// vectorization of exactly the loops this path exists for. The flag only
-// drops the assumption that FP compares may trap — values are unchanged —
-// but the f64 reference kernel stays in its own default-flags TU so its
-// object code is guaranteed bit-identical to previous releases.
+// The actual tile math (piece-major boundary sharing, f32 scratch,
+// fast_math transcendentals) lives in tensor/kernels/kernel_body.inl and
+// is compiled once per ISA tier (scalar/AVX2/AVX-512) with that tier's -m
+// flags; kernel_ops() binds the widest tier the CPU executes. This driver
+// keeps what the kernel layer must not know about: the thread-pool
+// partitioning, the PiecewiseLinear type, and the f64 scalar fixup of
+// near-deterministic lanes (the kernel leaves those lanes untouched and
+// flags them — the closed form loses to linearization at f32 epsilon, see
+// kDeterministicVarF in moment_activation.h).
 #include <algorithm>
-#include <cmath>
 
 #include "core/moment_activation.h"
-#include "obs/trace.h"
 #include "platform/thread_pool.h"
-#include "stats/fast_math.h"
+#include "tensor/kernels/kernel_dispatch.h"
 
 namespace apds {
 
 namespace {
 
-// Mirrors of the f64 kernel's tiling constants (moment_activation.cpp).
-constexpr std::size_t kTile = 128;
+// Mirrors of the f64 kernel's tiling constants (moment_activation.cpp);
+// the tile width is pinned by the kernel layer's stack buffers.
+constexpr std::size_t kTile = kKernelMomentTile;
 constexpr std::size_t kActivationGrain = 256;
-
-/// Piece-major activation moments for up to kTile elements, f32 edition.
-/// Near-deterministic lanes are fixed up afterwards through the f64 scalar
-/// path (their arithmetic in the main pass runs with inv_sigma = 0, kept
-/// finite and discarded).
-void activation_moments_tile_f32(const PiecewiseLinear& f, float* m, float* v,
-                                 std::size_t n) {
-  float sigma[kTile], inv_sigma[kTile];
-  float ey[kTile], ey2[kTile];
-  float lo_pdf[kTile], lo_cdf[kTile], lo_zpdf[kTile];
-  float hi_pdf[kTile], hi_cdf[kTile], hi_zpdf[kTile];
-  bool deterministic = false;
-
-  for (std::size_t i = 0; i < n; ++i) {
-    if (v[i] < kDeterministicVarF) {
-      deterministic = true;
-      sigma[i] = 1.0f;
-      inv_sigma[i] = 0.0f;
-    } else {
-      sigma[i] = std::sqrt(v[i]);
-      inv_sigma[i] = 1.0f / sigma[i];
-    }
-    ey[i] = 0.0f;
-    ey2[i] = 0.0f;
-  }
-
-  const auto& pieces = f.pieces();
-  auto eval_boundary_span = [&](double x, float* pdf, float* cdf,
-                                float* zpdf) {
-    if (std::isinf(x)) {
-      const float cdf_value = x > 0 ? 1.0f : 0.0f;
-      for (std::size_t i = 0; i < n; ++i) {
-        pdf[i] = 0.0f;
-        cdf[i] = cdf_value;
-        zpdf[i] = 0.0f;  // inf * 0 -> 0 convention
-      }
-      return;
-    }
-    const float xf = static_cast<float>(x);
-    for (std::size_t i = 0; i < n; ++i) {
-      const float z = (xf - m[i]) * inv_sigma[i];
-      const float pdf_z = fast_std_normal_pdf(z);
-      pdf[i] = pdf_z;
-      cdf[i] = fast_std_normal_cdf(z);
-      zpdf[i] = z * pdf_z;
-    }
-  };
-
-  eval_boundary_span(pieces.front().lo, lo_pdf, lo_cdf, lo_zpdf);
-  for (const auto& p : pieces) {
-    eval_boundary_span(p.hi, hi_pdf, hi_cdf, hi_zpdf);
-    const float k = static_cast<float>(p.k);
-    const float c = static_cast<float>(p.c);
-    for (std::size_t i = 0; i < n; ++i) {
-      const float mu = m[i];
-      const float s = sigma[i];
-      // Partial moments between the cached boundaries (paper's D/M/V).
-      const float mass = hi_cdf[i] - lo_cdf[i];
-      const float first = s * (lo_pdf[i] - hi_pdf[i]);
-      const float second = s * s * (mass + lo_zpdf[i] - hi_zpdf[i]);
-      // E[X 1] and E[X^2 1] from central partial moments.
-      const float ex1 = mu * mass + first;
-      const float ex2 = second + 2.0f * mu * first + mu * mu * mass;
-      ey[i] += k * ex1 + c * mass;
-      ey2[i] += k * k * ex2 + 2.0f * k * c * ex1 + c * c * mass;
-    }
-    std::copy(hi_pdf, hi_pdf + n, lo_pdf);
-    std::copy(hi_cdf, hi_cdf + n, lo_cdf);
-    std::copy(hi_zpdf, hi_zpdf + n, lo_zpdf);
-  }
-
-  for (std::size_t i = 0; i < n; ++i) {
-    if (deterministic && v[i] < kDeterministicVarF) {
-      const ScalarMoments sm =
-          activation_moments(f, static_cast<double>(m[i]),
-                             static_cast<double>(v[i]));
-      m[i] = static_cast<float>(sm.mean);
-      v[i] = static_cast<float>(sm.var);
-    } else {
-      m[i] = ey[i];
-      v[i] = std::max(0.0f, ey2[i] - ey[i] * ey[i]);
-    }
-  }
-}
 
 }  // namespace
 
@@ -119,10 +31,27 @@ void moment_activation_batch(const PiecewiseLinear& f, float* mean,
                              float* var, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i)
     APDS_CHECK_MSG(var[i] >= 0.0f, "moment_activation: negative variance");
+  const PwlPack pack = pack_pwl(f);
+  const PwlView view = pack.view();
+  const KernelOps& ops = kernel_ops();
   parallel_for(0, n, kActivationGrain, [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t t = lo; t < hi; t += kTile)
-      activation_moments_tile_f32(f, mean + t, var + t,
-                                  std::min(kTile, hi - t));
+    unsigned char det[kTile];
+    for (std::size_t t = lo; t < hi; t += kTile) {
+      const std::size_t len = std::min(kTile, hi - t);
+      if (!ops.act_tile_f32(view, mean + t, var + t, len, kDeterministicVarF,
+                            det))
+        continue;
+      // Near-deterministic lanes still hold their input moments; finish
+      // them through the f64 scalar path (linearization short-circuit).
+      for (std::size_t i = 0; i < len; ++i) {
+        if (!det[i]) continue;
+        const ScalarMoments sm =
+            activation_moments(f, static_cast<double>(mean[t + i]),
+                               static_cast<double>(var[t + i]));
+        mean[t + i] = static_cast<float>(sm.mean);
+        var[t + i] = static_cast<float>(sm.var);
+      }
+    }
   });
 }
 

@@ -1,0 +1,230 @@
+#include "core/moment_fused.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/moment_activation.h"
+#include "core/moment_contract.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "platform/thread_pool.h"
+#include "tensor/kernels/kernel_dispatch.h"
+#include "tensor/ops.h"
+
+namespace apds {
+
+namespace {
+
+constexpr std::size_t kElementwiseGrain = 1 << 15;
+constexpr std::size_t kMinFlopsPerChunk = 1 << 16;
+constexpr std::size_t kTile = kKernelMomentTile;
+constexpr std::size_t kRows = kKernelMomentRows;
+
+/// Per-thread scratch reused across layers/calls (same rationale as
+/// moment_linear's): the prepped GEMM inputs, and for the i8 path the
+/// quantized rows plus their dynamic scales.
+struct FusedScratch {
+  MatrixF scaled_mean;  ///< mu * p
+  MatrixF var_in;       ///< (mu^2 + sigma^2) p - mu^2 p^2
+  std::vector<std::int8_t> q_scaled_mean;
+  std::vector<std::int8_t> q_var_in;
+  std::vector<float> sm_scale;  ///< per input row
+  std::vector<float> vi_scale;  ///< per input row
+};
+
+FusedScratch& local_scratch() {
+  thread_local FusedScratch scratch;
+  return scratch;
+}
+
+/// Build scaled_mean / var_in from the input moments (dispatched kernel,
+/// elementwise, partition-invariant).
+void prep_inputs(const MeanVarF& input, double keep_prob,
+                 FusedScratch& scratch, const KernelOps& ops) {
+  const float p = static_cast<float>(keep_prob);
+  const float p2 = p * p;
+  scratch.scaled_mean.resize(input.batch(), input.dim());
+  scratch.var_in.resize(input.batch(), input.dim());
+  const float* mu = input.mean.data();
+  const float* var = input.var.data();
+  float* sm = scratch.scaled_mean.data();
+  float* vi = scratch.var_in.data();
+  parallel_for(0, input.mean.size(), kElementwiseGrain,
+               [&](std::size_t lo, std::size_t hi) {
+                 ops.moment_prep_f32(mu + lo, var + lo, sm + lo, vi + lo,
+                                     hi - lo, p, p2);
+               });
+}
+
+/// Shared tile loop of both fused paths: `moment_tile` fills one row-block
+/// x column-tile block's pre-activation moments (stack buffers), then the
+/// activation tile runs in place row by row and the post-activation
+/// moments spill to the output. Work units are (row-block, column-tile)
+/// pairs with fixed block boundaries, so the per-element arithmetic — and
+/// therefore the result — is independent of the thread count. The row
+/// blocking exists for weight reuse: the moment kernel streams each W/Wsq
+/// slice once per block instead of once per batch row.
+template <typename MomentTileFn>
+void fused_tiles(MeanVarF& out, const PiecewiseLinear& f,
+                 const KernelOps& ops, std::size_t batch, std::size_t n,
+                 std::size_t kdim, MomentTileFn&& moment_tile) {
+  const PwlPack pack = pack_pwl(f);
+  const PwlView view = pack.view();
+  const std::size_t tiles_per_row = (n + kTile - 1) / kTile;
+  const std::size_t row_blocks = (batch + kRows - 1) / kRows;
+  const std::size_t block_flops = 4 * kdim * kTile * kRows;
+  const std::size_t grain =
+      std::max<std::size_t>(1, kMinFlopsPerChunk / (block_flops + 1));
+  float* out_mean = out.mean.data();
+  float* out_var = out.var.data();
+  parallel_for(
+      0, row_blocks * tiles_per_row, grain,
+      [&](std::size_t lo, std::size_t hi) {
+        float tmean[kRows * kTile], tvar[kRows * kTile];
+        unsigned char det[kTile];
+        for (std::size_t t = lo; t < hi; ++t) {
+          const std::size_t r0 = (t / tiles_per_row) * kRows;
+          const std::size_t r1 = std::min(batch, r0 + kRows);
+          const std::size_t j0 = (t % tiles_per_row) * kTile;
+          const std::size_t j1 = std::min(n, j0 + kTile);
+          const std::size_t width = j1 - j0;
+          moment_tile(r0, r1, j0, j1, tmean, tvar);
+          for (std::size_t r = r0; r < r1; ++r) {
+            float* rm = tmean + (r - r0) * width;
+            float* rv = tvar + (r - r0) * width;
+            if (ops.act_tile_f32(view, rm, rv, width, kDeterministicVarF,
+                                 det)) {
+              // Near-deterministic lanes still hold pre-activation
+              // moments; finish them through the f64 scalar path.
+              for (std::size_t l = 0; l < width; ++l) {
+                if (!det[l]) continue;
+                const ScalarMoments sm = activation_moments(
+                    f, static_cast<double>(rm[l]),
+                    static_cast<double>(rv[l]));
+                rm[l] = static_cast<float>(sm.mean);
+                rv[l] = static_cast<float>(sm.var);
+              }
+            }
+            std::copy(rm, rm + width, out_mean + r * n + j0);
+            std::copy(rv, rv + width, out_var + r * n + j0);
+          }
+        }
+      });
+}
+
+}  // namespace
+
+QuantizedDenseLayer quantize_dense_layer(const DenseLayer& layer) {
+  QuantizedDenseLayer q;
+  q.weight = quantize_per_col(layer.weight);
+  q.weight_sq = quantize_per_col(square(layer.weight));
+  q.bias = to_f32(layer.bias);
+  return q;
+}
+
+MeanVarF moment_linear_act(const MeanVarF& input, const MatrixF& weight,
+                           const MatrixF& weight_sq, const MatrixF& bias,
+                           double keep_prob, const PiecewiseLinear& f) {
+  APDS_CHECK_MSG(input.dim() == weight.rows(), "moment_linear_act: input dim");
+  APDS_CHECK_MSG(weight_sq.same_shape(weight), "moment_linear_act: weight_sq");
+  APDS_CHECK(keep_prob > 0.0 && keep_prob <= 1.0);
+  APDS_TRACE_SCOPE("core.moment_linear_act");
+  const KernelOps& ops = kernel_ops();
+  FusedScratch& scratch = local_scratch();
+  prep_inputs(input, keep_prob, scratch, ops);
+
+  const std::size_t kdim = input.dim();
+  const std::size_t n = weight.cols();
+  MeanVarF out(input.batch(), n);
+  const float* sm = scratch.scaled_mean.data();
+  const float* vi = scratch.var_in.data();
+  const float* w = weight.data();
+  const float* wsq = weight_sq.data();
+  const float* b = bias.data();
+  fused_tiles(out, f, ops, input.batch(), n, kdim,
+              [&](std::size_t r0, std::size_t r1, std::size_t j0,
+                  std::size_t j1, float* tmean, float* tvar) {
+                ops.moment_tile_f32(sm, vi, w, wsq, b, kdim, n, r0, r1, j0, j1,
+                                    tmean, tvar);
+              });
+  APDS_MOMENT_CONTRACT(out, "core.moment_linear_act output");
+  return out;
+}
+
+MeanVarF moment_linear_act(const MeanVarF& input, const MatrixF& weight,
+                           const MatrixF& bias, double keep_prob,
+                           const PiecewiseLinear& f) {
+#ifndef NDEBUG
+  // Same hot-path tripwire as the unfused convenience overload: repeated
+  // callers must precompute square(weight).
+  MetricsRegistry::instance()
+      .counter("moment_linear.weight_sq_recompute")
+      .increment();
+  APDS_DEBUG("moment_linear_act: recomputing square(weight) ("
+             << weight.rows() << "x" << weight.cols()
+             << "); repeated callers should precompute weight_sq");
+#endif
+  return moment_linear_act(input, weight, square(weight), bias, keep_prob, f);
+}
+
+MeanVarF moment_linear_act(const MeanVarF& input,
+                           const QuantizedDenseLayer& layer, double keep_prob,
+                           const PiecewiseLinear& f) {
+  APDS_CHECK_MSG(input.dim() == layer.weight.rows,
+                 "moment_linear_act(i8): input dim");
+  APDS_CHECK_MSG(layer.weight_sq.rows == layer.weight.rows &&
+                     layer.weight_sq.cols == layer.weight.cols,
+                 "moment_linear_act(i8): weight_sq shape");
+  APDS_CHECK(keep_prob > 0.0 && keep_prob <= 1.0);
+  APDS_CHECK_MSG(input.dim() <= kMaxQuantizedInnerDim,
+                 "moment_linear_act(i8): inner dim " << input.dim()
+                                                     << " overflows i32");
+  APDS_TRACE_SCOPE("core.moment_linear_act_i8");
+  const KernelOps& ops = kernel_ops();
+  FusedScratch& scratch = local_scratch();
+  prep_inputs(input, keep_prob, scratch, ops);
+
+  const std::size_t batch = input.batch();
+  const std::size_t kdim = input.dim();
+  const std::size_t n = layer.weight.cols;
+
+  // Dynamic per-row quantization of both prepped inputs. Rows are
+  // independent, so this pass is partition-invariant too.
+  scratch.q_scaled_mean.resize(batch * kdim);
+  scratch.q_var_in.resize(batch * kdim);
+  scratch.sm_scale.resize(batch);
+  scratch.vi_scale.resize(batch);
+  parallel_for(0, batch, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      quantize_row_i8(scratch.scaled_mean.data() + i * kdim, kdim,
+                      scratch.q_scaled_mean.data() + i * kdim,
+                      &scratch.sm_scale[i]);
+      quantize_row_i8(scratch.var_in.data() + i * kdim, kdim,
+                      scratch.q_var_in.data() + i * kdim,
+                      &scratch.vi_scale[i]);
+    }
+  });
+
+  MeanVarF out(batch, n);
+  const std::int8_t* qsm = scratch.q_scaled_mean.data();
+  const std::int8_t* qvi = scratch.q_var_in.data();
+  const std::int8_t* qw = layer.weight.data.data();
+  const std::int8_t* qwsq = layer.weight_sq.data.data();
+  const float* wscale = layer.weight.scale.data();
+  const float* wsqscale = layer.weight_sq.scale.data();
+  const float* b = layer.bias.data();
+  fused_tiles(out, f, ops, batch, n, kdim,
+              [&](std::size_t r0, std::size_t r1, std::size_t j0,
+                  std::size_t j1, float* tmean, float* tvar) {
+                ops.moment_tile_i8(qsm, scratch.sm_scale.data(), qvi,
+                                   scratch.vi_scale.data(), qw, wscale, qwsq,
+                                   wsqscale, b, kdim, n, r0, r1, j0, j1, tmean,
+                                   tvar);
+              });
+  APDS_MOMENT_CONTRACT(out, "core.moment_linear_act_i8 output");
+  return out;
+}
+
+}  // namespace apds

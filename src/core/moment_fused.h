@@ -1,0 +1,66 @@
+// Fused dropout-linear -> PWL-activation moment propagation.
+//
+// The unfused path (moment_linear + moment_activation_inplace) writes the
+// pre-activation mean/variance matrices to memory and immediately reads
+// them back for the activation pass — at IoT layer sizes the intermediate
+// round-trip costs as much bandwidth as the GEMMs themselves. The fused
+// path computes each output tile's pre-activation moments into stack
+// buffers (one k-pass accumulating the W and W∘W products together),
+// applies the piece-major activation-moment tile while the values are
+// still in registers/L1, and only then spills the POST-activation moments
+// to the output matrix. The intermediate matrices never exist.
+//
+// Both fused drivers route through the runtime kernel dispatcher
+// (tensor/kernels/), so the tile kernels run at the widest ISA tier the
+// CPU supports. The i8 variant additionally consumes per-output-channel
+// symmetric quantized weights (tensor/quantize.h) with dynamic per-row
+// activation quantization and exact i32 accumulation — the paper's
+// low-cost-IoT pitch taken one tier further. The final moment head of a
+// network should stay f32/f64 (ApDeepSense does this); quantizing the
+// layer that *reports* the predictive variance costs calibration, whereas
+// hidden layers tolerate it (drift numbers in docs/PERFORMANCE.md).
+#pragma once
+
+#include "core/gaussian_vec.h"
+#include "core/piecewise_linear.h"
+#include "nn/mlp.h"
+#include "tensor/quantize.h"
+
+namespace apds {
+
+/// One dense layer packed for the i8 path: symmetric per-output-channel
+/// i8 weights for W and W∘W (squared in f64, then quantized — one
+/// quantization instead of a quantized square), plus f32 bias.
+struct QuantizedDenseLayer {
+  QuantizedMatrix weight;
+  QuantizedMatrix weight_sq;
+  MatrixF bias;
+};
+
+/// Pack one trained layer's weights for the i8 fused path.
+QuantizedDenseLayer quantize_dense_layer(const DenseLayer& layer);
+
+/// Fused f32 moment_linear -> activation: semantically identical to
+/// moment_linear(...) followed by moment_activation_inplace(f, ...), minus
+/// the intermediate matrices (rounding differs within f32 tolerance).
+MeanVarF moment_linear_act(const MeanVarF& input, const MatrixF& weight,
+                           const MatrixF& weight_sq, const MatrixF& bias,
+                           double keep_prob, const PiecewiseLinear& f);
+
+/// Convenience overload that squares the weights on the fly. One-shot
+/// callers only — repeated callers must precompute weight_sq (debug
+/// builds count this in `moment_linear.weight_sq_recompute`, same as the
+/// unfused convenience overload).
+MeanVarF moment_linear_act(const MeanVarF& input, const MatrixF& weight,
+                           const MatrixF& bias, double keep_prob,
+                           const PiecewiseLinear& f);
+
+/// i8 fused layer: dynamic per-row input quantization, exact i32
+/// accumulation against the packed i8 weights, dequantize + bias + PWL
+/// activation moments in one tile pass. Requires
+/// input.dim() <= kMaxQuantizedInnerDim.
+MeanVarF moment_linear_act(const MeanVarF& input,
+                           const QuantizedDenseLayer& layer, double keep_prob,
+                           const PiecewiseLinear& f);
+
+}  // namespace apds

@@ -1,11 +1,14 @@
 #include "core/moment_linear.h"
 
+#include <type_traits>
+
 #include "common/logging.h"
 #include "core/moment_contract.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "platform/thread_pool.h"
 #include "tensor/gemm.h"
+#include "tensor/kernels/kernel_dispatch.h"
 #include "tensor/ops.h"
 
 namespace apds {
@@ -56,12 +59,21 @@ MeanVarT<T> moment_linear_impl(const MeanVarT<T>& input,
     const T* var = input.var.data();
     T* sm = scratch.scaled_mean.data();
     T* vi = scratch.var_in.data();
+    // The f32 prep goes through the runtime-dispatched kernel (elementwise,
+    // partition-invariant); the f64 reference loop stays in this TU.
+    [[maybe_unused]] const KernelOps* ops = nullptr;
+    if constexpr (std::is_same_v<T, float>) ops = &kernel_ops();
     parallel_for(0, input.mean.size(), kElementwiseGrain,
                  [&](std::size_t lo, std::size_t hi) {
-                   for (std::size_t i = lo; i < hi; ++i) {
-                     const T mu2 = mu[i] * mu[i];
-                     sm[i] = mu[i] * p;
-                     vi[i] = (mu2 + var[i]) * p - mu2 * p2;
+                   if constexpr (std::is_same_v<T, float>) {
+                     ops->moment_prep_f32(mu + lo, var + lo, sm + lo, vi + lo,
+                                          hi - lo, p, p2);
+                   } else {
+                     for (std::size_t i = lo; i < hi; ++i) {
+                       const T mu2 = mu[i] * mu[i];
+                       sm[i] = mu[i] * p;
+                       vi[i] = (mu2 + var[i]) * p - mu2 * p2;
+                     }
                    }
                  });
   }

@@ -103,6 +103,12 @@ ObsOptions parse_obs_flags(int& argc, char** argv) {
       } catch (const InvalidArgument& e) {
         throw InvalidArgument(std::string("--precision: ") + e.what());
       }
+    } else if (arg == "--kernel") {
+      try {
+        options.kernel = parse_kernel_backend(take_value("--kernel"));
+      } catch (const InvalidArgument& e) {
+        throw InvalidArgument(std::string("--kernel: ") + e.what());
+      }
     } else {
       kept.push_back(argv[i]);
     }
@@ -125,18 +131,27 @@ const char* obs_flags_help() {
          "  --log-level <lvl>   debug|info|warn|error|off\n"
          "  --threads <n>       thread-pool width (1 = serial; default\n"
          "                      APDS_THREADS env, then hardware)\n"
-         "  --precision <p>     inference scalar width: f64 (default) or\n"
-         "                      f32 fast path (default APDS_PRECISION env)";
+         "  --precision <p>     inference scalar width: f64 (default), f32\n"
+         "                      fast path or i8 quantized (default\n"
+         "                      APDS_PRECISION env)\n"
+         "  --kernel <b>        kernel ISA tier: scalar|avx2|avx512\n"
+         "                      (default APDS_KERNEL env, then CPUID probe;\n"
+         "                      unsupported tiers clamp to the best one)";
 }
 
 ObsSession::ObsSession(ObsOptions options) : options_(std::move(options)) {
   if (options_.tracing()) TraceCollector::instance().set_enabled(true);
   if (options_.threads > 0) set_global_threads(options_.threads);
   if (options_.precision) set_global_precision(*options_.precision);
+  if (options_.kernel) set_global_kernel_backend(*options_.kernel);
   MetricsRegistry::instance().gauge("pool.threads").set(
       static_cast<double>(global_threads()));
   MetricsRegistry::instance().gauge("run.precision_f32").set(
       global_precision() == Precision::kF32 ? 1.0 : 0.0);
+  // Which kernel tier serves traffic (0 = scalar, 1 = avx2, 2 = avx512 —
+  // the KernelBackend enum values), visible in --metrics/--prom dumps.
+  MetricsRegistry::instance().gauge("kernel.dispatch_backend").set(
+      static_cast<double>(static_cast<int>(global_kernel_backend())));
   if (options_.slo_p50_ms > 0.0 || options_.slo_p95_ms > 0.0 ||
       options_.slo_p99_ms > 0.0) {
     HealthMonitor::instance().set_slo(

@@ -18,9 +18,14 @@
 //   --threads <n>       width of the global thread pool (1 = serial).
 //                       Precedence: --threads > APDS_THREADS env >
 //                       hardware concurrency.
-//   --precision <p>     inference scalar width: f64 (reference, default)
-//                       or f32 (packed-weight SIMD fast path).
+//   --precision <p>     inference scalar width: f64 (reference, default),
+//                       f32 (packed-weight SIMD fast path) or i8
+//                       (quantized hidden layers, f32 moment head).
 //                       Precedence: --precision > APDS_PRECISION env > f64.
+//   --kernel <b>        kernel ISA tier: scalar | avx2 | avx512.
+//                       Precedence: --kernel > APDS_KERNEL env > CPUID
+//                       probe (best supported). Unsupported values clamp
+//                       to the best the CPU executes, with a warning.
 //
 // Every bench/example parses these through parse_obs_flags() + ObsSession
 // instead of hand-rolling argv handling, so any binary can emit a trace
@@ -32,6 +37,7 @@
 #include <string>
 
 #include "common/precision.h"
+#include "tensor/kernels/kernel_dispatch.h"
 
 namespace apds::obs {
 
@@ -44,6 +50,8 @@ struct ObsOptions {
   std::size_t threads = 0;   ///< 0 = APDS_THREADS env / hardware default
   /// --precision; unset = APDS_PRECISION env / f64 default.
   std::optional<Precision> precision;
+  /// --kernel; unset = APDS_KERNEL env / CPUID probe.
+  std::optional<KernelBackend> kernel;
   /// Latency SLO thresholds (--slo); all 0 = no checks.
   double slo_p50_ms = 0.0;
   double slo_p95_ms = 0.0;
@@ -64,8 +72,9 @@ ObsOptions parse_obs_flags(int& argc, char** argv);
 const char* obs_flags_help();
 
 /// RAII wiring: enables tracing on construction when options ask for it,
-/// configures the global thread pool (--threads) and inference precision
-/// (--precision), publishes the `pool.threads` and `run.precision_f32`
+/// configures the global thread pool (--threads), inference precision
+/// (--precision) and kernel ISA tier (--kernel), publishes the
+/// `pool.threads`, `run.precision_f32` and `kernel.dispatch_backend`
 /// gauges, points the flight recorder at --flight's path and installs its
 /// SIGUSR1 dump handler; on destruction writes the Chrome-trace JSON,
 /// prints the aggregate span table to stdout, and writes the metrics,

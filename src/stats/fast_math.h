@@ -62,12 +62,15 @@ inline float fast_expf(float x) {
   x = x > 88.0f ? 88.0f : x;
   x = x < -104.0f ? -104.0f : x;
 
-  // n = round(x / ln2) without floorf (which defeats SSE2 vectorization):
-  // truncate toward zero, step down for negatives, then round-to-nearest.
+  // n = round(x / ln2) via the 1.5*2^23 magic constant: adding it pushes
+  // the value's fraction off the end of the f32 mantissa (rounding to
+  // nearest-even), subtracting recovers the integral part. Branch- and
+  // compare-free — floorf defeats SSE2 vectorization, and compare-based
+  // rounding gets jump-threaded into branches at AVX2/AVX-512, which
+  // kills if-conversion for the whole surrounding loop.
   const float z = x * kLog2e;
-  float n = static_cast<float>(static_cast<std::int32_t>(z));
-  n -= static_cast<float>(n > z);
-  n += static_cast<float>(z - n > 0.5f);
+  const float biased = z + 12582912.0f;
+  const float n = biased - 12582912.0f;
 
   const float r = (x - n * kLn2Hi) - n * kLn2Lo;
   // Degree-5 minimax polynomial for e^r on [-ln2/2, ln2/2] (cephes expf).

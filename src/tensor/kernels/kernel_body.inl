@@ -1,0 +1,418 @@
+// Shared body of the dispatched f32/i8 kernels. Included by exactly one
+// namespace per ISA tier (kernels_scalar.cpp / kernels_avx2.cpp /
+// kernels_avx512.cpp); each including TU carries its own -m flags, so the
+// SAME source auto-vectorizes to SSE2, AVX2+FMA or AVX-512F lanes. No
+// intrinsics: every loop is written so GCC's vectorizer handles it, which
+// keeps one body for all tiers and keeps the per-output-element
+// accumulation order identical to the serial loop — results are
+// bit-identical across thread counts within a tier.
+//
+// This file is in the apds_lint f32-purity set: no double literals, no
+// double libm calls — a stray 1.0 here would silently promote a whole
+// vector lane bundle to f64 in every tier at once.
+//
+// Includes live in the wrapping TUs (this file is spliced inside a
+// namespace): <algorithm>, <cmath>, <cstring>, "stats/fast_math.h",
+// "tensor/kernels/kernel_dispatch.h".
+
+// Mirrors the f64 reference gemm's k-blocking (tensor/gemm.cpp) so the f32
+// path keeps the exact k-accumulation order of the reference.
+inline constexpr std::size_t kBodyBlockK = 64;
+
+inline void gemm_tile_f32(const float* ad, const float* bd, float* cd,
+                          std::size_t k, std::size_t n, bool accumulate,
+                          std::size_t i0, std::size_t i1, std::size_t j0,
+                          std::size_t j1) {
+  if (!accumulate)
+    for (std::size_t i = i0; i < i1; ++i)
+      std::memset(cd + i * n + j0, 0, sizeof(float) * (j1 - j0));
+  for (std::size_t k0 = 0; k0 < k; k0 += kBodyBlockK) {
+    const std::size_t k1 = std::min(k, k0 + kBodyBlockK);
+    for (std::size_t i = i0; i < i1; ++i) {
+      float* crow = cd + i * n;
+      const float* arow = ad + i * k;
+      for (std::size_t kk = k0; kk < k1; ++kk) {
+        const float aik = arow[kk];
+        // Exact sentinel: dropout writes literal zeros, nothing rounds to
+        // one. apds-lint: allow(float-equal)
+        if (aik == 0.0f) continue;
+        const float* brow = bd + kk * n;
+        for (std::size_t j = j0; j < j1; ++j) crow[j] += aik * brow[j];
+      }
+    }
+  }
+}
+
+inline void gemm_tn_panel_f32(const float* ad, const float* bd, float* cd,
+                              std::size_t k, std::size_t m, std::size_t n,
+                              std::size_t i0, std::size_t i1) {
+  // C[i,j] = sum_r A[r,i] * B[r,j]: r outermost (rank-1 updates) within
+  // this panel's disjoint C rows; per-element order is r-ascending for any
+  // panelization.
+  for (std::size_t i = i0; i < i1; ++i)
+    std::memset(cd + i * n, 0, sizeof(float) * n);
+  for (std::size_t r = 0; r < k; ++r) {
+    const float* arow = ad + r * m;
+    const float* brow = bd + r * n;
+    for (std::size_t i = i0; i < i1; ++i) {
+      const float ari = arow[i];
+      // Exact sentinel as above. apds-lint: allow(float-equal)
+      if (ari == 0.0f) continue;
+      float* crow = cd + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += ari * brow[j];
+    }
+  }
+}
+
+inline void gemm_nt_panel_f32(const float* ad, const float* bd, float* cd,
+                              std::size_t k, std::size_t n, std::size_t i0,
+                              std::size_t i1) {
+  // C[i,j] = dot(A.row(i), B.row(j)): both operands row-contiguous, full-k
+  // reduction per element — independent of the row panelization.
+  for (std::size_t i = i0; i < i1; ++i) {
+    const float* arow = ad + i * k;
+    float* crow = cd + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = bd + j * k;
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] = acc;
+    }
+  }
+}
+
+inline void square_f32(const float* a, float* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] * a[i];
+}
+
+inline void moment_prep_f32(const float* mu, const float* var, float* sm,
+                            float* vi, std::size_t n, float p, float p2) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float mu2 = mu[i] * mu[i];
+    sm[i] = mu[i] * p;
+    vi[i] = (mu2 + var[i]) * p - mu2 * p2;
+  }
+}
+
+/// Piece-major PWL activation moments over one tile (structural twin of
+/// core's activation_moments_tile; see that file for the derivation).
+/// Near-deterministic lanes run the main pass with inv_sigma = 0 (kept
+/// finite, results discarded), are left holding their INPUT moments and
+/// are flagged in det[] for the caller's f64 fixup.
+inline bool act_tile_f32(const apds::PwlView& f, float* m, float* v,
+                         std::size_t n, float det_threshold,
+                         unsigned char* det) {
+  float sigma[apds::kKernelMomentTile], inv_sigma[apds::kKernelMomentTile];
+  float ey[apds::kKernelMomentTile], ey2[apds::kKernelMomentTile];
+  float lo_pdf[apds::kKernelMomentTile], lo_cdf[apds::kKernelMomentTile];
+  float lo_zpdf[apds::kKernelMomentTile];
+  float hi_pdf[apds::kKernelMomentTile], hi_cdf[apds::kKernelMomentTile];
+  float hi_zpdf[apds::kKernelMomentTile];
+  std::size_t n_det = 0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (v[i] < det_threshold) {
+      ++n_det;
+      sigma[i] = 1.0f;
+      inv_sigma[i] = 0.0f;
+    } else {
+      sigma[i] = std::sqrt(v[i]);
+      inv_sigma[i] = 1.0f / sigma[i];
+    }
+    ey[i] = 0.0f;
+    ey2[i] = 0.0f;
+  }
+  const bool deterministic = n_det > 0;
+  if (n_det == n) {
+    // Every lane is near-deterministic (a point input hitting its first
+    // layer does this for the whole batch): the main pass would compute
+    // nothing anyone keeps, so skip straight to the caller's f64 fixup.
+    for (std::size_t i = 0; i < n; ++i) det[i] = 1;
+    return true;
+  }
+
+  auto eval_boundary_span = [&](double x, float* pdf, float* cdf,
+                                float* zpdf) {
+    if (std::isinf(x)) {
+      const float cdf_value = x > 0 ? 1.0f : 0.0f;
+      for (std::size_t i = 0; i < n; ++i) {
+        pdf[i] = 0.0f;
+        cdf[i] = cdf_value;
+        zpdf[i] = 0.0f;  // inf * 0 -> 0 convention
+      }
+      return;
+    }
+    const float xf = static_cast<float>(x);
+    for (std::size_t i = 0; i < n; ++i) {
+      float z = (xf - m[i]) * inv_sigma[i];
+      // Clamp |z| to 6.5: the cdf already saturates by |z| = 6, and the
+      // pdf there (~3e-10) bounds the clamp's error far below the
+      // cross-backend tolerance. Without the clamp, saturated lanes (a
+      // boundary tens of sigmas from the mean — routine for tanh nets)
+      // drive exp(-z^2/2) into gradual underflow, and every vector op
+      // touching those denormal lanes eats a microcode assist; on real
+      // networks that was a ~1.7x slowdown of the whole activation tile.
+      z = z > 6.5f ? 6.5f : z;
+      z = z < -6.5f ? -6.5f : z;
+      const float pdf_z = apds::fast_std_normal_pdf(z);
+      pdf[i] = pdf_z;
+      cdf[i] = apds::fast_std_normal_cdf(z);
+      zpdf[i] = z * pdf_z;
+    }
+  };
+
+  eval_boundary_span(f.lo0, lo_pdf, lo_cdf, lo_zpdf);
+  for (std::size_t p = 0; p < f.pieces; ++p) {
+    eval_boundary_span(f.hi[p], hi_pdf, hi_cdf, hi_zpdf);
+    const float k = f.k[p];
+    const float c = f.c[p];
+    for (std::size_t i = 0; i < n; ++i) {
+      const float mu = m[i];
+      const float s = sigma[i];
+      // Partial moments between the cached boundaries (paper's D/M/V).
+      const float mass = hi_cdf[i] - lo_cdf[i];
+      const float first = s * (lo_pdf[i] - hi_pdf[i]);
+      const float second = s * s * (mass + lo_zpdf[i] - hi_zpdf[i]);
+      // E[X 1] and E[X^2 1] from central partial moments.
+      const float ex1 = mu * mass + first;
+      const float ex2 = second + 2.0f * mu * first + mu * mu * mass;
+      ey[i] += k * ex1 + c * mass;
+      ey2[i] += k * k * ex2 + 2.0f * k * c * ex1 + c * c * mass;
+    }
+    std::copy(hi_pdf, hi_pdf + n, lo_pdf);
+    std::copy(hi_cdf, hi_cdf + n, lo_cdf);
+    std::copy(hi_zpdf, hi_zpdf + n, lo_zpdf);
+  }
+
+  if (deterministic) {
+    for (std::size_t i = 0; i < n; ++i) {
+      det[i] = v[i] < det_threshold ? 1 : 0;
+      if (!det[i]) {
+        m[i] = ey[i];
+        v[i] = std::max(0.0f, ey2[i] - ey[i] * ey[i]);
+      }
+    }
+    return true;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    m[i] = ey[i];
+    v[i] = std::max(0.0f, ey2[i] - ey[i] * ey[i]);
+  }
+  return false;
+}
+
+inline void moment_tile_f32(const float* sm, const float* vi, const float* w,
+                            const float* wsq, const float* bias,
+                            std::size_t kdim, std::size_t n, std::size_t r0,
+                            std::size_t r1, std::size_t j0, std::size_t j1,
+                            float* tmean, float* tvar) {
+  const std::size_t width = j1 - j0;
+  const std::size_t rows = r1 - r0;
+  std::memset(tmean, 0, sizeof(float) * rows * width);
+  std::memset(tvar, 0, sizeof(float) * rows * width);
+  // kk in the middle, rows inside: each streamed W/Wsq row is loaded from
+  // cache once per kk-group and reused across every row of the block, so
+  // the block's weight slice crosses the L2 interface once per row-BLOCK
+  // instead of once per row (a 1/kKernelMomentRows cut in the dominant
+  // memory traffic). The accumulator block (rows x width, both arrays)
+  // stays L1-resident.
+  //
+  // The 8-way kk unroll-and-jam exists because the plain loop is
+  // store-bound: one acc load + one store per FMA caps it at ~1 vector FMA
+  // per cycle. Jamming 8 kk terms into one straight-line chain keeps the
+  // acc vector in a register across all 8 FMAs (one load + one store per
+  // EIGHT), roughly doubling throughput. The chain adds terms in strictly
+  // ascending kk order, so per-element accumulation — and therefore the
+  // result — is bit-identical to the plain remainder loop and invariant
+  // under partitioning (k0 blocks ascend, kk groups ascend, terms within a
+  // group ascend). Mean and variance jam in separate j-loops: together
+  // they would hold 16 broadcast scalars and spill.
+  for (std::size_t k0 = 0; k0 < kdim; k0 += kBodyBlockK) {
+    const std::size_t k1 = std::min(kdim, k0 + kBodyBlockK);
+    std::size_t kk = k0;
+    for (; kk + 8 <= k1; kk += 8) {
+      const float* wg = w + kk * n + j0;
+      const float* wsqg = wsq + kk * n + j0;
+      for (std::size_t r = 0; r < rows; ++r) {
+        const float* srow = sm + (r0 + r) * kdim + kk;
+        const float* vrow = vi + (r0 + r) * kdim + kk;
+        float* accm = tmean + r * width;
+        float* accv = tvar + r * width;
+        const float a0 = srow[0], a1 = srow[1], a2 = srow[2], a3 = srow[3],
+                    a4 = srow[4], a5 = srow[5], a6 = srow[6], a7 = srow[7];
+        for (std::size_t j = 0; j < width; ++j) {
+          float s = accm[j];
+          s += a0 * wg[j];
+          s += a1 * wg[n + j];
+          s += a2 * wg[2 * n + j];
+          s += a3 * wg[3 * n + j];
+          s += a4 * wg[4 * n + j];
+          s += a5 * wg[5 * n + j];
+          s += a6 * wg[6 * n + j];
+          s += a7 * wg[7 * n + j];
+          accm[j] = s;
+        }
+        const float b0 = vrow[0], b1 = vrow[1], b2 = vrow[2], b3 = vrow[3],
+                    b4 = vrow[4], b5 = vrow[5], b6 = vrow[6], b7 = vrow[7];
+        for (std::size_t j = 0; j < width; ++j) {
+          float s = accv[j];
+          s += b0 * wsqg[j];
+          s += b1 * wsqg[n + j];
+          s += b2 * wsqg[2 * n + j];
+          s += b3 * wsqg[3 * n + j];
+          s += b4 * wsqg[4 * n + j];
+          s += b5 * wsqg[5 * n + j];
+          s += b6 * wsqg[6 * n + j];
+          s += b7 * wsqg[7 * n + j];
+          accv[j] = s;
+        }
+      }
+    }
+    for (; kk < k1; ++kk) {
+      const float* wrow = w + kk * n + j0;
+      const float* wsqrow = wsq + kk * n + j0;
+      for (std::size_t r = 0; r < rows; ++r) {
+        const float a = sm[(r0 + r) * kdim + kk];
+        const float b = vi[(r0 + r) * kdim + kk];
+        float* accm = tmean + r * width;
+        float* accv = tvar + r * width;
+        for (std::size_t j = 0; j < width; ++j) {
+          accm[j] += a * wrow[j];
+          accv[j] += b * wsqrow[j];
+        }
+      }
+    }
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* accm = tmean + r * width;
+    float* accv = tvar + r * width;
+    for (std::size_t j = 0; j < width; ++j) {
+      accm[j] += bias[j0 + j];
+      // Clamp tiny negative values from floating-point cancellation when
+      // p == 1 and sigma == 0 (same contract as the unfused path).
+      if (accv[j] < 0.0f) accv[j] = 0.0f;
+    }
+  }
+}
+
+inline void moment_tile_i8(const std::int8_t* qsm, const float* sm_scale,
+                           const std::int8_t* qvi, const float* vi_scale,
+                           const std::int8_t* qw, const float* w_scale,
+                           const std::int8_t* qwsq, const float* wsq_scale,
+                           const float* bias, std::size_t kdim, std::size_t n,
+                           std::size_t r0, std::size_t r1, std::size_t j0,
+                           std::size_t j1, float* tmean, float* tvar) {
+  const std::size_t width = j1 - j0;
+  const std::size_t rows = r1 - r0;
+  std::int32_t accm[apds::kKernelMomentRows * apds::kKernelMomentTile];
+  std::int32_t accv[apds::kKernelMomentRows * apds::kKernelMomentTile];
+  std::memset(accm, 0, sizeof(std::int32_t) * rows * width);
+  std::memset(accv, 0, sizeof(std::int32_t) * rows * width);
+  // Exact integer accumulation — order-independent, so the i8 path is
+  // deterministic across thread counts AND backends by construction. Same
+  // kk-middle / rows-inside weight-reuse and 8-way unroll-and-jam
+  // structure as the f32 tile (here the jam only saves acc traffic; the
+  // sum is exact in any order).
+  //
+  // The jammed terms are paired through i16: both quantizers clamp to
+  // [-127, 127], so |a*w| <= 127^2 = 16129 and the sum of TWO products is
+  // at most 32258 — it fits i16 exactly. Writing the pair as
+  //   (i32)(i16)(a0 * (i16)w0 + a1 * (i16)w1)
+  // lets the vectorizer run the multiplies through the fast 16-bit
+  // multiplier (pmaddwd shape) instead of the slow i32 vector multiply,
+  // and halves the widening adds. The truncating i16 cast never changes
+  // the value, so the kernel stays exact.
+  for (std::size_t k0 = 0; k0 < kdim; k0 += kBodyBlockK) {
+    const std::size_t k1 = std::min(kdim, k0 + kBodyBlockK);
+    std::size_t kk = k0;
+    for (; kk + 8 <= k1; kk += 8) {
+      const std::int8_t* wg = qw + kk * n + j0;
+      const std::int8_t* wsqg = qwsq + kk * n + j0;
+      for (std::size_t r = 0; r < rows; ++r) {
+        const std::int8_t* srow = qsm + (r0 + r) * kdim + kk;
+        const std::int8_t* vrow = qvi + (r0 + r) * kdim + kk;
+        std::int32_t* am = accm + r * width;
+        std::int32_t* av = accv + r * width;
+        const std::int16_t a0 = srow[0], a1 = srow[1], a2 = srow[2],
+                           a3 = srow[3], a4 = srow[4], a5 = srow[5],
+                           a6 = srow[6], a7 = srow[7];
+        for (std::size_t j = 0; j < width; ++j) {
+          std::int32_t s = am[j];
+          s += static_cast<std::int16_t>(
+              a0 * static_cast<std::int16_t>(wg[j]) +
+              a1 * static_cast<std::int16_t>(wg[n + j]));
+          s += static_cast<std::int16_t>(
+              a2 * static_cast<std::int16_t>(wg[2 * n + j]) +
+              a3 * static_cast<std::int16_t>(wg[3 * n + j]));
+          s += static_cast<std::int16_t>(
+              a4 * static_cast<std::int16_t>(wg[4 * n + j]) +
+              a5 * static_cast<std::int16_t>(wg[5 * n + j]));
+          s += static_cast<std::int16_t>(
+              a6 * static_cast<std::int16_t>(wg[6 * n + j]) +
+              a7 * static_cast<std::int16_t>(wg[7 * n + j]));
+          am[j] = s;
+        }
+        const std::int16_t b0 = vrow[0], b1 = vrow[1], b2 = vrow[2],
+                           b3 = vrow[3], b4 = vrow[4], b5 = vrow[5],
+                           b6 = vrow[6], b7 = vrow[7];
+        for (std::size_t j = 0; j < width; ++j) {
+          std::int32_t s = av[j];
+          s += static_cast<std::int16_t>(
+              b0 * static_cast<std::int16_t>(wsqg[j]) +
+              b1 * static_cast<std::int16_t>(wsqg[n + j]));
+          s += static_cast<std::int16_t>(
+              b2 * static_cast<std::int16_t>(wsqg[2 * n + j]) +
+              b3 * static_cast<std::int16_t>(wsqg[3 * n + j]));
+          s += static_cast<std::int16_t>(
+              b4 * static_cast<std::int16_t>(wsqg[4 * n + j]) +
+              b5 * static_cast<std::int16_t>(wsqg[5 * n + j]));
+          s += static_cast<std::int16_t>(
+              b6 * static_cast<std::int16_t>(wsqg[6 * n + j]) +
+              b7 * static_cast<std::int16_t>(wsqg[7 * n + j]));
+          av[j] = s;
+        }
+      }
+    }
+    for (; kk < k1; ++kk) {
+      const std::int8_t* wrow = qw + kk * n + j0;
+      const std::int8_t* wsqrow = qwsq + kk * n + j0;
+      for (std::size_t r = 0; r < rows; ++r) {
+        const std::int32_t a = qsm[(r0 + r) * kdim + kk];
+        const std::int32_t b = qvi[(r0 + r) * kdim + kk];
+        std::int32_t* am = accm + r * width;
+        std::int32_t* av = accv + r * width;
+        for (std::size_t j = 0; j < width; ++j) {
+          am[j] += a * static_cast<std::int32_t>(wrow[j]);
+          av[j] += b * static_cast<std::int32_t>(wsqrow[j]);
+        }
+      }
+    }
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float sms = sm_scale[r0 + r];
+    const float vis = vi_scale[r0 + r];
+    const std::int32_t* am = accm + r * width;
+    const std::int32_t* av = accv + r * width;
+    float* tm = tmean + r * width;
+    float* tv = tvar + r * width;
+    for (std::size_t j = 0; j < width; ++j) {
+      tm[j] = static_cast<float>(am[j]) * sms * w_scale[j0 + j] + bias[j0 + j];
+      const float var = static_cast<float>(av[j]) * vis * wsq_scale[j0 + j];
+      tv[j] = var < 0.0f ? 0.0f : var;
+    }
+  }
+}
+
+inline apds::KernelOps make_ops(const char* name) {
+  apds::KernelOps ops;
+  ops.name = name;
+  ops.gemm_tile_f32 = &gemm_tile_f32;
+  ops.gemm_tn_panel_f32 = &gemm_tn_panel_f32;
+  ops.gemm_nt_panel_f32 = &gemm_nt_panel_f32;
+  ops.square_f32 = &square_f32;
+  ops.moment_prep_f32 = &moment_prep_f32;
+  ops.act_tile_f32 = &act_tile_f32;
+  ops.moment_tile_f32 = &moment_tile_f32;
+  ops.moment_tile_i8 = &moment_tile_i8;
+  return ops;
+}

@@ -1,0 +1,188 @@
+// Runtime CPU-feature kernel dispatch (MLAS-style).
+//
+// The f32/i8 hot kernels exist in three builds of one shared body
+// (kernel_body.inl): a baseline TU compiled with the project defaults
+// (SSE2 on x86-64), an AVX2+FMA TU and a Skylake-X AVX-512 TU (F+BW+DQ+VL
+// — BW is what gives the i8 kernels 512-bit vpmaddwd), each with its own
+// -m flags (see src/tensor/CMakeLists.txt). At startup the dispatcher
+// probes CPUID once and binds the best supported table; every caller goes
+// through kernel_ops() function pointers, so one binary serves the whole
+// ISA range an IoT fleet actually spans.
+//
+// Resolution precedence mirrors the thread-pool width and precision:
+//   set_global_kernel_backend() (the benches' --kernel flag lands here)
+//   > the APDS_KERNEL environment variable ("scalar" | "avx2" | "avx512")
+//   > the CPUID probe (best supported level).
+// Forcing a backend the CPU cannot execute logs a warning and clamps to
+// the best supported one — an override must never SIGILL a device.
+//
+// The f64 reference path does NOT dispatch: it keeps default flags and one
+// TU so its object code stays bit-identical across releases. Only the f32
+// fast path and the i8 quantized path route through this table, and both
+// keep the per-output-element accumulation order of the serial loops, so
+// results are bit-identical across thread counts *within* a backend
+// (across backends they agree to documented tolerances — FMA contraction
+// and vector shuffles change rounding, not math).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace apds {
+
+/// ISA tiers the dispatcher can bind. Ordered: a CPU supporting a level
+/// supports every lower one (AVX-512F implies AVX2+FMA implies SSE2).
+enum class KernelBackend {
+  kScalar = 0,  ///< project-default flags (SSE2 baseline on x86-64)
+  kAvx2 = 1,    ///< -mavx2 -mfma
+  kAvx512 = 2,  ///< Skylake-X set: -mavx512f -mavx512bw -mavx512dq -mavx512vl
+};
+
+/// "scalar" / "avx2" / "avx512" (flag spelling, also in bench row names).
+const char* kernel_backend_name(KernelBackend b);
+
+/// Parse "scalar"/"avx2"/"avx512" (case-insensitive; "sse2" is accepted as
+/// an alias of scalar). Throws InvalidArgument on anything else.
+KernelBackend parse_kernel_backend(const std::string& name);
+
+/// The best backend this CPU can execute, probed once via CPUID.
+KernelBackend best_supported_backend();
+
+/// Whether this CPU can execute `b` (scalar is always supported).
+bool kernel_backend_supported(KernelBackend b);
+
+/// Pin the process-wide backend, overriding APDS_KERNEL. An unsupported
+/// value logs a warning and clamps to best_supported_backend().
+void set_global_kernel_backend(KernelBackend b);
+
+/// Revert to the APDS_KERNEL / probe resolution (mainly for tests).
+void clear_global_kernel_backend();
+
+/// The backend inference kernels run on, resolved per the precedence
+/// above. An unparseable APDS_KERNEL value logs a warning and falls back
+/// to the probe.
+KernelBackend global_kernel_backend();
+
+/// Column-tile width of the fused moment->activation kernels; callers size
+/// their stack tiles (mean/var/deterministic-mask) with this.
+inline constexpr std::size_t kKernelMomentTile = 128;
+
+/// Row-block height of the fused moment->activation kernels. A moment tile
+/// accumulates a (rows x columns) block so each streamed W/Wsq slice is
+/// reused across every row of the block — per-row tiles would re-stream
+/// the full weight columns once per batch row and lose to the unfused
+/// GEMM path on memory bandwidth.
+inline constexpr std::size_t kKernelMomentRows = 16;
+
+/// Non-owning view of a piece-wise linear surrogate in kernel layout:
+/// per-piece upper boundaries (double, last may be +inf) plus f32 slopes
+/// and intercepts. Built from core's PiecewiseLinear via pack_pwl() — the
+/// kernel layer deliberately knows nothing about core types.
+struct PwlView {
+  double lo0 = 0.0;            ///< lower bound of piece 0 (may be -inf)
+  const double* hi = nullptr;  ///< [pieces] upper boundaries
+  const float* k = nullptr;    ///< [pieces] slopes
+  const float* c = nullptr;    ///< [pieces] intercepts
+  std::size_t pieces = 0;
+};
+
+/// Owning storage behind a PwlView.
+struct PwlPack {
+  double lo0 = 0.0;
+  std::vector<double> hi;
+  std::vector<float> k;
+  std::vector<float> c;
+
+  PwlView view() const {
+    return {lo0, hi.data(), k.data(), c.data(), hi.size()};
+  }
+};
+
+/// The function-pointer table one ISA tier exports. All kernels take raw
+/// row-major buffers; shape checks and thread partitioning stay in the
+/// generic drivers (tensor/gemm.cpp, core/moment_*.cpp), which call these
+/// on disjoint output ranges.
+struct KernelOps {
+  const char* name;  ///< kernel_backend_name of the TU that built the table
+
+  /// C[i0:i1, j0:j1] (+)= A[i0:i1, :] B[:, j0:j1]; A is m x k, B k x n,
+  /// C m x n. Same k-blocked, k-ascending per-element accumulation order
+  /// as the f64 reference gemm_tile.
+  void (*gemm_tile_f32)(const float* a, const float* b, float* c,
+                        std::size_t k, std::size_t n, bool accumulate,
+                        std::size_t i0, std::size_t i1, std::size_t j0,
+                        std::size_t j1);
+
+  /// C[i0:i1, :] = A^T B restricted to those C rows; A is k x m, B k x n,
+  /// C m x n (rank-1 update order, r ascending per element).
+  void (*gemm_tn_panel_f32)(const float* a, const float* b, float* c,
+                            std::size_t k, std::size_t m, std::size_t n,
+                            std::size_t i0, std::size_t i1);
+
+  /// C[i0:i1, :] = A B^T restricted to those C rows; A is m x k, B n x k,
+  /// C m x n (full-k dot product per element).
+  void (*gemm_nt_panel_f32)(const float* a, const float* b, float* c,
+                            std::size_t k, std::size_t n, std::size_t i0,
+                            std::size_t i1);
+
+  /// out[i] = a[i]^2.
+  void (*square_f32)(const float* a, float* out, std::size_t n);
+
+  /// The fused elementwise prep of moment_linear's two GEMM inputs:
+  ///   sm[i] = mu[i] p,  vi[i] = (mu[i]^2 + var[i]) p - mu[i]^2 p^2.
+  void (*moment_prep_f32)(const float* mu, const float* var, float* sm,
+                          float* vi, std::size_t n, float p, float p2);
+
+  /// In-place PWL activation moments for up to kKernelMomentTile elements.
+  /// Lanes whose input variance is below det_threshold are left UNTOUCHED
+  /// (still holding the input moments), marked det[i] = 1, and the call
+  /// returns true — the caller fixes them up through the f64 scalar path
+  /// (the closed form loses to linearization there at f32 epsilon). det
+  /// must hold n bytes; it is only written when the return value is true.
+  bool (*act_tile_f32)(const PwlView& f, float* m, float* v, std::size_t n,
+                       float det_threshold, unsigned char* det);
+
+  /// One row-block x column-tile of the fused moment_linear: for r in
+  /// [r0, r1), j in [j0, j1),
+  ///   tmean[(r-r0)(j1-j0) + j-j0] = dot(sm[r,:], W[:,j]) + bias[j]
+  ///   tvar [(r-r0)(j1-j0) + j-j0] = max(0, dot(vi[r,:], Wsq[:,j]))
+  /// sm/vi are the full prepped input matrices (batch x kdim row-major);
+  /// W/Wsq are kdim x n row-major; r1 - r0 <= kKernelMomentRows and
+  /// j1 - j0 <= kKernelMomentTile. k-blocked with the streamed W/Wsq
+  /// slices reused across the block's rows; per-element accumulation stays
+  /// k-ascending, so results are partition-invariant. The caller runs the
+  /// activation tile on (tmean, tvar) while they are still hot and only
+  /// then spills to the output matrix — the pre-activation moment matrices
+  /// never exist in memory.
+  void (*moment_tile_f32)(const float* sm, const float* vi, const float* w,
+                          const float* wsq, const float* bias,
+                          std::size_t kdim, std::size_t n, std::size_t r0,
+                          std::size_t r1, std::size_t j0, std::size_t j1,
+                          float* tmean, float* tvar);
+
+  /// i8 twin of moment_tile_f32: qsm/qvi are the dynamically quantized
+  /// input matrices (symmetric, per-row scales sm_scale/vi_scale indexed
+  /// by absolute row); qw/qwsq are kdim x n i8 weights with per-output-
+  /// column scales w_scale/wsq_scale. Accumulation is exact i32 (caller
+  /// bounds kdim so 127^2 * kdim fits); dequantization lands directly in
+  /// the f32 tile, bias added and variance clamped >= 0 as in the f32
+  /// kernel.
+  void (*moment_tile_i8)(const std::int8_t* qsm, const float* sm_scale,
+                         const std::int8_t* qvi, const float* vi_scale,
+                         const std::int8_t* qw, const float* w_scale,
+                         const std::int8_t* qwsq, const float* wsq_scale,
+                         const float* bias, std::size_t kdim, std::size_t n,
+                         std::size_t r0, std::size_t r1, std::size_t j0,
+                         std::size_t j1, float* tmean, float* tvar);
+};
+
+/// The table bound to the globally resolved backend.
+const KernelOps& kernel_ops();
+
+/// The table of an explicit backend (agreement tests compare these).
+/// Requesting an unsupported tier returns the scalar table.
+const KernelOps& kernel_ops(KernelBackend b);
+
+}  // namespace apds

@@ -1,0 +1,24 @@
+// AVX2+FMA kernel tier: the shared body compiled with -mavx2 -mfma (see
+// src/tensor/CMakeLists.txt — only the kernels_*.cpp TUs may carry -m ISA
+// flags, enforced by apds_lint). The dispatcher binds this table only
+// after __builtin_cpu_supports confirms the CPU executes AVX2 and FMA, so
+// the binary stays safe on SSE2-only devices.
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "stats/fast_math.h"
+#include "tensor/kernels/kernel_dispatch.h"
+
+namespace apds::kernels {
+
+namespace avx2_impl {
+#include "tensor/kernels/kernel_body.inl"
+}  // namespace avx2_impl
+
+const KernelOps& avx2_ops() {
+  static const KernelOps ops = avx2_impl::make_ops("avx2");
+  return ops;
+}
+
+}  // namespace apds::kernels

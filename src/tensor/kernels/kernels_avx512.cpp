@@ -1,0 +1,22 @@
+// AVX-512F kernel tier: the shared body compiled with -mavx512f (plus the
+// AVX2+FMA baseline flags; see src/tensor/CMakeLists.txt). Bound only
+// when __builtin_cpu_supports("avx512f") confirms the CPU executes it.
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "stats/fast_math.h"
+#include "tensor/kernels/kernel_dispatch.h"
+
+namespace apds::kernels {
+
+namespace avx512_impl {
+#include "tensor/kernels/kernel_body.inl"
+}  // namespace avx512_impl
+
+const KernelOps& avx512_ops() {
+  static const KernelOps ops = avx512_impl::make_ops("avx512");
+  return ops;
+}
+
+}  // namespace apds::kernels

@@ -1,0 +1,25 @@
+// Baseline kernel tier: the shared body compiled with the project-default
+// flags (SSE2 on x86-64). Always registered; the agreement tests and the
+// APDS_KERNEL=scalar CI job treat this TU as the reference the wider
+// tiers must match. Compiled with -fno-trapping-math like the other tiers
+// so the fast_math polynomial compares if-convert and vectorize (values
+// are unaffected; see src/tensor/CMakeLists.txt).
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "stats/fast_math.h"
+#include "tensor/kernels/kernel_dispatch.h"
+
+namespace apds::kernels {
+
+namespace scalar_impl {
+#include "tensor/kernels/kernel_body.inl"
+}  // namespace scalar_impl
+
+const KernelOps& scalar_ops() {
+  static const KernelOps ops = scalar_impl::make_ops("scalar");
+  return ops;
+}
+
+}  // namespace apds::kernels

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "platform/thread_pool.h"
+#include "tensor/kernels/kernel_dispatch.h"
 
 namespace apds {
 
@@ -184,10 +185,8 @@ double max_abs_diff(const Matrix& a, const Matrix& b) {
 }
 
 MatrixF square(const MatrixF& a) {
-  MatrixF out = a;
-  const std::size_t n = out.size();
-  float* od = out.data();
-  for (std::size_t i = 0; i < n; ++i) od[i] *= od[i];
+  MatrixF out(a.rows(), a.cols());
+  kernel_ops().square_f32(a.data(), out.data(), a.size());
   return out;
 }
 

@@ -1,0 +1,68 @@
+#include "tensor/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace apds {
+
+namespace {
+
+/// Round-half-away-from-zero without touching the FP environment; the
+/// branchless form keeps the row-quantization loop vectorizable and the
+/// result deterministic everywhere.
+inline std::int8_t quantize_value(float x, float inv_scale) {
+  float q = x * inv_scale;
+  q += q >= 0.0f ? 0.5f : -0.5f;
+  std::int32_t qi = static_cast<std::int32_t>(q);
+  qi = qi > 127 ? 127 : qi;
+  qi = qi < -127 ? -127 : qi;
+  return static_cast<std::int8_t>(qi);
+}
+
+}  // namespace
+
+QuantizedMatrix quantize_per_col(const Matrix& m) {
+  QuantizedMatrix q;
+  q.rows = m.rows();
+  q.cols = m.cols();
+  q.data.resize(q.rows * q.cols);
+  q.scale.assign(q.cols, 1.0f);
+
+  std::vector<float> inv_scale(q.cols, 0.0f);
+  const double* md = m.data();
+  for (std::size_t j = 0; j < q.cols; ++j) {
+    double max_abs = 0.0;
+    for (std::size_t i = 0; i < q.rows; ++i)
+      max_abs = std::max(max_abs, std::fabs(md[i * q.cols + j]));
+    if (max_abs > 0.0) {
+      q.scale[j] = static_cast<float>(max_abs / 127.0);
+      inv_scale[j] = static_cast<float>(127.0 / max_abs);
+    }
+    // All-zero column: scale 1, inv_scale 0 -> every entry quantizes to 0.
+  }
+  for (std::size_t i = 0; i < q.rows; ++i)
+    for (std::size_t j = 0; j < q.cols; ++j)
+      q.data[i * q.cols + j] =
+          quantize_value(static_cast<float>(md[i * q.cols + j]), inv_scale[j]);
+  return q;
+}
+
+void quantize_row_i8(const float* x, std::size_t n, std::int8_t* q,
+                     float* scale) {
+  float max_abs = 0.0f;
+  for (std::size_t i = 0; i < n; ++i)
+    max_abs = std::max(max_abs, std::fabs(x[i]));
+  // Exact sentinel: an all-zero row quantizes to zeros with scale 1; any
+  // nonzero magnitude, however small, defines a real scale.
+  // apds-lint: allow(float-equal)
+  if (max_abs == 0.0f) {
+    *scale = 1.0f;
+    for (std::size_t i = 0; i < n; ++i) q[i] = 0;
+    return;
+  }
+  *scale = max_abs / 127.0f;
+  const float inv_scale = 127.0f / max_abs;
+  for (std::size_t i = 0; i < n; ++i) q[i] = quantize_value(x[i], inv_scale);
+}
+
+}  // namespace apds

@@ -31,10 +31,15 @@ struct LintRun {
 };
 
 /// Run apds_lint with `args`, capturing output and the real exit code.
+/// The capture file carries the test name: each TEST runs as its own
+/// (possibly concurrent) ctest entry in the shared build directory, so a
+/// per-process counter alone collides across sibling tests.
 LintRun run_lint(const std::string& args) {
   static int counter = 0;
   const std::string out_path =
-      "lint_out_" + std::to_string(++counter) + ".txt";
+      std::string("lint_out_") +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() + "_" +
+      std::to_string(++counter) + ".txt";
   const std::string cmd = std::string(APDS_LINT_BIN) + " " + args + " > " +
                           out_path + " 2>&1";
   const int status = std::system(cmd.c_str());
@@ -73,6 +78,7 @@ TEST(ApdsLint, EveryRuleFiresExactlyOnceOnItsFixture) {
       {"f32-double-literal", "src/core/moment_activation_f32.cpp"},
       {"f32-libm-double", "src/stats/fast_math.cpp"},
       {"trapping-math", "src/CMakeLists.txt"},
+      {"kernel-isa-flags", "src/kernels/CMakeLists.txt"},
   };
   for (const auto& e : expected) {
     EXPECT_EQ(count_of(run.output,
@@ -84,8 +90,8 @@ TEST(ApdsLint, EveryRuleFiresExactlyOnceOnItsFixture) {
               1u)
         << "file " << e.file << " must appear exactly once\n" << run.output;
   }
-  // Exactly the 8 seeded violations — nothing extra anywhere.
-  EXPECT_EQ(count_of(run.output, "\"rule\": "), 8u) << run.output;
+  // Exactly the 9 seeded violations — nothing extra anywhere.
+  EXPECT_EQ(count_of(run.output, "\"rule\": "), 9u) << run.output;
 }
 
 TEST(ApdsLint, SuppressionsCoverAllThreeFormsAndAreCounted) {
@@ -126,7 +132,8 @@ TEST(ApdsLint, ListRulesPrintsTheFullTable) {
   EXPECT_EQ(run.exit_code, 0);
   for (const char* rule :
        {"no-unseeded-rng", "float-equal", "pow-square", "naked-new",
-        "raw-io", "f32-double-literal", "f32-libm-double", "trapping-math"})
+        "raw-io", "f32-double-literal", "f32-libm-double", "trapping-math",
+        "kernel-isa-flags"})
     EXPECT_NE(run.output.find(rule), std::string::npos) << rule;
 }
 

@@ -12,6 +12,15 @@ namespace {
 
 #ifdef BENCH_COMPARE_BIN
 
+// Prefix scratch files with the running test's name: ctest runs each TEST
+// as its own (possibly concurrent) entry in the shared build directory, so
+// a fixed filename gets truncated mid-read by a sibling test.
+std::string scratch(const std::string& name) {
+  return std::string("bc_") +
+         ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+         "_" + name;
+}
+
 void write_file(const std::string& path, const std::string& content) {
   std::ofstream os(path, std::ios::trunc);
   ASSERT_TRUE(os.good()) << path;
@@ -47,28 +56,31 @@ const char kSystemRegressed[] =
     R"({"config":"DNN-ReLU-MCDrop-50","flops":5e7,"edison_ms":333,"edison_mj":250,"host_ms":-1}]})";
 
 TEST(BenchCompare, IdenticalMicroReportsPass) {
-  write_file("bc_micro_base.json", kMicroBase);
-  EXPECT_EQ(run_compare("bc_micro_base.json bc_micro_base.json"), 0);
+  const std::string base = scratch("base.json");
+  write_file(base, kMicroBase);
+  EXPECT_EQ(run_compare(base + " " + base), 0);
 }
 
 TEST(BenchCompare, DoubledP50IsFlaggedAsRegression) {
-  write_file("bc_micro_base.json", kMicroBase);
-  write_file("bc_micro_regressed.json", kMicroRegressed);
-  EXPECT_EQ(run_compare("bc_micro_base.json bc_micro_regressed.json"), 1);
+  const std::string base = scratch("base.json");
+  const std::string regressed = scratch("regressed.json");
+  write_file(base, kMicroBase);
+  write_file(regressed, kMicroRegressed);
+  EXPECT_EQ(run_compare(base + " " + regressed), 1);
   // The same pair passes once the allowed regression covers the 2x jump.
-  EXPECT_EQ(run_compare(
-                "bc_micro_base.json bc_micro_regressed.json --max-regress 150"),
-            0);
+  EXPECT_EQ(run_compare(base + " " + regressed + " --max-regress 150"), 0);
   // An improvement (swapped operands) is never a regression.
-  EXPECT_EQ(run_compare("bc_micro_regressed.json bc_micro_base.json"), 0);
+  EXPECT_EQ(run_compare(regressed + " " + base), 0);
 }
 
 TEST(BenchCompare, SystemReportsCompareHostTimesAndSkipUnmeasuredRows) {
-  write_file("bc_sys_base.json", kSystemBase);
-  write_file("bc_sys_regressed.json", kSystemRegressed);
-  EXPECT_EQ(run_compare("bc_sys_base.json bc_sys_base.json"), 0);
+  const std::string base = scratch("base.json");
+  const std::string regressed = scratch("regressed.json");
+  write_file(base, kSystemBase);
+  write_file(regressed, kSystemRegressed);
+  EXPECT_EQ(run_compare(base + " " + base), 0);
   // host_ms 0.5 -> 1.0 on the only measured row: flagged.
-  EXPECT_EQ(run_compare("bc_sys_base.json bc_sys_regressed.json"), 1);
+  EXPECT_EQ(run_compare(base + " " + regressed), 1);
 }
 
 // The candidate report with one extra kernel the baseline predates.
@@ -79,44 +91,65 @@ const char kMicroWithNewKernel[] =
     R"({"name":"gemm_moments_f32","threads":1,"mean_ms":1.0,"p50_ms":0.9,"p95_ms":1.2,"iterations":40}]})";
 
 TEST(BenchCompare, UnsharedKeysAreLoggedSkipsNotFailures) {
-  write_file("bc_micro_base.json", kMicroBase);
-  write_file("bc_micro_new.json", kMicroWithNewKernel);
+  const std::string base = scratch("base.json");
+  const std::string extra = scratch("new.json");
+  write_file(base, kMicroBase);
+  write_file(extra, kMicroWithNewKernel);
   // Candidate-only kernel (newer than the committed baseline): passes.
-  EXPECT_EQ(run_compare("bc_micro_base.json bc_micro_new.json"), 0);
+  EXPECT_EQ(run_compare(base + " " + extra), 0);
   // Baseline-only kernel (candidate no longer measures it): also passes.
-  EXPECT_EQ(run_compare("bc_micro_new.json bc_micro_base.json"), 0);
+  EXPECT_EQ(run_compare(extra + " " + base), 0);
 }
 
 TEST(BenchCompare, SpeedupFloorGatesWithinCandidate) {
-  write_file("bc_micro_base.json", kMicroBase);
+  const std::string base = scratch("base.json");
+  write_file(base, kMicroBase);
+  const std::string pair = base + " " + base;
   // t1 p50 = 2.0, t2 p50 = 1.1: the measured speedup is ~1.82x.
-  EXPECT_EQ(run_compare("bc_micro_base.json bc_micro_base.json"
-                        " --speedup gemm_moments@t2:gemm_moments@t1:1.5"),
-            0);
-  EXPECT_EQ(run_compare("bc_micro_base.json bc_micro_base.json"
-                        " --speedup gemm_moments@t2:gemm_moments@t1:2.0"),
-            1);
+  EXPECT_EQ(
+      run_compare(pair + " --speedup gemm_moments@t2:gemm_moments@t1:1.5"), 0);
+  EXPECT_EQ(
+      run_compare(pair + " --speedup gemm_moments@t2:gemm_moments@t1:2.0"), 1);
   // A gate naming a key the candidate lacks must not silently pass.
-  EXPECT_EQ(run_compare("bc_micro_base.json bc_micro_base.json"
-                        " --speedup nope@t1:gemm_moments@t1:1.5"),
-            2);
-  EXPECT_EQ(run_compare("bc_micro_base.json bc_micro_base.json"
-                        " --speedup malformed"),
-            2);
+  EXPECT_EQ(run_compare(pair + " --speedup nope@t1:gemm_moments@t1:1.5"), 2);
+  EXPECT_EQ(run_compare(pair + " --speedup malformed"), 2);
+}
+
+// Same timings, but the reports were taken on different kernel ISA tiers.
+const char kMicroScalarIsa[] =
+    R"({"bench":"micro_kernels","threads":2,"isa":"scalar","kernels":[)"
+    R"({"name":"gemm_moments","threads":1,"mean_ms":2.1,"p50_ms":2.0,"p95_ms":2.4,"iterations":40}]})";
+const char kMicroAvx2Isa[] =
+    R"({"bench":"micro_kernels","threads":2,"isa":"avx2","kernels":[)"
+    R"({"name":"gemm_moments","threads":1,"mean_ms":2.1,"p50_ms":2.0,"p95_ms":2.4,"iterations":40}]})";
+
+TEST(BenchCompare, IsaMismatchIsANoteNotAFailure) {
+  const std::string scalar = scratch("scalar.json");
+  const std::string avx2 = scratch("avx2.json");
+  write_file(scalar, kMicroScalarIsa);
+  write_file(avx2, kMicroAvx2Isa);
+  // Different dispatch tiers: logged, but the gate still runs and passes.
+  EXPECT_EQ(run_compare(scalar + " " + avx2), 0);
+  // Reports predating the isa header still compare against ones that have
+  // it (the committed baseline may be older than the candidate build).
+  const std::string legacy = scratch("legacy.json");
+  write_file(legacy, kMicroBase);
+  EXPECT_EQ(run_compare(legacy + " " + avx2), 0);
 }
 
 TEST(BenchCompare, BadInputsAreUsageErrors) {
-  write_file("bc_micro_base.json", kMicroBase);
-  write_file("bc_sys_base.json", kSystemBase);
-  write_file("bc_garbage.json", "{\"bench\":\"micro_kernels\",");
+  const std::string base = scratch("base.json");
+  const std::string sys = scratch("sys.json");
+  const std::string garbage = scratch("garbage.json");
+  write_file(base, kMicroBase);
+  write_file(sys, kSystemBase);
+  write_file(garbage, "{\"bench\":\"micro_kernels\",");
   // Missing file, malformed JSON, mismatched bench kinds, bad flag value.
-  EXPECT_EQ(run_compare("bc_micro_base.json bc_missing.json"), 2);
-  EXPECT_EQ(run_compare("bc_micro_base.json bc_garbage.json"), 2);
-  EXPECT_EQ(run_compare("bc_micro_base.json bc_sys_base.json"), 2);
-  EXPECT_EQ(run_compare("bc_micro_base.json bc_micro_base.json"
-                        " --max-regress nope"),
-            2);
-  EXPECT_EQ(run_compare("bc_micro_base.json"), 2);
+  EXPECT_EQ(run_compare(base + " " + scratch("missing.json")), 2);
+  EXPECT_EQ(run_compare(base + " " + garbage), 2);
+  EXPECT_EQ(run_compare(base + " " + sys), 2);
+  EXPECT_EQ(run_compare(base + " " + base + " --max-regress nope"), 2);
+  EXPECT_EQ(run_compare(base), 2);
 }
 
 #else

@@ -1,0 +1,365 @@
+// Runtime kernel dispatch: parsing, CPUID probe ordering, the
+// setter > APDS_KERNEL > probe precedence, and — the part that actually
+// guards correctness — per-backend agreement of every dispatched kernel
+// against the scalar reference table on identical inputs. The scalar TU is
+// compiled with project-default flags, so it is the portable baseline the
+// wider tiers must reproduce within documented tolerances (f32 kernels:
+// FMA contraction and shuffle order change rounding, not math; i8 kernels:
+// integer accumulation is exact, only the f32 dequant epilogue may differ).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/apdeepsense.h"
+#include "core/moment_activation.h"
+#include "core/moment_fused.h"
+#include "nn/mlp.h"
+#include "tensor/kernels/kernel_dispatch.h"
+#include "tensor/ops.h"
+#include "tensor/quantize.h"
+
+namespace apds {
+namespace {
+
+std::vector<KernelBackend> supported_backends() {
+  std::vector<KernelBackend> out;
+  for (const KernelBackend b :
+       {KernelBackend::kScalar, KernelBackend::kAvx2, KernelBackend::kAvx512})
+    if (kernel_backend_supported(b)) out.push_back(b);
+  return out;
+}
+
+MatrixF random_matrix_f32(std::size_t r, std::size_t c, Rng& rng) {
+  MatrixF m(r, c);
+  for (float& v : m.flat()) v = static_cast<float>(rng.normal());
+  return m;
+}
+
+/// Same scaled metric as test_precision: absolute near zero, relative for
+/// large magnitudes.
+float max_scaled_diff(const MatrixF& a, const MatrixF& b) {
+  EXPECT_EQ(a.rows(), b.rows());
+  EXPECT_EQ(a.cols(), b.cols());
+  float worst = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float ref = a.flat()[i];
+    const float d = std::fabs(ref - b.flat()[i]) / (std::fabs(ref) + 1.0f);
+    worst = std::max(worst, d);
+  }
+  return worst;
+}
+
+TEST(KernelParsing, NamesRoundTripAndBadValuesThrow) {
+  EXPECT_EQ(parse_kernel_backend("scalar"), KernelBackend::kScalar);
+  EXPECT_EQ(parse_kernel_backend("AVX2"), KernelBackend::kAvx2);
+  EXPECT_EQ(parse_kernel_backend("Avx512"), KernelBackend::kAvx512);
+  // sse2 is the honest spelling of the x86-64 baseline tier.
+  EXPECT_EQ(parse_kernel_backend("sse2"), KernelBackend::kScalar);
+  EXPECT_STREQ(kernel_backend_name(KernelBackend::kScalar), "scalar");
+  EXPECT_STREQ(kernel_backend_name(KernelBackend::kAvx2), "avx2");
+  EXPECT_STREQ(kernel_backend_name(KernelBackend::kAvx512), "avx512");
+  EXPECT_THROW(parse_kernel_backend("avx"), InvalidArgument);
+  EXPECT_THROW(parse_kernel_backend("neon"), InvalidArgument);
+  EXPECT_THROW(parse_kernel_backend(""), InvalidArgument);
+}
+
+TEST(KernelProbe, TiersAreOrderedAndScalarAlwaysRuns) {
+  // Scalar is compiled with project-default flags: every CPU executes it.
+  EXPECT_TRUE(kernel_backend_supported(KernelBackend::kScalar));
+  // Support is downward closed: a CPU at level L executes all levels <= L.
+  const KernelBackend best = best_supported_backend();
+  for (const KernelBackend b :
+       {KernelBackend::kScalar, KernelBackend::kAvx2, KernelBackend::kAvx512})
+    EXPECT_EQ(kernel_backend_supported(b),
+              static_cast<int>(b) <= static_cast<int>(best));
+  // The probe is cached — repeated calls agree.
+  EXPECT_EQ(best_supported_backend(), best);
+}
+
+TEST(KernelDispatch, SetterOverridesEnvOverridesProbe) {
+  struct Cleanup {
+    ~Cleanup() {
+      ::unsetenv("APDS_KERNEL");
+      clear_global_kernel_backend();
+    }
+  } cleanup;
+
+  ::unsetenv("APDS_KERNEL");
+  clear_global_kernel_backend();
+  EXPECT_EQ(global_kernel_backend(), best_supported_backend());  // probe
+
+  ::setenv("APDS_KERNEL", "scalar", 1);
+  clear_global_kernel_backend();
+  EXPECT_EQ(global_kernel_backend(), KernelBackend::kScalar);  // env
+
+  set_global_kernel_backend(best_supported_backend());
+  EXPECT_EQ(global_kernel_backend(), best_supported_backend());  // setter
+
+  ::setenv("APDS_KERNEL", "bogus", 1);
+  clear_global_kernel_backend();
+  EXPECT_EQ(global_kernel_backend(), best_supported_backend());  // warn+probe
+}
+
+TEST(KernelDispatch, ForcingUnsupportedBackendClampsInsteadOfFaulting) {
+  struct Cleanup {
+    ~Cleanup() { clear_global_kernel_backend(); }
+  } cleanup;
+  // On a machine with the full AVX-512 set this setter is a plain set; on
+  // anything weaker it must clamp to the best supported tier — an override
+  // must never SIGILL a device.
+  set_global_kernel_backend(KernelBackend::kAvx512);
+  EXPECT_TRUE(kernel_backend_supported(global_kernel_backend()));
+  // Requesting an unsupported table directly returns the scalar table.
+  if (!kernel_backend_supported(KernelBackend::kAvx512)) {
+    EXPECT_STREQ(kernel_ops(KernelBackend::kAvx512).name, "scalar");
+  }
+}
+
+TEST(KernelDispatch, TablesAreFullyPopulated) {
+  for (const KernelBackend b : supported_backends()) {
+    const KernelOps& ops = kernel_ops(b);
+    EXPECT_STREQ(ops.name, kernel_backend_name(b));
+    EXPECT_NE(ops.gemm_tile_f32, nullptr);
+    EXPECT_NE(ops.gemm_tn_panel_f32, nullptr);
+    EXPECT_NE(ops.gemm_nt_panel_f32, nullptr);
+    EXPECT_NE(ops.square_f32, nullptr);
+    EXPECT_NE(ops.moment_prep_f32, nullptr);
+    EXPECT_NE(ops.act_tile_f32, nullptr);
+    EXPECT_NE(ops.moment_tile_f32, nullptr);
+    EXPECT_NE(ops.moment_tile_i8, nullptr);
+  }
+}
+
+// ---- raw per-kernel agreement against the scalar table ---------------------
+
+TEST(KernelAgreement, GemmTileMatchesScalar) {
+  Rng rng(41);
+  const std::size_t m = 37, k = 53, n = 29;
+  const MatrixF a = random_matrix_f32(m, k, rng);
+  const MatrixF b = random_matrix_f32(k, n, rng);
+  MatrixF ref(m, n);
+  kernel_ops(KernelBackend::kScalar)
+      .gemm_tile_f32(a.data(), b.data(), ref.data(), k, n, false, 0, m, 0, n);
+  for (const KernelBackend back : supported_backends()) {
+    MatrixF c(m, n);
+    kernel_ops(back).gemm_tile_f32(a.data(), b.data(), c.data(), k, n, false,
+                                   0, m, 0, n);
+    EXPECT_LE(max_scaled_diff(ref, c), 1e-4f) << kernel_backend_name(back);
+  }
+}
+
+TEST(KernelAgreement, GemmPanelsMatchScalar) {
+  Rng rng(42);
+  const std::size_t m = 23, k = 61, n = 19;
+  const MatrixF at = random_matrix_f32(k, m, rng);  // A^T for the TN panel
+  const MatrixF a = random_matrix_f32(m, k, rng);
+  const MatrixF bt = random_matrix_f32(n, k, rng);  // B^T for the NT panel
+  const MatrixF b = random_matrix_f32(k, n, rng);
+  MatrixF ref_tn(m, n), ref_nt(m, n);
+  const KernelOps& scalar = kernel_ops(KernelBackend::kScalar);
+  scalar.gemm_tn_panel_f32(at.data(), b.data(), ref_tn.data(), k, m, n, 0, m);
+  scalar.gemm_nt_panel_f32(a.data(), bt.data(), ref_nt.data(), k, n, 0, m);
+  for (const KernelBackend back : supported_backends()) {
+    MatrixF tn(m, n), nt(m, n);
+    kernel_ops(back).gemm_tn_panel_f32(at.data(), b.data(), tn.data(), k, m,
+                                       n, 0, m);
+    kernel_ops(back).gemm_nt_panel_f32(a.data(), bt.data(), nt.data(), k, n,
+                                       0, m);
+    EXPECT_LE(max_scaled_diff(ref_tn, tn), 1e-4f) << kernel_backend_name(back);
+    EXPECT_LE(max_scaled_diff(ref_nt, nt), 1e-4f) << kernel_backend_name(back);
+  }
+}
+
+TEST(KernelAgreement, ElementwiseKernelsMatchScalar) {
+  // square and the moment prep are elementwise — no accumulation-order
+  // freedom. square is a single multiply, so every tier agrees bit for
+  // bit; the prep's vi = (mu^2+var)p - mu^2 p^2 leaves FMA contraction
+  // room, so the wider tiers may differ by an ulp.
+  Rng rng(43);
+  const std::size_t n = 331;  // odd: exercises the vector remainder
+  const MatrixF mu = random_matrix_f32(1, n, rng);
+  MatrixF var = random_matrix_f32(1, n, rng);
+  for (float& v : var.flat()) v = std::fabs(v);
+  const float p = 0.9f;
+  MatrixF ref_sq(1, n), ref_sm(1, n), ref_vi(1, n);
+  const KernelOps& scalar = kernel_ops(KernelBackend::kScalar);
+  scalar.square_f32(mu.data(), ref_sq.data(), n);
+  scalar.moment_prep_f32(mu.data(), var.data(), ref_sm.data(), ref_vi.data(),
+                         n, p, p * p);
+  for (const KernelBackend back : supported_backends()) {
+    MatrixF sq(1, n), sm(1, n), vi(1, n);
+    kernel_ops(back).square_f32(mu.data(), sq.data(), n);
+    kernel_ops(back).moment_prep_f32(mu.data(), var.data(), sm.data(),
+                                     vi.data(), n, p, p * p);
+    EXPECT_EQ(max_scaled_diff(ref_sq, sq), 0.0f) << kernel_backend_name(back);
+    EXPECT_EQ(max_scaled_diff(ref_sm, sm), 0.0f) << kernel_backend_name(back);
+    EXPECT_LE(max_scaled_diff(ref_vi, vi), 1e-6f) << kernel_backend_name(back);
+  }
+}
+
+TEST(KernelAgreement, ActivationTileMatchesScalar) {
+  Rng rng(44);
+  const auto f = PiecewiseLinear::fit_tanh(7);
+  const PwlPack pack = pack_pwl(f);
+  const std::size_t n = kKernelMomentTile;
+  MatrixF mean = random_matrix_f32(1, n, rng);
+  MatrixF var = random_matrix_f32(1, n, rng);
+  for (float& v : var.flat()) v = std::fabs(v) + 1e-3f;
+  // A few saturated lanes (|z| huge) — the regime the denormal clamp covers.
+  mean.flat()[3] = 40.0f;
+  mean.flat()[7] = -55.0f;
+  var.flat()[3] = 1e-4f;
+  MatrixF ref_m = mean, ref_v = var;
+  std::vector<unsigned char> det(n, 0);
+  const bool ref_det = kernel_ops(KernelBackend::kScalar)
+                           .act_tile_f32(pack.view(), ref_m.data(),
+                                         ref_v.data(), n, kDeterministicVarF,
+                                         det.data());
+  EXPECT_FALSE(ref_det);  // all variances are safely above the threshold
+  for (const KernelBackend back : supported_backends()) {
+    MatrixF m = mean, v = var;
+    std::vector<unsigned char> d(n, 0);
+    const bool has_det = kernel_ops(back).act_tile_f32(
+        pack.view(), m.data(), v.data(), n, kDeterministicVarF, d.data());
+    EXPECT_EQ(has_det, ref_det) << kernel_backend_name(back);
+    EXPECT_LE(max_scaled_diff(ref_m, m), 1e-4f) << kernel_backend_name(back);
+    EXPECT_LE(max_scaled_diff(ref_v, v), 1e-4f) << kernel_backend_name(back);
+    for (const float vv : v.flat()) EXPECT_GE(vv, 0.0f);
+  }
+}
+
+TEST(KernelAgreement, ActivationTileFlagsDeterministicLanes) {
+  const auto f = PiecewiseLinear::fit_tanh(7);
+  const PwlPack pack = pack_pwl(f);
+  for (const KernelBackend back : supported_backends()) {
+    // One mixed tile: lane 1 deterministic, the rest stochastic.
+    float m[4] = {0.3f, -1.2f, 0.8f, 2.0f};
+    float v[4] = {0.5f, 0.0f, 0.25f, 1.0f};
+    const float m_in1 = m[1], v_in1 = v[1];
+    unsigned char det[4] = {9, 9, 9, 9};
+    EXPECT_TRUE(kernel_ops(back).act_tile_f32(pack.view(), m, v, 4,
+                                              kDeterministicVarF, det))
+        << kernel_backend_name(back);
+    EXPECT_EQ(det[1], 1);
+    // Deterministic lanes are left untouched for the caller's f64 fixup.
+    EXPECT_EQ(m[1], m_in1);
+    EXPECT_EQ(v[1], v_in1);
+    EXPECT_EQ(det[0], 0);
+    EXPECT_EQ(det[2], 0);
+    EXPECT_EQ(det[3], 0);
+
+    // All-deterministic tile: early exit must still mark every lane.
+    float m2[3] = {0.1f, -0.5f, 1.0f};
+    float v2[3] = {0.0f, 0.0f, 0.0f};
+    unsigned char det2[3] = {0, 0, 0};
+    EXPECT_TRUE(kernel_ops(back).act_tile_f32(pack.view(), m2, v2, 3,
+                                              kDeterministicVarF, det2));
+    for (const unsigned char d : det2) EXPECT_EQ(d, 1);
+  }
+}
+
+// ---- fused-path agreement through the public API ---------------------------
+
+Mlp small_net(Rng& rng) {
+  MlpSpec spec;
+  spec.dims = {24, 96, 96, 10};
+  spec.hidden_act = Activation::kTanh;
+  spec.hidden_keep_prob = 0.9;
+  return Mlp::make(spec, rng);
+}
+
+TEST(KernelAgreement, FusedF32PropagateMatchesScalarBackend) {
+  struct Cleanup {
+    ~Cleanup() { clear_global_kernel_backend(); }
+  } cleanup;
+  Rng rng(45);
+  const Mlp mlp = small_net(rng);
+  const ApDeepSense apd(mlp);
+  MeanVar input(6, 24);
+  for (double& v : input.mean.flat()) v = rng.normal();
+  for (double& v : input.var.flat()) v = std::fabs(rng.normal());
+
+  set_global_kernel_backend(KernelBackend::kScalar);
+  const MeanVar ref = apd.propagate(input, Precision::kF32);
+  for (const KernelBackend back : supported_backends()) {
+    set_global_kernel_backend(back);
+    const MeanVar got = apd.propagate(input, Precision::kF32);
+    EXPECT_LE(max_abs_diff(ref.mean, got.mean), 1e-4)
+        << kernel_backend_name(back);
+    EXPECT_LE(max_abs_diff(ref.var, got.var), 1e-4)
+        << kernel_backend_name(back);
+  }
+}
+
+TEST(KernelAgreement, FusedI8PropagateMatchesScalarBackend) {
+  struct Cleanup {
+    ~Cleanup() { clear_global_kernel_backend(); }
+  } cleanup;
+  Rng rng(46);
+  const Mlp mlp = small_net(rng);
+  const ApDeepSense apd(mlp);
+  MeanVar input(6, 24);
+  for (double& v : input.mean.flat()) v = rng.normal();
+  for (double& v : input.var.flat()) v = std::fabs(rng.normal());
+
+  set_global_kernel_backend(KernelBackend::kScalar);
+  const MeanVar ref = apd.propagate(input, Precision::kI8);
+  for (const KernelBackend back : supported_backends()) {
+    set_global_kernel_backend(back);
+    const MeanVar got = apd.propagate(input, Precision::kI8);
+    // The i8 accumulation is exact i32 on every tier; only the f32 dequant
+    // epilogue (scale multiplies + bias) may contract differently, so the
+    // cross-backend gap is small — but NOT zero like a pure-integer kernel.
+    EXPECT_LE(max_abs_diff(ref.mean, got.mean), 1e-3)
+        << kernel_backend_name(back);
+    EXPECT_LE(max_abs_diff(ref.var, got.var), 1e-3)
+        << kernel_backend_name(back);
+  }
+}
+
+// ---- quantization round trips ----------------------------------------------
+
+TEST(Quantize, PerColumnRoundTripStaysInsideHalfStep) {
+  Rng rng(47);
+  Matrix w(64, 48);
+  for (double& v : w.flat()) v = rng.normal() * 3.0;
+  w(0, 5) = 40.0;  // one outlier channel must not hurt the others
+  const QuantizedMatrix q = quantize_per_col(w);
+  ASSERT_EQ(q.rows, 64u);
+  ASSERT_EQ(q.cols, 48u);
+  for (std::size_t i = 0; i < q.rows; ++i) {
+    for (std::size_t j = 0; j < q.cols; ++j) {
+      const std::int8_t qv = q.data[i * q.cols + j];
+      EXPECT_GE(qv, -127);  // -128 is never produced (symmetric range)
+      const double back = static_cast<double>(qv) * q.scale[j];
+      EXPECT_LE(std::fabs(back - w(i, j)),
+                static_cast<double>(q.scale[j]) * 0.5 + 1e-12)
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(Quantize, RowQuantizationPreservesZerosAndHandlesZeroRows) {
+  float x[5] = {0.0f, -2.5f, 1.25f, 0.0f, 5.0f};
+  std::int8_t q[5];
+  float scale = 0.0f;
+  quantize_row_i8(x, 5, q, &scale);
+  EXPECT_EQ(q[0], 0);  // dropout-zeroed lanes stay exactly zero
+  EXPECT_EQ(q[3], 0);
+  EXPECT_EQ(q[4], 127);  // the max element pins the scale
+  EXPECT_FLOAT_EQ(scale, 5.0f / 127.0f);
+
+  float zeros[3] = {0.0f, 0.0f, 0.0f};
+  std::int8_t qz[3] = {1, 1, 1};
+  quantize_row_i8(zeros, 3, qz, &scale);
+  EXPECT_FLOAT_EQ(scale, 1.0f);
+  for (const std::int8_t v : qz) EXPECT_EQ(v, 0);
+}
+
+}  // namespace
+}  // namespace apds

@@ -13,6 +13,7 @@
 #include "core/moment_activation.h"
 #include "platform/thread_pool.h"
 #include "tensor/gemm.h"
+#include "tensor/kernels/kernel_dispatch.h"
 #include "tensor/ops.h"
 #include "uncertainty/ensemble.h"
 #include "uncertainty/mcdrop.h"
@@ -132,6 +133,37 @@ TEST(ParallelDeterminism, ApDeepSenseF32PropagateBitIdentical) {
   const auto parallel = with_threads(4, run);
   EXPECT_EQ(max_abs_diff(serial.mean, parallel.mean), 0.0);
   EXPECT_EQ(max_abs_diff(serial.var, parallel.var), 0.0);
+}
+
+TEST(ParallelDeterminism, DispatchedBackendsBitIdenticalAcrossPoolWidths) {
+  // The bit-identity contract is per backend: each ISA tier keeps the
+  // serial per-element accumulation order at every pool width (the i8
+  // path adds dynamic per-row quantization, which is row-local and so
+  // partition-invariant too). Pin it for every tier this CPU can run, at
+  // both dispatched precisions.
+  struct Cleanup {
+    ~Cleanup() { clear_global_kernel_backend(); }
+  } cleanup;
+  Rng rng(11);
+  const Mlp mlp = wide_net(Activation::kTanh, 0.9, rng);
+  const ApDeepSense apd(mlp);
+  MeanVar input(6, 16);
+  for (double& v : input.mean.flat()) v = rng.normal();
+  for (double& v : input.var.flat()) v = std::fabs(rng.normal());
+  for (const KernelBackend b : {KernelBackend::kScalar, KernelBackend::kAvx2,
+                                KernelBackend::kAvx512}) {
+    if (!kernel_backend_supported(b)) continue;
+    set_global_kernel_backend(b);
+    for (const Precision p : {Precision::kF32, Precision::kI8}) {
+      auto run = [&] { return apd.propagate(input, p); };
+      const auto serial = with_threads(1, run);
+      const auto parallel = with_threads(4, run);
+      EXPECT_EQ(max_abs_diff(serial.mean, parallel.mean), 0.0)
+          << kernel_backend_name(b) << " " << precision_name(p) << " (mean)";
+      EXPECT_EQ(max_abs_diff(serial.var, parallel.var), 0.0)
+          << kernel_backend_name(b) << " " << precision_name(p) << " (var)";
+    }
+  }
 }
 
 TEST(ParallelDeterminism, McDropSamplesAndRngStateBitIdentical) {

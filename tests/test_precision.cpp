@@ -55,9 +55,13 @@ TEST(PrecisionParsing, NamesRoundTripAndBadValuesThrow) {
   EXPECT_EQ(parse_precision("F64"), Precision::kF64);
   EXPECT_EQ(parse_precision("float"), Precision::kF32);
   EXPECT_EQ(parse_precision("DOUBLE"), Precision::kF64);
+  EXPECT_EQ(parse_precision("i8"), Precision::kI8);
+  EXPECT_EQ(parse_precision("INT8"), Precision::kI8);
   EXPECT_STREQ(precision_name(Precision::kF32), "f32");
   EXPECT_STREQ(precision_name(Precision::kF64), "f64");
+  EXPECT_STREQ(precision_name(Precision::kI8), "i8");
   EXPECT_THROW(parse_precision("f16"), InvalidArgument);
+  EXPECT_THROW(parse_precision("i4"), InvalidArgument);
   EXPECT_THROW(parse_precision(""), InvalidArgument);
 }
 
@@ -181,6 +185,31 @@ TEST(PrecisionAgreement, DeepMlpDriftStaysBoundedPerDepth) {
           << activation_name(act) << " depth " << c.depth << " (mean)";
       EXPECT_LE(max_scaled_diff(ref.var, fast.var), c.bound)
           << activation_name(act) << " depth " << c.depth << " (var)";
+    }
+  }
+}
+
+TEST(PrecisionAgreement, I8DriftStaysBoundedPerDepth) {
+  // The quantized path is deliberately lossy: 8-bit weights resolve ~2-3
+  // decimal digits per channel and the per-layer drift compounds, so the
+  // bounds sit two orders of magnitude above the f32 ones. What they pin
+  // is the *shape*: drift grows smoothly with depth (a broken kernel or a
+  // mis-scaled channel jumps to O(1)) and the variance stays nonnegative.
+  struct Case { std::size_t depth; double bound; };
+  for (const Activation act : {Activation::kTanh, Activation::kRelu}) {
+    for (const Case c : {Case{1, 5e-2}, Case{4, 1e-1}, Case{8, 3e-1}}) {
+      Rng rng(200 + c.depth);
+      const Mlp mlp = deep_net(c.depth, act, rng);
+      const ApDeepSense apd(mlp);
+      const MeanVar input = random_meanvar(6, 24, rng);
+
+      const MeanVar ref = apd.propagate(input, Precision::kF64);
+      const MeanVar quant = apd.propagate(input, Precision::kI8);
+      EXPECT_LE(max_scaled_diff(ref.mean, quant.mean), c.bound)
+          << activation_name(act) << " depth " << c.depth << " (mean)";
+      EXPECT_LE(max_scaled_diff(ref.var, quant.var), c.bound)
+          << activation_name(act) << " depth " << c.depth << " (var)";
+      for (const double v : quant.var.flat()) EXPECT_GE(v, 0.0);
     }
   }
 }

@@ -25,6 +25,16 @@ int run(const std::string& args, const std::string& out_path) {
 #endif
 }
 
+// Scratch files carry the running test's name: ctest runs each TEST_F as
+// its own (possibly concurrent) entry in the shared build directory, so a
+// fixed fixture filename gets truncated by a sibling test's SetUp while
+// this test's tool process is reading it.
+std::string scratch(const std::string& name) {
+  return std::string("trace_report_") +
+         ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+         "_" + name;
+}
+
 std::string read_file(const std::string& path) {
   std::ifstream is(path);
   std::ostringstream os;
@@ -75,16 +85,19 @@ class TraceReportTest : public ::testing::Test {
 #ifndef TRACE_REPORT_BIN
     GTEST_SKIP() << "TRACE_REPORT_BIN not configured";
 #endif
-    write_file("trace_report_trace.json", kTrace);
-    write_file("trace_report_flight.json", kFlight);
+    trace_ = scratch("trace.json");
+    flight_ = scratch("flight.json");
+    write_file(trace_, kTrace);
+    write_file(flight_, kFlight);
   }
+
+  std::string trace_;
+  std::string flight_;
 };
 
 TEST_F(TraceReportTest, ReportsSlowestRequestsWithCriticalPathAndFlightJoin) {
-  ASSERT_EQ(run("trace_report_trace.json --flight trace_report_flight.json",
-                "trace_report_out.txt"),
-            0);
-  const std::string out = read_file("trace_report_out.txt");
+  ASSERT_EQ(run(trace_ + " --flight " + flight_, scratch("out.txt")), 0);
+  const std::string out = read_file(scratch("out.txt"));
   EXPECT_NE(out.find("2 request(s) in trace"), std::string::npos) << out;
   // Slowest first: request 7 (0.9 ms) before request 9 (0.05 ms).
   EXPECT_LT(out.find("request 7:"), out.find("request 9:")) << out;
@@ -104,35 +117,32 @@ TEST_F(TraceReportTest, ReportsSlowestRequestsWithCriticalPathAndFlightJoin) {
 }
 
 TEST_F(TraceReportTest, RequestFilterFindsAndExitCodesMissing) {
-  ASSERT_EQ(run("trace_report_trace.json --request 9", "trace_report_o9.txt"),
-            0);
-  const std::string out = read_file("trace_report_o9.txt");
+  ASSERT_EQ(run(trace_ + " --request 9", scratch("o9.txt")), 0);
+  const std::string out = read_file(scratch("o9.txt"));
   EXPECT_NE(out.find("request 9:"), std::string::npos) << out;
   EXPECT_EQ(out.find("request 7:"), std::string::npos) << out;
 
   // Unknown request id is the exit-1 contract CI leans on.
-  EXPECT_EQ(run("trace_report_trace.json --request 12345",
-                "trace_report_miss.txt"),
-            1);
+  EXPECT_EQ(run(trace_ + " --request 12345", scratch("miss.txt")), 1);
 }
 
 TEST_F(TraceReportTest, UsageAndParseErrorsExitTwo) {
-  EXPECT_EQ(run("", "trace_report_usage.txt"), 2);
-  EXPECT_EQ(run("trace_report_trace.json --top 0", "trace_report_top0.txt"),
-            2);
-  EXPECT_EQ(run("no_such_file.json", "trace_report_nofile.txt"), 2);
+  EXPECT_EQ(run("", scratch("usage.txt")), 2);
+  EXPECT_EQ(run(trace_ + " --top 0", scratch("top0.txt")), 2);
+  EXPECT_EQ(run("no_such_file.json", scratch("nofile.txt")), 2);
 
-  write_file("trace_report_bad.json", "{\"traceEvents\":[");
-  EXPECT_EQ(run("trace_report_bad.json", "trace_report_bad.txt"), 2);
+  const std::string bad = scratch("bad.json");
+  write_file(bad, "{\"traceEvents\":[");
+  EXPECT_EQ(run(bad, scratch("bad.txt")), 2);
 
-  write_file("trace_report_noevents.json", "{\"other\":1}");
-  EXPECT_EQ(run("trace_report_noevents.json", "trace_report_noev.txt"), 2);
+  const std::string noevents = scratch("noevents.json");
+  write_file(noevents, "{\"other\":1}");
+  EXPECT_EQ(run(noevents, scratch("noev.txt")), 2);
 }
 
 TEST_F(TraceReportTest, TopLimitsTheTableAndUntaggedSpansAreIgnored) {
-  ASSERT_EQ(run("trace_report_trace.json --top 1", "trace_report_top1.txt"),
-            0);
-  const std::string out = read_file("trace_report_top1.txt");
+  ASSERT_EQ(run(trace_ + " --top 1", scratch("top1.txt")), 0);
+  const std::string out = read_file(scratch("top1.txt"));
   EXPECT_NE(out.find("slowest 1"), std::string::npos) << out;
   EXPECT_EQ(out.find("request 9:"), std::string::npos) << out;
   EXPECT_EQ(out.find("untagged"), std::string::npos) << out;

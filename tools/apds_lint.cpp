@@ -29,15 +29,23 @@
 //                     parseable and levels apply.
 //   f32-double-literal  an f-suffix-less floating literal inside the
 //                     f32-only TUs (core/moment_activation_f32.cpp,
-//                     stats/fast_math.{h,cpp}). A double literal silently
-//                     promotes the whole expression and de-vectorizes the
-//                     SIMD fast path.
+//                     stats/fast_math.{h,cpp}, the runtime-dispatched
+//                     kernel TUs under tensor/kernels/). A double literal
+//                     silently promotes the whole expression and
+//                     de-vectorizes the SIMD fast path.
 //   f32-libm-double   std::exp/std::erf/... (double libm transcendentals)
 //                     inside the f32-only TUs; they must use the fast_math
 //                     vectorizable approximations.
 //   trapping-math     -fno-trapping-math in a CMakeLists.txt outside the
 //                     allowlisted f32 TUs. The flag is only safe where the
 //                     f64 reference path cannot be affected.
+//   kernel-isa-flags  a per-TU -m ISA flag (-mavx*, -mfma*, -msse*) in a
+//                     CMakeLists.txt applied to anything but the
+//                     runtime-dispatched kernel TUs (kernels_avx2.cpp,
+//                     kernels_avx512.cpp). The binary must boot on the
+//                     weakest device and pick wider tiers via CPUID, so
+//                     ISA flags may never leak onto ordinarily-called
+//                     code.
 //
 // Suppressions (in a comment on the violation line or the line above):
 //   // apds-lint: allow(<rule>[, <rule>...])   — suppress on this/next line
@@ -246,7 +254,11 @@ constexpr RuleInfo kRules[] = {
      "— use stats/fast_math.h"},
     {"trapping-math",
      "-fno-trapping-math outside the allowlisted f32 TUs "
-     "(moment_activation_f32.cpp, fast_math.cpp)"},
+     "(fast_math.cpp and the tensor/kernels/ kernel TUs)"},
+    {"kernel-isa-flags",
+     "per-TU -m ISA flag (-mavx*/-mfma*/-msse*) outside the "
+     "runtime-dispatched kernel TUs (kernels_avx2.cpp, kernels_avx512.cpp) "
+     "— the binary must boot on the weakest device"},
 };
 
 /// Per-file suppression state parsed from comment text.
@@ -309,18 +321,24 @@ bool has_prefix(const std::string& s, std::string_view prefix) {
 
 bool is_cpp_file(const std::string& rel) {
   return has_suffix(rel, ".cpp") || has_suffix(rel, ".cc") ||
-         has_suffix(rel, ".h") || has_suffix(rel, ".hpp");
+         has_suffix(rel, ".h") || has_suffix(rel, ".hpp") ||
+         has_suffix(rel, ".inl");
 }
 
 bool is_cmake_file(const std::string& rel) {
   return has_suffix(rel, "CMakeLists.txt") || has_suffix(rel, ".cmake");
 }
 
-/// The TUs that must stay free of double contamination (PR 4's SIMD path).
+/// The TUs that must stay free of double contamination: PR 4's SIMD path
+/// plus the runtime-dispatched kernel tiers (shared body + per-ISA TUs).
 bool is_f32_tu(const std::string& rel) {
   return has_suffix(rel, "src/core/moment_activation_f32.cpp") ||
          has_suffix(rel, "src/stats/fast_math.cpp") ||
-         has_suffix(rel, "src/stats/fast_math.h");
+         has_suffix(rel, "src/stats/fast_math.h") ||
+         has_suffix(rel, "src/tensor/kernels/kernel_body.inl") ||
+         has_suffix(rel, "src/tensor/kernels/kernels_scalar.cpp") ||
+         has_suffix(rel, "src/tensor/kernels/kernels_avx2.cpp") ||
+         has_suffix(rel, "src/tensor/kernels/kernels_avx512.cpp");
 }
 
 /// TUs sanctioned for raw console I/O: the logging sink itself and the
@@ -335,10 +353,20 @@ bool is_rng_tu(const std::string& rel) {
          has_suffix(rel, "src/common/rng.h");
 }
 
-/// Basenames allowed to carry -fno-trapping-math in CMake source props.
+/// Basenames allowed to carry -fno-trapping-math in CMake source props:
+/// the fast_math f32 TU plus the per-ISA kernel TUs (whose loops need
+/// FP-compare if-conversion to vectorize).
 bool is_trapping_math_allowlisted(const std::string& file_token) {
   const std::string base = fs::path(file_token).filename().string();
-  return base == "moment_activation_f32.cpp" || base == "fast_math.cpp";
+  return base == "fast_math.cpp" || base == "kernels_scalar.cpp" ||
+         base == "kernels_avx2.cpp" || base == "kernels_avx512.cpp";
+}
+
+/// Basenames allowed to carry per-TU -m ISA flags: only the AVX kernel
+/// tiers, which are never called unless CPUID proves support.
+bool is_isa_flag_allowlisted(const std::string& file_token) {
+  const std::string base = fs::path(file_token).filename().string();
+  return base == "kernels_avx2.cpp" || base == "kernels_avx512.cpp";
 }
 
 // ---------------------------------------------------------------------------
@@ -559,6 +587,31 @@ void rule_f32_libm_double(const MaskedSource& src, const std::string& rel,
 // CMake rule
 // ---------------------------------------------------------------------------
 
+/// Source-file tokens of the innermost set_source_files_properties(...)
+/// call enclosing `at` (the tokens between '(' and PROPERTIES), or an
+/// empty list when `at` is not inside such a call.
+std::vector<std::string> enclosing_source_props_files(const std::string& code,
+                                                      std::size_t at) {
+  std::vector<std::string> files;
+  const std::size_t call = code.rfind("set_source_files_properties", at);
+  if (call == std::string::npos) return files;
+  const std::size_t open = code.find('(', call);
+  if (open == std::string::npos || open >= at) return files;
+  int depth = 0;
+  std::size_t close = open;
+  for (; close < code.size(); ++close) {
+    if (code[close] == '(') ++depth;
+    if (code[close] == ')' && --depth == 0) break;
+  }
+  if (at >= close) return files;
+  std::size_t props = code.find("PROPERTIES", open);
+  if (props == std::string::npos || props > close) props = close;
+  std::stringstream tokens(code.substr(open + 1, props - open - 1));
+  std::string tok;
+  while (tokens >> tok) files.push_back(tok);
+  return files;
+}
+
 void rule_trapping_math(const MaskedSource& src, const std::string& rel,
                         Emit out) {
   const std::string& code = src.code;
@@ -566,40 +619,40 @@ void rule_trapping_math(const MaskedSource& src, const std::string& rel,
   while ((pos = code.find("-fno-trapping-math", pos)) != std::string::npos) {
     const std::size_t at = pos;
     pos += 1;
-    // Find the innermost enclosing set_source_files_properties(...) call.
-    const std::size_t call =
-        code.rfind("set_source_files_properties", at);
-    bool sanctioned = false;
-    if (call != std::string::npos) {
-      std::size_t open = code.find('(', call);
-      if (open != std::string::npos && open < at) {
-        int depth = 0;
-        std::size_t close = open;
-        for (; close < code.size(); ++close) {
-          if (code[close] == '(') ++depth;
-          if (code[close] == ')' && --depth == 0) break;
-        }
-        if (at < close) {
-          // Tokens between '(' and PROPERTIES are the source files.
-          std::size_t props = code.find("PROPERTIES", open);
-          if (props == std::string::npos || props > close) props = close;
-          std::stringstream files(code.substr(open + 1, props - open - 1));
-          std::string tok;
-          sanctioned = true;
-          bool any = false;
-          while (files >> tok) {
-            any = true;
-            if (!is_trapping_math_allowlisted(tok)) sanctioned = false;
-          }
-          if (!any) sanctioned = false;
-        }
-      }
-    }
+    const std::vector<std::string> files =
+        enclosing_source_props_files(code, at);
+    bool sanctioned = !files.empty();
+    for (const std::string& tok : files)
+      if (!is_trapping_math_allowlisted(tok)) sanctioned = false;
     if (!sanctioned)
       emit(out, rel, src.line_of(at), "trapping-math",
            "-fno-trapping-math outside the allowlisted f32 TUs "
-           "(moment_activation_f32.cpp, fast_math.cpp); the f64 reference "
+           "(fast_math.cpp and the tensor/kernels/ TUs); the f64 reference "
            "path must keep default FP trapping semantics");
+  }
+}
+
+void rule_kernel_isa_flags(const MaskedSource& src, const std::string& rel,
+                           Emit out) {
+  const std::string& code = src.code;
+  // A compiler ISA flag: -mavx..., -mfma..., -msse... as a whole token.
+  static const std::regex re(R"(-m(avx|fma|sse)[\w.]*)");
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), re);
+       it != std::sregex_iterator(); ++it) {
+    const auto at = static_cast<std::size_t>(it->position());
+    if (at > 0 && (ident_char(code[at - 1]) || code[at - 1] == '-'))
+      continue;  // substring of a longer token, not a flag
+    const std::vector<std::string> files =
+        enclosing_source_props_files(code, at);
+    bool sanctioned = !files.empty();
+    for (const std::string& tok : files)
+      if (!is_isa_flag_allowlisted(tok)) sanctioned = false;
+    if (!sanctioned)
+      emit(out, rel, src.line_of(at), "kernel-isa-flags",
+           "ISA flag '" + it->str() +
+               "' outside the runtime-dispatched kernel TUs "
+               "(kernels_avx2.cpp, kernels_avx512.cpp); ordinarily-called "
+               "code must run on the SSE2 baseline and widen via CPUID");
   }
 }
 
@@ -637,6 +690,7 @@ void scan_file(const fs::path& path, const std::string& rel, Report* report) {
     rule_f32_libm_double(src, rel, found);
   } else {
     rule_trapping_math(src, rel, found);
+    rule_kernel_isa_flags(src, rel, found);
   }
 
   const Suppressions sup = parse_suppressions(src);

@@ -12,6 +12,11 @@
 // Keys present on only one side are logged as skips, never failed: a
 // candidate-only key is a kernel newer than the committed baseline, a
 // baseline-only key a kernel the candidate build doesn't measure (yet).
+// micro_kernels reports may carry an optional "isa" header field (the
+// resolved kernel dispatch tier); when both sides have one and they
+// differ, a note is printed — timings from different ISA tiers are
+// comparable only loosely — but the gate still runs: a forced-scalar CI
+// lane must still catch real regressions, not opt out.
 //
 // --speedup gates a ratio WITHIN the candidate report: the p50 of <slow>
 // divided by the p50 of <fast> must be at least <ratio> (e.g.
@@ -46,11 +51,17 @@ using apds::tools::require_string;
 /// Flatten one bench report into {metric key -> p50 latency in ms}.
 /// micro_kernels rows key on name@t<threads> and report p50_ms; system
 /// benches key on config and report host_ms (skipped when not measured).
+/// `isa` receives the optional "isa" header field ("" when absent).
 std::map<std::string, double> extract_metrics(const JsonValue& root,
-                                              std::string* bench_name) {
+                                              std::string* bench_name,
+                                              std::string* isa) {
   if (root.kind != JsonValue::Kind::kObject)
     throw std::runtime_error("top-level JSON value is not an object");
   *bench_name = require_string(root, "bench");
+  isa->clear();
+  if (const JsonValue* v = root.find("isa");
+      v && v->kind == JsonValue::Kind::kString)
+    *isa = v->string;
 
   std::map<std::string, double> out;
   if (*bench_name == "micro_kernels") {
@@ -81,8 +92,9 @@ std::map<std::string, double> extract_metrics(const JsonValue& root,
 }
 
 std::map<std::string, double> load_metrics(const std::string& path,
-                                           std::string* bench_name) {
-  return extract_metrics(parse_json_file(path), bench_name);
+                                           std::string* bench_name,
+                                           std::string* isa) {
+  return extract_metrics(parse_json_file(path), bench_name, isa);
 }
 
 /// One --speedup gate: cand[slow_key].p50 / cand[fast_key].p50 >= min_ratio.
@@ -153,13 +165,21 @@ int main(int argc, char** argv) {
   try {
     std::string base_bench;
     std::string cand_bench;
-    const auto base = load_metrics(positional[0], &base_bench);
-    const auto cand = load_metrics(positional[1], &cand_bench);
+    std::string base_isa;
+    std::string cand_isa;
+    const auto base = load_metrics(positional[0], &base_bench, &base_isa);
+    const auto cand = load_metrics(positional[1], &cand_bench, &cand_isa);
     if (base_bench != cand_bench) {
       std::fprintf(stderr, "bench kinds differ: %s vs %s\n",
                    base_bench.c_str(), cand_bench.c_str());
       return 2;
     }
+    // A tier mismatch (different machine, forced APDS_KERNEL) makes the
+    // comparison loose, not invalid — note it and carry on.
+    if (!base_isa.empty() && !cand_isa.empty() && base_isa != cand_isa)
+      std::printf("note: kernel ISA differs (baseline %s vs candidate %s);"
+                  " absolute timings are only loosely comparable\n",
+                  base_isa.c_str(), cand_isa.c_str());
 
     std::size_t compared = 0;
     std::size_t regressed = 0;
