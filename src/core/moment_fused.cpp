@@ -119,6 +119,13 @@ void fused_tiles(MeanVarF& out, const PiecewiseLinear& f,
 QuantizedDenseLayer quantize_dense_layer(const DenseLayer& layer) {
   QuantizedDenseLayer q;
   q.weight = quantize_per_col(layer.weight);
+  // weight_sq = W∘W is entirely nonnegative, so symmetric [-127, 127]
+  // quantization leaves its negative half unused — the variance path runs
+  // on 7 magnitude bits instead of 8. This is deliberate: the kernels'
+  // i16 pair-jam (two products summed before widening) needs |q| <= 127
+  // on BOTH operands to stay exact, so an unsigned [0, 255] scheme would
+  // force the slow i32 vector-multiply path. test_precision pins the
+  // resulting per-depth drift; revisit only with a matching kernel change.
   q.weight_sq = quantize_per_col(square(layer.weight));
   q.bias = to_f32(layer.bias);
   return q;
@@ -129,6 +136,11 @@ MeanVarF moment_linear_act(const MeanVarF& input, const MatrixF& weight,
                            double keep_prob, const PiecewiseLinear& f) {
   APDS_CHECK_MSG(input.dim() == weight.rows(), "moment_linear_act: input dim");
   APDS_CHECK_MSG(weight_sq.same_shape(weight), "moment_linear_act: weight_sq");
+  // The kernels index bias[j] for j up to weight.cols(); check here so a
+  // short bias fails like the unfused path's add_row_broadcast instead of
+  // reading out of bounds.
+  APDS_CHECK_MSG(bias.rows() == 1 && bias.cols() == weight.cols(),
+                 "moment_linear_act: bias shape");
   APDS_CHECK(keep_prob > 0.0 && keep_prob <= 1.0);
   APDS_TRACE_SCOPE("core.moment_linear_act");
   const KernelOps& ops = kernel_ops();
@@ -177,6 +189,9 @@ MeanVarF moment_linear_act(const MeanVarF& input,
   APDS_CHECK_MSG(layer.weight_sq.rows == layer.weight.rows &&
                      layer.weight_sq.cols == layer.weight.cols,
                  "moment_linear_act(i8): weight_sq shape");
+  APDS_CHECK_MSG(layer.bias.rows() == 1 &&
+                     layer.bias.cols() == layer.weight.cols,
+                 "moment_linear_act(i8): bias shape");
   APDS_CHECK(keep_prob > 0.0 && keep_prob <= 1.0);
   APDS_CHECK_MSG(input.dim() <= kMaxQuantizedInnerDim,
                  "moment_linear_act(i8): inner dim " << input.dim()

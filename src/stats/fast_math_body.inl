@@ -1,0 +1,97 @@
+// Definitions of the scalar fast-math functions, spliced into a namespace
+// by the including file (no #pragma once, no includes, no namespace of its
+// own). Two kinds of TU include this:
+//
+//   * stats/fast_math.h includes it inside `namespace apds` — the ordinary
+//     copy every default-flag TU inlines.
+//   * each runtime-dispatched kernel TU (tensor/kernels/kernels_*.cpp)
+//     includes it inside its private per-tier namespace, BEFORE
+//     kernel_body.inl, so every tier carries its own copies compiled with
+//     that tier's -m flags.
+//
+// The per-tier copies exist because plain `inline` functions have vague
+// (comdat) linkage: if the AVX2/AVX-512 TUs referenced apds::fast_expf and
+// the compiler declined to inline it (Debug/-Og, heuristic drift), the
+// linker would keep ONE copy for the whole binary — possibly the
+// AVX-512-encoded one — and the scalar tier could SIGILL an SSE2-only
+// device. Distinct namespaces mean distinct symbols, so no tier can ever
+// execute another tier's encoding. For the same reason this file must not
+// odr-use any std:: template or inline overload (std::bit_cast here is
+// replaced by __builtin_bit_cast, which expands in place and emits no
+// symbol).
+//
+// Accuracy contracts and derivations live in stats/fast_math.h; keep the
+// two files in sync through that header's documentation.
+
+inline constexpr float kSqrt2F = 1.41421356f;
+inline constexpr float kInvSqrt2F = 0.70710678f;
+inline constexpr float kInvSqrt2PiF = 0.39894228f;
+
+/// Branch-free single-precision e^x (see stats/fast_math.h contract).
+inline float fast_expf(float x) {
+  constexpr float kLog2e = 1.44269504f;
+  // ln2 split high/low so r = x - n*ln2 keeps extra bits of accuracy.
+  constexpr float kLn2Hi = 0.693359375f;
+  constexpr float kLn2Lo = -2.12194440e-4f;
+  x = x > 88.0f ? 88.0f : x;
+  x = x < -104.0f ? -104.0f : x;
+
+  // n = round(x / ln2) via the 1.5*2^23 magic constant: adding it pushes
+  // the value's fraction off the end of the f32 mantissa (rounding to
+  // nearest-even), subtracting recovers the integral part. Branch- and
+  // compare-free — floorf defeats SSE2 vectorization, and compare-based
+  // rounding gets jump-threaded into branches at AVX2/AVX-512, which
+  // kills if-conversion for the whole surrounding loop.
+  const float z = x * kLog2e;
+  const float biased = z + 12582912.0f;
+  const float n = biased - 12582912.0f;
+
+  const float r = (x - n * kLn2Hi) - n * kLn2Lo;
+  // Degree-5 minimax polynomial for e^r on [-ln2/2, ln2/2] (cephes expf).
+  float p = 1.9875691500e-4f;
+  p = p * r + 1.3981999507e-3f;
+  p = p * r + 8.3334519073e-3f;
+  p = p * r + 4.1665795894e-2f;
+  p = p * r + 1.6666665459e-1f;
+  p = p * r + 5.0000001201e-1f;
+  p = p * r * r + r + 1.0f;
+
+  // Scale by 2^n as two factors so n in [-151, 127] never over/underflows
+  // the exponent field, and results below 2^-126 degrade gracefully to 0.
+  const std::int32_t ni = static_cast<std::int32_t>(n);
+  const std::int32_t n1 = ni / 2;
+  const std::int32_t n2 = ni - n1;
+  const float s1 = __builtin_bit_cast(float, (n1 + 127) << 23);
+  const float s2 = __builtin_bit_cast(float, (n2 + 127) << 23);
+  return p * s1 * s2;
+}
+
+/// Branch-free single-precision erf(x) (see stats/fast_math.h contract).
+inline float fast_erff(float x) {
+  float ax = x < 0.0f ? -x : x;
+  ax = ax > 6.0f ? 6.0f : ax;  // saturated region; keeps p^16 finite
+  // A&S 7.1.28: erf(|x|) ~= 1 - (1 + a1|x| + ... + a6|x|^6)^-16.
+  float p = 4.30638e-5f;
+  p = p * ax + 2.765672e-4f;
+  p = p * ax + 1.520143e-4f;
+  p = p * ax + 9.2705272e-3f;
+  p = p * ax + 4.22820123e-2f;
+  p = p * ax + 7.05230784e-2f;
+  p = p * ax + 1.0f;
+  float p16 = p * p;
+  p16 *= p16;
+  p16 *= p16;
+  p16 *= p16;
+  const float e = 1.0f - 1.0f / p16;
+  return x < 0.0f ? -e : e;
+}
+
+/// Standard normal pdf in f32: exp(-z²/2) / sqrt(2π).
+inline float fast_std_normal_pdf(float z) {
+  return fast_expf(-0.5f * z * z) * kInvSqrt2PiF;
+}
+
+/// Standard normal cdf in f32: (1 + erf(z/√2)) / 2.
+inline float fast_std_normal_cdf(float z) {
+  return 0.5f * (1.0f + fast_erff(z * kInvSqrt2F));
+}

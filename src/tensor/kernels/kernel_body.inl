@@ -12,8 +12,21 @@
 // vector lane bundle to f64 in every tier at once.
 //
 // Includes live in the wrapping TUs (this file is spliced inside a
-// namespace): <algorithm>, <cmath>, <cstring>, "stats/fast_math.h",
-// "tensor/kernels/kernel_dispatch.h".
+// namespace): <cstddef>, <cstdint>, <cstring>,
+// "tensor/kernels/kernel_dispatch.h" at file scope, and
+// "stats/fast_math_body.inl" inside the tier namespace just before this
+// file (the unqualified fast_* calls below bind to that per-tier copy).
+//
+// LINKAGE RULE: nothing in this file may odr-use a symbol with vague
+// (comdat) linkage — no std:: function templates (std::copy/min/max), no
+// <cmath> inline overloads (std::sqrt(float), std::isinf). Each kernel TU
+// is compiled with its own -m ISA flags, but the linker keeps ONE comdat
+// copy per symbol binary-wide; if that copy came from the AVX-512 TU and
+// the compiler declined to inline it, the scalar tier would execute
+// AVX-encoded code on an SSE2-only device and SIGILL. Use plain loops,
+// ternaries, and __builtin_* intrinsics (which expand in place and emit
+// no symbol) instead; ::memset via <cstring> is fine (C linkage, one
+// default-flag definition in libc).
 
 // Mirrors the f64 reference gemm's k-blocking (tensor/gemm.cpp) so the f32
 // path keeps the exact k-accumulation order of the reference.
@@ -27,7 +40,7 @@ inline void gemm_tile_f32(const float* ad, const float* bd, float* cd,
     for (std::size_t i = i0; i < i1; ++i)
       std::memset(cd + i * n + j0, 0, sizeof(float) * (j1 - j0));
   for (std::size_t k0 = 0; k0 < k; k0 += kBodyBlockK) {
-    const std::size_t k1 = std::min(k, k0 + kBodyBlockK);
+    const std::size_t k1 = k0 + kBodyBlockK < k ? k0 + kBodyBlockK : k;
     for (std::size_t i = i0; i < i1; ++i) {
       float* crow = cd + i * n;
       const float* arow = ad + i * k;
@@ -116,7 +129,7 @@ inline bool act_tile_f32(const apds::PwlView& f, float* m, float* v,
       sigma[i] = 1.0f;
       inv_sigma[i] = 0.0f;
     } else {
-      sigma[i] = std::sqrt(v[i]);
+      sigma[i] = __builtin_sqrtf(v[i]);
       inv_sigma[i] = 1.0f / sigma[i];
     }
     ey[i] = 0.0f;
@@ -133,7 +146,7 @@ inline bool act_tile_f32(const apds::PwlView& f, float* m, float* v,
 
   auto eval_boundary_span = [&](double x, float* pdf, float* cdf,
                                 float* zpdf) {
-    if (std::isinf(x)) {
+    if (__builtin_isinf(x)) {
       const float cdf_value = x > 0 ? 1.0f : 0.0f;
       for (std::size_t i = 0; i < n; ++i) {
         pdf[i] = 0.0f;
@@ -154,9 +167,9 @@ inline bool act_tile_f32(const apds::PwlView& f, float* m, float* v,
       // networks that was a ~1.7x slowdown of the whole activation tile.
       z = z > 6.5f ? 6.5f : z;
       z = z < -6.5f ? -6.5f : z;
-      const float pdf_z = apds::fast_std_normal_pdf(z);
+      const float pdf_z = fast_std_normal_pdf(z);
       pdf[i] = pdf_z;
-      cdf[i] = apds::fast_std_normal_cdf(z);
+      cdf[i] = fast_std_normal_cdf(z);
       zpdf[i] = z * pdf_z;
     }
   };
@@ -179,24 +192,28 @@ inline bool act_tile_f32(const apds::PwlView& f, float* m, float* v,
       ey[i] += k * ex1 + c * mass;
       ey2[i] += k * k * ex2 + 2.0f * k * c * ex1 + c * c * mass;
     }
-    std::copy(hi_pdf, hi_pdf + n, lo_pdf);
-    std::copy(hi_cdf, hi_cdf + n, lo_cdf);
-    std::copy(hi_zpdf, hi_zpdf + n, lo_zpdf);
+    for (std::size_t i = 0; i < n; ++i) {
+      lo_pdf[i] = hi_pdf[i];
+      lo_cdf[i] = hi_cdf[i];
+      lo_zpdf[i] = hi_zpdf[i];
+    }
   }
 
   if (deterministic) {
     for (std::size_t i = 0; i < n; ++i) {
       det[i] = v[i] < det_threshold ? 1 : 0;
       if (!det[i]) {
+        const float vv = ey2[i] - ey[i] * ey[i];
         m[i] = ey[i];
-        v[i] = std::max(0.0f, ey2[i] - ey[i] * ey[i]);
+        v[i] = vv < 0.0f ? 0.0f : vv;
       }
     }
     return true;
   }
   for (std::size_t i = 0; i < n; ++i) {
+    const float vv = ey2[i] - ey[i] * ey[i];
     m[i] = ey[i];
-    v[i] = std::max(0.0f, ey2[i] - ey[i] * ey[i]);
+    v[i] = vv < 0.0f ? 0.0f : vv;
   }
   return false;
 }
@@ -228,7 +245,7 @@ inline void moment_tile_f32(const float* sm, const float* vi, const float* w,
   // group ascend). Mean and variance jam in separate j-loops: together
   // they would hold 16 broadcast scalars and spill.
   for (std::size_t k0 = 0; k0 < kdim; k0 += kBodyBlockK) {
-    const std::size_t k1 = std::min(kdim, k0 + kBodyBlockK);
+    const std::size_t k1 = k0 + kBodyBlockK < kdim ? k0 + kBodyBlockK : kdim;
     std::size_t kk = k0;
     for (; kk + 8 <= k1; kk += 8) {
       const float* wg = w + kk * n + j0;
@@ -323,7 +340,7 @@ inline void moment_tile_i8(const std::int8_t* qsm, const float* sm_scale,
   // and halves the widening adds. The truncating i16 cast never changes
   // the value, so the kernel stays exact.
   for (std::size_t k0 = 0; k0 < kdim; k0 += kBodyBlockK) {
-    const std::size_t k1 = std::min(kdim, k0 + kBodyBlockK);
+    const std::size_t k1 = k0 + kBodyBlockK < kdim ? k0 + kBodyBlockK : kdim;
     std::size_t kk = k0;
     for (; kk + 8 <= k1; kk += 8) {
       const std::int8_t* wg = qw + kk * n + j0;

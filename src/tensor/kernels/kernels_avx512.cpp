@@ -1,16 +1,21 @@
 // AVX-512F kernel tier: the shared body compiled with -mavx512f (plus the
 // AVX2+FMA baseline flags; see src/tensor/CMakeLists.txt). Bound only
 // when __builtin_cpu_supports("avx512f") confirms the CPU executes it.
-#include <algorithm>
-#include <cmath>
+//
+// fast_math_body.inl is included INSIDE the tier namespace (not via
+// stats/fast_math.h) so the EVEX-encoded transcendentals are private
+// symbols of this tier and can never be comdat-merged into the scalar
+// tier — see the linkage rule in kernel_body.inl.
+#include <cstddef>
+#include <cstdint>
 #include <cstring>
 
-#include "stats/fast_math.h"
 #include "tensor/kernels/kernel_dispatch.h"
 
 namespace apds::kernels {
 
 namespace avx512_impl {
+#include "stats/fast_math_body.inl"
 #include "tensor/kernels/kernel_body.inl"
 }  // namespace avx512_impl
 

@@ -4,16 +4,20 @@
 // tiers must match. Compiled with -fno-trapping-math like the other tiers
 // so the fast_math polynomial compares if-convert and vectorize (values
 // are unaffected; see src/tensor/CMakeLists.txt).
-#include <algorithm>
-#include <cmath>
+//
+// fast_math_body.inl is included INSIDE the tier namespace (not via
+// stats/fast_math.h) so this TU's transcendentals are private symbols of
+// this tier — see the linkage rule in kernel_body.inl.
+#include <cstddef>
+#include <cstdint>
 #include <cstring>
 
-#include "stats/fast_math.h"
 #include "tensor/kernels/kernel_dispatch.h"
 
 namespace apds::kernels {
 
 namespace scalar_impl {
+#include "stats/fast_math_body.inl"
 #include "tensor/kernels/kernel_body.inl"
 }  // namespace scalar_impl
 

@@ -336,7 +336,8 @@ TEST(Quantize, PerColumnRoundTripStaysInsideHalfStep) {
     for (std::size_t j = 0; j < q.cols; ++j) {
       const std::int8_t qv = q.data[i * q.cols + j];
       EXPECT_GE(qv, -127);  // -128 is never produced (symmetric range)
-      const double back = static_cast<double>(qv) * q.scale[j];
+      const double back =
+          static_cast<double>(qv) * static_cast<double>(q.scale[j]);
       EXPECT_LE(std::fabs(back - w(i, j)),
                 static_cast<double>(q.scale[j]) * 0.5 + 1e-12)
           << i << "," << j;

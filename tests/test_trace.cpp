@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -84,8 +85,8 @@ TEST_F(TraceTest, ThreadsGetDistinctAttribution) {
   std::uint32_t main_tid = 0;
   std::uint32_t worker_tid = 0;
   for (const auto& e : events) {
-    if (e.name == "main_thread") main_tid = e.tid;
-    if (e.name == "worker_thread") worker_tid = e.tid;
+    if (std::string_view(e.name) == "main_thread") main_tid = e.tid;
+    if (std::string_view(e.name) == "worker_thread") worker_tid = e.tid;
   }
   EXPECT_NE(main_tid, 0u);
   EXPECT_NE(worker_tid, 0u);

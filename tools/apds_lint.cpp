@@ -335,6 +335,7 @@ bool is_f32_tu(const std::string& rel) {
   return has_suffix(rel, "src/core/moment_activation_f32.cpp") ||
          has_suffix(rel, "src/stats/fast_math.cpp") ||
          has_suffix(rel, "src/stats/fast_math.h") ||
+         has_suffix(rel, "src/stats/fast_math_body.inl") ||
          has_suffix(rel, "src/tensor/kernels/kernel_body.inl") ||
          has_suffix(rel, "src/tensor/kernels/kernels_scalar.cpp") ||
          has_suffix(rel, "src/tensor/kernels/kernels_avx2.cpp") ||
