@@ -21,6 +21,13 @@
 // kernel ISA tier ("isa") and ambient precision alongside the thread
 // count, so a comparison across reports taken on different machines or
 // under a forced APDS_KERNEL is visible instead of silently misleading.
+// Every row also carries a `cv` column (flagged `noisy` above 10% so
+// jittery-runner regressions stay interpretable), an `allocs` column
+// (operator-new calls per iteration, from the alloc_stats hooks) and —
+// when hardware counters are available — `ipc`/`cache_miss_rate` from a
+// perf_event counter group around the kernel; the `perf_region_overhead`
+// row gates the profiling-off cost of the counter regions the same way
+// trace_span_overhead gates disabled spans.
 #include <benchmark/benchmark.h>
 
 #include <cmath>
@@ -35,6 +42,8 @@
 #include "common/rng.h"
 #include "core/apdeepsense.h"
 #include "core/moment_fused.h"
+#include "obs/alloc_stats.h"
+#include "obs/perf_counters.h"
 #include "obs/run_options.h"
 #include "tensor/kernels/kernel_dispatch.h"
 #include "obs/trace.h"
@@ -241,17 +250,39 @@ struct KernelRow {
   std::string name;
   std::size_t threads;
   TimingResult timing;
+  obs::PerfCounterValues perf;  ///< hardware counters over the extra pass
+  std::uint64_t allocs = 0;     ///< operator-new calls per iteration
 };
 
 /// The batched hot kernels, measured at the current pool width.
 void run_kernel_suite(std::size_t threads, std::vector<KernelRow>& rows) {
   set_global_threads(threads);
+  // One log line (not one per row) when hardware counters are degraded;
+  // the rows then omit their ipc/cache_miss_rate columns.
+  static bool perf_reported = false;
+  if (!perf_reported &&
+      obs::perf_availability() != obs::PerfAvailability::kAvailable) {
+    std::printf("hardware counters %s (%s); ipc/cache_miss_rate columns "
+                "omitted\n",
+                obs::perf_availability_name(obs::perf_availability()),
+                obs::perf_unavailable_reason().c_str());
+    perf_reported = true;
+  }
   auto record = [&](const char* name, const std::function<void()>& fn) {
-    rows.push_back({name, threads, measure(fn, 5, 0.1)});
+    rows.push_back({name, threads, measure(fn, 5, 0.1), {}, 0});
+    KernelRow& row = rows.back();
+    // Counter + allocation pass: a few extra iterations under one counter
+    // region (the calling thread's share — see perf_counters.h). Ratio
+    // columns (ipc, miss rates) are iteration-count free; allocs divide.
+    const std::size_t perf_iters = 4;
+    const obs::AllocCounters alloc0 = obs::thread_alloc_counters();
+    row.perf = obs::perf_measure(fn, perf_iters);
+    row.allocs =
+        (obs::thread_alloc_counters() - alloc0).allocs / perf_iters;
     std::printf("  [threads=%zu] %-22s mean %.4f ms  p50 %.4f ms  "
-                "p95 %.4f ms\n",
-                threads, name, rows.back().timing.mean_ms,
-                rows.back().timing.median_ms, rows.back().timing.p95_ms);
+                "p95 %.4f ms%s\n",
+                threads, name, row.timing.mean_ms, row.timing.median_ms,
+                row.timing.p95_ms, row.timing.cv > 0.10 ? "  (noisy)" : "");
   };
 
   Rng rng(21);
@@ -388,6 +419,18 @@ void run_kernel_suite(std::size_t threads, std::vector<KernelRow>& rows) {
       }
       benchmark::DoNotOptimize(sink);
     });
+    // Profiling-off counter-region overhead: 64k gated PerfCounterRegion
+    // entries. The default constructor must stay one relaxed load when
+    // --profile is off; this row gates that (the analogue of
+    // trace_span_overhead for the hardware-counter layer).
+    record("perf_region_overhead", [&] {
+      std::uint64_t sink = 0;
+      for (std::uint64_t i = 0; i < 65536; ++i) {
+        obs::PerfCounterRegion region;
+        sink += i;
+      }
+      benchmark::DoNotOptimize(sink);
+    });
   }
 }
 
@@ -407,12 +450,24 @@ void write_kernel_json(const std::string& path, std::size_t threads) {
      << "\",\"precision\":\"" << precision_name(global_precision())
      << "\",\"kernels\":[";
   for (std::size_t i = 0; i < rows.size(); ++i) {
-    const TimingResult& t = rows[i].timing;
+    const KernelRow& row = rows[i];
+    const TimingResult& t = row.timing;
     if (i) os << ",";
-    os << "{\"name\":\"" << rows[i].name << "\",\"threads\":"
-       << rows[i].threads << ",\"mean_ms\":" << t.mean_ms
+    os << "{\"name\":\"" << row.name << "\",\"threads\":"
+       << row.threads << ",\"mean_ms\":" << t.mean_ms
        << ",\"p50_ms\":" << t.median_ms << ",\"p95_ms\":" << t.p95_ms
-       << ",\"iterations\":" << t.iterations << "}";
+       << ",\"iterations\":" << t.iterations << ",\"cv\":" << t.cv;
+    // Jittery rows are flagged so a bench_compare regression on them is
+    // read as runner noise, not a kernel change.
+    if (t.cv > 0.10) os << ",\"noisy\":true";
+    os << ",\"allocs\":" << row.allocs;
+    // Hardware-counter columns only when the counter group really ran
+    // (bench_compare logs unknown/missing keys as skips either way).
+    if (row.perf.valid && row.perf.cycles > 0)
+      os << ",\"ipc\":" << row.perf.ipc();
+    if (row.perf.valid && row.perf.cache_references > 0)
+      os << ",\"cache_miss_rate\":" << row.perf.cache_miss_rate();
+    os << "}";
   }
   os << "]}\n";
   APDS_CHECK_MSG(os.good(), "short write to " << path);

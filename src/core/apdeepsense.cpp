@@ -2,6 +2,7 @@
 
 #include "core/moment_contract.h"
 #include "obs/flight_recorder.h"
+#include "obs/perf_counters.h"
 #include "obs/trace.h"
 #include "tensor/ops.h"
 
@@ -99,6 +100,10 @@ MeanVar ApDeepSense::propagate(const MeanVar& input,
 
 MeanVar ApDeepSense::propagate_f64(const MeanVar& input) const {
   APDS_TRACE_SCOPE("apd.propagate");
+  // One relaxed load when profiling is off (bench-gated by the
+  // perf_region_overhead row); under --profile it attributes this pass's
+  // cycles/cache traffic to the dispatched kernel backend.
+  obs::PerfCounterRegion perf_region;
   const std::vector<Matrix>& weight_sq = f64_pack();
   MeanVar h = input;
   APDS_MOMENT_CONTRACT(h, "apd.propagate input");
@@ -117,6 +122,7 @@ MeanVar ApDeepSense::propagate_f64(const MeanVar& input) const {
 
 MeanVar ApDeepSense::propagate_f32(const MeanVar& input) const {
   APDS_TRACE_SCOPE("apd.propagate_f32");
+  obs::PerfCounterRegion perf_region;
   const F32Pack& pack = f32_pack();
   // Narrow once at entry and widen once at exit; the whole layer stack
   // stays single-precision in between. Each layer runs the fused
@@ -138,6 +144,7 @@ MeanVar ApDeepSense::propagate_f32(const MeanVar& input) const {
 
 MeanVar ApDeepSense::propagate_i8(const MeanVar& input) const {
   APDS_TRACE_SCOPE("apd.propagate_i8");
+  obs::PerfCounterRegion perf_region;
   const I8Pack& pack = i8_pack();
   // Hidden layers run on symmetric i8 weights with exact i32 accumulation;
   // the final layer — the moment head whose variance the caller consumes —

@@ -1,0 +1,171 @@
+#include "obs/alloc_stats.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>  // apds-lint: allow(naked-new) — header name, not an expression
+
+namespace apds::obs {
+namespace {
+
+// Plain (non-atomic) thread_local POD: each thread only touches its own
+// block, and being trivially constructible/destructible keeps the hooks
+// free of TLS guard branches and safe while thread-exit destructors of
+// other objects still allocate/free.
+struct ThreadAllocTls {
+  std::uint64_t allocs;
+  std::uint64_t frees;
+  std::uint64_t bytes;
+};
+thread_local ThreadAllocTls tl_alloc = {0, 0, 0};
+
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_frees{0};
+std::atomic<std::uint64_t> g_bytes{0};
+
+inline void count_alloc(std::size_t size) noexcept {
+  tl_alloc.allocs += 1;
+  tl_alloc.bytes += size;
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
+}
+
+inline void count_free() noexcept {
+  tl_alloc.frees += 1;
+  g_frees.fetch_add(1, std::memory_order_relaxed);
+}
+
+void* counted_alloc(std::size_t size) {
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  while (!p) {
+    std::new_handler handler = std::get_new_handler();
+    if (!handler) throw std::bad_alloc();
+    handler();
+    p = std::malloc(size);
+  }
+  count_alloc(size);
+  return p;
+}
+
+void* counted_alloc_aligned(std::size_t size, std::size_t alignment) {
+  if (size == 0) size = 1;
+  // aligned_alloc portably requires size to be a multiple of alignment.
+  const std::size_t rounded = (size + alignment - 1) / alignment * alignment;
+  void* p = std::aligned_alloc(alignment, rounded);
+  while (!p) {
+    std::new_handler handler = std::get_new_handler();
+    if (!handler) throw std::bad_alloc();
+    handler();
+    p = std::aligned_alloc(alignment, rounded);
+  }
+  count_alloc(size);
+  return p;
+}
+
+void counted_free(void* p) noexcept {
+  if (!p) return;
+  count_free();
+  std::free(p);
+}
+
+}  // namespace
+
+AllocCounters thread_alloc_counters() {
+  return {tl_alloc.allocs, tl_alloc.frees, tl_alloc.bytes};
+}
+
+AllocCounters process_alloc_counters() {
+  return {g_allocs.load(std::memory_order_relaxed),
+          g_frees.load(std::memory_order_relaxed),
+          g_bytes.load(std::memory_order_relaxed)};
+}
+
+bool alloc_hooks_active() {
+  const AllocCounters before = thread_alloc_counters();
+  { auto probe = std::make_unique<std::uint64_t>(0); (void)probe; }
+  const AllocCounters after = thread_alloc_counters();
+  return after.allocs > before.allocs && after.frees > before.frees;
+}
+
+}  // namespace apds::obs
+
+// ---------------------------------------------------------------------------
+// Replacement global allocation functions ([new.delete.single] and
+// friends). Defined in the same TU as the accessors above so linking the
+// accessors pulls the replacements into the binary.
+
+void* operator new(std::size_t size) { return apds::obs::counted_alloc(size); }
+
+void* operator new[](std::size_t size) {
+  return apds::obs::counted_alloc(size);
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  if (p) apds::obs::count_alloc(size);
+  return p;
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return operator new(size, std::nothrow);
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  return apds::obs::counted_alloc_aligned(
+      size, static_cast<std::size_t>(alignment));
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  return apds::obs::counted_alloc_aligned(
+      size, static_cast<std::size_t>(alignment));
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment,
+                   const std::nothrow_t&) noexcept {
+  if (size == 0) size = 1;
+  const std::size_t a = static_cast<std::size_t>(alignment);
+  void* p = std::aligned_alloc(a, (size + a - 1) / a * a);
+  if (p) apds::obs::count_alloc(size);
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment,
+                     const std::nothrow_t&) noexcept {
+  return operator new(size, alignment, std::nothrow);
+}
+
+void operator delete(void* p) noexcept { apds::obs::counted_free(p); }
+void operator delete[](void* p) noexcept { apds::obs::counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept {
+  apds::obs::counted_free(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  apds::obs::counted_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  apds::obs::counted_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  apds::obs::counted_free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  apds::obs::counted_free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  apds::obs::counted_free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  apds::obs::counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  apds::obs::counted_free(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  apds::obs::counted_free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  apds::obs::counted_free(p);
+}

@@ -7,6 +7,7 @@
 
 #include "common/error.h"
 #include "common/logging.h"
+#include "obs/alloc_stats.h"
 #include "obs/metrics.h"
 
 namespace apds::obs {
@@ -49,6 +50,8 @@ void FlightRecorder::record(const RequestRecord& record) {
   slot.pred_mean.store(record.pred_mean, std::memory_order_relaxed);
   slot.pred_var.store(record.pred_var, std::memory_order_relaxed);
   slot.alerts.store(record.alerts, std::memory_order_relaxed);
+  slot.allocs.store(record.allocs, std::memory_order_relaxed);
+  slot.alloc_bytes.store(record.alloc_bytes, std::memory_order_relaxed);
   slot.seq.store(2 * serial + 2, std::memory_order_release);
 
   if (g_dump_requested.exchange(false, std::memory_order_relaxed)) {
@@ -78,6 +81,8 @@ bool FlightRecorder::read_slot(const Slot& slot, RequestRecord* out) const {
   r.pred_mean = slot.pred_mean.load(std::memory_order_relaxed);
   r.pred_var = slot.pred_var.load(std::memory_order_relaxed);
   r.alerts = slot.alerts.load(std::memory_order_relaxed);
+  r.allocs = slot.allocs.load(std::memory_order_relaxed);
+  r.alloc_bytes = slot.alloc_bytes.load(std::memory_order_relaxed);
   std::atomic_thread_fence(std::memory_order_acquire);
   if (slot.seq.load(std::memory_order_relaxed) != s1) return false;
   *out = r;
@@ -119,7 +124,8 @@ void FlightRecorder::write_json(std::ostream& os) const {
        << ",\"input_mean\":" << r.input_mean
        << ",\"input_absmax\":" << r.input_absmax
        << ",\"pred_mean\":" << r.pred_mean << ",\"pred_var\":" << r.pred_var
-       << ",\"alerts\":" << r.alerts << "}";
+       << ",\"alerts\":" << r.alerts << ",\"allocs\":" << r.allocs
+       << ",\"alloc_bytes\":" << r.alloc_bytes << "}";
   }
   os << "\n]}\n";
 }
@@ -201,6 +207,9 @@ RequestScope::RequestScope() : begin_(), span_("request", "request") {
   record_.request_id = current_request_context().request_id;
   record_.start_us = TraceCollector::instance().now_us();
   alerts_before_ = FlightRecorder::instance().alerts_raised();
+  const AllocCounters allocs = thread_alloc_counters();
+  allocs_before_ = allocs.allocs;
+  alloc_bytes_before_ = allocs.bytes;
   prev_ = tl_current_scope;
   tl_current_scope = this;
 }
@@ -211,6 +220,12 @@ RequestScope::~RequestScope() {
       (TraceCollector::instance().now_us() - record_.start_us) * 1e-3;
   const std::uint64_t alerts_now = FlightRecorder::instance().alerts_raised();
   record_.alerts = static_cast<std::uint32_t>(alerts_now - alerts_before_);
+  // Heap activity of the request's own thread (pool workers allocate on
+  // their own TLS blocks — the per-request count is the submitting
+  // thread's share, matching the layer-timing attribution above).
+  const AllocCounters allocs_now = thread_alloc_counters();
+  record_.allocs = allocs_now.allocs - allocs_before_;
+  record_.alloc_bytes = allocs_now.bytes - alloc_bytes_before_;
   MetricsRegistry::instance().counter("request.count").increment();
   // Attributed observation: the bucket this latency lands in retains the
   // request id as its exemplar.

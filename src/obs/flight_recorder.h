@@ -50,6 +50,11 @@ struct RequestRecord {
   double pred_mean = 0.0;
   double pred_var = 0.0;
   std::uint32_t alerts = 0;  ///< alerts raised while this request ran
+  /// Heap activity on the request's thread while the scope was open
+  /// (operator-new calls / bytes requested; see obs/alloc_stats.h). The
+  /// zero-alloc steady-state work drives these to 0.
+  std::uint64_t allocs = 0;
+  std::uint64_t alloc_bytes = 0;
 };
 
 /// The ring. Thread-safe for any mix of writers and readers; a snapshot
@@ -124,6 +129,8 @@ class FlightRecorder {
     std::atomic<double> pred_mean{0.0};
     std::atomic<double> pred_var{0.0};
     std::atomic<std::uint32_t> alerts{0};
+    std::atomic<std::uint64_t> allocs{0};
+    std::atomic<std::uint64_t> alloc_bytes{0};
   };
 
   /// Copy-out one slot if currently published; false on empty/in-flux.
@@ -182,6 +189,8 @@ class RequestScope {
   TraceSpan span_;
   RequestRecord record_;
   std::uint64_t alerts_before_ = 0;
+  std::uint64_t allocs_before_ = 0;       ///< thread alloc counters at open
+  std::uint64_t alloc_bytes_before_ = 0;
   RequestScope* prev_ = nullptr;  ///< enclosing scope on this thread
 };
 

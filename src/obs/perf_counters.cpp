@@ -1,0 +1,422 @@
+#include "obs/perf_counters.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <mutex>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "tensor/kernels/kernel_dispatch.h"
+
+#if defined(__linux__) && !defined(APDS_NO_PERF)
+#define APDS_PERF_REAL 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace apds::obs {
+
+namespace {
+
+double nan_value() { return std::numeric_limits<double>::quiet_NaN(); }
+
+// Probe result, decided once per process (first caller wins; later
+// threads only read). The reason string is written inside the call_once.
+std::once_flag g_probe_once;
+std::atomic<int> g_availability{static_cast<int>(PerfAvailability::kUnsupported)};
+std::string& probe_reason() {
+  static std::string reason;
+  return reason;
+}
+
+/// APDS_PERF=off|0|false — the test hook simulating a paranoid denial.
+bool perf_disabled_by_env() {
+  const char* env = std::getenv("APDS_PERF");
+  if (!env) return false;
+  const std::string v(env);
+  return v == "off" || v == "0" || v == "false";
+}
+
+std::atomic<bool> g_profiling{false};
+
+// One thread_local group is shared by every region on a thread; nested
+// regions (a propagate region inside a bench region) find it busy and go
+// inert instead of resetting the outer measurement.
+thread_local bool tl_group_busy = false;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PerfCounterValues
+
+double PerfCounterValues::multiplex_scale() const {
+  if (!valid || time_running_ns == 0) return 0.0;
+  return static_cast<double>(time_enabled_ns) /
+         static_cast<double>(time_running_ns);
+}
+
+double PerfCounterValues::ipc() const {
+  if (!valid || cycles == 0) return nan_value();
+  return static_cast<double>(instructions) / static_cast<double>(cycles);
+}
+
+double PerfCounterValues::cache_miss_rate() const {
+  if (!valid || cache_references == 0) return nan_value();
+  return static_cast<double>(cache_misses) /
+         static_cast<double>(cache_references);
+}
+
+double PerfCounterValues::branch_miss_rate() const {
+  if (!valid || instructions == 0) return nan_value();
+  return static_cast<double>(branch_misses) /
+         static_cast<double>(instructions);
+}
+
+PerfCounterValues& PerfCounterValues::operator+=(
+    const PerfCounterValues& other) {
+  cycles += other.cycles;
+  instructions += other.instructions;
+  cache_references += other.cache_references;
+  cache_misses += other.cache_misses;
+  branch_misses += other.branch_misses;
+  time_enabled_ns += other.time_enabled_ns;
+  time_running_ns += other.time_running_ns;
+  valid = valid || other.valid;
+  return *this;
+}
+
+const char* perf_availability_name(PerfAvailability a) {
+  switch (a) {
+    case PerfAvailability::kAvailable: return "available";
+    case PerfAvailability::kDisabledByEnv: return "disabled-by-env";
+    case PerfAvailability::kDenied: return "denied";
+    default: return "unsupported";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Linux implementation
+#ifdef APDS_PERF_REAL
+
+namespace {
+
+long perf_event_open_raw(perf_event_attr* attr, pid_t pid, int cpu,
+                         int group_fd, unsigned long flags) {
+  return syscall(__NR_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+perf_event_attr make_attr(std::uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;  // works at perf_event_paranoid <= 2
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return attr;
+}
+
+/// Sibling events behind the cycles leader, in open (= read) order.
+constexpr std::uint64_t kSiblingConfigs[4] = {
+    PERF_COUNT_HW_INSTRUCTIONS, PERF_COUNT_HW_CACHE_REFERENCES,
+    PERF_COUNT_HW_CACHE_MISSES, PERF_COUNT_HW_BRANCH_MISSES};
+
+PerfAvailability classify_errno(int err) {
+  if (err == EACCES || err == EPERM) return PerfAvailability::kDenied;
+  return PerfAvailability::kUnsupported;
+}
+
+}  // namespace
+
+PerfAvailability perf_availability() {
+  std::call_once(g_probe_once, [] {
+    if (perf_disabled_by_env()) {
+      g_availability.store(static_cast<int>(PerfAvailability::kDisabledByEnv),
+                           std::memory_order_relaxed);
+      probe_reason() =
+          "disabled by APDS_PERF env (simulated perf_event_paranoid denial)";
+      return;
+    }
+    perf_event_attr attr = make_attr(PERF_COUNT_HW_CPU_CYCLES);
+    const long fd = perf_event_open_raw(&attr, 0, -1, -1, 0);
+    if (fd >= 0) {
+      close(static_cast<int>(fd));
+      g_availability.store(static_cast<int>(PerfAvailability::kAvailable),
+                           std::memory_order_relaxed);
+      probe_reason().clear();
+      return;
+    }
+    const int err = errno;
+    g_availability.store(static_cast<int>(classify_errno(err)),
+                         std::memory_order_relaxed);
+    probe_reason() = std::string("perf_event_open failed: ") +
+                     std::strerror(err) +
+                     (classify_errno(err) == PerfAvailability::kDenied
+                          ? " (check /proc/sys/kernel/perf_event_paranoid)"
+                          : " (no PMU exposed — container/VM?)");
+  });
+  return static_cast<PerfAvailability>(
+      g_availability.load(std::memory_order_relaxed));
+}
+
+PerfCounterGroup::PerfCounterGroup() {
+  if (perf_availability() != PerfAvailability::kAvailable) return;
+  perf_event_attr leader = make_attr(PERF_COUNT_HW_CPU_CYCLES);
+  const long fd = perf_event_open_raw(&leader, 0, -1, -1, 0);
+  if (fd < 0) return;  // raced a paranoid change; stay inert
+  leader_fd_ = static_cast<int>(fd);
+  // Open the full sibling set; a PMU with too few programmable counters
+  // keeps cycles+instructions and drops the cache/branch members.
+  full_group_ = true;
+  for (std::uint64_t config : kSiblingConfigs) {
+    perf_event_attr attr = make_attr(config);
+    const long sibling = perf_event_open_raw(&attr, 0, -1, leader_fd_, 0);
+    if (sibling < 0) {
+      if (config == PERF_COUNT_HW_INSTRUCTIONS) {
+        // Even the minimal pair failed — give up on the group.
+        close(leader_fd_);
+        leader_fd_ = -1;
+        return;
+      }
+      full_group_ = false;
+      break;
+    }
+    member_fds_[n_members_++] = static_cast<int>(sibling);
+  }
+}
+
+PerfCounterGroup::~PerfCounterGroup() {
+  for (std::size_t i = 0; i < n_members_; ++i) close(member_fds_[i]);
+  if (leader_fd_ >= 0) close(leader_fd_);
+}
+
+void PerfCounterGroup::start() {
+  if (leader_fd_ < 0) return;
+  ioctl(leader_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(leader_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+void PerfCounterGroup::stop() {
+  if (leader_fd_ < 0) return;
+  ioctl(leader_fd_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+}
+
+PerfCounterValues PerfCounterGroup::read() const {
+  PerfCounterValues out;
+  if (leader_fd_ < 0) return out;
+  // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running, value[nr]
+  // (creation order: leader first, then siblings as opened).
+  std::uint64_t buf[3 + 5] = {};
+  const ssize_t n = ::read(leader_fd_, buf, sizeof(buf));
+  if (n < static_cast<ssize_t>(4 * sizeof(std::uint64_t))) return out;
+  const std::uint64_t nr = buf[0];
+  if (nr < 1 || nr > 5) return out;
+  out.time_enabled_ns = buf[1];
+  out.time_running_ns = buf[2];
+  out.cycles = buf[3];
+  if (nr > 1) out.instructions = buf[4];
+  if (nr > 2) out.cache_references = buf[5];
+  if (nr > 3) out.cache_misses = buf[6];
+  if (nr > 4) out.branch_misses = buf[7];
+  out.valid = true;
+  return out;
+}
+
+#else  // ---------------------------------------------------------- stub ---
+
+PerfAvailability perf_availability() {
+  std::call_once(g_probe_once, [] {
+    if (perf_disabled_by_env()) {
+      g_availability.store(static_cast<int>(PerfAvailability::kDisabledByEnv),
+                           std::memory_order_relaxed);
+      probe_reason() =
+          "disabled by APDS_PERF env (simulated perf_event_paranoid denial)";
+      return;
+    }
+    g_availability.store(static_cast<int>(PerfAvailability::kUnsupported),
+                         std::memory_order_relaxed);
+    probe_reason() = "perf_event_open unavailable on this platform (stub)";
+  });
+  return static_cast<PerfAvailability>(
+      g_availability.load(std::memory_order_relaxed));
+}
+
+PerfCounterGroup::PerfCounterGroup() { (void)perf_availability(); }
+PerfCounterGroup::~PerfCounterGroup() = default;
+void PerfCounterGroup::start() {}
+void PerfCounterGroup::stop() {}
+PerfCounterValues PerfCounterGroup::read() const { return {}; }
+
+#endif  // APDS_PERF_REAL
+
+const std::string& perf_unavailable_reason() {
+  (void)perf_availability();  // force the probe (and the reason write)
+  return probe_reason();
+}
+
+PerfCounterGroup& PerfCounterGroup::thread_local_group() {
+  thread_local PerfCounterGroup group;
+  return group;
+}
+
+// ---------------------------------------------------------------------------
+// Profiling switch + per-backend table
+
+void set_perf_profiling(bool on) {
+  g_profiling.store(on, std::memory_order_relaxed);
+  if (on && perf_availability() != PerfAvailability::kAvailable)
+    APDS_INFO("perf counters unavailable ("
+              << perf_availability_name(perf_availability()) << ": "
+              << perf_unavailable_reason()
+              << "); counter regions run as no-ops");
+}
+
+bool perf_profiling_enabled() {
+  return g_profiling.load(std::memory_order_relaxed);
+}
+
+struct KernelPerfTable::Slot {
+  std::atomic<std::uint64_t> samples{0};  ///< adds with valid counter data
+  std::atomic<std::uint64_t> cycles{0};
+  std::atomic<std::uint64_t> instructions{0};
+  std::atomic<std::uint64_t> cache_references{0};
+  std::atomic<std::uint64_t> cache_misses{0};
+  std::atomic<std::uint64_t> branch_misses{0};
+  std::atomic<std::uint64_t> time_enabled_ns{0};
+  std::atomic<std::uint64_t> time_running_ns{0};
+  std::atomic<std::uint64_t> regions{0};
+};
+
+KernelPerfTable& KernelPerfTable::instance() {
+  static KernelPerfTable table;
+  return table;
+}
+
+KernelPerfTable::Slot& KernelPerfTable::slot(std::size_t backend) const {
+  static Slot slots[kBackends];
+  return slots[backend < kBackends ? backend : 0];
+}
+
+void KernelPerfTable::add(std::size_t backend, const PerfCounterValues& v) {
+  Slot& s = slot(backend);
+  // Regions are counted even when the counter group was unavailable, so
+  // backend attribution (which backend ran how many regions) still works
+  // on counter-denied runners; the hardware totals stay at zero there.
+  s.regions.fetch_add(1, std::memory_order_relaxed);
+  if (!v.valid) return;
+  s.samples.fetch_add(1, std::memory_order_relaxed);
+  s.cycles.fetch_add(v.cycles, std::memory_order_relaxed);
+  s.instructions.fetch_add(v.instructions, std::memory_order_relaxed);
+  s.cache_references.fetch_add(v.cache_references, std::memory_order_relaxed);
+  s.cache_misses.fetch_add(v.cache_misses, std::memory_order_relaxed);
+  s.branch_misses.fetch_add(v.branch_misses, std::memory_order_relaxed);
+  s.time_enabled_ns.fetch_add(v.time_enabled_ns, std::memory_order_relaxed);
+  s.time_running_ns.fetch_add(v.time_running_ns, std::memory_order_relaxed);
+}
+
+PerfCounterValues KernelPerfTable::total(std::size_t backend) const {
+  const Slot& s = slot(backend);
+  PerfCounterValues v;
+  v.cycles = s.cycles.load(std::memory_order_relaxed);
+  v.instructions = s.instructions.load(std::memory_order_relaxed);
+  v.cache_references = s.cache_references.load(std::memory_order_relaxed);
+  v.cache_misses = s.cache_misses.load(std::memory_order_relaxed);
+  v.branch_misses = s.branch_misses.load(std::memory_order_relaxed);
+  v.time_enabled_ns = s.time_enabled_ns.load(std::memory_order_relaxed);
+  v.time_running_ns = s.time_running_ns.load(std::memory_order_relaxed);
+  v.valid = s.samples.load(std::memory_order_relaxed) > 0;
+  return v;
+}
+
+std::uint64_t KernelPerfTable::regions(std::size_t backend) const {
+  return slot(backend).regions.load(std::memory_order_relaxed);
+}
+
+void KernelPerfTable::publish_metrics() const {
+  for (std::size_t b = 0; b < kBackends; ++b) {
+    if (regions(b) == 0) continue;
+    const PerfCounterValues v = total(b);
+    const std::string prefix =
+        std::string("perf.") +
+        kernel_backend_name(static_cast<KernelBackend>(b)) + ".";
+    MetricsRegistry& reg = MetricsRegistry::instance();
+    reg.gauge(prefix + "regions").set(static_cast<double>(regions(b)));
+    reg.gauge(prefix + "cycles").set(static_cast<double>(v.cycles));
+    reg.gauge(prefix + "instructions")
+        .set(static_cast<double>(v.instructions));
+    const double ipc = v.ipc();
+    if (std::isfinite(ipc)) reg.gauge(prefix + "ipc").set(ipc);
+    const double miss = v.cache_miss_rate();
+    if (std::isfinite(miss)) reg.gauge(prefix + "cache_miss_rate").set(miss);
+  }
+}
+
+void KernelPerfTable::reset() {
+  for (std::size_t b = 0; b < kBackends; ++b) {
+    Slot& s = slot(b);
+    s.samples.store(0, std::memory_order_relaxed);
+    s.cycles.store(0, std::memory_order_relaxed);
+    s.instructions.store(0, std::memory_order_relaxed);
+    s.cache_references.store(0, std::memory_order_relaxed);
+    s.cache_misses.store(0, std::memory_order_relaxed);
+    s.branch_misses.store(0, std::memory_order_relaxed);
+    s.time_enabled_ns.store(0, std::memory_order_relaxed);
+    s.time_running_ns.store(0, std::memory_order_relaxed);
+    s.regions.store(0, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PerfCounterRegion
+
+PerfCounterRegion::PerfCounterRegion() {
+  if (!perf_profiling_enabled()) return;
+  begin();
+}
+
+PerfCounterRegion::PerfCounterRegion(PerfCounterValues* out) : out_(out) {
+  if (out_) *out_ = {};
+  begin();
+}
+
+void PerfCounterRegion::begin() {
+  if (tl_group_busy) return;  // nested region: stay inert
+  // Unavailable groups still participate: start/read degrade to no-ops
+  // and the dtor records a counter-less region for backend attribution.
+  tl_group_busy = true;
+  group_ = &PerfCounterGroup::thread_local_group();
+  group_->start();
+}
+
+PerfCounterRegion::~PerfCounterRegion() {
+  if (!group_) return;
+  group_->stop();
+  const PerfCounterValues v = group_->read();
+  tl_group_busy = false;
+  if (out_) {
+    *out_ = v;
+    return;
+  }
+  KernelPerfTable::instance().add(
+      static_cast<std::size_t>(static_cast<int>(global_kernel_backend())), v);
+}
+
+PerfCounterValues perf_measure(const std::function<void()>& fn,
+                               std::size_t iterations) {
+  PerfCounterValues values;
+  {
+    PerfCounterRegion region(&values);
+    for (std::size_t i = 0; i < iterations; ++i) fn();
+  }
+  return values;
+}
+
+}  // namespace apds::obs

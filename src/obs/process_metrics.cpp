@@ -1,0 +1,96 @@
+#include "obs/process_metrics.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "obs/prom.h"
+
+#if defined(__linux__)
+#include <dirent.h>
+#include <unistd.h>
+#endif
+
+namespace apds::obs {
+
+#if defined(__linux__)
+
+ProcessStats sample_process_stats() {
+  ProcessStats stats;
+
+  // /proc/self/status: VmRSS (kB) and Threads, line-oriented and stable.
+  std::ifstream status("/proc/self/status");
+  if (!status) return stats;
+  std::string line;
+  while (std::getline(status, line)) {
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "VmRSS:") {
+      double kb = 0.0;
+      ls >> kb;
+      stats.resident_bytes = kb * 1024.0;
+    } else if (key == "Threads:") {
+      ls >> stats.threads;
+    }
+  }
+
+  // /proc/self/stat fields 14/15 are utime/stime in clock ticks. Field 2
+  // is the comm in parentheses (may contain spaces) — skip past ") ".
+  std::ifstream stat("/proc/self/stat");
+  std::string content;
+  if (stat && std::getline(stat, content)) {
+    const std::size_t close = content.rfind(')');
+    if (close != std::string::npos) {
+      std::istringstream ss(content.substr(close + 1));
+      std::string field;
+      unsigned long long utime = 0, stime = 0;
+      // After ')': state(3) ... utime is field 14, i.e. the 11th here.
+      for (int i = 3; i <= 15 && ss >> field; ++i) {
+        if (i == 14) utime = std::stoull(field);
+        if (i == 15) stime = std::stoull(field);
+      }
+      const long hz = sysconf(_SC_CLK_TCK);
+      if (hz > 0)
+        stats.cpu_seconds = static_cast<double>(utime + stime) /
+                            static_cast<double>(hz);
+    }
+  }
+
+  if (DIR* dir = opendir("/proc/self/fd")) {
+    while (readdir(dir)) ++stats.open_fds;
+    closedir(dir);
+    // ".", ".." and the directory's own fd inflate the count by 3.
+    stats.open_fds = stats.open_fds > 3 ? stats.open_fds - 3 : 0;
+  }
+
+  stats.valid = true;
+  return stats;
+}
+
+#else
+
+ProcessStats sample_process_stats() { return {}; }
+
+#endif  // __linux__
+
+void write_process_prometheus(std::ostream& os) {
+  const ProcessStats stats = sample_process_stats();
+  if (!stats.valid) return;
+  prom_family(os, "apds_process_resident_memory_bytes", "gauge",
+              "Resident set size of the process.");
+  os << "apds_process_resident_memory_bytes " << stats.resident_bytes
+     << "\n";
+  prom_family(os, "apds_process_cpu_seconds_total", "counter",
+              "Total user and system CPU time spent by the process.");
+  os << "apds_process_cpu_seconds_total " << stats.cpu_seconds << "\n";
+  prom_family(os, "apds_process_threads", "gauge",
+              "Number of live threads in the process.");
+  os << "apds_process_threads " << stats.threads << "\n";
+  prom_family(os, "apds_process_open_fds", "gauge",
+              "Number of open file descriptors.");
+  os << "apds_process_open_fds " << stats.open_fds << "\n";
+}
+
+}  // namespace apds::obs

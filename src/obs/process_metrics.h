@@ -1,0 +1,28 @@
+// Process self-metrics for the `--prom` exporter, read from /proc/self:
+// resident set size, CPU seconds (user+system), live thread count and open
+// file descriptors, emitted as the standard `apds_process_*` Prometheus
+// families alongside the health and metrics registries. Reading /proc is
+// Linux-only; other platforms report valid=false and the exporter simply
+// omits the families.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace apds::obs {
+
+struct ProcessStats {
+  double resident_bytes = 0.0;   ///< VmRSS
+  double cpu_seconds = 0.0;      ///< utime+stime since process start
+  std::uint64_t threads = 0;     ///< live threads
+  std::uint64_t open_fds = 0;    ///< entries in /proc/self/fd
+  bool valid = false;            ///< false when /proc is unavailable
+};
+
+/// Sample the calling process (never throws; valid=false on any failure).
+ProcessStats sample_process_stats();
+
+/// Emit the `apds_process_*` families (no-op when sampling failed).
+void write_process_prometheus(std::ostream& os);
+
+}  // namespace apds::obs

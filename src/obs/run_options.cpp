@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <iomanip>
 #include <iostream>
 #include <vector>
 
@@ -13,6 +14,9 @@
 #include "obs/flight_recorder.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
+#include "obs/process_metrics.h"
+#include "obs/sampling_profiler.h"
 #include "obs/trace.h"
 #include "platform/thread_pool.h"
 
@@ -86,6 +90,8 @@ ObsOptions parse_obs_flags(int& argc, char** argv) {
       options.prom_path = take_value("--prom");
     } else if (arg == "--flight") {
       options.flight_path = take_value("--flight");
+    } else if (arg == "--profile") {
+      options.profile_path = take_value("--profile");
     } else if (arg == "--slo") {
       parse_slo(take_value("--slo"), options);
     } else if (arg == "--log-level") {
@@ -127,6 +133,9 @@ const char* obs_flags_help() {
          "                      Prometheus text exposition format\n"
          "  --flight <file>     write flight-recorder request ring as JSON\n"
          "                      (alert dumps go to <file>.alert)\n"
+         "  --profile <file>    sampling profiler + hardware counter regions;\n"
+         "                      writes profile JSON to <file>, collapsed\n"
+         "                      stacks to <file>.folded (flamegraph.pl input)\n"
          "  --slo <p50,p95,p99> latency SLO thresholds in ms (0 = unchecked)\n"
          "  --log-level <lvl>   debug|info|warn|error|off\n"
          "  --threads <n>       thread-pool width (1 = serial; default\n"
@@ -141,6 +150,15 @@ const char* obs_flags_help() {
 
 ObsSession::ObsSession(ObsOptions options) : options_(std::move(options)) {
   if (options_.tracing()) TraceCollector::instance().set_enabled(true);
+  if (options_.profiling()) {
+    // Hooks must be installed before anything below forces the global
+    // pool's construction (the pool.threads gauge does), so workers
+    // register with the profiler as they start.
+    set_worker_thread_hooks(&SamplingProfiler::register_current_thread,
+                            &SamplingProfiler::unregister_current_thread);
+    SamplingProfiler::instance().start();
+    set_perf_profiling(true);  // arm the kernel-dispatch counter regions
+  }
   if (options_.threads > 0) set_global_threads(options_.threads);
   if (options_.precision) set_global_precision(*options_.precision);
   if (options_.kernel) set_global_kernel_backend(*options_.kernel);
@@ -168,6 +186,30 @@ ObsSession::ObsSession(int& argc, char** argv)
 
 ObsSession::~ObsSession() {
   try {
+    if (options_.profiling()) {
+      SamplingProfiler& profiler = SamplingProfiler::instance();
+      profiler.stop();
+      set_perf_profiling(false);
+      // The per-backend counter gauges ride the --metrics/--prom exports
+      // below, so publish before those writers run.
+      KernelPerfTable::instance().publish_metrics();
+      write_profile_files(options_.profile_path);
+      const auto rep = profiler.report();
+      std::cout << "profile: " << rep.samples << " samples ("
+                << rep.dropped << " dropped) across " << rep.threads
+                << " thread(s), hardware counters "
+                << perf_availability_name(perf_availability()) << "\n";
+      const std::size_t top = std::min<std::size_t>(10, rep.self_time.size());
+      for (std::size_t i = 0; i < top; ++i) {
+        const auto& entry = rep.self_time[i];
+        std::cout << "  " << entry.samples << " (" << std::fixed
+                  << std::setprecision(1) << entry.fraction * 100.0
+                  << "%) " << entry.symbol << "\n";
+        std::cout.unsetf(std::ios::fixed);
+      }
+      std::cout << "profile written to " << options_.profile_path << " (+"
+                << options_.profile_path << ".folded for flamegraph.pl)\n";
+    }
     if (options_.tracing()) {
       TraceCollector& collector = TraceCollector::instance();
       collector.set_enabled(false);
@@ -197,6 +239,9 @@ ObsSession::~ObsSession() {
                         options_.prom_path);
         snap.write_prometheus(prom);
         MetricsRegistry::instance().write_prometheus(prom);
+        // Process self-metrics (RSS, CPU seconds, threads, fds) complete
+        // the scrape; omitted automatically when /proc is unavailable.
+        write_process_prometheus(prom);
         if (!prom)
           throw IoError("prometheus file write failure: " +
                         options_.prom_path);

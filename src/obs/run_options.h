@@ -12,6 +12,13 @@
 //   --flight <file>     write the flight-recorder ring (last N completed
 //                       requests) as JSON on exit; also enables the
 //                       alert-triggered dump to <file>.alert
+//   --profile <file>    enable the sampling profiler and hardware counter
+//                       regions for the whole run; on exit write the
+//                       profile JSON (self-time table, collapsed stacks,
+//                       per-kernel-backend counter tables) to <file>, the
+//                       raw collapsed stacks to <file>.folded, and print
+//                       the top self-time entries (see
+//                       tools/apds_profile_report)
 //   --slo <p50,p95,p99> latency SLO thresholds in ms fed to the health
 //                       monitor (0 disables a percentile's check)
 //   --log-level <lvl>   debug | info | warn | error | off
@@ -47,6 +54,7 @@ struct ObsOptions {
   std::string health_path;   ///< empty = no health-snapshot JSON export
   std::string prom_path;     ///< empty = no Prometheus export
   std::string flight_path;   ///< empty = no flight-recorder exit dump
+  std::string profile_path;  ///< empty = profiling stays off
   std::size_t threads = 0;   ///< 0 = APDS_THREADS env / hardware default
   /// --precision; unset = APDS_PRECISION env / f64 default.
   std::optional<Precision> precision;
@@ -57,6 +65,7 @@ struct ObsOptions {
   double slo_p95_ms = 0.0;
   double slo_p99_ms = 0.0;
   bool tracing() const { return !trace_path.empty(); }
+  bool profiling() const { return !profile_path.empty(); }
   bool health_export() const {
     return !health_path.empty() || !prom_path.empty();
   }

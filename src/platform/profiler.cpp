@@ -45,6 +45,7 @@ TimingResult measure(const std::function<void()>& fn,
     double ss = 0.0;
     for (double t : times_ms) ss += (t - r.mean_ms) * (t - r.mean_ms);
     r.stddev_ms = std::sqrt(ss / static_cast<double>(n - 1));
+    if (r.mean_ms > 0.0) r.cv = r.stddev_ms / r.mean_ms;
   }
   return r;
 }

@@ -15,6 +15,10 @@ struct TimingResult {
   double p95_ms = 0.0;
   /// Sample standard deviation (0 for a single iteration).
   double stddev_ms = 0.0;
+  /// Coefficient of variation: stddev/mean (0 for a single iteration or a
+  /// zero mean). Above ~0.10 the run was jittery — micro_kernels marks
+  /// such rows `noisy` so bench_compare regressions stay interpretable.
+  double cv = 0.0;
   std::size_t iterations = 0;
 };
 

@@ -10,9 +10,19 @@ namespace apds {
 
 namespace {
 thread_local bool tl_in_worker = false;
+
+// Worker lifecycle hooks (observability registration). Written once at
+// startup before any pool exists; read by every worker at start/exit.
+std::atomic<void (*)()> g_worker_on_start{nullptr};
+std::atomic<void (*)()> g_worker_on_exit{nullptr};
 }  // namespace
 
 bool ThreadPool::in_worker() { return tl_in_worker; }
+
+void set_worker_thread_hooks(void (*on_start)(), void (*on_exit)()) {
+  g_worker_on_start.store(on_start, std::memory_order_release);
+  g_worker_on_exit.store(on_exit, std::memory_order_release);
+}
 
 ThreadPool::ThreadPool(std::size_t threads) {
   const std::size_t n = resolve_num_threads(threads);
@@ -31,6 +41,8 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  if (void (*on_start)() = g_worker_on_start.load(std::memory_order_acquire))
+    on_start();
   std::uint64_t seen_generation = 0;
   for (;;) {
     const RangeFn* fn = nullptr;
@@ -40,7 +52,13 @@ void ThreadPool::worker_loop() {
     {
       std::unique_lock<std::mutex> lk(mu_);
       cv_task_.wait(lk, [&] { return stop_ || generation_ != seen_generation; });
-      if (stop_) return;
+      if (stop_) {
+        lk.unlock();
+        if (void (*on_exit)() =
+                g_worker_on_exit.load(std::memory_order_acquire))
+          on_exit();
+        return;
+      }
       seen_generation = generation_;
       generation = generation_;
       fn = fn_;

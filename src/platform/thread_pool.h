@@ -112,6 +112,14 @@ class ThreadPool {
 /// hardware: requested > env > hardware_concurrency, minimum 1.
 std::size_t resolve_num_threads(std::size_t requested);
 
+/// Per-worker lifecycle hooks: `on_start` runs first thing on every pool
+/// worker thread, `on_exit` runs right before it returns (both may be
+/// nullptr). The observability layer registers workers with the sampling
+/// profiler through these without the pool linking against apds_obs.
+/// Install BEFORE the first pool is built (already-running workers are not
+/// revisited); hooks apply to every pool built afterwards.
+void set_worker_thread_hooks(void (*on_start)(), void (*on_exit)());
+
 /// The process-wide pool used by the parallel kernels. Built lazily.
 ThreadPool& global_pool();
 

@@ -1,0 +1,15 @@
+// Golden fixture: perf-syscall must fire exactly once, on the raw
+// perf_event_open syscall. The "timer_create" in this comment and the
+// my_sigaction_helper identifier below must not fire (identifier-boundary
+// check), and std::signal is deliberately outside the rule's scope.
+#include <csignal>
+
+long syscall_shim(long nr, ...);
+int my_sigaction_helper();
+
+long open_counters() {
+  std::signal(SIGUSR1, SIG_IGN);  // sanctioned elsewhere; not this rule
+  (void)my_sigaction_helper();
+  return syscall_shim(/* __NR */ 298 /* perf_event_open on x86-64 */) +
+         static_cast<long>(sizeof(&perf_event_open));
+}

@@ -79,6 +79,7 @@ TEST(ApdsLint, EveryRuleFiresExactlyOnceOnItsFixture) {
       {"f32-libm-double", "src/stats/fast_math.cpp"},
       {"trapping-math", "src/CMakeLists.txt"},
       {"kernel-isa-flags", "src/kernels/CMakeLists.txt"},
+      {"perf-syscall", "src/bad_perf_syscall.cpp"},
   };
   for (const auto& e : expected) {
     EXPECT_EQ(count_of(run.output,
@@ -90,8 +91,8 @@ TEST(ApdsLint, EveryRuleFiresExactlyOnceOnItsFixture) {
               1u)
         << "file " << e.file << " must appear exactly once\n" << run.output;
   }
-  // Exactly the 9 seeded violations — nothing extra anywhere.
-  EXPECT_EQ(count_of(run.output, "\"rule\": "), 9u) << run.output;
+  // Exactly the 10 seeded violations — nothing extra anywhere.
+  EXPECT_EQ(count_of(run.output, "\"rule\": "), 10u) << run.output;
 }
 
 TEST(ApdsLint, SuppressionsCoverAllThreeFormsAndAreCounted) {
@@ -133,7 +134,7 @@ TEST(ApdsLint, ListRulesPrintsTheFullTable) {
   for (const char* rule :
        {"no-unseeded-rng", "float-equal", "pow-square", "naked-new",
         "raw-io", "f32-double-literal", "f32-libm-double", "trapping-math",
-        "kernel-isa-flags"})
+        "kernel-isa-flags", "perf-syscall"})
     EXPECT_NE(run.output.find(rule), std::string::npos) << rule;
 }
 

@@ -259,6 +259,10 @@ constexpr RuleInfo kRules[] = {
      "per-TU -m ISA flag (-mavx*/-mfma*/-msse*) outside the "
      "runtime-dispatched kernel TUs (kernels_avx2.cpp, kernels_avx512.cpp) "
      "— the binary must boot on the weakest device"},
+    {"perf-syscall",
+     "perf_event_open / timer_create / sigaction outside "
+     "src/obs/perf_counters.* and src/obs/sampling_profiler.* — counter "
+     "groups and profiling signal handlers live in the profiling layer"},
 };
 
 /// Per-file suppression state parsed from comment text.
@@ -347,6 +351,17 @@ bool is_f32_tu(const std::string& rel) {
 bool is_raw_io_sanctioned(const std::string& rel) {
   return has_suffix(rel, "src/common/logging.cpp") ||
          has_suffix(rel, "src/obs/run_options.cpp");
+}
+
+/// TUs sanctioned for raw perf_event_open syscalls and signal-handler
+/// installation: the hardware-counter wrapper and the sampling profiler.
+/// (std::signal is deliberately not covered — the flight recorder's
+/// SIGUSR1 dump hook is a separate, sanctioned mechanism.)
+bool is_perf_syscall_sanctioned(const std::string& rel) {
+  return has_suffix(rel, "src/obs/perf_counters.h") ||
+         has_suffix(rel, "src/obs/perf_counters.cpp") ||
+         has_suffix(rel, "src/obs/sampling_profiler.h") ||
+         has_suffix(rel, "src/obs/sampling_profiler.cpp");
 }
 
 bool is_rng_tu(const std::string& rel) {
@@ -554,6 +569,25 @@ void rule_raw_io(const MaskedSource& src, const std::string& rel, Emit out) {
   }
 }
 
+void rule_perf_syscall(const MaskedSource& src, const std::string& rel,
+                       Emit out) {
+  if (is_perf_syscall_sanctioned(rel)) return;
+  static const std::regex re(
+      R"(\b(perf_event_open|__NR_perf_event_open|timer_create|sigaction)\b)");
+  for (auto it = std::sregex_iterator(src.code.begin(), src.code.end(), re);
+       it != std::sregex_iterator(); ++it) {
+    const auto at = static_cast<std::size_t>(it->position());
+    // `struct sigaction sa;` uses the type, not the call — still flagged:
+    // installing any handler outside the profiling layer risks clobbering
+    // the SIGPROF chain, so the type's presence is the signal we want.
+    emit(out, rel, src.line_of(at), "perf-syscall",
+         "'" + it->str() +
+             "' outside src/obs/perf_counters.* / sampling_profiler.*; "
+             "counter groups and profiling signal handlers are confined to "
+             "the profiling layer (one owner for SIGPROF and fd lifetime)");
+  }
+}
+
 void rule_f32_double_literal(const MaskedSource& src, const std::string& rel,
                              Emit out) {
   if (!is_f32_tu(rel)) return;
@@ -687,6 +721,7 @@ void scan_file(const fs::path& path, const std::string& rel, Report* report) {
     rule_pow_square(src, rel, found);
     rule_naked_new(src, rel, found);
     rule_raw_io(src, rel, found);
+    rule_perf_syscall(src, rel, found);
     rule_f32_double_literal(src, rel, found);
     rule_f32_libm_double(src, rel, found);
   } else {

@@ -1,0 +1,252 @@
+// apds_profile_report: human-readable view over a `--profile` artifact —
+// the sampling profiler's self-time table and collapsed stacks plus the
+// per-kernel-backend hardware-counter tables — optionally joined with the
+// `--flight` recorder dump (per-request allocation accounting) and a
+// `--trace` JSON (span totals), so one report answers "where did the
+// cycles go, on which kernel tier, and who allocated".
+//
+//   apds_profile_report <profile.json> [--flight <flight.json>]
+//                       [--trace <trace.json>] [--top <K>]
+//                       [--folded <out.folded>]
+//
+// --folded re-emits the collapsed-stack lines embedded in the profile JSON
+// as a flamegraph.pl / speedscope input file.
+//
+// Counter-denied runners are first-class: when the profile records a
+// degraded perf availability the report prints the one-line reason and the
+// backend table falls back to region counts (attribution still works — the
+// regions were counted per dispatched backend even without counter data).
+//
+// Exit codes: 0 = report printed, 2 = usage / file / parse error.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/parse_num.h"
+#include "json_dom.h"
+
+namespace {
+
+using apds::tools::JsonValue;
+using apds::tools::parse_json_file;
+
+double number_or(const JsonValue& obj, const std::string& key, double fb) {
+  const JsonValue* v = obj.find(key);
+  return v && v->kind == JsonValue::Kind::kNumber ? v->number : fb;
+}
+
+std::string string_or(const JsonValue& obj, const std::string& key,
+                      const std::string& fb) {
+  const JsonValue* v = obj.find(key);
+  return v && v->kind == JsonValue::Kind::kString ? v->string : fb;
+}
+
+void print_self_time(const JsonValue& profile, std::size_t top_k) {
+  const JsonValue* self = profile.find("self_time");
+  if (!self || self->kind != JsonValue::Kind::kArray || self->array.empty()) {
+    std::printf("self-time: no samples\n");
+    return;
+  }
+  const std::size_t shown = std::min(top_k, self->array.size());
+  std::printf("self-time (top %zu of %zu symbols):\n", shown,
+              self->array.size());
+  std::printf("  %8s %7s  %s\n", "samples", "pct", "symbol");
+  for (std::size_t i = 0; i < shown; ++i) {
+    const JsonValue& entry = self->array[i];
+    std::printf("  %8.0f %6.1f%%  %s\n", number_or(entry, "samples", 0.0),
+                number_or(entry, "fraction", 0.0) * 100.0,
+                string_or(entry, "symbol", "?").c_str());
+  }
+}
+
+void print_backends(const JsonValue& profile) {
+  const JsonValue* backends = profile.find("perf_backends");
+  if (!backends || backends->kind != JsonValue::Kind::kArray ||
+      backends->array.empty()) {
+    std::printf("kernel backends: no counter regions recorded "
+                "(run under --profile to attribute)\n");
+    return;
+  }
+  std::printf("kernel backends (counter regions by dispatched tier):\n");
+  std::printf("  %-8s %10s %14s %16s %8s %12s\n", "backend", "regions",
+              "cycles", "instructions", "ipc", "miss_rate");
+  for (const JsonValue& b : backends->array) {
+    const JsonValue* valid = b.find("counters_valid");
+    const bool have = valid && valid->kind == JsonValue::Kind::kBool &&
+                      valid->boolean;
+    if (have) {
+      std::printf("  %-8s %10.0f %14.0f %16.0f %8.2f %11.2f%%\n",
+                  string_or(b, "backend", "?").c_str(),
+                  number_or(b, "regions", 0.0), number_or(b, "cycles", 0.0),
+                  number_or(b, "instructions", 0.0),
+                  number_or(b, "ipc", 0.0),
+                  number_or(b, "cache_miss_rate", 0.0) * 100.0);
+    } else {
+      std::printf("  %-8s %10.0f %14s %16s %8s %12s\n",
+                  string_or(b, "backend", "?").c_str(),
+                  number_or(b, "regions", 0.0), "-", "-", "-", "-");
+    }
+  }
+}
+
+void print_flight_allocs(const std::string& path, std::size_t top_k) {
+  const JsonValue root = parse_json_file(path);
+  const JsonValue* requests = root.find("requests");
+  if (!requests || requests->kind != JsonValue::Kind::kArray)
+    throw std::runtime_error(path + ": no \"requests\" array");
+  struct Row {
+    double id, dur_ms, allocs, bytes;
+  };
+  std::vector<Row> rows;
+  double total_allocs = 0.0, total_bytes = 0.0;
+  for (const JsonValue& r : requests->array) {
+    Row row{number_or(r, "request_id", 0.0), number_or(r, "dur_ms", 0.0),
+            number_or(r, "allocs", 0.0), number_or(r, "alloc_bytes", 0.0)};
+    total_allocs += row.allocs;
+    total_bytes += row.bytes;
+    rows.push_back(row);
+  }
+  if (rows.empty()) {
+    std::printf("flight join: no requests in %s\n", path.c_str());
+    return;
+  }
+  const double n = static_cast<double>(rows.size());
+  std::printf("flight join: %zu request(s), mean %.1f allocs / %.0f bytes "
+              "per request\n",
+              rows.size(), total_allocs / n, total_bytes / n);
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.allocs > b.allocs; });
+  const std::size_t shown = std::min(top_k, rows.size());
+  std::printf("  top %zu by allocations:\n", shown);
+  std::printf("  %-12s %12s %10s %14s\n", "request", "dur_ms", "allocs",
+              "alloc_bytes");
+  for (std::size_t i = 0; i < shown; ++i)
+    std::printf("  %-12.0f %12.4f %10.0f %14.0f\n", rows[i].id,
+                rows[i].dur_ms, rows[i].allocs, rows[i].bytes);
+}
+
+void print_trace_totals(const std::string& path, std::size_t top_k) {
+  const JsonValue root = parse_json_file(path);
+  const JsonValue* events = root.find("traceEvents");
+  if (!events || events->kind != JsonValue::Kind::kArray)
+    throw std::runtime_error(path + ": no \"traceEvents\" array");
+  std::map<std::string, std::pair<std::size_t, double>> by_name;
+  for (const JsonValue& e : events->array) {
+    const JsonValue* ph = e.find("ph");
+    if (!ph || ph->string != "X") continue;
+    auto& [count, total_ms] = by_name[string_or(e, "name", "?")];
+    ++count;
+    total_ms += number_or(e, "dur", 0.0) * 1e-3;
+  }
+  if (by_name.empty()) {
+    std::printf("trace join: no spans in %s\n", path.c_str());
+    return;
+  }
+  std::vector<std::pair<std::string, std::pair<std::size_t, double>>> rows(
+      by_name.begin(), by_name.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.second > b.second.second;
+  });
+  const std::size_t shown = std::min(top_k, rows.size());
+  std::printf("trace join: span totals (top %zu of %zu names):\n", shown,
+              rows.size());
+  for (std::size_t i = 0; i < shown; ++i)
+    std::printf("  %-28s x%-6zu %12.4f ms\n", rows[i].first.c_str(),
+                rows[i].second.first, rows[i].second.second);
+}
+
+void emit_folded(const JsonValue& profile, const std::string& out_path) {
+  const JsonValue* folded = profile.find("folded");
+  if (!folded || folded->kind != JsonValue::Kind::kArray)
+    throw std::runtime_error("profile JSON has no \"folded\" array");
+  std::ofstream os(out_path, std::ios::trunc);
+  if (!os) throw std::runtime_error("cannot write " + out_path);
+  for (const JsonValue& line : folded->array) os << line.string << '\n';
+  if (!os) throw std::runtime_error("short write to " + out_path);
+  std::printf("collapsed stacks written to %s (flamegraph.pl input)\n",
+              out_path.c_str());
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <profile.json> [--flight <flight.json>]"
+               " [--trace <trace.json>]\n"
+               "       [--top <K>] [--folded <out.folded>]\n"
+               "  prints the --profile self-time table and per-kernel-"
+               "backend counter tables,\n  joined with flight allocation"
+               " accounting and trace span totals when given.\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string profile_path, flight_path, trace_path, folded_path;
+  std::size_t top_k = 10;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--flight") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      flight_path = argv[++i];
+    } else if (arg == "--trace") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      trace_path = argv[++i];
+    } else if (arg == "--folded") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      folded_path = argv[++i];
+    } else if (arg == "--top") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      const auto k = apds::parse_unsigned(argv[++i]);
+      if (!k || *k == 0) return usage(argv[0]);
+      top_k = static_cast<std::size_t>(*k);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (profile_path.empty()) {
+      profile_path = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (profile_path.empty()) return usage(argv[0]);
+
+  try {
+    const JsonValue profile = parse_json_file(profile_path);
+    const std::string avail =
+        string_or(profile, "perf_availability", "unknown");
+    std::printf("profile %s: %.0f samples (%.0f dropped) on %.0f thread(s),"
+                " interval %.0f us\n",
+                profile_path.c_str(), number_or(profile, "samples", 0.0),
+                number_or(profile, "dropped", 0.0),
+                number_or(profile, "threads", 0.0),
+                number_or(profile, "interval_us", 0.0));
+    std::printf("kernel backend: %s; hardware counters: %s\n",
+                string_or(profile, "kernel_backend", "?").c_str(),
+                avail.c_str());
+    if (avail != "available")
+      std::printf("  (%s)\n",
+                  string_or(profile, "perf_reason", "no reason recorded")
+                      .c_str());
+    std::printf("\n");
+    print_self_time(profile, top_k);
+    std::printf("\n");
+    print_backends(profile);
+    if (!flight_path.empty()) {
+      std::printf("\n");
+      print_flight_allocs(flight_path, top_k);
+    }
+    if (!trace_path.empty()) {
+      std::printf("\n");
+      print_trace_totals(trace_path, top_k);
+    }
+    if (!folded_path.empty()) emit_folded(profile, folded_path);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "apds_profile_report: %s\n", e.what());
+    return 2;
+  }
+}

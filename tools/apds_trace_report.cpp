@@ -48,6 +48,8 @@ struct FlightRecord {
   double pred_mean = 0.0;
   double pred_var = 0.0;
   double alerts = 0.0;
+  double allocs = 0.0;       ///< operator-new calls during the request
+  double alloc_bytes = 0.0;  ///< bytes requested during the request
 };
 
 struct Request {
@@ -140,6 +142,8 @@ std::map<std::uint64_t, FlightRecord> load_flight(const std::string& path) {
     rec.pred_mean = number_or(r, "pred_mean", 0.0);
     rec.pred_var = number_or(r, "pred_var", 0.0);
     rec.alerts = number_or(r, "alerts", 0.0);
+    rec.allocs = number_or(r, "allocs", 0.0);
+    rec.alloc_bytes = number_or(r, "alloc_bytes", 0.0);
     const JsonValue* layers = r.find("layers_ms");
     if (layers && layers->kind == JsonValue::Kind::kArray)
       for (const JsonValue& l : layers->array) rec.layers_ms.push_back(l.number);
@@ -196,9 +200,10 @@ void print_layer_breakdown(const Request& r) {
 
 void print_flight(const FlightRecord& rec) {
   std::printf("  flight record: dur %.4f ms, input mean %.4f absmax %.4f, "
-              "pred mean %.4f var %.4g, alerts %.0f\n",
+              "pred mean %.4f var %.4g, alerts %.0f, allocs %.0f "
+              "(%.0f bytes)\n",
               rec.dur_ms, rec.input_mean, rec.input_absmax, rec.pred_mean,
-              rec.pred_var, rec.alerts);
+              rec.pred_var, rec.alerts, rec.allocs, rec.alloc_bytes);
   if (!rec.layers_ms.empty()) {
     std::printf("  layers (flight):");
     for (double ms : rec.layers_ms) std::printf(" %.4f", ms);
