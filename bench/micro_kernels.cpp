@@ -17,7 +17,13 @@
 // moment->activation tile path and the i8 quantized path get their own
 // rows (moment_act_{fused,unfused}_b64_f32, moment_act_fused_b64_i8,
 // apd_propagate_b64_i8) so bench_compare can gate the fusion and
-// quantization speedup floors. The JSON header records the resolved
+// quantization speedup floors. All apd_propagate_* rows run through
+// planned-arena InferenceSessions with a reused output batch, so their
+// `allocs` column is 0 in steady state (bench-smoke gates this via
+// bench_compare --max-allocs apd_propagate_:0), and the
+// apd_{legacy,session}_b1_f32 pair measures the small-batch serving win
+// of the planned arena over the legacy per-call path.
+// The JSON header records the resolved
 // kernel ISA tier ("isa") and ambient precision alongside the thread
 // count, so a comparison across reports taken on different machines or
 // under a forced APDS_KERNEL is visible instead of silently misleading.
@@ -41,6 +47,7 @@
 #include "common/precision.h"
 #include "common/rng.h"
 #include "core/apdeepsense.h"
+#include "core/inference_session.h"
 #include "core/moment_fused.h"
 #include "obs/alloc_stats.h"
 #include "obs/perf_counters.h"
@@ -358,16 +365,28 @@ void run_kernel_suite(std::size_t threads, std::vector<KernelRow>& rows) {
     const Mlp mlp = paper_mlp(Activation::kTanh, net_rng);
     const ApDeepSense apd(mlp);
     const Matrix x = random_matrix(64, 250, rng);
-    // Ambient precision on purpose: a --precision f32 run moves this row
-    // (and only this row) to the fast path, exercising the flag wiring
-    // end to end. The *_f32 rows below pin their precision explicitly.
+    const MeanVar input = MeanVar::point(x);
+    MeanVar out;  // reused across calls: warmed-up iterations allocate 0
+    // Every apd_propagate_* row below runs through a planned-arena
+    // InferenceSession and is gated at 0 allocs/iteration by bench-smoke
+    // (bench_compare --max-allocs apd_propagate_:0). Ambient precision on
+    // the first row on purpose: a --precision f32 run moves this row (and
+    // only this row) to the fast path, exercising the flag wiring end to
+    // end. The *_f32/_i8 rows pin their precision explicitly.
+    SessionConfig ambient_cfg;
+    ambient_cfg.precision = global_precision();
+    ambient_cfg.max_batch = 64;
+    const InferenceSession apd_session(mlp, ambient_cfg);
     record("apd_propagate_b64", [&] {
-      MeanVar out = apd.propagate(x);
+      apd_session.propagate(input, out);
       benchmark::DoNotOptimize(out.mean.data());
     });
-    const MeanVar input = MeanVar::point(x);
+    SessionConfig f32_cfg;
+    f32_cfg.precision = Precision::kF32;
+    f32_cfg.max_batch = 64;
+    const InferenceSession f32_session(mlp, f32_cfg);
     record("apd_propagate_b64_f32", [&] {
-      MeanVar out = apd.propagate(input, Precision::kF32);
+      f32_session.propagate(input, out);
       benchmark::DoNotOptimize(out.mean.data());
     });
     // Gemm-based comparator for the quantization floor: the same f32
@@ -375,26 +394,70 @@ void run_kernel_suite(std::size_t threads, std::vector<KernelRow>& rows) {
     // propagate_f32 was before fusion). bench_compare holds the i8
     // propagate's speedup over THIS row, so the gate measures what
     // quantization buys against the path it replaces, not against the
-    // already-fused f32 kernels.
+    // already-fused f32 kernels. Buffers and surrogate packs are hoisted
+    // so this row also meets the apd_propagate_ zero-alloc gate.
     std::vector<MatrixF> wf, w2f, bf;
+    std::vector<PwlPack> packs;
+    std::size_t max_dim = mlp.input_dim();
     for (std::size_t l = 0; l < mlp.num_layers(); ++l) {
       const DenseLayer& layer = mlp.layer(l);
       wf.push_back(to_f32(layer.weight));
       w2f.push_back(to_f32(square(layer.weight)));
       bf.push_back(to_f32(layer.bias));
+      packs.push_back(pack_pwl(apd.surrogate(l)));
+      max_dim = std::max(max_dim, layer.out_dim());
     }
     const MeanVarF inputf = to_f32(input);
+    const std::size_t batch = x.rows();
+    std::vector<float> slot_m[2], slot_v[2];
+    for (int s = 0; s < 2; ++s) {
+      slot_m[s].assign(batch * max_dim, 0.0f);
+      slot_v[s].assign(batch * max_dim, 0.0f);
+    }
+    std::vector<float> smb(batch * max_dim), vib(batch * max_dim);
     record("apd_propagate_b64_f32_gemm", [&] {
-      MeanVarF h = inputf;
+      const float* cm = inputf.mean.data();
+      const float* cv = inputf.var.data();
       for (std::size_t l = 0; l < mlp.num_layers(); ++l) {
-        h = moment_linear(h, wf[l], w2f[l], bf[l], mlp.layer(l).keep_prob);
-        moment_activation_inplace(apd.surrogate(l), h);
+        const DenseLayer& layer = mlp.layer(l);
+        float* om = slot_m[l % 2].data();
+        float* ov = slot_v[l % 2].data();
+        moment_linear_into(cm, cv, batch, layer.in_dim(), wf[l].data(),
+                           w2f[l].data(), bf[l].data(), layer.out_dim(),
+                           layer.keep_prob, smb.data(), vib.data(), om, ov);
+        moment_activation_batch(apd.surrogate(l), packs[l].view(), om, ov,
+                                batch * layer.out_dim());
+        cm = om;
+        cv = ov;
       }
-      benchmark::DoNotOptimize(h.mean.data());
+      benchmark::DoNotOptimize(cm);
     });
+    SessionConfig i8_cfg;
+    i8_cfg.precision = Precision::kI8;
+    i8_cfg.max_batch = 64;
+    const InferenceSession i8_session(mlp, i8_cfg);
     record("apd_propagate_b64_i8", [&] {
-      MeanVar out = apd.propagate(input, Precision::kI8);
+      i8_session.propagate(input, out);
       benchmark::DoNotOptimize(out.mean.data());
+    });
+    // Small-batch serving pair: the session's planned arena vs the legacy
+    // per-call path at batch 1 (f32, the serving configuration). CI holds
+    // apd_session_b1_f32 at least as fast as apd_legacy_b1_f32 — the
+    // allocation/packing overhead the session amortizes is the whole cost
+    // at this size.
+    const MeanVar input1 = MeanVar::point(random_matrix(1, 250, rng));
+    SessionConfig b1_cfg;
+    b1_cfg.precision = Precision::kF32;
+    b1_cfg.max_batch = 1;
+    const InferenceSession b1_session(mlp, b1_cfg);
+    MeanVar out1;
+    record("apd_legacy_b1_f32", [&] {
+      MeanVar o = apd.propagate(input1, Precision::kF32);
+      benchmark::DoNotOptimize(o.mean.data());
+    });
+    record("apd_session_b1_f32", [&] {
+      b1_session.propagate(input1, out1);
+      benchmark::DoNotOptimize(out1.mean.data());
     });
   }
   {

@@ -99,5 +99,8 @@ int main(int argc, char** argv) {
       std::cout << "  " << kActivityNames[c] << ": " << confusion[c] << "\n";
   std::cout << "\nConfidence comes from the mean-field softmax over the "
                "Gaussian logits of one ApDeepSense pass.\n";
+  const auto session = apd.session(global_precision());
+  std::cout << "(session footprint: " << session->memory_bytes()
+            << " B weights+arena; steady-state passes allocate nothing)\n";
   return 0;
 }

@@ -93,5 +93,8 @@ int main(int argc, char** argv) {
   std::cout << "\nThe 2-sigma upper bound comes from one analytic "
                "ApDeepSense pass per reading — cheap enough to run on the "
                "sensor node itself.\n";
+  const auto session = apd.session(global_precision());
+  std::cout << "(session footprint: " << session->memory_bytes()
+            << " B weights+arena; steady-state passes allocate nothing)\n";
   return 0;
 }

@@ -108,6 +108,14 @@ int predict(const std::string& model_path, const std::string& in_csv,
   write_csv(out_csv, out, header);
   std::cout << "wrote " << inputs.rows() << " predictions to " << out_csv
             << "\n";
+  {
+    // Footprint of the planned-arena session the batch ran through — what
+    // a fleet deployment would budget per resident model.
+    const auto session = apd.session(global_precision());
+    std::cout << "session memory: " << session->weight_bytes()
+              << " B weights + " << session->arena_bytes()
+              << " B arena (batch " << inputs.rows() << ")\n";
+  }
 
   if (!labels_csv.empty()) {
     const Matrix labels = read_csv(labels_csv);

@@ -113,7 +113,22 @@ int main(int argc, char** argv) {
               << health.latency().energy_mean_mj() << " mJ\n";
   }
 
-  // 6. Compare with the sampling baseline at equal fidelity: MCDrop-50
+  // 6. Under the hood every predict above ran through one shared
+  //    InferenceSession: weights packed once at load, every intermediate
+  //    buffer pre-planned into a per-thread arena, zero heap allocations
+  //    per steady-state pass. Inspect its footprint:
+  {
+    const auto session = apd.session(global_precision());
+    std::cout << "\nInferenceSession #" << session->id() << " ("
+              << precision_name(session->precision()) << "): "
+              << session->propagate_count() << " propagates, weights "
+              << session->weight_bytes() << " B, arena "
+              << session->arena_bytes() << " B live ("
+              << session->planned_bytes(1) << " B planned per thread at "
+              << "batch 1)\n";
+  }
+
+  // 7. Compare with the sampling baseline at equal fidelity: MCDrop-50
   //    needs 50 forward passes for what ApDeepSense got in ~2.
   McDrop mc(mlp, 50, /*seed=*/1);
   Matrix probe(1, 1);

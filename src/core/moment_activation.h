@@ -60,6 +60,13 @@ void moment_activation_batch(const PiecewiseLinear& f, double* mean,
 void moment_activation_batch(const PiecewiseLinear& f, float* mean,
                              float* var, std::size_t n);
 
+/// Same, with a caller-packed surrogate (`view` must be pack_pwl(f).view()).
+/// Allocation-free: hot callers (InferenceSession, the zero-alloc bench
+/// rows) hoist the pack to load time; `f` is still needed for the f64
+/// fixup of near-deterministic lanes.
+void moment_activation_batch(const PiecewiseLinear& f, const PwlView& view,
+                             float* mean, float* var, std::size_t n);
+
 /// Repack a surrogate into the kernel layer's PWL layout (f32 slopes and
 /// intercepts, f64 boundaries). Cheap (one small copy); hot callers that
 /// apply the same surrogate repeatedly may still cache the result.

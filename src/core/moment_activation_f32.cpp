@@ -29,10 +29,14 @@ constexpr std::size_t kActivationGrain = 256;
 
 void moment_activation_batch(const PiecewiseLinear& f, float* mean,
                              float* var, std::size_t n) {
+  const PwlPack pack = pack_pwl(f);
+  moment_activation_batch(f, pack.view(), mean, var, n);
+}
+
+void moment_activation_batch(const PiecewiseLinear& f, const PwlView& view,
+                             float* mean, float* var, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i)
     APDS_CHECK_MSG(var[i] >= 0.0f, "moment_activation: negative variance");
-  const PwlPack pack = pack_pwl(f);
-  const PwlView view = pack.view();
   const KernelOps& ops = kernel_ops();
   parallel_for(0, n, kActivationGrain, [&](std::size_t lo, std::size_t hi) {
     unsigned char det[kTile];

@@ -72,12 +72,32 @@ void check_moment_contract(const MeanVarT<T>& mv, const char* where) {
   }
 }
 
+/// Raw-buffer variant for the arena-resident session path: same invariants
+/// over `n` mean/variance elements laid out with `cols` per row.
+/// Allocation-free on success, so the zero-alloc property holds even in
+/// APDS_CHECK_MOMENTS builds.
+template <typename T>
+void check_moment_contract_buffers(const T* mu, const T* var, std::size_t n,
+                                   std::size_t cols, const char* where) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(static_cast<double>(mu[i])))
+      detail::throw_moment_violation(where, "non-finite mean", i / cols,
+                                     i % cols, static_cast<double>(mu[i]));
+    if (!(var[i] >= T(0)) || !std::isfinite(static_cast<double>(var[i])))
+      detail::throw_moment_violation(where, "invalid variance", i / cols,
+                                     i % cols, static_cast<double>(var[i]));
+  }
+}
+
 }  // namespace apds
 
 /// Layer-boundary contract check, compiled out unless APDS_CHECK_MOMENTS.
 #if defined(APDS_CHECK_MOMENTS) && APDS_CHECK_MOMENTS
 #define APDS_MOMENT_CONTRACT(mv, where) \
   ::apds::check_moment_contract((mv), (where))
+#define APDS_MOMENT_CONTRACT_BUF(mu, var, n, cols, where) \
+  ::apds::check_moment_contract_buffers((mu), (var), (n), (cols), (where))
 #else
 #define APDS_MOMENT_CONTRACT(mv, where) ((void)0)
+#define APDS_MOMENT_CONTRACT_BUF(mu, var, n, cols, where) ((void)0)
 #endif

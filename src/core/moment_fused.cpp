@@ -2,15 +2,14 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <vector>
 
 #include "common/logging.h"
+#include "core/arena.h"
 #include "core/moment_activation.h"
 #include "core/moment_contract.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "platform/thread_pool.h"
-#include "tensor/kernels/kernel_dispatch.h"
 #include "tensor/ops.h"
 
 namespace apds {
@@ -22,36 +21,14 @@ constexpr std::size_t kMinFlopsPerChunk = 1 << 16;
 constexpr std::size_t kTile = kKernelMomentTile;
 constexpr std::size_t kRows = kKernelMomentRows;
 
-/// Per-thread scratch reused across layers/calls (same rationale as
-/// moment_linear's): the prepped GEMM inputs, and for the i8 path the
-/// quantized rows plus their dynamic scales.
-struct FusedScratch {
-  MatrixF scaled_mean;  ///< mu * p
-  MatrixF var_in;       ///< (mu^2 + sigma^2) p - mu^2 p^2
-  std::vector<std::int8_t> q_scaled_mean;
-  std::vector<std::int8_t> q_var_in;
-  std::vector<float> sm_scale;  ///< per input row
-  std::vector<float> vi_scale;  ///< per input row
-};
-
-FusedScratch& local_scratch() {
-  thread_local FusedScratch scratch;
-  return scratch;
-}
-
 /// Build scaled_mean / var_in from the input moments (dispatched kernel,
 /// elementwise, partition-invariant).
-void prep_inputs(const MeanVarF& input, double keep_prob,
-                 FusedScratch& scratch, const KernelOps& ops) {
+void prep_inputs(const float* mu, const float* var, std::size_t count,
+                 double keep_prob, float* sm, float* vi,
+                 const KernelOps& ops) {
   const float p = static_cast<float>(keep_prob);
   const float p2 = p * p;
-  scratch.scaled_mean.resize(input.batch(), input.dim());
-  scratch.var_in.resize(input.batch(), input.dim());
-  const float* mu = input.mean.data();
-  const float* var = input.var.data();
-  float* sm = scratch.scaled_mean.data();
-  float* vi = scratch.var_in.data();
-  parallel_for(0, input.mean.size(), kElementwiseGrain,
+  parallel_for(0, count, kElementwiseGrain,
                [&](std::size_t lo, std::size_t hi) {
                  ops.moment_prep_f32(mu + lo, var + lo, sm + lo, vi + lo,
                                      hi - lo, p, p2);
@@ -65,20 +42,17 @@ void prep_inputs(const MeanVarF& input, double keep_prob,
 /// pairs with fixed block boundaries, so the per-element arithmetic — and
 /// therefore the result — is independent of the thread count. The row
 /// blocking exists for weight reuse: the moment kernel streams each W/Wsq
-/// slice once per block instead of once per batch row.
+/// slice once per block instead of once per batch row. The caller supplies
+/// the packed PWL view so a session can hoist pack_pwl to load time.
 template <typename MomentTileFn>
-void fused_tiles(MeanVarF& out, const PiecewiseLinear& f,
-                 const KernelOps& ops, std::size_t batch, std::size_t n,
-                 std::size_t kdim, MomentTileFn&& moment_tile) {
-  const PwlPack pack = pack_pwl(f);
-  const PwlView view = pack.view();
+void fused_tiles(float* out_mean, float* out_var, const PiecewiseLinear& f,
+                 const PwlView& view, const KernelOps& ops, std::size_t batch,
+                 std::size_t n, std::size_t kdim, MomentTileFn&& moment_tile) {
   const std::size_t tiles_per_row = (n + kTile - 1) / kTile;
   const std::size_t row_blocks = (batch + kRows - 1) / kRows;
   const std::size_t block_flops = 4 * kdim * kTile * kRows;
   const std::size_t grain =
       std::max<std::size_t>(1, kMinFlopsPerChunk / (block_flops + 1));
-  float* out_mean = out.mean.data();
-  float* out_var = out.var.data();
   parallel_for(
       0, row_blocks * tiles_per_row, grain,
       [&](std::size_t lo, std::size_t hi) {
@@ -114,6 +88,30 @@ void fused_tiles(MeanVarF& out, const PiecewiseLinear& f,
       });
 }
 
+/// Carve a legacy-path FusedScratchView out of the calling thread's scratch
+/// arena. `with_i8` adds the quantized-row blocks the i8 driver needs.
+FusedScratchView legacy_scratch(std::size_t batch, std::size_t kdim,
+                                bool with_i8) {
+  const std::size_t fblock = arena_round(batch * kdim * sizeof(float));
+  const std::size_t qblock = arena_round(batch * kdim);
+  const std::size_t sblock = arena_round(batch * sizeof(float));
+  std::size_t total = 2 * fblock;
+  if (with_i8) total += 2 * qblock + 2 * sblock;
+  std::byte* base = thread_scratch().require(total);
+  FusedScratchView v;
+  v.sm = reinterpret_cast<float*>(base);
+  v.vi = reinterpret_cast<float*>(base + fblock);
+  if (with_i8) {
+    v.q_sm = reinterpret_cast<std::int8_t*>(base + 2 * fblock);
+    v.q_vi = reinterpret_cast<std::int8_t*>(base + 2 * fblock + qblock);
+    v.sm_scale =
+        reinterpret_cast<float*>(base + 2 * fblock + 2 * qblock);
+    v.vi_scale =
+        reinterpret_cast<float*>(base + 2 * fblock + 2 * qblock + sblock);
+  }
+  return v;
+}
+
 }  // namespace
 
 QuantizedDenseLayer quantize_dense_layer(const DenseLayer& layer) {
@@ -131,6 +129,74 @@ QuantizedDenseLayer quantize_dense_layer(const DenseLayer& layer) {
   return q;
 }
 
+void moment_linear_act_into(const float* in_mean, const float* in_var,
+                            std::size_t batch, std::size_t kdim,
+                            const float* weight, const float* weight_sq,
+                            const float* bias, std::size_t n,
+                            double keep_prob, const PiecewiseLinear& f,
+                            const PwlView& view,
+                            const FusedScratchView& scratch, float* out_mean,
+                            float* out_var) {
+  APDS_TRACE_SCOPE("core.moment_linear_act");
+  const KernelOps& ops = kernel_ops();
+  prep_inputs(in_mean, in_var, batch * kdim, keep_prob, scratch.sm,
+              scratch.vi, ops);
+  const float* sm = scratch.sm;
+  const float* vi = scratch.vi;
+  fused_tiles(out_mean, out_var, f, view, ops, batch, n, kdim,
+              [&](std::size_t r0, std::size_t r1, std::size_t j0,
+                  std::size_t j1, float* tmean, float* tvar) {
+                ops.moment_tile_f32(sm, vi, weight, weight_sq, bias, kdim, n,
+                                    r0, r1, j0, j1, tmean, tvar);
+              });
+  APDS_MOMENT_CONTRACT_BUF(out_mean, out_var, batch * n, n,
+                           "core.moment_linear_act output");
+}
+
+void moment_linear_act_into(const float* in_mean, const float* in_var,
+                            std::size_t batch, std::size_t kdim,
+                            const QuantizedDenseLayer& layer,
+                            double keep_prob, const PiecewiseLinear& f,
+                            const PwlView& view,
+                            const FusedScratchView& scratch, float* out_mean,
+                            float* out_var) {
+  APDS_TRACE_SCOPE("core.moment_linear_act_i8");
+  const KernelOps& ops = kernel_ops();
+  prep_inputs(in_mean, in_var, batch * kdim, keep_prob, scratch.sm,
+              scratch.vi, ops);
+
+  const std::size_t n = layer.weight.cols;
+
+  // Dynamic per-row quantization of both prepped inputs. Rows are
+  // independent, so this pass is partition-invariant too.
+  parallel_for(0, batch, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      quantize_row_i8(scratch.sm + i * kdim, kdim, scratch.q_sm + i * kdim,
+                      &scratch.sm_scale[i]);
+      quantize_row_i8(scratch.vi + i * kdim, kdim, scratch.q_vi + i * kdim,
+                      &scratch.vi_scale[i]);
+    }
+  });
+
+  const std::int8_t* qsm = scratch.q_sm;
+  const std::int8_t* qvi = scratch.q_vi;
+  const std::int8_t* qw = layer.weight.data.data();
+  const std::int8_t* qwsq = layer.weight_sq.data.data();
+  const float* wscale = layer.weight.scale.data();
+  const float* wsqscale = layer.weight_sq.scale.data();
+  const float* b = layer.bias.data();
+  fused_tiles(out_mean, out_var, f, view, ops, batch, n, kdim,
+              [&](std::size_t r0, std::size_t r1, std::size_t j0,
+                  std::size_t j1, float* tmean, float* tvar) {
+                ops.moment_tile_i8(qsm, scratch.sm_scale, qvi,
+                                   scratch.vi_scale, qw, wscale, qwsq,
+                                   wsqscale, b, kdim, n, r0, r1, j0, j1, tmean,
+                                   tvar);
+              });
+  APDS_MOMENT_CONTRACT_BUF(out_mean, out_var, batch * n, n,
+                           "core.moment_linear_act_i8 output");
+}
+
 MeanVarF moment_linear_act(const MeanVarF& input, const MatrixF& weight,
                            const MatrixF& weight_sq, const MatrixF& bias,
                            double keep_prob, const PiecewiseLinear& f) {
@@ -142,26 +208,16 @@ MeanVarF moment_linear_act(const MeanVarF& input, const MatrixF& weight,
   APDS_CHECK_MSG(bias.rows() == 1 && bias.cols() == weight.cols(),
                  "moment_linear_act: bias shape");
   APDS_CHECK(keep_prob > 0.0 && keep_prob <= 1.0);
-  APDS_TRACE_SCOPE("core.moment_linear_act");
-  const KernelOps& ops = kernel_ops();
-  FusedScratch& scratch = local_scratch();
-  prep_inputs(input, keep_prob, scratch, ops);
-
+  const std::size_t batch = input.batch();
   const std::size_t kdim = input.dim();
-  const std::size_t n = weight.cols();
-  MeanVarF out(input.batch(), n);
-  const float* sm = scratch.scaled_mean.data();
-  const float* vi = scratch.var_in.data();
-  const float* w = weight.data();
-  const float* wsq = weight_sq.data();
-  const float* b = bias.data();
-  fused_tiles(out, f, ops, input.batch(), n, kdim,
-              [&](std::size_t r0, std::size_t r1, std::size_t j0,
-                  std::size_t j1, float* tmean, float* tvar) {
-                ops.moment_tile_f32(sm, vi, w, wsq, b, kdim, n, r0, r1, j0, j1,
-                                    tmean, tvar);
-              });
-  APDS_MOMENT_CONTRACT(out, "core.moment_linear_act output");
+  MeanVarF out(batch, weight.cols());
+  const PwlPack pack = pack_pwl(f);
+  const FusedScratchView scratch =
+      legacy_scratch(batch, kdim, /*with_i8=*/false);
+  moment_linear_act_into(input.mean.data(), input.var.data(), batch, kdim,
+                         weight.data(), weight_sq.data(), bias.data(),
+                         weight.cols(), keep_prob, f, pack.view(), scratch,
+                         out.mean.data(), out.var.data());
   return out;
 }
 
@@ -196,49 +252,15 @@ MeanVarF moment_linear_act(const MeanVarF& input,
   APDS_CHECK_MSG(input.dim() <= kMaxQuantizedInnerDim,
                  "moment_linear_act(i8): inner dim " << input.dim()
                                                      << " overflows i32");
-  APDS_TRACE_SCOPE("core.moment_linear_act_i8");
-  const KernelOps& ops = kernel_ops();
-  FusedScratch& scratch = local_scratch();
-  prep_inputs(input, keep_prob, scratch, ops);
-
   const std::size_t batch = input.batch();
   const std::size_t kdim = input.dim();
-  const std::size_t n = layer.weight.cols;
-
-  // Dynamic per-row quantization of both prepped inputs. Rows are
-  // independent, so this pass is partition-invariant too.
-  scratch.q_scaled_mean.resize(batch * kdim);
-  scratch.q_var_in.resize(batch * kdim);
-  scratch.sm_scale.resize(batch);
-  scratch.vi_scale.resize(batch);
-  parallel_for(0, batch, 1, [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      quantize_row_i8(scratch.scaled_mean.data() + i * kdim, kdim,
-                      scratch.q_scaled_mean.data() + i * kdim,
-                      &scratch.sm_scale[i]);
-      quantize_row_i8(scratch.var_in.data() + i * kdim, kdim,
-                      scratch.q_var_in.data() + i * kdim,
-                      &scratch.vi_scale[i]);
-    }
-  });
-
-  MeanVarF out(batch, n);
-  const std::int8_t* qsm = scratch.q_scaled_mean.data();
-  const std::int8_t* qvi = scratch.q_var_in.data();
-  const std::int8_t* qw = layer.weight.data.data();
-  const std::int8_t* qwsq = layer.weight_sq.data.data();
-  const float* wscale = layer.weight.scale.data();
-  const float* wsqscale = layer.weight_sq.scale.data();
-  const float* b = layer.bias.data();
-  fused_tiles(out, f, ops, batch, n, kdim,
-              [&](std::size_t r0, std::size_t r1, std::size_t j0,
-                  std::size_t j1, float* tmean, float* tvar) {
-                ops.moment_tile_i8(qsm, scratch.sm_scale.data(), qvi,
-                                   scratch.vi_scale.data(), qw, wscale, qwsq,
-                                   wsqscale, b, kdim, n, r0, r1, j0, j1, tmean,
-                                   tvar);
-              });
-  APDS_MOMENT_CONTRACT(out, "core.moment_linear_act_i8 output");
+  MeanVarF out(batch, layer.weight.cols);
+  const PwlPack pack = pack_pwl(f);
+  const FusedScratchView scratch =
+      legacy_scratch(batch, kdim, /*with_i8=*/true);
+  moment_linear_act_into(input.mean.data(), input.var.data(), batch, kdim,
+                         layer, keep_prob, f, pack.view(), scratch,
+                         out.mean.data(), out.var.data());
   return out;
 }
 

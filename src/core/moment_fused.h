@@ -21,9 +21,12 @@
 // hidden layers tolerate it (drift numbers in docs/PERFORMANCE.md).
 #pragma once
 
+#include <cstdint>
+
 #include "core/gaussian_vec.h"
 #include "core/piecewise_linear.h"
 #include "nn/mlp.h"
+#include "tensor/kernels/kernel_dispatch.h"
 #include "tensor/quantize.h"
 
 namespace apds {
@@ -39,6 +42,44 @@ struct QuantizedDenseLayer {
 
 /// Pack one trained layer's weights for the i8 fused path.
 QuantizedDenseLayer quantize_dense_layer(const DenseLayer& layer);
+
+/// Caller-provided scratch for the raw fused entry points: sm/vi are
+/// batch x kdim f32 blocks (prepped GEMM inputs); the q_*/*_scale members
+/// are only dereferenced by the i8 overload (batch x kdim i8 rows plus
+/// per-row dynamic scales). Legacy wrappers carve this from the per-thread
+/// scratch arena; sessions pass arena-planned slices.
+struct FusedScratchView {
+  float* sm = nullptr;
+  float* vi = nullptr;
+  std::int8_t* q_sm = nullptr;
+  std::int8_t* q_vi = nullptr;
+  float* sm_scale = nullptr;
+  float* vi_scale = nullptr;
+};
+
+/// Raw-buffer fused f32 layer the Matrix overload delegates to
+/// (bit-identical). `view` is the packed form of `f` (pack_pwl) so repeated
+/// callers hoist the packing; `f` itself is still consulted for the f64
+/// scalar fixup of near-deterministic lanes. No allocation, no shape
+/// checks.
+void moment_linear_act_into(const float* in_mean, const float* in_var,
+                            std::size_t batch, std::size_t kdim,
+                            const float* weight, const float* weight_sq,
+                            const float* bias, std::size_t n,
+                            double keep_prob, const PiecewiseLinear& f,
+                            const PwlView& view,
+                            const FusedScratchView& scratch, float* out_mean,
+                            float* out_var);
+
+/// Raw-buffer fused i8 layer (dynamic per-row input quantization; scratch
+/// must include the q_*/*_scale blocks).
+void moment_linear_act_into(const float* in_mean, const float* in_var,
+                            std::size_t batch, std::size_t kdim,
+                            const QuantizedDenseLayer& layer,
+                            double keep_prob, const PiecewiseLinear& f,
+                            const PwlView& view,
+                            const FusedScratchView& scratch, float* out_mean,
+                            float* out_var);
 
 /// Fused f32 moment_linear -> activation: semantically identical to
 /// moment_linear(...) followed by moment_activation_inplace(f, ...), minus

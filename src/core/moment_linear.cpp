@@ -3,6 +3,7 @@
 #include <type_traits>
 
 #include "common/logging.h"
+#include "core/arena.h"
 #include "core/moment_contract.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -15,24 +16,58 @@ namespace apds {
 
 namespace {
 
-// Per-thread scratch for the two GEMM inputs derived from the layer input.
-// Reused across layers and calls, so a deep propagate() allocates only its
-// per-layer outputs and the parallel kernels are not allocator-bound.
-// Both precisions keep their own buffers; mixed-precision callers (the
-// validation harness comparing paths) would otherwise thrash one set.
-template <typename T>
-struct MomentLinearScratch {
-  MatrixT<T> scaled_mean;  ///< mu * p
-  MatrixT<T> var_in;       ///< (mu^2 + sigma^2) p - mu^2 p^2
-};
-
-template <typename T>
-MomentLinearScratch<T>& local_scratch() {
-  thread_local MomentLinearScratch<T> scratch;
-  return scratch;
-}
-
 constexpr std::size_t kElementwiseGrain = 1 << 15;
+
+template <typename T>
+void moment_linear_into_impl(const T* in_mean, const T* in_var,
+                             std::size_t batch, std::size_t in_dim,
+                             const T* weight, const T* weight_sq,
+                             const T* bias, std::size_t out_dim,
+                             double keep_prob, T* sm, T* vi, T* out_mean,
+                             T* out_var) {
+  APDS_TRACE_SCOPE("core.moment_linear");
+  const T p = static_cast<T>(keep_prob);
+  const T p2 = p * p;
+
+  // One fused elementwise pass builds both GEMM inputs:
+  //   scaled_mean = mu p                          (E[y] = (mu p) W + b)
+  //   var_in      = (mu^2 + sigma^2) p - mu^2 p^2 (Var[y] = var_in W^2)
+  {
+    // The f32 prep goes through the runtime-dispatched kernel (elementwise,
+    // partition-invariant); the f64 reference loop stays in this TU.
+    [[maybe_unused]] const KernelOps* ops = nullptr;
+    if constexpr (std::is_same_v<T, float>) ops = &kernel_ops();
+    parallel_for(0, batch * in_dim, kElementwiseGrain,
+                 [&](std::size_t lo, std::size_t hi) {
+                   if constexpr (std::is_same_v<T, float>) {
+                     ops->moment_prep_f32(in_mean + lo, in_var + lo, sm + lo,
+                                          vi + lo, hi - lo, p, p2);
+                   } else {
+                     for (std::size_t i = lo; i < hi; ++i) {
+                       const T mu2 = in_mean[i] * in_mean[i];
+                       sm[i] = in_mean[i] * p;
+                       vi[i] = (mu2 + in_var[i]) * p - mu2 * p2;
+                     }
+                   }
+                 });
+  }
+
+  gemm_buffers(sm, weight, out_mean, batch, in_dim, out_dim,
+               /*accumulate=*/false);
+  add_row_broadcast_buffers(out_mean, batch, out_dim, bias);
+  gemm_buffers(vi, weight_sq, out_var, batch, in_dim, out_dim,
+               /*accumulate=*/false);
+
+  // Clamp tiny negative values caused by floating-point cancellation when
+  // p == 1 and sigma == 0.
+  parallel_for(0, batch * out_dim, kElementwiseGrain,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i)
+                   if (out_var[i] < T(0)) out_var[i] = T(0);
+               });
+  APDS_MOMENT_CONTRACT_BUF(out_mean, out_var, batch * out_dim, out_dim,
+                           "core.moment_linear output");
+}
 
 template <typename T>
 MeanVarT<T> moment_linear_impl(const MeanVarT<T>& input,
@@ -42,59 +77,48 @@ MeanVarT<T> moment_linear_impl(const MeanVarT<T>& input,
   APDS_CHECK_MSG(input.dim() == weight.rows(), "moment_linear: input dim");
   APDS_CHECK_MSG(weight_sq.same_shape(weight), "moment_linear: weight_sq");
   APDS_CHECK(keep_prob > 0.0 && keep_prob <= 1.0);
-  APDS_TRACE_SCOPE("core.moment_linear");
-  const T p = static_cast<T>(keep_prob);
-  const T p2 = p * p;
+  const std::size_t batch = input.batch();
+  const std::size_t in_dim = input.dim();
 
-  MeanVarT<T> out(input.batch(), weight.cols());
+  MeanVarT<T> out(batch, weight.cols());
 
-  // One fused elementwise pass builds both GEMM inputs:
-  //   scaled_mean = mu p                          (E[y] = (mu p) W + b)
-  //   var_in      = (mu^2 + sigma^2) p - mu^2 p^2 (Var[y] = var_in W^2)
-  MomentLinearScratch<T>& scratch = local_scratch<T>();
-  scratch.scaled_mean.resize(input.batch(), input.dim());
-  scratch.var_in.resize(input.batch(), input.dim());
-  {
-    const T* mu = input.mean.data();
-    const T* var = input.var.data();
-    T* sm = scratch.scaled_mean.data();
-    T* vi = scratch.var_in.data();
-    // The f32 prep goes through the runtime-dispatched kernel (elementwise,
-    // partition-invariant); the f64 reference loop stays in this TU.
-    [[maybe_unused]] const KernelOps* ops = nullptr;
-    if constexpr (std::is_same_v<T, float>) ops = &kernel_ops();
-    parallel_for(0, input.mean.size(), kElementwiseGrain,
-                 [&](std::size_t lo, std::size_t hi) {
-                   if constexpr (std::is_same_v<T, float>) {
-                     ops->moment_prep_f32(mu + lo, var + lo, sm + lo, vi + lo,
-                                          hi - lo, p, p2);
-                   } else {
-                     for (std::size_t i = lo; i < hi; ++i) {
-                       const T mu2 = mu[i] * mu[i];
-                       sm[i] = mu[i] * p;
-                       vi[i] = (mu2 + var[i]) * p - mu2 * p2;
-                     }
-                   }
-                 });
-  }
+  // The two GEMM inputs derived from the layer input live in the calling
+  // thread's scratch arena: reused across layers, precisions and calls, so
+  // a warmed-up propagate() allocates only its per-layer outputs. Sessions
+  // skip this wrapper entirely and pass arena-planned slices.
+  const std::size_t slice = arena_round(batch * in_dim * sizeof(T));
+  std::byte* scratch = thread_scratch().require(2 * slice);
+  T* sm = reinterpret_cast<T*>(scratch);
+  T* vi = reinterpret_cast<T*>(scratch + slice);
 
-  gemm(scratch.scaled_mean, weight, out.mean);
-  add_row_broadcast(out.mean, bias);
-  gemm(scratch.var_in, weight_sq, out.var);
-
-  // Clamp tiny negative values caused by floating-point cancellation when
-  // p == 1 and sigma == 0.
-  T* ov = out.var.data();
-  parallel_for(0, out.var.size(), kElementwiseGrain,
-               [&](std::size_t lo, std::size_t hi) {
-                 for (std::size_t i = lo; i < hi; ++i)
-                   if (ov[i] < T(0)) ov[i] = T(0);
-               });
-  APDS_MOMENT_CONTRACT(out, "core.moment_linear output");
+  moment_linear_into_impl(input.mean.data(), input.var.data(), batch, in_dim,
+                          weight.data(), weight_sq.data(), bias.data(),
+                          weight.cols(), keep_prob, sm, vi, out.mean.data(),
+                          out.var.data());
   return out;
 }
 
 }  // namespace
+
+void moment_linear_into(const double* in_mean, const double* in_var,
+                        std::size_t batch, std::size_t in_dim,
+                        const double* weight, const double* weight_sq,
+                        const double* bias, std::size_t out_dim,
+                        double keep_prob, double* sm, double* vi,
+                        double* out_mean, double* out_var) {
+  moment_linear_into_impl(in_mean, in_var, batch, in_dim, weight, weight_sq,
+                          bias, out_dim, keep_prob, sm, vi, out_mean, out_var);
+}
+
+void moment_linear_into(const float* in_mean, const float* in_var,
+                        std::size_t batch, std::size_t in_dim,
+                        const float* weight, const float* weight_sq,
+                        const float* bias, std::size_t out_dim,
+                        double keep_prob, float* sm, float* vi,
+                        float* out_mean, float* out_var) {
+  moment_linear_into_impl(in_mean, in_var, batch, in_dim, weight, weight_sq,
+                          bias, out_dim, keep_prob, sm, vi, out_mean, out_var);
+}
 
 MeanVar moment_linear(const MeanVar& input, const Matrix& weight,
                       const Matrix& weight_sq, const Matrix& bias,

@@ -27,6 +27,24 @@ MeanVarF moment_linear(const MeanVarF& input, const MatrixF& weight,
                        const MatrixF& weight_sq, const MatrixF& bias,
                        double keep_prob);
 
+/// Raw-buffer core the Matrix overloads delegate to (bit-identical): all
+/// pointers are row-major blocks, `sm`/`vi` are caller-provided batch x
+/// in_dim scratch (scaled mean / variance input of the two GEMMs), and
+/// out_mean/out_var are batch x out_dim. No allocation, no shape checks —
+/// InferenceSession calls this with arena-planned slices.
+void moment_linear_into(const double* in_mean, const double* in_var,
+                        std::size_t batch, std::size_t in_dim,
+                        const double* weight, const double* weight_sq,
+                        const double* bias, std::size_t out_dim,
+                        double keep_prob, double* sm, double* vi,
+                        double* out_mean, double* out_var);
+void moment_linear_into(const float* in_mean, const float* in_var,
+                        std::size_t batch, std::size_t in_dim,
+                        const float* weight, const float* weight_sq,
+                        const float* bias, std::size_t out_dim,
+                        double keep_prob, float* sm, float* vi,
+                        float* out_mean, float* out_var);
+
 /// Convenience overload that squares the weights on the fly. One-shot
 /// callers only: anything that propagates through the same weights more
 /// than once (ApDeepSense, moment_rnn, conv heads) must precompute

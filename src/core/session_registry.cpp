@@ -1,0 +1,135 @@
+#include "core/session_registry.h"
+
+#include "common/error.h"
+#include "obs/metrics.h"
+
+namespace apds {
+
+SessionRegistry::SessionRegistry(std::size_t byte_budget)
+    : byte_budget_(byte_budget) {}
+
+void SessionRegistry::touch_locked(Entry& e, const std::string& key) {
+  lru_.erase(e.lru_it);
+  lru_.push_front(key);
+  e.lru_it = lru_.begin();
+}
+
+std::shared_ptr<InferenceSession> SessionRegistry::get_or_load(
+    const std::string& key, const Loader& loader) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++hits_;
+    ++it->second.hits;
+    touch_locked(it->second, key);
+    return it->second.session;
+  }
+  ++misses_;
+  std::shared_ptr<InferenceSession> session = loader();
+  APDS_CHECK_MSG(session != nullptr, "SessionRegistry: loader returned null");
+  lru_.push_front(key);
+  Entry e;
+  e.session = session;
+  e.lru_it = lru_.begin();
+  entries_.emplace(key, std::move(e));
+  enforce_budget_locked(key);
+  return session;
+}
+
+std::shared_ptr<InferenceSession> SessionRegistry::get(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  ++it->second.hits;
+  touch_locked(it->second, key);
+  return it->second.session;
+}
+
+void SessionRegistry::evict_entry_locked(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  // Trim only when the registry holds the last reference: nobody can be
+  // mid-propagate, so releasing the arenas is safe and the memory returns
+  // now rather than when the shared_ptr finally dies.
+  if (it->second.session.use_count() == 1) it->second.session->trim();
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+  ++evictions_;
+  MetricsRegistry& reg = MetricsRegistry::instance();
+  reg.counter("session.evictions").increment();
+  reg.counter("session.evictions." + key).increment();
+}
+
+bool SessionRegistry::evict(const std::string& key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (entries_.find(key) == entries_.end()) return false;
+  evict_entry_locked(key);
+  return true;
+}
+
+std::size_t SessionRegistry::resident_bytes_locked() const {
+  std::size_t total = 0;
+  for (const auto& [key, e] : entries_) total += e.session->memory_bytes();
+  return total;
+}
+
+void SessionRegistry::enforce_budget_locked(const std::string& keep_key) {
+  if (byte_budget_ == 0) return;
+  while (entries_.size() > 1 && resident_bytes_locked() > byte_budget_) {
+    const std::string victim = lru_.back();
+    if (victim == keep_key) break;  // never evict the session being served
+    evict_entry_locked(victim);
+  }
+}
+
+void SessionRegistry::set_byte_budget(std::size_t bytes) {
+  std::lock_guard<std::mutex> lk(mu_);
+  byte_budget_ = bytes;
+  enforce_budget_locked(lru_.empty() ? std::string() : lru_.front());
+}
+
+std::size_t SessionRegistry::byte_budget() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return byte_budget_;
+}
+
+std::size_t SessionRegistry::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return entries_.size();
+}
+
+std::size_t SessionRegistry::resident_bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return resident_bytes_locked();
+}
+
+SessionRegistryStats SessionRegistry::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  SessionRegistryStats s;
+  s.resident_sessions = entries_.size();
+  s.resident_bytes = resident_bytes_locked();
+  s.byte_budget = byte_budget_;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.sessions.reserve(entries_.size());
+  for (const std::string& key : lru_) {
+    const Entry& e = entries_.at(key);
+    SessionEntryStats es;
+    es.key = key;
+    es.id = e.session->id();
+    es.precision = e.session->precision();
+    es.hits = e.hits;
+    es.propagates = e.session->propagate_count();
+    es.memory_bytes = e.session->memory_bytes();
+    s.sessions.push_back(std::move(es));
+  }
+  return s;
+}
+
+}  // namespace apds

@@ -1,0 +1,98 @@
+// SessionRegistry: many models resident at once, under a byte budget.
+//
+// The registry maps string keys ("model zoo" names) to shared, immutable
+// InferenceSessions. get_or_load() returns the resident session or builds
+// it via the caller's loader; when the resident footprint (packed weights +
+// live arenas) exceeds the budget, least-recently-used sessions are evicted
+// — trimmed first when the registry holds the last reference, so their
+// arena memory returns to the OS immediately, and counted in the
+// `session.evictions` metric (plus a per-key `session.evictions.<key>`
+// counter). Handing out shared_ptr means eviction never invalidates a
+// session a caller is still propagating through; the memory goes away when
+// the last holder drops it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/inference_session.h"
+
+namespace apds {
+
+/// One resident session's registry view (for status endpoints/examples).
+struct SessionEntryStats {
+  std::string key;
+  std::uint64_t id = 0;
+  Precision precision = Precision::kF64;
+  std::uint64_t hits = 0;
+  std::uint64_t propagates = 0;
+  std::size_t memory_bytes = 0;
+};
+
+struct SessionRegistryStats {
+  std::size_t resident_sessions = 0;
+  std::size_t resident_bytes = 0;
+  std::size_t byte_budget = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::vector<SessionEntryStats> sessions;  ///< most-recently-used first
+};
+
+class SessionRegistry {
+ public:
+  /// `byte_budget` caps resident weight+arena bytes; 0 = unlimited. The
+  /// most recently used session is never evicted, so one oversized model
+  /// still loads (budget is a target, not an admission check).
+  explicit SessionRegistry(std::size_t byte_budget = 0);
+
+  using Loader = std::function<std::shared_ptr<InferenceSession>()>;
+
+  /// Resident session for `key`, or build one with `loader` (called at
+  /// most once per key while resident; runs under the registry lock, so
+  /// concurrent callers of the same key wait rather than double-load).
+  /// Loading may evict LRU sessions to fit the budget.
+  std::shared_ptr<InferenceSession> get_or_load(const std::string& key,
+                                                const Loader& loader);
+
+  /// Resident session or nullptr; touches LRU recency on hit.
+  std::shared_ptr<InferenceSession> get(const std::string& key);
+
+  /// Drop `key` (trim-on-evict applies). False when not resident.
+  bool evict(const std::string& key);
+
+  void set_byte_budget(std::size_t bytes);
+  std::size_t byte_budget() const;
+
+  std::size_t size() const;
+  std::size_t resident_bytes() const;
+  SessionRegistryStats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<InferenceSession> session;
+    std::uint64_t hits = 0;
+    std::list<std::string>::iterator lru_it;  ///< position in lru_
+  };
+
+  void touch_locked(Entry& e, const std::string& key);
+  void evict_entry_locked(const std::string& key);
+  void enforce_budget_locked(const std::string& keep_key);
+  std::size_t resident_bytes_locked() const;
+
+  mutable std::mutex mu_;
+  std::size_t byte_budget_;
+  std::map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  ///< front = most recently used
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace apds

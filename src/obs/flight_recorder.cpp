@@ -52,6 +52,7 @@ void FlightRecorder::record(const RequestRecord& record) {
   slot.alerts.store(record.alerts, std::memory_order_relaxed);
   slot.allocs.store(record.allocs, std::memory_order_relaxed);
   slot.alloc_bytes.store(record.alloc_bytes, std::memory_order_relaxed);
+  slot.session.store(record.session, std::memory_order_relaxed);
   slot.seq.store(2 * serial + 2, std::memory_order_release);
 
   if (g_dump_requested.exchange(false, std::memory_order_relaxed)) {
@@ -83,6 +84,7 @@ bool FlightRecorder::read_slot(const Slot& slot, RequestRecord* out) const {
   r.alerts = slot.alerts.load(std::memory_order_relaxed);
   r.allocs = slot.allocs.load(std::memory_order_relaxed);
   r.alloc_bytes = slot.alloc_bytes.load(std::memory_order_relaxed);
+  r.session = slot.session.load(std::memory_order_relaxed);
   std::atomic_thread_fence(std::memory_order_acquire);
   if (slot.seq.load(std::memory_order_relaxed) != s1) return false;
   *out = r;
@@ -125,7 +127,8 @@ void FlightRecorder::write_json(std::ostream& os) const {
        << ",\"input_absmax\":" << r.input_absmax
        << ",\"pred_mean\":" << r.pred_mean << ",\"pred_var\":" << r.pred_var
        << ",\"alerts\":" << r.alerts << ",\"allocs\":" << r.allocs
-       << ",\"alloc_bytes\":" << r.alloc_bytes << "}";
+       << ",\"alloc_bytes\":" << r.alloc_bytes
+       << ",\"session\":" << r.session << "}";
   }
   os << "\n]}\n";
 }

@@ -55,6 +55,10 @@ struct RequestRecord {
   /// zero-alloc steady-state work drives these to 0.
   std::uint64_t allocs = 0;
   std::uint64_t alloc_bytes = 0;
+  /// InferenceSession id the request ran through (0 = no session — the
+  /// legacy propagate paths). Lets flight dumps segment per model when a
+  /// SessionRegistry serves several concurrently.
+  std::uint64_t session = 0;
 };
 
 /// The ring. Thread-safe for any mix of writers and readers; a snapshot
@@ -131,6 +135,7 @@ class FlightRecorder {
     std::atomic<std::uint32_t> alerts{0};
     std::atomic<std::uint64_t> allocs{0};
     std::atomic<std::uint64_t> alloc_bytes{0};
+    std::atomic<std::uint64_t> session{0};
   };
 
   /// Copy-out one slot if currently published; false on empty/in-flux.
@@ -175,6 +180,9 @@ class RequestScope {
   /// Convenience: mean and max|x| of the request's input payload.
   void set_input_stats(std::span<const double> x);
   void set_prediction(double mean, double variance);
+  /// Attribute this request to an InferenceSession (sessions call this on
+  /// entry to propagate; the last writer wins for nested/multi-model runs).
+  void set_session(std::uint64_t session_id) { record_.session = session_id; }
 
  private:
   // Installs the request context for the thread; declared before span_ so

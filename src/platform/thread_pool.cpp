@@ -45,7 +45,7 @@ void ThreadPool::worker_loop() {
     on_start();
   std::uint64_t seen_generation = 0;
   for (;;) {
-    const RangeFn* fn = nullptr;
+    RangeRef fn;
     obs::RequestContext ctx;
     std::uint64_t generation = 0;
     std::size_t begin = 0, end = 0, chunk = 0, nchunks = 0;
@@ -71,8 +71,8 @@ void ThreadPool::worker_loop() {
     }
     // The copied task state may already be stale: a worker that slept
     // through a whole parallel_for wakes here after the caller returned and
-    // fn points at a destroyed lambda. run_chunks only dereferences fn
-    // after a generation-tagged claim succeeds, which cannot happen for a
+    // fn borrows a destroyed lambda. run_chunks only invokes fn after a
+    // generation-tagged claim succeeds, which cannot happen for a
     // superseded task.
     tl_in_worker = true;
     {
@@ -90,7 +90,7 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::run_chunks(const RangeFn* fn, std::uint64_t generation,
+void ThreadPool::run_chunks(RangeRef fn, std::uint64_t generation,
                             std::size_t begin, std::size_t end,
                             std::size_t chunk, std::size_t nchunks) {
   const std::uint64_t tag = (generation & 0xffffffffull) << 32;
@@ -108,7 +108,7 @@ void ThreadPool::run_chunks(const RangeFn* fn, std::uint64_t generation,
     const std::size_t cb = begin + c * chunk;
     const std::size_t ce = std::min(end, cb + chunk);
     try {
-      (*fn)(cb, ce);
+      fn(cb, ce);
     } catch (...) {
       std::lock_guard<std::mutex> lk(mu_);
       if (!error_) error_ = std::current_exception();
@@ -119,7 +119,7 @@ void ThreadPool::run_chunks(const RangeFn* fn, std::uint64_t generation,
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
-                              std::size_t grain, const RangeFn& fn) {
+                              std::size_t grain, RangeRef fn) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
   const std::size_t min_chunk = std::max<std::size_t>(1, grain);
@@ -144,7 +144,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   std::uint64_t generation = 0;
   {
     std::lock_guard<std::mutex> lk(mu_);
-    fn_ = &fn;
+    fn_ = fn;
     ctx_ = obs::current_request_context();
     begin_ = begin;
     end_ = end;
@@ -161,7 +161,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
 
   // The caller claims chunks too; it is participant number N of N.
   tl_in_worker = true;
-  run_chunks(&fn, generation, begin, end, chunk, nchunks);
+  run_chunks(fn, generation, begin, end, chunk, nchunks);
   tl_in_worker = false;
 
   // Wait until every chunk completed AND every worker that entered the
@@ -214,7 +214,7 @@ void set_global_threads(std::size_t n) {
 std::size_t global_threads() { return global_pool().num_threads(); }
 
 void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
-                  const RangeFn& fn) {
+                  RangeRef fn) {
   global_pool().parallel_for(begin, end, grain, fn);
 }
 

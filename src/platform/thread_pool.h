@@ -25,9 +25,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <exception>
-#include <functional>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 // Header-only by design (see its comment): pulling it in here adds no link
@@ -36,9 +36,36 @@
 
 namespace apds {
 
-/// Body of one parallel_for chunk: processes indices [chunk_begin,
-/// chunk_end). Must not touch state written by other chunks.
-using RangeFn = std::function<void(std::size_t, std::size_t)>;
+/// Non-owning reference to the body of one parallel_for chunk: processes
+/// indices [chunk_begin, chunk_end) and must not touch state written by
+/// other chunks.
+///
+/// This used to be std::function, which heap-allocates at every call site
+/// whose lambda captures exceed the small-buffer optimization — on the
+/// inference hot path that was one hidden allocation per parallel kernel
+/// invocation. A parallel_for call strictly outlives the chunk execution it
+/// dispatches (the caller blocks until every chunk finished), so a borrowed
+/// {context pointer, invoke thunk} pair is sufficient and allocation-free.
+class RangeRef {
+ public:
+  RangeRef() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, RangeRef>>>
+  RangeRef(const F& fn)  // NOLINT(google-explicit-constructor)
+      : ctx_(&fn), invoke_([](const void* ctx, std::size_t b, std::size_t e) {
+          (*static_cast<const F*>(ctx))(b, e);
+        }) {}
+
+  void operator()(std::size_t begin, std::size_t end) const {
+    invoke_(ctx_, begin, end);
+  }
+
+ private:
+  const void* ctx_ = nullptr;
+  void (*invoke_)(const void*, std::size_t, std::size_t) = nullptr;
+};
 
 /// Fixed-width pool of persistent workers. The constructing thread is a
 /// participant: a pool of width N owns N-1 OS threads and the caller of
@@ -64,7 +91,7 @@ class ThreadPool {
   /// installed in every worker for the duration of its chunks, so spans and
   /// exemplars emitted inside `fn` attribute to the submitting request.
   void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
-                    const RangeFn& fn);
+                    RangeRef fn);
 
   /// True when the calling thread is currently executing a chunk of any
   /// ThreadPool (used to force nested calls inline).
@@ -72,9 +99,8 @@ class ThreadPool {
 
  private:
   void worker_loop();
-  void run_chunks(const RangeFn* fn, std::uint64_t generation,
-                  std::size_t begin, std::size_t end, std::size_t chunk,
-                  std::size_t nchunks);
+  void run_chunks(RangeRef fn, std::uint64_t generation, std::size_t begin,
+                  std::size_t end, std::size_t chunk, std::size_t nchunks);
 
   std::vector<std::thread> workers_;
 
@@ -87,7 +113,7 @@ class ThreadPool {
   std::condition_variable cv_done_;
   std::uint64_t generation_ = 0;
   bool stop_ = false;
-  const RangeFn* fn_ = nullptr;
+  RangeRef fn_;
   obs::RequestContext ctx_;  ///< submitting thread's context, for workers
   std::size_t begin_ = 0;
   std::size_t end_ = 0;
@@ -133,6 +159,6 @@ std::size_t global_threads();
 
 /// parallel_for on the process-wide pool.
 void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
-                  const RangeFn& fn);
+                  RangeRef fn);
 
 }  // namespace apds

@@ -45,18 +45,8 @@ void gemm_tile(const T* ad, const T* bd, T* cd, std::size_t k, std::size_t n,
 }
 
 template <typename T>
-void gemm_impl(const MatrixT<T>& a, const MatrixT<T>& b, MatrixT<T>& c,
-               bool accumulate) {
-  const std::size_t m = a.rows();
-  const std::size_t k = a.cols();
-  const std::size_t n = b.cols();
-  APDS_CHECK_MSG(b.rows() == k, "gemm: inner dims " << k << " vs " << b.rows());
-  APDS_CHECK_MSG(c.rows() == m && c.cols() == n,
-                 "gemm: output shape " << c.rows() << "x" << c.cols()
-                                       << " != " << m << "x" << n);
-  const T* ad = a.data();
-  const T* bd = b.data();
-  T* cd = c.data();
+void gemm_buffers_impl(const T* ad, const T* bd, T* cd, std::size_t m,
+                       std::size_t k, std::size_t n, bool accumulate) {
   // Resolve the kernel table once per call, not per tile (atomic load).
   [[maybe_unused]] const KernelOps* ops = nullptr;
   if constexpr (std::is_same_v<T, float>) ops = &kernel_ops();
@@ -86,6 +76,19 @@ void gemm_impl(const MatrixT<T>& a, const MatrixT<T>& b, MatrixT<T>& c,
       tile(0, m, j0, j1);
     });
   }
+}
+
+template <typename T>
+void gemm_impl(const MatrixT<T>& a, const MatrixT<T>& b, MatrixT<T>& c,
+               bool accumulate) {
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+  APDS_CHECK_MSG(b.rows() == k, "gemm: inner dims " << k << " vs " << b.rows());
+  APDS_CHECK_MSG(c.rows() == m && c.cols() == n,
+                 "gemm: output shape " << c.rows() << "x" << c.cols()
+                                       << " != " << m << "x" << n);
+  gemm_buffers_impl(a.data(), b.data(), c.data(), m, k, n, accumulate);
 }
 
 // C[i,j] = sum_r A[r,i] * B[r,j]: iterate r outermost (rank-1 updates)
@@ -173,6 +176,16 @@ void gemm_nt_impl(const MatrixT<T>& a, const MatrixT<T>& b, MatrixT<T>& c) {
   });
 }
 }  // namespace
+
+void gemm_buffers(const double* a, const double* b, double* c, std::size_t m,
+                  std::size_t k, std::size_t n, bool accumulate) {
+  gemm_buffers_impl(a, b, c, m, k, n, accumulate);
+}
+
+void gemm_buffers(const float* a, const float* b, float* c, std::size_t m,
+                  std::size_t k, std::size_t n, bool accumulate) {
+  gemm_buffers_impl(a, b, c, m, k, n, accumulate);
+}
 
 void gemm(const Matrix& a, const Matrix& b, Matrix& c) {
   gemm_impl(a, b, c, /*accumulate=*/false);

@@ -16,6 +16,15 @@
 
 namespace apds {
 
+/// C (+)= A * B on raw row-major buffers: [m,k] x [k,n] -> [m,n]. The
+/// Matrix overloads below delegate here after shape checks, so results are
+/// bit-identical between the two entry points; sessions call this form
+/// directly with arena-resident slices to keep the hot path allocation-free.
+void gemm_buffers(const double* a, const double* b, double* c, std::size_t m,
+                  std::size_t k, std::size_t n, bool accumulate);
+void gemm_buffers(const float* a, const float* b, float* c, std::size_t m,
+                  std::size_t k, std::size_t n, bool accumulate);
+
 /// C = A * B. Shapes: [m,k] x [k,n] -> [m,n]. C is overwritten.
 void gemm(const Matrix& a, const Matrix& b, Matrix& c);
 void gemm(const MatrixF& a, const MatrixF& b, MatrixF& c);

@@ -86,20 +86,23 @@ void scale_inplace(Matrix& a, double s) {
 
 namespace {
 template <typename T>
-void add_row_broadcast_impl(MatrixT<T>& a, const MatrixT<T>& row) {
-  APDS_CHECK_MSG(row.rows() == 1 && row.cols() == a.cols(),
-                 "add_row_broadcast: row shape");
-  const T* rd = row.data();
-  const std::size_t cols = a.cols();
-  T* ad = a.data();
+void add_row_broadcast_buffers_impl(T* ad, std::size_t rows, std::size_t cols,
+                                    const T* rd) {
   const std::size_t grain =
       std::max<std::size_t>(1, kElementwiseGrain / (cols + 1));
-  parallel_for(0, a.rows(), grain, [&](std::size_t r0, std::size_t r1) {
+  parallel_for(0, rows, grain, [&](std::size_t r0, std::size_t r1) {
     for (std::size_t r = r0; r < r1; ++r) {
       T* ar = ad + r * cols;
       for (std::size_t c = 0; c < cols; ++c) ar[c] += rd[c];
     }
   });
+}
+
+template <typename T>
+void add_row_broadcast_impl(MatrixT<T>& a, const MatrixT<T>& row) {
+  APDS_CHECK_MSG(row.rows() == 1 && row.cols() == a.cols(),
+                 "add_row_broadcast: row shape");
+  add_row_broadcast_buffers_impl(a.data(), a.rows(), a.cols(), row.data());
 }
 }  // namespace
 
@@ -109,6 +112,16 @@ void add_row_broadcast(Matrix& a, const Matrix& row) {
 
 void add_row_broadcast(MatrixF& a, const MatrixF& row) {
   add_row_broadcast_impl(a, row);
+}
+
+void add_row_broadcast_buffers(double* a, std::size_t rows, std::size_t cols,
+                               const double* row) {
+  add_row_broadcast_buffers_impl(a, rows, cols, row);
+}
+
+void add_row_broadcast_buffers(float* a, std::size_t rows, std::size_t cols,
+                               const float* row) {
+  add_row_broadcast_buffers_impl(a, rows, cols, row);
 }
 
 void mul_row_broadcast(Matrix& a, const Matrix& row) {

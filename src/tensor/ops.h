@@ -42,6 +42,13 @@ void scale_inplace(Matrix& a, double s);
 /// Add a 1 x cols row vector to every row of `a` (bias broadcast).
 void add_row_broadcast(Matrix& a, const Matrix& row);
 
+/// Raw-buffer bias broadcast over a rows x cols row-major block. The Matrix
+/// overloads delegate here (bit-identical); session arenas call it directly.
+void add_row_broadcast_buffers(double* a, std::size_t rows, std::size_t cols,
+                               const double* row);
+void add_row_broadcast_buffers(float* a, std::size_t rows, std::size_t cols,
+                               const float* row);
+
 /// Multiply every row of `a` elementwise by a 1 x cols row vector.
 void mul_row_broadcast(Matrix& a, const Matrix& row);
 

@@ -10,10 +10,25 @@ ApdEstimator::ApdEstimator(const Mlp& mlp, ApDeepSenseConfig config,
   APDS_CHECK(var_floor > 0.0);
 }
 
+std::shared_ptr<InferenceSession> ApdEstimator::session(
+    Precision precision) const {
+  const std::size_t idx = static_cast<std::size_t>(precision);
+  APDS_CHECK(idx < sessions_.size());
+  std::lock_guard<std::mutex> lk(sessions_mu_);
+  if (!sessions_[idx]) {
+    SessionConfig cfg;
+    cfg.precision = precision;
+    cfg.saturating_pieces = propagator_.config().saturating_pieces;
+    sessions_[idx] =
+        std::make_shared<InferenceSession>(propagator_.network(), cfg);
+  }
+  return sessions_[idx];
+}
+
 PredictiveGaussian ApdEstimator::predict_regression(const Matrix& x) const {
   TraceSpan span("apd.predict_regression");
   if (span.active()) span.set_args("\"batch\":" + std::to_string(x.rows()));
-  MeanVar out = propagator_.propagate(x);
+  MeanVar out = session(global_precision())->propagate(x);
   PredictiveGaussian pred;
   pred.mean = std::move(out.mean);
   pred.var = std::move(out.var);
@@ -25,7 +40,7 @@ PredictiveCategorical ApdEstimator::predict_classification(
     const Matrix& x) const {
   TraceSpan span("apd.predict_classification");
   if (span.active()) span.set_args("\"batch\":" + std::to_string(x.rows()));
-  const MeanVar out = propagator_.propagate(x);
+  const MeanVar out = session(global_precision())->propagate(x);
   PredictiveCategorical pred;
   pred.probs = Matrix(out.batch(), out.dim());
   for (std::size_t r = 0; r < out.batch(); ++r) {

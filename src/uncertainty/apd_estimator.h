@@ -1,7 +1,17 @@
 // UncertaintyEstimator adapter over the analytic ApDeepSense propagator.
+//
+// Prediction runs through per-precision InferenceSessions (planned arenas,
+// zero steady-state allocations inside propagate); the legacy ApDeepSense
+// propagator is kept for callers that need its recording/explicit-precision
+// surface (e.g. the Fig. 1 harness and the input-noise bench).
 #pragma once
 
+#include <array>
+#include <memory>
+#include <mutex>
+
 #include "core/apdeepsense.h"
+#include "core/inference_session.h"
 #include "core/softmax_approx.h"
 #include "uncertainty/estimator.h"
 
@@ -20,9 +30,16 @@ class ApdEstimator final : public UncertaintyEstimator {
 
   const ApDeepSense& propagator() const { return propagator_; }
 
+  /// The session backing predict_* at `precision` (built on first use from
+  /// the bound network; sessions are shared_ptr so callers may also park
+  /// them in a SessionRegistry).
+  std::shared_ptr<InferenceSession> session(Precision precision) const;
+
  private:
   ApDeepSense propagator_;
   double var_floor_;
+  mutable std::mutex sessions_mu_;
+  mutable std::array<std::shared_ptr<InferenceSession>, 3> sessions_;
 };
 
 }  // namespace apds

@@ -1,0 +1,13 @@
+// Fixture: thread_local scratch in hot-path code (src/core/ outside the
+// arena TU) — exactly one hot-path-thread-local violation.
+#include <vector>
+
+namespace apds {
+
+float* bad_scratch(unsigned long n) {
+  thread_local std::vector<float> scratch;
+  if (scratch.size() < n) scratch.resize(n);
+  return scratch.data();
+}
+
+}  // namespace apds

@@ -80,6 +80,7 @@ TEST(ApdsLint, EveryRuleFiresExactlyOnceOnItsFixture) {
       {"trapping-math", "src/CMakeLists.txt"},
       {"kernel-isa-flags", "src/kernels/CMakeLists.txt"},
       {"perf-syscall", "src/bad_perf_syscall.cpp"},
+      {"hot-path-thread-local", "src/core/bad_thread_local.cpp"},
   };
   for (const auto& e : expected) {
     EXPECT_EQ(count_of(run.output,
@@ -91,8 +92,8 @@ TEST(ApdsLint, EveryRuleFiresExactlyOnceOnItsFixture) {
               1u)
         << "file " << e.file << " must appear exactly once\n" << run.output;
   }
-  // Exactly the 10 seeded violations — nothing extra anywhere.
-  EXPECT_EQ(count_of(run.output, "\"rule\": "), 10u) << run.output;
+  // Exactly the 11 seeded violations — nothing extra anywhere.
+  EXPECT_EQ(count_of(run.output, "\"rule\": "), 11u) << run.output;
 }
 
 TEST(ApdsLint, SuppressionsCoverAllThreeFormsAndAreCounted) {
@@ -134,7 +135,7 @@ TEST(ApdsLint, ListRulesPrintsTheFullTable) {
   for (const char* rule :
        {"no-unseeded-rng", "float-equal", "pow-square", "naked-new",
         "raw-io", "f32-double-literal", "f32-libm-double", "trapping-math",
-        "kernel-isa-flags", "perf-syscall"})
+        "kernel-isa-flags", "perf-syscall", "hot-path-thread-local"})
     EXPECT_NE(run.output.find(rule), std::string::npos) << rule;
 }
 

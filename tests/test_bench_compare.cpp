@@ -115,6 +115,35 @@ TEST(BenchCompare, SpeedupFloorGatesWithinCandidate) {
   EXPECT_EQ(run_compare(pair + " --speedup malformed"), 2);
 }
 
+// Candidate report with an allocs column: one zero-alloc propagate row, one
+// that leaks 29 allocations per iteration, and a row without the column.
+const char kMicroWithAllocs[] =
+    R"({"bench":"micro_kernels","threads":2,"kernels":[)"
+    R"({"name":"apd_propagate_b64","threads":1,"mean_ms":2.1,"p50_ms":2.0,"p95_ms":2.4,"iterations":40,"allocs":0},)"
+    R"({"name":"apd_legacy_b1","threads":1,"mean_ms":0.5,"p50_ms":0.5,"p95_ms":0.6,"iterations":40,"allocs":29},)"
+    R"({"name":"gemm_moments","threads":1,"mean_ms":2.1,"p50_ms":2.0,"p95_ms":2.4,"iterations":40}]})";
+
+TEST(BenchCompare, MaxAllocsGatesTheCandidateAllocsColumn) {
+  const std::string base = scratch("base.json");
+  write_file(base, kMicroWithAllocs);
+  const std::string pair = base + " " + base;
+  // The propagate row reports 0 allocs: the zero budget holds.
+  EXPECT_EQ(run_compare(pair + " --max-allocs apd_propagate_:0"), 0);
+  // The legacy row's 29 allocs blow a zero budget but fit a looser one.
+  EXPECT_EQ(run_compare(pair + " --max-allocs apd_legacy_:0"), 1);
+  EXPECT_EQ(run_compare(pair + " --max-allocs apd_legacy_:29"), 0);
+  // A shared prefix gates both rows at once; the legacy row still fails.
+  EXPECT_EQ(run_compare(pair + " --max-allocs apd_:0"), 1);
+  // A prefix matching no row (gemm_moments has no allocs column) must not
+  // silently pass — same contract as --speedup with a missing key.
+  EXPECT_EQ(run_compare(pair + " --max-allocs gemm_moments:0"), 2);
+  EXPECT_EQ(run_compare(pair + " --max-allocs no_such_kernel_:0"), 2);
+  // Malformed specs are usage errors.
+  EXPECT_EQ(run_compare(pair + " --max-allocs apd_propagate_"), 2);
+  EXPECT_EQ(run_compare(pair + " --max-allocs apd_propagate_:-1"), 2);
+  EXPECT_EQ(run_compare(pair + " --max-allocs :0"), 2);
+}
+
 // Same timings, but the reports were taken on different kernel ISA tiers.
 const char kMicroScalarIsa[] =
     R"({"bench":"micro_kernels","threads":2,"isa":"scalar","kernels":[)"

@@ -46,6 +46,12 @@
 //                     weakest device and pick wider tiers via CPUID, so
 //                     ISA flags may never leak onto ordinarily-called
 //                     code.
+//   hot-path-thread-local  thread_local state in src/core/ or src/tensor/
+//                     outside the arena TU (src/core/arena.cpp). Hot-path
+//                     scratch belongs in the InferenceSession's planned
+//                     arena; ad-hoc thread_local buffers hide allocations
+//                     from the memory plan and defeat the zero-alloc
+//                     steady-state guarantee.
 //
 // Suppressions (in a comment on the violation line or the line above):
 //   // apds-lint: allow(<rule>[, <rule>...])   — suppress on this/next line
@@ -263,6 +269,9 @@ constexpr RuleInfo kRules[] = {
      "perf_event_open / timer_create / sigaction outside "
      "src/obs/perf_counters.* and src/obs/sampling_profiler.* — counter "
      "groups and profiling signal handlers live in the profiling layer"},
+    {"hot-path-thread-local",
+     "thread_local in src/core/ or src/tensor/ outside src/core/arena.cpp "
+     "— hot-path scratch must be planned into the session arena"},
 };
 
 /// Per-file suppression state parsed from comment text.
@@ -362,6 +371,12 @@ bool is_perf_syscall_sanctioned(const std::string& rel) {
          has_suffix(rel, "src/obs/perf_counters.cpp") ||
          has_suffix(rel, "src/obs/sampling_profiler.h") ||
          has_suffix(rel, "src/obs/sampling_profiler.cpp");
+}
+
+/// The single TU sanctioned to own thread_local state on the hot path: the
+/// arena layer (per-thread legacy scratch + the session-arena cache).
+bool is_thread_local_sanctioned(const std::string& rel) {
+  return has_suffix(rel, "src/core/arena.cpp");
 }
 
 bool is_rng_tu(const std::string& rel) {
@@ -588,6 +603,21 @@ void rule_perf_syscall(const MaskedSource& src, const std::string& rel,
   }
 }
 
+void rule_hot_path_thread_local(const MaskedSource& src,
+                                const std::string& rel, Emit out) {
+  if (!has_prefix(rel, "src/core/") && !has_prefix(rel, "src/tensor/"))
+    return;
+  if (is_thread_local_sanctioned(rel)) return;
+  static const std::regex re(R"(\bthread_local\b)");
+  for (auto it = std::sregex_iterator(src.code.begin(), src.code.end(), re);
+       it != std::sregex_iterator(); ++it)
+    emit(out, rel, src.line_of(static_cast<std::size_t>(it->position())),
+         "hot-path-thread-local",
+         "thread_local state in hot-path code; plan the buffer into the "
+         "session arena (core/arena.h) — ad-hoc per-thread scratch hides "
+         "allocations from the memory plan");
+}
+
 void rule_f32_double_literal(const MaskedSource& src, const std::string& rel,
                              Emit out) {
   if (!is_f32_tu(rel)) return;
@@ -722,6 +752,7 @@ void scan_file(const fs::path& path, const std::string& rel, Report* report) {
     rule_naked_new(src, rel, found);
     rule_raw_io(src, rel, found);
     rule_perf_syscall(src, rel, found);
+    rule_hot_path_thread_local(src, rel, found);
     rule_f32_double_literal(src, rel, found);
     rule_f32_libm_double(src, rel, found);
   } else {

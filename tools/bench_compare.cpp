@@ -2,6 +2,7 @@
 //
 //   bench_compare <baseline.json> <candidate.json> [--max-regress <pct>]
 //                 [--speedup <fast>:<slow>:<ratio>]...
+//                 [--max-allocs <name-prefix>:<count>]...
 //
 // Both inputs must be the same bench format — either `micro_kernels --json`
 // ({"bench":"micro_kernels","kernels":[{name,threads,p50_ms,...}]}) or a
@@ -24,6 +25,13 @@
 // staying >= 1.5x quicker than f64). Repeatable. Referencing a key the
 // candidate lacks is a usage error (exit 2) — a silently missing gate
 // would pass CI forever.
+//
+// --max-allocs gates the candidate's `allocs` column (micro_kernels only,
+// operator-new calls per iteration): every kernel row whose key starts
+// with <name-prefix> must report at most <count> allocations (e.g.
+// `--max-allocs apd_propagate_:0` holds the planned-arena propagate rows
+// at zero steady-state allocations). Repeatable. A prefix matching no
+// candidate row is a usage error (exit 2), same rationale as --speedup.
 //
 // Exit codes: 0 = no regression, 1 = regression / speedup-floor miss,
 //             2 = usage / file / parse error.
@@ -51,10 +59,12 @@ using apds::tools::require_string;
 /// Flatten one bench report into {metric key -> p50 latency in ms}.
 /// micro_kernels rows key on name@t<threads> and report p50_ms; system
 /// benches key on config and report host_ms (skipped when not measured).
-/// `isa` receives the optional "isa" header field ("" when absent).
-std::map<std::string, double> extract_metrics(const JsonValue& root,
-                                              std::string* bench_name,
-                                              std::string* isa) {
+/// `isa` receives the optional "isa" header field ("" when absent);
+/// `allocs` (optional out) collects each micro_kernels row's `allocs`
+/// column under the same key, for the --max-allocs gates.
+std::map<std::string, double> extract_metrics(
+    const JsonValue& root, std::string* bench_name, std::string* isa,
+    std::map<std::string, double>* allocs = nullptr) {
   if (root.kind != JsonValue::Kind::kObject)
     throw std::runtime_error("top-level JSON value is not an object");
   *bench_name = require_string(root, "bench");
@@ -73,6 +83,11 @@ std::map<std::string, double> extract_metrics(const JsonValue& root,
           require_string(k, "name") + "@t" +
           std::to_string(static_cast<long long>(require_number(k, "threads")));
       out[key] = require_number(k, "p50_ms");
+      if (allocs) {
+        if (const JsonValue* a = k.find("allocs");
+            a && a->kind == JsonValue::Kind::kNumber)
+          (*allocs)[key] = a->number;
+      }
     }
     return out;
   }
@@ -91,10 +106,10 @@ std::map<std::string, double> extract_metrics(const JsonValue& root,
                            "\" (want micro_kernels or system_perf)");
 }
 
-std::map<std::string, double> load_metrics(const std::string& path,
-                                           std::string* bench_name,
-                                           std::string* isa) {
-  return extract_metrics(parse_json_file(path), bench_name, isa);
+std::map<std::string, double> load_metrics(
+    const std::string& path, std::string* bench_name, std::string* isa,
+    std::map<std::string, double>* allocs = nullptr) {
+  return extract_metrics(parse_json_file(path), bench_name, isa, allocs);
 }
 
 /// One --speedup gate: cand[slow_key].p50 / cand[fast_key].p50 >= min_ratio.
@@ -103,6 +118,27 @@ struct SpeedupGate {
   std::string slow_key;
   double min_ratio = 1.0;
 };
+
+/// One --max-allocs gate: every candidate key starting with `prefix` must
+/// report at most `max_allocs` operator-new calls per iteration.
+struct AllocGate {
+  std::string prefix;
+  double max_allocs = 0.0;
+};
+
+/// Parse "<name-prefix>:<count>". Returns false on malformed input. The
+/// split is at the LAST ':' so prefixes may themselves contain colons.
+bool parse_max_allocs(const std::string& spec, AllocGate* gate) {
+  const std::size_t last = spec.rfind(':');
+  if (last == std::string::npos) return false;
+  gate->prefix = spec.substr(0, last);
+  const std::string count = spec.substr(last + 1);
+  if (gate->prefix.empty() || count.empty()) return false;
+  const auto parsed = apds::parse_double(count);
+  if (!parsed) return false;
+  gate->max_allocs = *parsed;
+  return gate->max_allocs >= 0.0;
+}
 
 /// Parse "<fast>:<slow>:<ratio>". Returns false on malformed input.
 bool parse_speedup(const std::string& spec, SpeedupGate* gate) {
@@ -123,11 +159,14 @@ bool parse_speedup(const std::string& spec, SpeedupGate* gate) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <baseline.json> <candidate.json>"
-               " [--max-regress <pct>] [--speedup <fast>:<slow>:<ratio>]...\n"
+               " [--max-regress <pct>] [--speedup <fast>:<slow>:<ratio>]..."
+               " [--max-allocs <name-prefix>:<count>]...\n"
                "  compares p50 latencies from two micro_kernels/system bench"
                " --json reports;\n  exits 1 when any shared metric regresses"
-               " by more than <pct>%% (default 25)\n  or a --speedup floor"
-               " (cand p50 of <slow> / <fast> >= <ratio>) is missed.\n",
+               " by more than <pct>%% (default 25),\n  a --speedup floor"
+               " (cand p50 of <slow> / <fast> >= <ratio>) is missed, or a\n"
+               "  --max-allocs gate (candidate rows matching <name-prefix>"
+               " report <= <count> allocs) fails.\n",
                argv0);
   return 2;
 }
@@ -137,6 +176,7 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::vector<std::string> positional;
   std::vector<SpeedupGate> speedup_gates;
+  std::vector<AllocGate> alloc_gates;
   double max_regress_pct = 25.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -148,6 +188,14 @@ int main(int argc, char** argv) {
         return usage(argv[0]);
       }
       speedup_gates.push_back(std::move(gate));
+    } else if (arg == "--max-allocs") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      AllocGate gate;
+      if (!parse_max_allocs(argv[++i], &gate)) {
+        std::fprintf(stderr, "--max-allocs: malformed spec '%s'\n", argv[i]);
+        return usage(argv[0]);
+      }
+      alloc_gates.push_back(std::move(gate));
     } else if (arg == "--max-regress") {
       if (i + 1 >= argc) return usage(argv[0]);
       const auto pct = apds::parse_double(argv[++i]);
@@ -167,8 +215,10 @@ int main(int argc, char** argv) {
     std::string cand_bench;
     std::string base_isa;
     std::string cand_isa;
+    std::map<std::string, double> cand_allocs;
     const auto base = load_metrics(positional[0], &base_bench, &base_isa);
-    const auto cand = load_metrics(positional[1], &cand_bench, &cand_isa);
+    const auto cand =
+        load_metrics(positional[1], &cand_bench, &cand_isa, &cand_allocs);
     if (base_bench != cand_bench) {
       std::fprintf(stderr, "bench kinds differ: %s vs %s\n",
                    base_bench.c_str(), cand_bench.c_str());
@@ -236,14 +286,38 @@ int main(int argc, char** argv) {
                   gate.min_ratio, bad ? "  BELOW FLOOR" : "");
     }
 
+    // Allocation budgets are a property of the candidate build alone (the
+    // baseline may predate the allocs column), so gates read cand_allocs.
+    std::size_t allocs_failed = 0;
+    for (const AllocGate& gate : alloc_gates) {
+      std::size_t matched = 0;
+      for (const auto& [key, count] : cand_allocs) {
+        if (key.rfind(gate.prefix, 0) != 0) continue;
+        ++matched;
+        const bool bad = count > gate.max_allocs;
+        if (bad) ++allocs_failed;
+        std::printf("allocs %-33s %10.0f (limit %.0f)%s\n", key.c_str(),
+                    count, gate.max_allocs, bad ? "  OVER BUDGET" : "");
+      }
+      if (matched == 0) {
+        std::fprintf(stderr,
+                     "--max-allocs %s:%.0f: no candidate kernel row matches"
+                     " the prefix (or none reports an allocs column)\n",
+                     gate.prefix.c_str(), gate.max_allocs);
+        return 2;
+      }
+    }
+
     std::printf("%zu metric(s) compared, %zu skipped, %zu regression(s)"
                 " beyond +%.1f%%",
                 compared, skipped, regressed, max_regress_pct);
     if (!speedup_gates.empty())
       std::printf(", %zu/%zu speedup floor(s) missed", speedup_missed,
                   speedup_gates.size());
+    if (!alloc_gates.empty())
+      std::printf(", %zu alloc budget violation(s)", allocs_failed);
     std::printf("\n");
-    return regressed > 0 || speedup_missed > 0 ? 1 : 0;
+    return regressed > 0 || speedup_missed > 0 || allocs_failed > 0 ? 1 : 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bench_compare: %s\n", e.what());
     return 2;
