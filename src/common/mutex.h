@@ -1,0 +1,90 @@
+// Annotated mutex wrappers for clang thread-safety analysis.
+//
+// libstdc++'s std::mutex carries no capability annotations, so code locked
+// through it is invisible to -Wthread-safety. These thin wrappers add the
+// annotations and nothing else: apds::Mutex is a std::mutex, MutexLock is a
+// scoped lock_guard equivalent (with early Unlock() for the rare hand-off
+// pattern), and CondVar is a std::condition_variable that waits on an
+// apds::Mutex the analysis knows is held. Annotated code uses these three
+// types exclusively; see docs/STATIC_ANALYSIS.md ("Thread-safety
+// annotations").
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace apds {
+
+class CondVar;
+
+/// std::mutex with capability annotations.
+class APDS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() APDS_ACQUIRE() { mu_.lock(); }
+  void unlock() APDS_RELEASE() { mu_.unlock(); }
+  bool try_lock() APDS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII scoped lock over apds::Mutex (the clang-docs MutexLocker pattern).
+/// Unlock() releases early for hand-off patterns; the destructor only
+/// unlocks if still held.
+class APDS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) APDS_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_->lock();
+  }
+  ~MutexLock() APDS_RELEASE() {
+    if (held_) mu_->unlock();
+  }
+  void Unlock() APDS_RELEASE() {
+    mu_->unlock();
+    held_ = false;
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+  bool held_;
+};
+
+/// Condition variable waiting on an apds::Mutex. wait() requires the mutex
+/// held; as with std::condition_variable, callers loop on their predicate:
+///
+///   MutexLock lk(&mu_);
+///   while (!ready_) cv_.wait(mu_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and re-acquires `mu` before
+  /// returning. The adopt/release dance hands the already-held native
+  /// mutex to a std::unique_lock for the duration of the wait without
+  /// double-locking.
+  void wait(Mutex& mu) APDS_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace apds

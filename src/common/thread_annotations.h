@@ -1,0 +1,62 @@
+// Clang thread-safety annotation macros (no-ops on other compilers).
+//
+// The annotations turn locking conventions that are otherwise enforced only
+// by TSan-observed interleavings into compile-time proofs: a member declared
+// APDS_GUARDED_BY(mu_) cannot be read or written without mu_ held, and a
+// private helper declared APDS_REQUIRES(mu_) cannot be called from a public
+// entry point that forgot to lock. The clang-thread-safety CI job builds
+// with -Werror=thread-safety-analysis, so a violation fails the build before
+// a bad interleaving ever runs.
+//
+// std::mutex is not annotated by libstdc++, so annotated code locks through
+// the apds::Mutex / apds::MutexLock / apds::CondVar wrappers in
+// common/mutex.h. Naming and semantics follow the canonical macro set from
+// the clang Thread Safety Analysis documentation; see
+// docs/STATIC_ANALYSIS.md ("Thread-safety annotations") for the project
+// conventions.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define APDS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define APDS_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+/// Declares a type to be a capability (a lockable resource).
+#define APDS_CAPABILITY(x) APDS_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type whose lifetime acquires/releases a capability.
+#define APDS_SCOPED_CAPABILITY APDS_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member is protected by the given capability.
+#define APDS_GUARDED_BY(x) APDS_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointed-to data is protected by the given capability.
+#define APDS_PT_GUARDED_BY(x) APDS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability held on entry (and does not release it).
+#define APDS_REQUIRES(...) \
+  APDS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define APDS_ACQUIRE(...) \
+  APDS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (which must be held on entry).
+#define APDS_RELEASE(...) \
+  APDS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function tries to acquire; holds it iff the return value equals `b`.
+#define APDS_TRY_ACQUIRE(b, ...) \
+  APDS_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+
+/// Function must NOT be called with the capability held (deadlock guard).
+#define APDS_EXCLUDES(...) \
+  APDS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Returns a reference to the given capability (for accessor methods).
+#define APDS_RETURN_CAPABILITY(x) APDS_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function checks its own invariants some other way.
+#define APDS_NO_THREAD_SAFETY_ANALYSIS \
+  APDS_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -170,14 +170,14 @@ std::size_t InferenceSession::planned_bytes(std::size_t batch) const {
 }
 
 std::size_t InferenceSession::arena_bytes() const {
-  std::lock_guard<std::mutex> lk(arenas_mu_);
+  MutexLock lk(&arenas_mu_);
   std::size_t total = 0;
   for (const auto& ta : arenas_) total += ta->arena.capacity();
   return total;
 }
 
 void InferenceSession::trim() const {
-  std::lock_guard<std::mutex> lk(arenas_mu_);
+  MutexLock lk(&arenas_mu_);
   // Invalidate every thread's cached pointer first; destroying the arenas
   // then releases the backing (and the gauges drop).
   epoch_.fetch_add(1, std::memory_order_release);
@@ -194,7 +194,7 @@ InferenceSession::ThreadArena& InferenceSession::thread_arena(
   // above the planned capacity. One plan + one allocation, then the thread
   // is steady again.
   const std::size_t plan_batch = std::max(batch, config_.max_batch);
-  std::lock_guard<std::mutex> lk(arenas_mu_);
+  MutexLock lk(&arenas_mu_);
   if (!ta) {
     arenas_.push_back(std::make_unique<ThreadArena>());
     ta = arenas_.back().get();
@@ -229,7 +229,11 @@ void InferenceSession::propagate(const MeanVar& input, MeanVar& out) const {
     scope->set_session(id_);
 
   ThreadArena& ta = thread_arena(batch);
+  // Caller-owned output: Matrix::resize retains capacity, so a reused `out`
+  // allocates nothing once warm (the contract test_inference_session
+  // measures). apds-lint: allow(hot-path-alloc)
   out.mean.resize(batch, output_dim());
+  // apds-lint: allow(hot-path-alloc) — same capacity-retention contract.
   out.var.resize(batch, output_dim());
 
   switch (config_.precision) {

@@ -24,11 +24,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/precision.h"
+#include "common/thread_annotations.h"
 #include "core/arena.h"
 #include "core/gaussian_vec.h"
 #include "core/moment_fused.h"
@@ -158,8 +159,9 @@ class InferenceSession {
   std::size_t weight_bytes_ = 0;
   mutable std::atomic<std::uint64_t> epoch_{1};  ///< bumped by trim()
   mutable std::atomic<std::uint64_t> propagate_count_{0};
-  mutable std::mutex arenas_mu_;
-  mutable std::vector<std::unique_ptr<ThreadArena>> arenas_;
+  mutable Mutex arenas_mu_;
+  mutable std::vector<std::unique_ptr<ThreadArena>> arenas_
+      APDS_GUARDED_BY(arenas_mu_);
 };
 
 }  // namespace apds

@@ -16,7 +16,7 @@ void SessionRegistry::touch_locked(Entry& e, const std::string& key) {
 
 std::shared_ptr<InferenceSession> SessionRegistry::get_or_load(
     const std::string& key, const Loader& loader) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     ++hits_;
@@ -38,7 +38,7 @@ std::shared_ptr<InferenceSession> SessionRegistry::get_or_load(
 
 std::shared_ptr<InferenceSession> SessionRegistry::get(
     const std::string& key) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++misses_;
@@ -66,7 +66,7 @@ void SessionRegistry::evict_entry_locked(const std::string& key) {
 }
 
 bool SessionRegistry::evict(const std::string& key) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   if (entries_.find(key) == entries_.end()) return false;
   evict_entry_locked(key);
   return true;
@@ -88,28 +88,28 @@ void SessionRegistry::enforce_budget_locked(const std::string& keep_key) {
 }
 
 void SessionRegistry::set_byte_budget(std::size_t bytes) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   byte_budget_ = bytes;
   enforce_budget_locked(lru_.empty() ? std::string() : lru_.front());
 }
 
 std::size_t SessionRegistry::byte_budget() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return byte_budget_;
 }
 
 std::size_t SessionRegistry::size() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return entries_.size();
 }
 
 std::size_t SessionRegistry::resident_bytes() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return resident_bytes_locked();
 }
 
 SessionRegistryStats SessionRegistry::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   SessionRegistryStats s;
   s.resident_sessions = entries_.size();
   s.resident_bytes = resident_bytes_locked();

@@ -17,10 +17,11 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/inference_session.h"
 
 namespace apds {
@@ -81,18 +82,19 @@ class SessionRegistry {
     std::list<std::string>::iterator lru_it;  ///< position in lru_
   };
 
-  void touch_locked(Entry& e, const std::string& key);
-  void evict_entry_locked(const std::string& key);
-  void enforce_budget_locked(const std::string& keep_key);
-  std::size_t resident_bytes_locked() const;
+  void touch_locked(Entry& e, const std::string& key) APDS_REQUIRES(mu_);
+  void evict_entry_locked(const std::string& key) APDS_REQUIRES(mu_);
+  void enforce_budget_locked(const std::string& keep_key) APDS_REQUIRES(mu_);
+  std::size_t resident_bytes_locked() const APDS_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::size_t byte_budget_;
-  std::map<std::string, Entry> entries_;
-  std::list<std::string> lru_;  ///< front = most recently used
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
+  mutable Mutex mu_;
+  std::size_t byte_budget_ APDS_GUARDED_BY(mu_);
+  std::map<std::string, Entry> entries_ APDS_GUARDED_BY(mu_);
+  /// Front = most recently used.
+  std::list<std::string> lru_ APDS_GUARDED_BY(mu_);
+  std::uint64_t hits_ APDS_GUARDED_BY(mu_) = 0;
+  std::uint64_t misses_ APDS_GUARDED_BY(mu_) = 0;
+  std::uint64_t evictions_ APDS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace apds

@@ -158,12 +158,12 @@ void FlightRecorder::on_alert() {
 }
 
 void FlightRecorder::set_dump_path(const std::string& path) {
-  std::lock_guard<std::mutex> lock(dump_mu_);
+  MutexLock lock(&dump_mu_);
   dump_path_ = path;
 }
 
 std::string FlightRecorder::dump_path() const {
-  std::lock_guard<std::mutex> lock(dump_mu_);
+  MutexLock lock(&dump_mu_);
   return dump_path_;
 }
 

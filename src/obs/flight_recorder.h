@@ -22,11 +22,12 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/request_context.h"
 #include "obs/trace.h"
 
@@ -146,8 +147,8 @@ class FlightRecorder {
   std::atomic<std::uint64_t> head_{0};  ///< next record serial
   std::atomic<std::uint64_t> alerts_{0};
 
-  mutable std::mutex dump_mu_;
-  std::string dump_path_;
+  mutable Mutex dump_mu_;
+  std::string dump_path_ APDS_GUARDED_BY(dump_mu_);
 };
 
 /// RAII frame for one inference request. Construct before running the

@@ -30,7 +30,7 @@ void LatencyHistogram::observe(double ms) {
 }
 
 void LatencyHistogram::observe(double ms, std::uint64_t request_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   hist_.add(ms);
   stats_.add(ms);
   if (request_id != 0) {
@@ -40,28 +40,28 @@ void LatencyHistogram::observe(double ms, std::uint64_t request_id) {
 }
 
 std::vector<Exemplar> LatencyHistogram::exemplars() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return exemplars_;
 }
 
 std::size_t LatencyHistogram::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return hist_.total();
 }
 
 RunningStats LatencyHistogram::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 
 Histogram LatencyHistogram::buckets() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return hist_;
 }
 
 double LatencyHistogram::percentile(double p) const {
   APDS_CHECK(p >= 0.0 && p <= 1.0);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const std::size_t total = hist_.total();
   if (total == 0) return 0.0;
   // Walk the buckets until the cumulative count crosses the target rank,
@@ -86,7 +86,7 @@ double LatencyHistogram::percentile(double p) const {
 }
 
 void LatencyHistogram::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   hist_ = Histogram(lo_ms_, hi_ms_, bins_);
   stats_ = RunningStats();
   exemplars_.clear();
@@ -98,14 +98,14 @@ MetricsRegistry& MetricsRegistry::instance() {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
@@ -114,14 +114,14 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 LatencyHistogram& MetricsRegistry::histogram(const std::string& name,
                                              double lo_ms, double hi_ms,
                                              std::size_t bins) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<LatencyHistogram>(lo_ms, hi_ms, bins);
   return *slot;
 }
 
 void MetricsRegistry::write_json(std::ostream& os) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   os << "{\n\"counters\":{";
   bool first = true;
   for (const auto& [name, c] : counters_) {
@@ -177,7 +177,7 @@ void MetricsRegistry::write_json(std::ostream& os) const {
 }
 
 void MetricsRegistry::write_prometheus(std::ostream& os) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& [name, c] : counters_) {
     const std::string prom = "apds_metric_" + obs::prom_sanitize_name(name) +
                              "_total";
@@ -239,14 +239,14 @@ void MetricsRegistry::write_json_file(const std::string& path) const {
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
 }
 
 std::size_t MetricsRegistry::num_metrics() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return counters_.size() + gauges_.size() + histograms_.size();
 }
 

@@ -9,10 +9,11 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "stats/histogram.h"
 #include "stats/running_stats.h"
 
@@ -97,10 +98,11 @@ class LatencyHistogram {
   double lo_ms_;
   double hi_ms_;
   std::size_t bins_;
-  mutable std::mutex mu_;
-  Histogram hist_;
-  RunningStats stats_;
-  std::vector<Exemplar> exemplars_;  ///< sized lazily on first exemplar
+  mutable Mutex mu_;
+  Histogram hist_ APDS_GUARDED_BY(mu_);
+  RunningStats stats_ APDS_GUARDED_BY(mu_);
+  /// Sized lazily on first exemplar.
+  std::vector<Exemplar> exemplars_ APDS_GUARDED_BY(mu_);
 };
 
 /// Registry of named metrics. Lookup creates on first use and returns a
@@ -144,10 +146,12 @@ class MetricsRegistry {
   std::size_t num_metrics() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      APDS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ APDS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_
+      APDS_GUARDED_BY(mu_);
 };
 
 }  // namespace apds

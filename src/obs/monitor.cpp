@@ -44,22 +44,22 @@ void AlertSink::raise(Alert alert) {
     event.dur_us = 0.0;
     collector.record(std::move(event));
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   alerts_.push_back(std::move(alert));
 }
 
 std::size_t AlertSink::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return alerts_.size();
 }
 
 std::vector<Alert> AlertSink::alerts() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return alerts_;
 }
 
 void AlertSink::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   alerts_.clear();
 }
 
@@ -124,7 +124,7 @@ CalibrationMonitor::CalibrationMonitor(CalibrationMonitorConfig config,
 void CalibrationMonitor::observe(double mean, double var, double target) {
   APDS_CHECK(var > 0.0);
   const double sd = std::sqrt(var);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   abs_z_.push(std::fabs(target - mean) / sd);
   nll_.push(gaussian_nll(target, mean, var));
   check_alerts_locked();
@@ -139,13 +139,13 @@ void CalibrationMonitor::observe_batch(std::span<const double> mean,
 }
 
 std::size_t CalibrationMonitor::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return abs_z_.total();
 }
 
 std::vector<CalibrationMonitor::Coverage> CalibrationMonitor::coverage()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<Coverage> out;
   out.reserve(config_.nominal_levels.size());
   const std::span<const double> zs = abs_z_.values();
@@ -163,12 +163,12 @@ std::vector<CalibrationMonitor::Coverage> CalibrationMonitor::coverage()
 }
 
 double CalibrationMonitor::nll() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return nll_.mean();
 }
 
 void CalibrationMonitor::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   abs_z_.clear();
   nll_.clear();
   std::fill(breached_.begin(), breached_.end(), false);
@@ -211,7 +211,7 @@ void DriftMonitor::set_reference(std::span<const double> mean,
   APDS_CHECK(mean.size() == var.size());
   APDS_CHECK(!mean.empty());
   for (double v : var) APDS_CHECK(v > 0.0);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ref_mean_.assign(mean.begin(), mean.end());
   ref_var_.assign(var.begin(), var.end());
   windows_.clear();
@@ -222,17 +222,17 @@ void DriftMonitor::set_reference(std::span<const double> mean,
 }
 
 bool DriftMonitor::has_reference() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return !ref_mean_.empty();
 }
 
 std::size_t DriftMonitor::dim() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return ref_mean_.size();
 }
 
 void DriftMonitor::observe(std::span<const double> features) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   APDS_CHECK_MSG(!ref_mean_.empty(),
                  "DriftMonitor::observe before set_reference");
   APDS_CHECK(features.size() == ref_mean_.size());
@@ -252,12 +252,12 @@ double DriftMonitor::feature_z_locked(std::size_t f) const {
 }
 
 std::size_t DriftMonitor::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return rows_;
 }
 
 std::vector<DriftMonitor::FeatureDrift> DriftMonitor::drift() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<FeatureDrift> out;
   out.reserve(ref_mean_.size());
   for (std::size_t f = 0; f < ref_mean_.size(); ++f) {
@@ -278,7 +278,7 @@ std::vector<DriftMonitor::FeatureDrift> DriftMonitor::drift() const {
 }
 
 double DriftMonitor::max_abs_z() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   double max_z = 0.0;
   for (std::size_t f = 0; f < ref_mean_.size(); ++f)
     max_z = std::max(max_z, std::fabs(feature_z_locked(f)));
@@ -286,7 +286,7 @@ double DriftMonitor::max_abs_z() const {
 }
 
 void DriftMonitor::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (SlidingWindow& w : windows_) w.clear();
   std::fill(breached_.begin(), breached_.end(), false);
   rows_ = 0;
@@ -339,7 +339,7 @@ LatencySloMonitor::LatencySloMonitor(LatencySloMonitorConfig config,
 
 void LatencySloMonitor::observe(double ms, double flops) {
   APDS_CHECK(ms >= 0.0);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   latencies_.push(ms);
   if (flops > 0.0) {
     energy_total_mj_ += config_.edison.energy_mj(flops);
@@ -349,37 +349,37 @@ void LatencySloMonitor::observe(double ms, double flops) {
 }
 
 std::size_t LatencySloMonitor::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return latencies_.total();
 }
 
 LatencySloMonitor::Percentiles LatencySloMonitor::percentiles() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const std::vector<double> sorted = latencies_.sorted();
   return {percentile_sorted(sorted, 0.50), percentile_sorted(sorted, 0.95),
           percentile_sorted(sorted, 0.99)};
 }
 
 double LatencySloMonitor::energy_total_mj() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return energy_total_mj_;
 }
 
 double LatencySloMonitor::energy_mean_mj() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return energy_count_ == 0
              ? 0.0
              : energy_total_mj_ / static_cast<double>(energy_count_);
 }
 
 void LatencySloMonitor::set_slo(const LatencySloConfigThresholds& slo) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   config_.slo = slo;
   for (bool& b : breached_) b = false;
 }
 
 void LatencySloMonitor::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   latencies_.clear();
   energy_total_mj_ = 0.0;
   energy_count_ = 0;

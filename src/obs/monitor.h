@@ -8,11 +8,12 @@
 #pragma once
 
 #include <cstddef>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "platform/edison.h"
 
 namespace apds::obs {
@@ -48,8 +49,8 @@ class AlertSink {
   void clear();
 
  private:
-  mutable std::mutex mu_;
-  std::vector<Alert> alerts_;
+  mutable Mutex mu_;
+  std::vector<Alert> alerts_ APDS_GUARDED_BY(mu_);
 };
 
 // ---------------------------------------------------------------------------
@@ -129,15 +130,17 @@ class CalibrationMonitor {
   void reset();
 
  private:
-  void check_alerts_locked();
+  void check_alerts_locked() APDS_REQUIRES(mu_);
 
   CalibrationMonitorConfig config_;
   AlertSink* sink_;
   std::vector<double> level_z_;  ///< central_interval_z per nominal level
-  mutable std::mutex mu_;
-  SlidingWindow abs_z_;  ///< |target - mean| / stddev per observation
-  SlidingWindow nll_;
-  std::vector<bool> breached_;  ///< per level, for edge-triggered alerts
+  mutable Mutex mu_;
+  /// |target - mean| / stddev per observation.
+  SlidingWindow abs_z_ APDS_GUARDED_BY(mu_);
+  SlidingWindow nll_ APDS_GUARDED_BY(mu_);
+  /// Per level, for edge-triggered alerts.
+  std::vector<bool> breached_ APDS_GUARDED_BY(mu_);
 };
 
 // ---------------------------------------------------------------------------
@@ -196,17 +199,19 @@ class DriftMonitor {
   void reset();
 
  private:
-  double feature_z_locked(std::size_t f) const;
-  void check_alerts_locked();
+  double feature_z_locked(std::size_t f) const APDS_REQUIRES(mu_);
+  void check_alerts_locked() APDS_REQUIRES(mu_);
 
   DriftMonitorConfig config_;
   AlertSink* sink_;
-  mutable std::mutex mu_;
-  std::vector<double> ref_mean_;
-  std::vector<double> ref_var_;
-  std::vector<SlidingWindow> windows_;  ///< one per feature
-  std::vector<bool> breached_;          ///< per feature, edge-triggered
-  std::size_t rows_ = 0;
+  mutable Mutex mu_;
+  std::vector<double> ref_mean_ APDS_GUARDED_BY(mu_);
+  std::vector<double> ref_var_ APDS_GUARDED_BY(mu_);
+  /// One window per feature.
+  std::vector<SlidingWindow> windows_ APDS_GUARDED_BY(mu_);
+  /// Per feature, edge-triggered.
+  std::vector<bool> breached_ APDS_GUARDED_BY(mu_);
+  std::size_t rows_ APDS_GUARDED_BY(mu_) = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -259,15 +264,16 @@ class LatencySloMonitor {
   void reset();
 
  private:
-  void check_alerts_locked();
+  void check_alerts_locked() APDS_REQUIRES(mu_);
 
   LatencySloMonitorConfig config_;
   AlertSink* sink_;
-  mutable std::mutex mu_;
-  SlidingWindow latencies_;
-  double energy_total_mj_ = 0.0;
-  std::size_t energy_count_ = 0;
-  bool breached_[3] = {false, false, false};  ///< p50/p95/p99
+  mutable Mutex mu_;
+  SlidingWindow latencies_ APDS_GUARDED_BY(mu_);
+  double energy_total_mj_ APDS_GUARDED_BY(mu_) = 0.0;
+  std::size_t energy_count_ APDS_GUARDED_BY(mu_) = 0;
+  /// p50/p95/p99, edge-triggered.
+  bool breached_[3] APDS_GUARDED_BY(mu_) = {false, false, false};
 };
 
 }  // namespace apds::obs

@@ -7,12 +7,12 @@
 #include <cstring>
 #include <fstream>
 #include <map>
-#include <mutex>
 #include <ostream>
 #include <sstream>
 
 #include "common/error.h"
 #include "common/logging.h"
+#include "common/mutex.h"
 #include "obs/perf_counters.h"
 #include "obs/trace.h"
 #include "tensor/kernels/kernel_dispatch.h"
@@ -56,7 +56,7 @@ struct ThreadState {
                SamplingProfiler::kMaxFrames] = {};
 };
 
-std::mutex g_registry_mu;
+Mutex g_registry_mu;
 std::vector<ThreadState*>& registry() {
   static std::vector<ThreadState*> threads;
   return threads;
@@ -200,7 +200,7 @@ bool SamplingProfiler::start(std::uint64_t interval_us) {
   g_interval_us.store(interval_us, std::memory_order_relaxed);
   register_current_thread();
   {
-    std::lock_guard<std::mutex> lock(g_registry_mu);
+    MutexLock lock(&g_registry_mu);
     for (ThreadState* st : registry()) arm_thread(st, interval_us);
   }
   g_running.store(true, std::memory_order_relaxed);
@@ -212,7 +212,7 @@ bool SamplingProfiler::start(std::uint64_t interval_us) {
 void SamplingProfiler::stop() {
   if (!running()) return;
   g_running.store(false, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(g_registry_mu);
+  MutexLock lock(&g_registry_mu);
   for (ThreadState* st : registry()) disarm_thread(st);
 }
 
@@ -224,7 +224,7 @@ void SamplingProfiler::register_current_thread() {
   auto* st = new ThreadState();  // apds-lint: allow(naked-new)
   st->tid = static_cast<pid_t>(syscall(SYS_gettid));
   tl_state = st;
-  std::lock_guard<std::mutex> lock(g_registry_mu);
+  MutexLock lock(&g_registry_mu);
   registry().push_back(st);
   if (g_running.load(std::memory_order_relaxed))
     arm_thread(st, g_interval_us.load(std::memory_order_relaxed));
@@ -234,14 +234,14 @@ void SamplingProfiler::unregister_current_thread() {
   ThreadState* st = tl_state;
   if (!st) return;
   tl_state = nullptr;
-  std::lock_guard<std::mutex> lock(g_registry_mu);
+  MutexLock lock(&g_registry_mu);
   disarm_thread(st);
   st->alive = false;  // samples stay in the registry for the report
 }
 
 std::uint64_t SamplingProfiler::sample_count() const {
   std::uint64_t total = 0;
-  std::lock_guard<std::mutex> lock(g_registry_mu);
+  MutexLock lock(&g_registry_mu);
   for (const ThreadState* st : registry())
     total += st->count.load(std::memory_order_acquire);
   return total;
@@ -249,7 +249,7 @@ std::uint64_t SamplingProfiler::sample_count() const {
 
 std::uint64_t SamplingProfiler::dropped_count() const {
   std::uint64_t total = 0;
-  std::lock_guard<std::mutex> lock(g_registry_mu);
+  MutexLock lock(&g_registry_mu);
   for (const ThreadState* st : registry())
     total += st->dropped.load(std::memory_order_relaxed);
   return total;
@@ -267,7 +267,7 @@ SamplingProfiler::Report SamplingProfiler::report() const {
   };
   std::vector<RawSample> samples;
   {
-    std::lock_guard<std::mutex> lock(g_registry_mu);
+    MutexLock lock(&g_registry_mu);
     for (const ThreadState* st : registry()) {
       const std::uint32_t n = st->count.load(std::memory_order_acquire);
       rep.dropped += st->dropped.load(std::memory_order_relaxed);
@@ -326,7 +326,7 @@ SamplingProfiler::Report SamplingProfiler::report() const {
 }
 
 void SamplingProfiler::reset() {
-  std::lock_guard<std::mutex> lock(g_registry_mu);
+  MutexLock lock(&g_registry_mu);
   auto& threads = registry();
   for (std::size_t i = 0; i < threads.size();) {
     ThreadState* st = threads[i];

@@ -61,8 +61,8 @@ std::string json_escape(const std::string& s) {
 }
 
 struct TraceCollector::ThreadBuffer {
-  std::mutex mu;  ///< taken briefly by the owning thread and by snapshots
-  std::vector<TraceEvent> events;
+  Mutex mu;  ///< taken briefly by the owning thread and by snapshots
+  std::vector<TraceEvent> events APDS_GUARDED_BY(mu);
   std::uint32_t tid = 0;
 };
 
@@ -85,7 +85,7 @@ double TraceCollector::now_us() const {
 }
 
 const char* TraceCollector::intern(std::string_view name) {
-  std::lock_guard<std::mutex> lock(intern_mu_);
+  MutexLock lock(&intern_mu_);
   auto it = interned_.find(name);
   if (it == interned_.end()) it = interned_.emplace(name).first;
   return it->c_str();
@@ -100,7 +100,7 @@ TraceCollector::ThreadBuffer& TraceCollector::local_buffer() {
   thread_local std::shared_ptr<ThreadBuffer> cached;
   if (cached_owner_id != collector_id_) {
     auto buffer = std::make_shared<ThreadBuffer>();
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(&registry_mu_);
     buffer->tid = next_tid_++;
     buffers_.push_back(buffer);
     cached = std::move(buffer);
@@ -112,16 +112,16 @@ TraceCollector::ThreadBuffer& TraceCollector::local_buffer() {
 void TraceCollector::record(TraceEvent event) {
   ThreadBuffer& buffer = local_buffer();
   event.tid = buffer.tid;
-  std::lock_guard<std::mutex> lock(buffer.mu);
+  MutexLock lock(&buffer.mu);
   buffer.events.push_back(std::move(event));
 }
 
 std::vector<TraceEvent> TraceCollector::events() const {
   std::vector<TraceEvent> out;
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(&registry_mu_);
     for (const auto& buffer : buffers_) {
-      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      MutexLock buffer_lock(&buffer->mu);
       out.insert(out.end(), buffer->events.begin(), buffer->events.end());
     }
   }
@@ -133,19 +133,19 @@ std::vector<TraceEvent> TraceCollector::events() const {
 }
 
 std::size_t TraceCollector::size() const {
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(&registry_mu_);
   std::size_t n = 0;
   for (const auto& buffer : buffers_) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    MutexLock buffer_lock(&buffer->mu);
     n += buffer->events.size();
   }
   return n;
 }
 
 void TraceCollector::clear() {
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(&registry_mu_);
   for (const auto& buffer : buffers_) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    MutexLock buffer_lock(&buffer->mu);
     buffer->events.clear();
   }
 }

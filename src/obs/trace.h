@@ -25,12 +25,13 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/request_context.h"
 
 namespace apds {
@@ -122,16 +123,18 @@ class TraceCollector {
   std::int64_t epoch_ns_ = 0;  ///< steady-clock ns at construction
   std::uint64_t collector_id_ = 0;  ///< process-unique (thread-cache key)
 
-  mutable std::mutex registry_mu_;
+  mutable Mutex registry_mu_;
   // Registrations own their buffer via shared_ptr — shared with the
   // registering thread's cache — so a short-lived thread exiting mid-run
   // can never dangle a snapshot reader, and its already-recorded events
   // survive for the final export.
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
-  std::uint32_t next_tid_ = 1;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_
+      APDS_GUARDED_BY(registry_mu_);
+  std::uint32_t next_tid_ APDS_GUARDED_BY(registry_mu_) = 1;
 
-  std::mutex intern_mu_;
-  std::set<std::string, std::less<>> interned_;  ///< node-stable storage
+  Mutex intern_mu_;
+  /// Node-stable storage.
+  std::set<std::string, std::less<>> interned_ APDS_GUARDED_BY(intern_mu_);
 };
 
 /// True when the process-wide collector is currently recording.

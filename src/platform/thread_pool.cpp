@@ -33,7 +33,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     stop_ = true;
   }
   cv_task_.notify_all();
@@ -50,10 +50,10 @@ void ThreadPool::worker_loop() {
     std::uint64_t generation = 0;
     std::size_t begin = 0, end = 0, chunk = 0, nchunks = 0;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_task_.wait(lk, [&] { return stop_ || generation_ != seen_generation; });
+      MutexLock lk(&mu_);
+      while (!stop_ && generation_ == seen_generation) cv_task_.wait(mu_);
       if (stop_) {
-        lk.unlock();
+        lk.Unlock();
         if (void (*on_exit)() =
                 g_worker_on_exit.load(std::memory_order_acquire))
           on_exit();
@@ -83,7 +83,7 @@ void ThreadPool::worker_loop() {
     }
     tl_in_worker = false;
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(&mu_);
       --active_workers_;
     }
     cv_done_.notify_one();
@@ -110,7 +110,7 @@ void ThreadPool::run_chunks(RangeRef fn, std::uint64_t generation,
     try {
       fn(cb, ce);
     } catch (...) {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(&mu_);
       if (!error_) error_ = std::current_exception();
     }
     done_chunks_.fetch_add(1, std::memory_order_release);
@@ -140,10 +140,10 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   }
   const std::size_t chunk = (n + nchunks - 1) / nchunks;
 
-  std::lock_guard<std::mutex> dispatch(dispatch_mu_);
+  MutexLock dispatch(&dispatch_mu_);
   std::uint64_t generation = 0;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     fn_ = fn;
     ctx_ = obs::current_request_context();
     begin_ = begin;
@@ -168,14 +168,13 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   // task has left it. A worker that slept through the task entirely is not
   // counted here, but the generation tag in task_counter_ keeps it from
   // ever claiming a chunk of a later task with this task's geometry.
-  std::unique_lock<std::mutex> lk(mu_);
-  cv_done_.wait(lk, [&] {
-    return done_chunks_.load(std::memory_order_acquire) == nchunks_ &&
-           active_workers_ == 0;
-  });
+  MutexLock lk(&mu_);
+  while (done_chunks_.load(std::memory_order_acquire) != nchunks_ ||
+         active_workers_ != 0)
+    cv_done_.wait(mu_);
   const std::exception_ptr err = error_;
   error_ = nullptr;
-  lk.unlock();
+  lk.Unlock();
   if (err) std::rethrow_exception(err);
 }
 
@@ -192,13 +191,14 @@ std::size_t resolve_num_threads(std::size_t requested) {
 }
 
 namespace {
-std::mutex g_pool_mu;
-std::unique_ptr<ThreadPool> g_pool;
-std::size_t g_requested_threads = 0;  // 0 = APDS_THREADS / hardware
+Mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool APDS_GUARDED_BY(g_pool_mu);
+// 0 = APDS_THREADS / hardware.
+std::size_t g_requested_threads APDS_GUARDED_BY(g_pool_mu) = 0;
 }  // namespace
 
 ThreadPool& global_pool() {
-  std::lock_guard<std::mutex> lk(g_pool_mu);
+  MutexLock lk(&g_pool_mu);
   if (!g_pool)
     g_pool = std::make_unique<ThreadPool>(
         resolve_num_threads(g_requested_threads));
@@ -206,7 +206,7 @@ ThreadPool& global_pool() {
 }
 
 void set_global_threads(std::size_t n) {
-  std::lock_guard<std::mutex> lk(g_pool_mu);
+  MutexLock lk(&g_pool_mu);
   g_requested_threads = n;
   g_pool.reset();  // rebuilt lazily at the new width
 }

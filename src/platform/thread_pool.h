@@ -21,15 +21,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 // Header-only by design (see its comment): pulling it in here adds no link
 // dependency on apds_obs.
 #include "obs/request_context.h"
@@ -105,21 +105,23 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 
   // One parallel_for at a time; concurrent external callers queue up here.
-  std::mutex dispatch_mu_;
+  Mutex dispatch_mu_;
 
   // Task publication/completion, guarded by mu_.
-  std::mutex mu_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_done_;
-  std::uint64_t generation_ = 0;
-  bool stop_ = false;
-  RangeRef fn_;
-  obs::RequestContext ctx_;  ///< submitting thread's context, for workers
-  std::size_t begin_ = 0;
-  std::size_t end_ = 0;
-  std::size_t chunk_ = 0;
-  std::size_t nchunks_ = 0;
-  std::size_t active_workers_ = 0;  ///< workers inside the current task
+  Mutex mu_;
+  CondVar cv_task_;
+  CondVar cv_done_;
+  std::uint64_t generation_ APDS_GUARDED_BY(mu_) = 0;
+  bool stop_ APDS_GUARDED_BY(mu_) = false;
+  RangeRef fn_ APDS_GUARDED_BY(mu_);
+  /// Submitting thread's context, for workers.
+  obs::RequestContext ctx_ APDS_GUARDED_BY(mu_);
+  std::size_t begin_ APDS_GUARDED_BY(mu_) = 0;
+  std::size_t end_ APDS_GUARDED_BY(mu_) = 0;
+  std::size_t chunk_ APDS_GUARDED_BY(mu_) = 0;
+  std::size_t nchunks_ APDS_GUARDED_BY(mu_) = 0;
+  /// Workers inside the current task.
+  std::size_t active_workers_ APDS_GUARDED_BY(mu_) = 0;
 
   // Chunk claims are generation-tagged: the high 32 bits hold the low 32
   // bits of the owning task's generation_, the low 32 bits count claimed
@@ -131,7 +133,7 @@ class ThreadPool {
   // dispatches for the tag to alias — not a practical concern.)
   std::atomic<std::uint64_t> task_counter_{0};
   std::atomic<std::size_t> done_chunks_{0};
-  std::exception_ptr error_;
+  std::exception_ptr error_ APDS_GUARDED_BY(mu_);
 };
 
 /// Resolve a requested width (0 = unset) against APDS_THREADS and the

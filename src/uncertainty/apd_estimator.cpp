@@ -14,7 +14,7 @@ std::shared_ptr<InferenceSession> ApdEstimator::session(
     Precision precision) const {
   const std::size_t idx = static_cast<std::size_t>(precision);
   APDS_CHECK(idx < sessions_.size());
-  std::lock_guard<std::mutex> lk(sessions_mu_);
+  MutexLock lk(&sessions_mu_);
   if (!sessions_[idx]) {
     SessionConfig cfg;
     cfg.precision = precision;

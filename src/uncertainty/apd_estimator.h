@@ -8,8 +8,9 @@
 
 #include <array>
 #include <memory>
-#include <mutex>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/apdeepsense.h"
 #include "core/inference_session.h"
 #include "core/softmax_approx.h"
@@ -38,8 +39,9 @@ class ApdEstimator final : public UncertaintyEstimator {
  private:
   ApDeepSense propagator_;
   double var_floor_;
-  mutable std::mutex sessions_mu_;
-  mutable std::array<std::shared_ptr<InferenceSession>, 3> sessions_;
+  mutable Mutex sessions_mu_;
+  mutable std::array<std::shared_ptr<InferenceSession>, 3> sessions_
+      APDS_GUARDED_BY(sessions_mu_);
 };
 
 }  // namespace apds

@@ -1,0 +1,9 @@
+// Fixture: a clean common-layer header. Including this from any other
+// module is a down-layer edge and must NOT fire layer-dag.
+#pragma once
+
+namespace fixture {
+
+inline int clamp_nonneg(int v) { return v < 0 ? 0 : v; }
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Fixture: an ad-hoc buffer grown inside the propagate call graph. The
+// resize in warm() is reachable from the propagate_f32 root and must fire
+// hot-path-alloc exactly once; cold_load() also grows a container but is
+// unreachable from any root and must stay clean.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+std::vector<float>& ad_hoc_scratch();
+std::vector<float>& load_cache();
+
+void warm(std::size_t n) { ad_hoc_scratch().resize(n); }
+
+void cold_load(std::size_t n) { load_cache().resize(n); }
+
+struct InferenceSession {
+  void propagate_f32(std::size_t n);
+};
+
+void InferenceSession::propagate_f32(std::size_t n) { warm(n); }
+
+}  // namespace fixture

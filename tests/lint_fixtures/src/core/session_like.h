@@ -1,0 +1,11 @@
+// Fixture: a clean core-layer header. Including this from a lower layer
+// (e.g. stats) is an up-layer edge and must fire layer-dag.
+#pragma once
+
+namespace fixture {
+
+struct SessionLike {
+  int layers = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: stats (layer 1) reaching up into core (layer 6). Exactly one
+// layer-dag violation — the common include below is down-layer and clean.
+#include "core/session_like.h"
+
+#include "common/helpers.h"
+
+namespace fixture {
+
+int session_depth(const SessionLike& s) { return clamp_nonneg(s.layers); }
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Seeded-bad fixture for apds_symcheck: compiled as an OBJECT library whose
+// object basename matches the kernels_scalar audit pattern, but defines a
+// vague-linkage (weak, nm 'W') symbol OUTSIDE apds::kernels::scalar_impl::
+// — exactly the ODR/ISA leak shape the tool must reject with exit 1.
+//
+// `inline` gives the function vague linkage; taking its address forces the
+// compiler to emit the out-of-line weak copy instead of folding it away.
+namespace apds {
+
+inline float bad_shared_inline(float x) { return x + 1.0f; }
+
+float (*leaked_fn_address())(float) { return &bad_shared_inline; }
+
+}  // namespace apds

@@ -5,8 +5,11 @@
 #include <gtest/gtest.h>
 #include <sys/wait.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -81,6 +84,8 @@ TEST(ApdsLint, EveryRuleFiresExactlyOnceOnItsFixture) {
       {"kernel-isa-flags", "src/kernels/CMakeLists.txt"},
       {"perf-syscall", "src/bad_perf_syscall.cpp"},
       {"hot-path-thread-local", "src/core/bad_thread_local.cpp"},
+      {"layer-dag", "src/stats/bad_layering.cpp"},
+      {"hot-path-alloc", "src/core/bad_hot_alloc.cpp"},
   };
   for (const auto& e : expected) {
     EXPECT_EQ(count_of(run.output,
@@ -92,8 +97,11 @@ TEST(ApdsLint, EveryRuleFiresExactlyOnceOnItsFixture) {
               1u)
         << "file " << e.file << " must appear exactly once\n" << run.output;
   }
-  // Exactly the 11 seeded violations — nothing extra anywhere.
-  EXPECT_EQ(count_of(run.output, "\"rule\": "), 11u) << run.output;
+  // Exactly the 13 seeded violations — nothing extra anywhere. In
+  // particular the cross-TU near-misses stay clean: bad_layering.cpp's
+  // down-layer common include, and bad_hot_alloc.cpp's cold_load() resize
+  // (an allocation site that is NOT reachable from a propagate root).
+  EXPECT_EQ(count_of(run.output, "\"rule\": "), 13u) << run.output;
 }
 
 TEST(ApdsLint, SuppressionsCoverAllThreeFormsAndAreCounted) {
@@ -129,13 +137,68 @@ TEST(ApdsLint, UsageAndIoErrorsExitTwo) {
   EXPECT_EQ(run_lint("definitely/not/a/path.cpp").exit_code, 2);
 }
 
+TEST(ApdsLint, UnreadableLintableFileMidScanExitsTwoAndNamesIt) {
+  // A lintable name that isn't a readable regular file (dangling symlink)
+  // inside a scanned directory must abort the scan with exit 2 and name
+  // the path — a "clean" report over a partially read tree would be a lie.
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::path("lint_unreadable_dir_").concat(std::to_string(::getpid()));
+  fs::create_directory(dir);
+  const fs::path ghost = dir / "ghost.cpp";
+  std::error_code ec;
+  fs::create_symlink(dir / "no_such_target.cpp", ghost, ec);
+  ASSERT_FALSE(ec) << ec.message();
+
+  const LintRun run = run_lint("--root " + dir.string() + " " + dir.string());
+  EXPECT_EQ(run.exit_code, 2) << run.output;
+  EXPECT_NE(run.output.find("ghost.cpp"), std::string::npos) << run.output;
+  fs::remove_all(dir);
+}
+
+TEST(ApdsLint, JsonCarriesPerRuleTiming) {
+  const LintRun run = run_lint("--root " + kFixtures + " --json " +
+                               kFixtures + "/src/clean.cpp");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  ASSERT_TRUE(testing::json_valid(run.output)) << run.output;
+  EXPECT_NE(run.output.find("\"rule_timing_ms\""), std::string::npos)
+      << run.output;
+  // Every rule is timed, including the cross-TU ones (they run over the
+  // corpus even when it is a single file).
+  EXPECT_NE(run.output.find("\"layer-dag\""), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("\"hot-path-alloc\""), std::string::npos)
+      << run.output;
+}
+
+TEST(ApdsLint, IncludeGraphEmitsTextAndDot) {
+  namespace fs = std::filesystem;
+  const fs::path dot =
+      fs::path("lint_graph_").concat(std::to_string(::getpid()))
+          .concat(".dot");
+  const LintRun run = run_lint("--include-graph --dot " + dot.string() +
+                               " --root " + kFixtures + " " + kFixtures);
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  // bad_layering.cpp's up-layer include is an edge in the module graph.
+  EXPECT_NE(run.output.find("src/stats -> src/core"), std::string::npos)
+      << run.output;
+  const std::string dot_text = read_file(dot.string());
+  EXPECT_NE(dot_text.find("digraph apds_include_graph"), std::string::npos)
+      << dot_text;
+  EXPECT_NE(dot_text.find("\"src/stats\" -> \"src/core\""),
+            std::string::npos)
+      << dot_text;
+  fs::remove(dot);
+}
+
 TEST(ApdsLint, ListRulesPrintsTheFullTable) {
   const LintRun run = run_lint("--list-rules");
   EXPECT_EQ(run.exit_code, 0);
   for (const char* rule :
        {"no-unseeded-rng", "float-equal", "pow-square", "naked-new",
         "raw-io", "f32-double-literal", "f32-libm-double", "trapping-math",
-        "kernel-isa-flags", "perf-syscall", "hot-path-thread-local"})
+        "kernel-isa-flags", "perf-syscall", "hot-path-thread-local",
+        "layer-dag", "hot-path-alloc"})
     EXPECT_NE(run.output.find(rule), std::string::npos) << rule;
 }
 

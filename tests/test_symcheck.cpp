@@ -1,0 +1,92 @@
+// Exit-code contract suite for tools/apds_symcheck: the real kernel tier
+// objects in this build tree must audit clean, the seeded bad fixture
+// (tests/symcheck_fixtures/) must fail with exit 1 and name the leaked
+// symbol, and usage/empty-scan errors exit 2. APDS_SYMCHECK_BIN,
+// SYMCHECK_BAD_OBJECT and SYMCHECK_KERNEL_DIR are injected by
+// tests/CMakeLists.txt.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace apds {
+namespace {
+
+#if defined(APDS_SYMCHECK_BIN) && defined(SYMCHECK_BAD_OBJECT) && \
+    defined(SYMCHECK_KERNEL_DIR)
+
+struct ToolRun {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr
+};
+
+ToolRun run_symcheck(const std::string& args) {
+  static int counter = 0;
+  const std::string out_path =
+      std::string("symcheck_out_") +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() + "_" +
+      std::to_string(++counter) + ".txt";
+  const std::string cmd = std::string(APDS_SYMCHECK_BIN) + " " + args +
+                          " > " + out_path + " 2>&1";
+  const int status = std::system(cmd.c_str());
+  ToolRun run;
+  run.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  std::ifstream is(out_path);
+  std::ostringstream os;
+  os << is.rdbuf();
+  run.output = os.str();
+  std::remove(out_path.c_str());
+  return run;
+}
+
+TEST(ApdsSymcheck, RealKernelTierObjectsAuditClean) {
+  // Scans the build tree's tensor objects: kernels_scalar, kernels_avx2
+  // and kernels_avx512 must each contribute only tier-namespaced
+  // vague-linkage symbols.
+  const ToolRun run = run_symcheck("--scan " SYMCHECK_KERNEL_DIR);
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("3 kernel object(s)"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("0 finding(s)"), std::string::npos)
+      << run.output;
+}
+
+TEST(ApdsSymcheck, SeededBadObjectExitsOneAndNamesTheSymbol) {
+  const ToolRun run = run_symcheck(SYMCHECK_BAD_OBJECT);
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("bad_shared_inline"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("outside its tier namespace"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(ApdsSymcheck, UsageAndIoErrorsExitTwo) {
+  EXPECT_EQ(run_symcheck("").exit_code, 2);                  // no objects
+  EXPECT_EQ(run_symcheck("--no-such-flag").exit_code, 2);    // bad flag
+  // A non-kernel object name is rejected, not silently skipped.
+  EXPECT_EQ(run_symcheck("not_a_kernel.o").exit_code, 2);
+  // A scan that matches nothing must not pass.
+  namespace fs = std::filesystem;
+  const fs::path empty =
+      fs::path("symcheck_empty_").concat(std::to_string(::getpid()));
+  fs::create_directory(empty);
+  EXPECT_EQ(run_symcheck("--scan " + empty.string()).exit_code, 2);
+  fs::remove_all(empty);
+  EXPECT_EQ(run_symcheck("--scan definitely/not/a/dir").exit_code, 2);
+}
+
+#else
+TEST(ApdsSymcheck, Skipped) {
+  GTEST_SKIP() << "APDS_SYMCHECK_BIN not configured";
+}
+#endif
+
+}  // namespace
+}  // namespace apds

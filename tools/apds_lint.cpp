@@ -1,6 +1,7 @@
 // apds_lint: in-repo static invariant checker for the apds codebase.
 //
 //   apds_lint [--json] [--root <dir>] [--list-rules] <path>...
+//   apds_lint --include-graph [--dot <file>] [--root <dir>] <path>...
 //
 // The moment-propagation math is only correct if a set of silent project
 // invariants holds everywhere; generic compiler warnings do not know about
@@ -8,6 +9,14 @@
 // C++ file is masked — comments, string literals and char literals replaced
 // by spaces, offsets preserved — and the rules below run over the masked
 // text, so prose and log strings never trigger them.
+//
+// Most rules are per-file. Two are whole-program: the scan first loads
+// every file into a corpus (masked text + its #include references), then
+// `layer-dag` checks the module dependency order over the include graph
+// and `hot-path-alloc` walks a heuristic call graph from the
+// InferenceSession/moment-kernel roots looking for reachable heap
+// allocation sites. `--include-graph` prints the module-level include
+// graph the cross-TU rules computed (with `--dot` as Graphviz).
 //
 // Rules (id — what it rejects):
 //   no-unseeded-rng   rand()/srand()/std::random_device anywhere except the
@@ -52,19 +61,41 @@
 //                     arena; ad-hoc thread_local buffers hide allocations
 //                     from the memory plan and defeat the zero-alloc
 //                     steady-state guarantee.
+//   layer-dag         [cross-TU] a src/ file including a module at the
+//                     same or a higher layer of the DESIGN.md dependency
+//                     order (common < stats < platform < tensor < obs <
+//                     nn < core < conv < uncertainty < metrics < data <
+//                     eval), or any include cycle. Same-module includes
+//                     are free; two per-file overrides exist
+//                     (obs/request_context.h sits at the common layer,
+//                     platform/cost_model.* at the metrics layer — see
+//                     docs/STATIC_ANALYSIS.md).
+//   hot-path-alloc    [cross-TU] a heap allocation site (new,
+//                     make_unique/make_shared, container resize/reserve/
+//                     push_back/..., container-typed locals) in a function
+//                     reachable from InferenceSession::propagate or the
+//                     moment kernel entry points, outside the arena/
+//                     planner allowlist. The zero-alloc steady state is a
+//                     load-bearing performance contract
+//                     (tests/test_inference_session.cpp measures it; this
+//                     rule proves it statically for the whole call graph).
 //
 // Suppressions (in a comment on the violation line or the line above):
 //   // apds-lint: allow(<rule>[, <rule>...])   — suppress on this/next line
 //   // apds-lint: allow-file(<rule>)           — suppress in the whole file
 //
 // Output: one "file:line: [rule] message" per violation plus a summary
-// line, or a machine-readable report with --json.
+// line, or a machine-readable report with --json (which also carries
+// per-rule wall-clock timing under "rule_timing_ms").
 // Exit codes: 0 = clean, 1 = violations found, 2 = usage / IO error.
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <functional>
+#include <map>
 #include <regex>
 #include <set>
 #include <sstream>
@@ -272,6 +303,14 @@ constexpr RuleInfo kRules[] = {
     {"hot-path-thread-local",
      "thread_local in src/core/ or src/tensor/ outside src/core/arena.cpp "
      "— hot-path scratch must be planned into the session arena"},
+    {"layer-dag",
+     "[cross-TU] include into a same-or-higher layer of the DESIGN.md "
+     "module order (common < stats < platform < tensor < obs < nn < core < "
+     "conv < uncertainty < metrics < data < eval), or an include cycle"},
+    {"hot-path-alloc",
+     "[cross-TU] heap allocation site reachable from "
+     "InferenceSession::propagate or the moment kernels, outside the "
+     "arena/planner allowlist — breaks the zero-alloc steady state"},
 };
 
 /// Per-file suppression state parsed from comment text.
@@ -722,6 +761,765 @@ void rule_kernel_isa_flags(const MaskedSource& src, const std::string& rel,
 }
 
 // ---------------------------------------------------------------------------
+// Cross-TU corpus: every scanned file retained with its masked text,
+// suppressions and #include references, so whole-program rules can see the
+// include graph and a heuristic symbol index.
+// ---------------------------------------------------------------------------
+
+struct IncludeRef {
+  std::string target;  ///< the quoted include path, as written
+  std::size_t line = 0;
+};
+
+struct FileEntry {
+  std::string rel;
+  MaskedSource src;
+  bool cpp = false;
+  bool cmake = false;
+  Suppressions sup;
+  std::vector<IncludeRef> includes;  ///< quoted includes only (project refs)
+};
+
+struct Corpus {
+  std::vector<FileEntry> files;
+};
+
+/// Quoted #include references, extracted from the RAW text: mask_cpp blanks
+/// string literals, and an include path is one, so the masked code never
+/// contains it.
+std::vector<IncludeRef> extract_includes(const std::string& text) {
+  std::vector<IncludeRef> out;
+  std::size_t line = 1;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    std::size_t i = pos;
+    while (i < eol && (text[i] == ' ' || text[i] == '\t')) ++i;
+    if (i < eol && text[i] == '#') {
+      ++i;
+      while (i < eol && (text[i] == ' ' || text[i] == '\t')) ++i;
+      if (i + 7 <= eol && text.compare(i, 7, "include") == 0) {
+        i += 7;
+        while (i < eol && (text[i] == ' ' || text[i] == '\t')) ++i;
+        if (i < eol && text[i] == '"') {
+          const std::size_t close = text.find('"', i + 1);
+          if (close != std::string::npos && close < eol)
+            out.push_back({text.substr(i + 1, close - i - 1), line});
+        }
+      }
+    }
+    if (eol == text.size()) break;
+    pos = eol + 1;
+    ++line;
+  }
+  return out;
+}
+
+FileEntry load_file(const fs::path& path, const std::string& rel) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot read " + path.string());
+  std::stringstream buf;
+  buf << is.rdbuf();
+  const std::string text = buf.str();
+
+  FileEntry entry;
+  entry.rel = rel;
+  entry.cpp = is_cpp_file(rel);
+  entry.cmake = is_cmake_file(rel);
+  entry.src = entry.cpp ? mask_cpp(text) : mask_cmake(text);
+  entry.sup = parse_suppressions(entry.src);
+  if (entry.cpp) entry.includes = extract_includes(text);
+  return entry;
+}
+
+// ---------------------------------------------------------------------------
+// layer-dag: the DESIGN.md module order as an explicit DAG. A src/ file may
+// include its own module or any strictly lower layer; two files sit at a
+// different layer than their directory (see docs/STATIC_ANALYSIS.md).
+// ---------------------------------------------------------------------------
+
+constexpr const char* kLayerOrder[] = {
+    "common", "stats",       "platform", "tensor", "obs",  "nn",
+    "core",   "conv",        "uncertainty", "metrics", "data", "eval",
+};
+
+int layer_rank(const std::string& module) {
+  for (std::size_t i = 0; i < std::size(kLayerOrder); ++i)
+    if (module == kLayerOrder[i]) return static_cast<int>(i);
+  return -1;
+}
+
+/// Module (directory under src/) of a repo-relative path, or "" when the
+/// path is not of the form src/<module>/...
+std::string module_of(const std::string& rel) {
+  if (!has_prefix(rel, "src/")) return std::string();
+  const std::size_t slash = rel.find('/', 4);
+  if (slash == std::string::npos) return std::string();
+  return rel.substr(4, slash - 4);
+}
+
+/// Layer of a file, honoring the per-file overrides: request_context.h is
+/// a dependency-free value type the platform layer threads through worker
+/// dispatch (common layer), and cost_model.* consumes metrics/eval-side
+/// calibration data (metrics layer).
+int file_layer_rank(const std::string& rel) {
+  if (!has_prefix(rel, "src/")) return -1;
+  if (has_suffix(rel, "src/obs/request_context.h"))
+    return layer_rank("common");
+  if (has_suffix(rel, "src/platform/cost_model.h") ||
+      has_suffix(rel, "src/platform/cost_model.cpp"))
+    return layer_rank("metrics");
+  return layer_rank(module_of(rel));
+}
+
+/// Does the quoted include `inc` name a file under this tree's src/?
+/// Checked against the loaded corpus first (single-file scans see only one
+/// file) and the filesystem second.
+bool include_resolves(const std::string& inc,
+                      const std::set<std::string>& corpus_rels,
+                      const fs::path& root) {
+  if (corpus_rels.count("src/" + inc)) return true;
+  std::error_code ec;
+  return fs::exists(root / "src" / inc, ec);
+}
+
+void rule_layer_dag(const Corpus& corpus, const fs::path& root, Emit out) {
+  std::set<std::string> rels;
+  std::map<std::string, int> index;
+  for (std::size_t i = 0; i < corpus.files.size(); ++i) {
+    rels.insert(corpus.files[i].rel);
+    index[corpus.files[i].rel] = static_cast<int>(i);
+  }
+
+  // File-level include graph (corpus-internal edges only) for the cycle
+  // check; the layering check also accepts on-disk resolution.
+  std::vector<std::vector<std::pair<int, std::size_t>>> adj(
+      corpus.files.size());
+
+  for (std::size_t i = 0; i < corpus.files.size(); ++i) {
+    const FileEntry& f = corpus.files[i];
+    if (!f.cpp || !has_prefix(f.rel, "src/")) continue;
+    const std::string src_module = module_of(f.rel);
+    const int src_rank = file_layer_rank(f.rel);
+    for (const IncludeRef& inc : f.includes) {
+      if (!include_resolves(inc.target, rels, root)) continue;
+      const std::string target_rel = "src/" + inc.target;
+      const auto it = index.find(target_rel);
+      if (it != index.end())
+        adj[i].push_back({it->second, inc.line});
+      const std::string tgt_module = module_of(target_rel);
+      if (src_module.empty() || tgt_module.empty()) continue;
+      if (src_module == tgt_module) continue;  // intra-module is free
+      const int tgt_rank = file_layer_rank(target_rel);
+      if (src_rank < 0 || tgt_rank < 0) continue;
+      if (tgt_rank >= src_rank)
+        emit(out, f.rel, inc.line, "layer-dag",
+             "up-layer include: " + src_module + " (layer " +
+                 std::to_string(src_rank) + ") -> " + inc.target + " (" +
+                 tgt_module + ", layer " + std::to_string(tgt_rank) +
+                 "); the DESIGN.md layer DAG only allows includes into "
+                 "strictly lower layers");
+    }
+  }
+
+  // Include cycles (catches same-module header cycles the rank rule
+  // cannot see). DFS colors; each back edge reports the cycle path once.
+  std::vector<int> color(corpus.files.size(), 0);
+  std::vector<int> path;
+  std::function<void(int)> dfs = [&](int u) {
+    color[u] = 1;
+    path.push_back(u);
+    for (const auto& [v, line] : adj[u]) {
+      if (color[v] == 1) {
+        std::string desc;
+        bool in_cycle = false;
+        for (const int p : path) {
+          if (p == v) in_cycle = true;
+          if (!in_cycle) continue;
+          desc += corpus.files[p].rel + " -> ";
+        }
+        desc += corpus.files[v].rel;
+        emit(out, corpus.files[u].rel, line, "layer-dag",
+             "include cycle: " + desc);
+      } else if (color[v] == 0) {
+        dfs(v);
+      }
+    }
+    path.pop_back();
+    color[u] = 2;
+  };
+  for (std::size_t i = 0; i < corpus.files.size(); ++i)
+    if (color[i] == 0) dfs(static_cast<int>(i));
+}
+
+// ---------------------------------------------------------------------------
+// Module-level include graph (--include-graph / --dot): the same resolved
+// edges the layer-dag rule walks, aggregated per module.
+// ---------------------------------------------------------------------------
+
+/// Display node for a file: "src/<module>" for library code, the first
+/// path component (bench/examples/tools/...) otherwise.
+std::string graph_node_of(const std::string& rel) {
+  const std::string m = module_of(rel);
+  if (!m.empty()) return "src/" + m;
+  const std::size_t slash = rel.find('/');
+  if (slash == std::string::npos) return std::string();
+  return rel.substr(0, slash);
+}
+
+struct ModuleGraph {
+  std::set<std::string> nodes;
+  /// (from, to) -> number of file-level includes.
+  std::map<std::pair<std::string, std::string>, std::size_t> edges;
+};
+
+ModuleGraph build_module_graph(const Corpus& corpus, const fs::path& root) {
+  std::set<std::string> rels;
+  for (const FileEntry& f : corpus.files) rels.insert(f.rel);
+  ModuleGraph g;
+  for (const FileEntry& f : corpus.files) {
+    if (!f.cpp) continue;
+    const std::string from = graph_node_of(f.rel);
+    if (from.empty()) continue;
+    g.nodes.insert(from);
+    for (const IncludeRef& inc : f.includes) {
+      if (!include_resolves(inc.target, rels, root)) continue;
+      const std::string to = graph_node_of("src/" + inc.target);
+      if (to.empty() || to == from) continue;
+      g.nodes.insert(to);
+      ++g.edges[{from, to}];
+    }
+  }
+  return g;
+}
+
+void print_module_graph(const ModuleGraph& g) {
+  std::printf("include graph: %zu modules, %zu edges\n", g.nodes.size(),
+              g.edges.size());
+  for (const std::string& node : g.nodes) {
+    const int rank =
+        has_prefix(node, "src/") ? layer_rank(node.substr(4)) : -1;
+    if (rank >= 0)
+      std::printf("%s (layer %d)\n", node.c_str(), rank);
+    else
+      std::printf("%s\n", node.c_str());
+  }
+  for (const auto& [edge, count] : g.edges)
+    std::printf("%s -> %s (%zu include%s)\n", edge.first.c_str(),
+                edge.second.c_str(), count, count == 1 ? "" : "s");
+}
+
+void write_module_graph_dot(const ModuleGraph& g, const fs::path& out_path) {
+  std::ofstream os(out_path);
+  if (!os)
+    throw std::runtime_error("cannot write " + out_path.string());
+  os << "// Module-level include graph, generated by apds_lint "
+        "--include-graph --dot.\n";
+  os << "// Edges point at the included (lower-layer) module; the layer\n";
+  os << "// numbers are the DESIGN.md dependency order the layer-dag rule "
+        "enforces.\n";
+  os << "digraph apds_include_graph {\n";
+  os << "  rankdir=BT;\n";
+  os << "  node [shape=box, fontname=\"Helvetica\"];\n";
+  for (const std::string& node : g.nodes) {
+    const int rank =
+        has_prefix(node, "src/") ? layer_rank(node.substr(4)) : -1;
+    os << "  \"" << node << "\"";
+    if (rank >= 0)
+      os << " [label=\"" << node << "\\nlayer " << rank << "\"]";
+    os << ";\n";
+  }
+  for (const auto& [edge, count] : g.edges)
+    os << "  \"" << edge.first << "\" -> \"" << edge.second
+       << "\" [label=\"" << count << "\"];\n";
+  os << "}\n";
+}
+
+// ---------------------------------------------------------------------------
+// hot-path-alloc: static zero-alloc proof. Index every function definition
+// in src/ (heuristic, token-level), build bare-name call edges, walk from
+// the InferenceSession/moment-kernel roots, and flag heap allocation sites
+// in everything reachable outside the arena/planner allowlist.
+// ---------------------------------------------------------------------------
+
+/// A heuristically extracted function definition.
+struct FuncDef {
+  std::string name;  ///< qualified name as written, whitespace removed
+  std::string bare;  ///< last :: component
+  int file = 0;      ///< index into the corpus
+  std::size_t line = 0;
+  std::size_t body_begin = 0;  ///< offset of '{' in the stripped code
+  std::size_t body_end = 0;    ///< offset past the matching '}'
+};
+
+/// Names that look like calls but are language constructs or casts.
+bool is_non_function_keyword(const std::string& bare) {
+  static const std::set<std::string> kws = {
+      "if",        "for",        "while",       "switch",
+      "catch",     "return",     "sizeof",      "alignof",
+      "alignas",   "decltype",   "static_assert", "new",
+      "delete",    "throw",      "else",        "do",
+      "case",      "goto",       "not",         "and",
+      "or",        "xor",        "assert",      "defined",
+      "constexpr", "const_cast", "static_cast", "dynamic_cast",
+      "reinterpret_cast", "typeid", "noexcept", "requires",
+      "template",  "using",      "namespace",   "operator"};
+  return kws.count(bare) > 0;
+}
+
+/// Container growth methods: flagged as allocation sites when called, and
+/// never descended into (the allocation IS the call).
+bool is_growth_method(const std::string& bare) {
+  static const std::set<std::string> growth = {
+      "resize",       "reserve", "push_back", "emplace_back",
+      "emplace",      "insert",  "assign",    "append"};
+  return growth.count(bare) > 0;
+}
+
+/// ALL_CAPS_WITH_UNDERSCORE identifiers are macro invocations, not
+/// definitions — treating APDS_CAPABILITY("mutex") as a function would
+/// swallow the class body that follows it.
+bool looks_like_macro(const std::string& name) {
+  if (name.find('_') == std::string::npos) return false;
+  for (const char c : name)
+    if (std::islower(static_cast<unsigned char>(c)) != 0 || c == ':')
+      return false;
+  return true;
+}
+
+/// Blank preprocessor lines (and their backslash continuations) so macro
+/// definitions never read as function definitions or call sites.
+std::string strip_preprocessor(const std::string& code) {
+  std::string out = code;
+  std::size_t pos = 0;
+  bool continued = false;
+  while (pos < out.size()) {
+    std::size_t eol = out.find('\n', pos);
+    if (eol == std::string::npos) eol = out.size();
+    std::size_t i = pos;
+    while (i < eol && (out[i] == ' ' || out[i] == '\t')) ++i;
+    const bool directive = continued || (i < eol && out[i] == '#');
+    if (directive) {
+      continued = eol > pos && out[eol - 1] == '\\';
+      for (std::size_t k = pos; k < eol; ++k) out[k] = ' ';
+    } else {
+      continued = false;
+    }
+    pos = eol + 1;
+  }
+  return out;
+}
+
+/// Index past the group closer matching the opener at `i`, or npos.
+std::size_t skip_balanced(const std::string& code, std::size_t i) {
+  const char open = code[i];
+  const char close =
+      open == '(' ? ')' : open == '{' ? '}' : open == '[' ? ']' : '\0';
+  if (close == '\0') return std::string::npos;
+  int depth = 0;
+  for (; i < code.size(); ++i) {
+    if (code[i] == open) ++depth;
+    else if (code[i] == close && --depth == 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+/// Offset of the function body '{' that follows a parameter list ending at
+/// `i` (just past the ')'), or npos when this is a declaration or call.
+/// Understands const/noexcept/override/trailing-return tokens and
+/// constructor initializer lists (both paren and brace member init).
+std::size_t find_body_start(const std::string& code, std::size_t i) {
+  const std::size_t limit = std::min(code.size(), i + 800);
+  while (i < limit) {
+    const char c = code[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '{') return i;
+    if (c == ';' || c == '}' || c == ')' || c == ',') return std::string::npos;
+    if (c == '(') {
+      i = skip_balanced(code, i);
+      if (i == std::string::npos) return std::string::npos;
+      continue;
+    }
+    if (c == ':') {
+      if (i + 1 < code.size() && code[i + 1] == ':') {
+        i += 2;
+        continue;
+      }
+      // Constructor initializer list: name (...)|{...} [, ...] then body.
+      ++i;
+      for (;;) {
+        while (i < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[i])))
+          ++i;
+        const std::size_t start = i;
+        while (i < code.size() && code[i] != '(' && code[i] != '{' &&
+               code[i] != ';' && code[i] != '}' && i - start < 200)
+          ++i;
+        if (i >= code.size() || code[i] == ';' || code[i] == '}' ||
+            i - start >= 200)
+          return std::string::npos;
+        i = skip_balanced(code, i);
+        if (i == std::string::npos) return std::string::npos;
+        while (i < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[i])))
+          ++i;
+        if (i < code.size() && code[i] == ',') {
+          ++i;
+          continue;
+        }
+        break;
+      }
+      if (i < code.size() && code[i] == '{') return i;
+      return std::string::npos;
+    }
+    ++i;  // const, noexcept tokens, ->, type names, &, *, try, ...
+  }
+  return std::string::npos;
+}
+
+std::string collapse_whitespace(const std::string& s) {
+  std::string out;
+  for (const char c : s)
+    if (std::isspace(static_cast<unsigned char>(c)) == 0) out.push_back(c);
+  return out;
+}
+
+std::string bare_name(const std::string& qualified) {
+  const std::size_t sep = qualified.rfind("::");
+  std::string bare =
+      sep == std::string::npos ? qualified : qualified.substr(sep + 2);
+  if (!bare.empty() && bare[0] == '~') bare.erase(0, 1);
+  return bare;
+}
+
+const std::regex& callable_re() {
+  static const std::regex re(
+      R"(([A-Za-z_~][A-Za-z0-9_]*(?:\s*::\s*~?[A-Za-z_][A-Za-z0-9_]*)*)\s*\()");
+  return re;
+}
+
+/// Extract function definitions from one file's preprocessed masked code.
+/// Found bodies are skipped, so calls inside them never read as nested
+/// definitions.
+void index_functions(const std::string& code, int file,
+                     const MaskedSource& src, std::vector<FuncDef>* defs) {
+  std::size_t skip_until = 0;
+  for (auto it = std::sregex_iterator(code.begin(), code.end(),
+                                      callable_re());
+       it != std::sregex_iterator(); ++it) {
+    const auto at = static_cast<std::size_t>(it->position());
+    if (at < skip_until) continue;
+    const std::string name = collapse_whitespace((*it)[1].str());
+    const std::string bare = bare_name(name);
+    if (is_non_function_keyword(bare) || looks_like_macro(name)) continue;
+    const std::size_t open = at + static_cast<std::size_t>(it->length()) - 1;
+    const std::size_t after_params = skip_balanced(code, open);
+    if (after_params == std::string::npos) continue;
+    const std::size_t body = find_body_start(code, after_params);
+    if (body == std::string::npos) continue;
+    const std::size_t body_end = skip_balanced(code, body);
+    if (body_end == std::string::npos) {
+      skip_until = code.size();
+      continue;
+    }
+    defs->push_back(
+        {name, bare, file, src.line_of(at), body, body_end});
+    skip_until = body_end;
+  }
+}
+
+/// One heap allocation site inside a function body.
+struct AllocSite {
+  std::size_t offset = 0;
+  std::string what;
+};
+
+void collect_alloc_sites(const std::string& code, std::size_t begin,
+                         std::size_t end, std::vector<AllocSite>* out) {
+  const auto first = code.begin() + static_cast<std::ptrdiff_t>(begin);
+  const auto last = code.begin() + static_cast<std::ptrdiff_t>(end);
+
+  // new expressions (operator new declarations can't appear in a body).
+  static const std::regex new_re(R"(\bnew\b)");
+  for (auto it = std::regex_iterator(first, last, new_re);
+       it != std::regex_iterator<std::string::const_iterator>(); ++it) {
+    const std::size_t at = begin + static_cast<std::size_t>(it->position());
+    std::size_t p = at;
+    while (p > 0 && std::isspace(static_cast<unsigned char>(code[p - 1])))
+      --p;
+    if (p >= 8 && code.compare(p - 8, 8, "operator") == 0) continue;
+    out->push_back({at, "'new' expression"});
+  }
+
+  // make_unique / make_shared.
+  static const std::regex make_re(R"(\bmake_(unique|shared)\s*[<(])");
+  for (auto it = std::regex_iterator(first, last, make_re);
+       it != std::regex_iterator<std::string::const_iterator>(); ++it)
+    out->push_back({begin + static_cast<std::size_t>(it->position()),
+                    "std::make_" + (*it)[1].str() + " call"});
+
+  // Container growth calls through . or ->.
+  static const std::regex grow_re(
+      R"((\.|->)\s*(resize|reserve|push_back|emplace_back|emplace|insert|assign|append)\s*\()");
+  for (auto it = std::regex_iterator(first, last, grow_re);
+       it != std::regex_iterator<std::string::const_iterator>(); ++it)
+    out->push_back({begin + static_cast<std::size_t>(it->position()),
+                    "container ." + (*it)[2].str() + "() call"});
+
+  // Initialized locals of allocating container types. A bare declaration
+  // (`MeanVar out;`) is free — default construction allocates nothing —
+  // but construction with arguments or assignment does.
+  static const std::regex container_re(
+      R"(\b(std\s*::\s*(?:vector|deque|list|map|multimap|set|multiset|unordered_map|unordered_set|string|wstring|basic_string)|Matrix[FT]?|MeanVar[FT]?|GaussianVec|PwlPack|QuantizedDenseLayer)\b)");
+  for (auto it = std::regex_iterator(first, last, container_re);
+       it != std::regex_iterator<std::string::const_iterator>(); ++it) {
+    const std::size_t at = begin + static_cast<std::size_t>(it->position());
+    if (at > begin &&
+        (ident_char(code[at - 1]) || code[at - 1] == ':' ||
+         code[at - 1] == '<' || code[at - 1] == '~'))
+      continue;  // nested template arg, qualified use, or dtor name
+    std::size_t i = at + static_cast<std::size_t>(it->length());
+    // Optional template argument list.
+    if (i < end && code[i] == '<') {
+      int depth = 0;
+      const std::size_t guard = i + 300;
+      for (; i < end && i < guard; ++i) {
+        if (code[i] == '<') ++depth;
+        else if (code[i] == '>' && --depth == 0) {
+          ++i;
+          break;
+        } else if (code[i] == ';' || code[i] == '{' || code[i] == '(') {
+          depth = -1;
+          break;
+        }
+      }
+      if (i >= end || depth != 0) continue;
+    }
+    // Require whitespace, then a variable name, then an initializer.
+    if (i >= end ||
+        std::isspace(static_cast<unsigned char>(code[i])) == 0)
+      continue;
+    while (i < end && std::isspace(static_cast<unsigned char>(code[i]))) ++i;
+    if (i >= end || (!ident_char(code[i]) || std::isdigit(
+                        static_cast<unsigned char>(code[i])) != 0))
+      continue;
+    const std::size_t var_start = i;
+    while (i < end && ident_char(code[i])) ++i;
+    const std::string var = code.substr(var_start, i - var_start);
+    if (is_non_function_keyword(var)) continue;
+    while (i < end && std::isspace(static_cast<unsigned char>(code[i]))) ++i;
+    if (i < end && (code[i] == '(' || code[i] == '{' || code[i] == '='))
+      out->push_back(
+          {at, "initialized local '" + var + "' of an allocating type"});
+  }
+
+  std::sort(out->begin(), out->end(),
+            [](const AllocSite& a, const AllocSite& b) {
+              return a.offset < b.offset;
+            });
+}
+
+/// One call site extracted from a body: the (collapsed) name as written
+/// plus whether it was a member access (obj.f(...) / p->f(...)).
+struct CallRef {
+  std::string name;
+  std::string bare;
+  bool member = false;
+
+  bool operator<(const CallRef& o) const {
+    return std::tie(name, member) < std::tie(o.name, o.member);
+  }
+};
+
+/// Everything called from a body (heuristic: identifier directly before
+/// '('), std:: and growth methods excluded.
+void collect_calls(const std::string& code, std::size_t begin,
+                   std::size_t end, std::set<CallRef>* out) {
+  const auto first = code.begin() + static_cast<std::ptrdiff_t>(begin);
+  const auto last = code.begin() + static_cast<std::ptrdiff_t>(end);
+  for (auto it = std::regex_iterator(first, last, callable_re());
+       it != std::regex_iterator<std::string::const_iterator>(); ++it) {
+    const std::string name = collapse_whitespace((*it)[1].str());
+    if (has_prefix(name, "std::")) continue;
+    const std::string bare = bare_name(name);
+    if (is_non_function_keyword(bare) || looks_like_macro(name)) continue;
+    if (is_growth_method(bare)) continue;  // terminal: flagged as a site
+    const std::size_t at = begin + static_cast<std::size_t>(it->position());
+    std::size_t p = at;
+    while (p > begin &&
+           std::isspace(static_cast<unsigned char>(code[p - 1])))
+      --p;
+    const bool member =
+        (p > begin && code[p - 1] == '.') ||
+        (p > begin + 1 && code[p - 1] == '>' && code[p - 2] == '-');
+    out->insert({name, bare, member});
+  }
+}
+
+/// Class qualifier of a definition/call name: the second-to-last ::
+/// component ("" for free functions and in-class definitions, which are
+/// written unqualified).
+std::string class_qualifier_of(const std::string& name) {
+  const std::size_t last = name.rfind("::");
+  if (last == std::string::npos) return std::string();
+  const std::size_t prev = name.rfind("::", last - 1);
+  const std::size_t begin = prev == std::string::npos ? 0 : prev + 2;
+  return name.substr(begin, last - begin);
+}
+
+/// Should a call from `caller` resolve to definition `target`?
+/// - An explicitly qualified call (Q::f) matches only names ending Q::f.
+/// - A bare non-member call can only reach the caller's own class or a
+///   free function (that IS C++ name lookup, not a heuristic), so
+///   other-class out-of-line methods never match.
+/// - A member call (obj.f / p->f) matches own-class and unqualified
+///   definitions; an out-of-line method of a *different* class is skipped
+///   — the index has no types, and common accessor names (data, size,
+///   row) collide across the tree. In-class-defined methods are written
+///   unqualified, so they still match; the documented residual blind spot
+///   is only cross-class methods defined out-of-line.
+bool call_matches(const CallRef& call, const std::string& caller_class,
+                  const FuncDef& target) {
+  if (call.name.find("::") != std::string::npos)
+    return target.name == call.name ||
+           has_suffix(target.name, "::" + call.name);
+  const std::string target_class = class_qualifier_of(target.name);
+  if (target_class.empty()) return true;
+  return target_class == caller_class;
+}
+
+/// Files whose functions own allocation by design: the arena/planner layer
+/// itself, observability (disabled-by-default, documented to allocate on
+/// first use), and the logging sink.
+bool alloc_file_allowlisted(const std::string& rel) {
+  return has_suffix(rel, "src/core/arena.h") ||
+         has_suffix(rel, "src/core/arena.cpp") ||
+         has_prefix(rel, "src/obs/") ||
+         has_suffix(rel, "src/common/logging.h") ||
+         has_suffix(rel, "src/common/logging.cpp");
+}
+
+/// Functions sanctioned to allocate even though the hot path reaches them:
+/// the documented slow paths (first-use planning, pool construction,
+/// dispatch resolution) and the by-value conveniences.
+bool alloc_func_allowlisted(const std::string& bare) {
+  static const std::set<std::string> allowed = {
+      // InferenceSession::thread_arena — the planned slow path: one plan +
+      // one arena allocation on first use / replan, then steady state.
+      "thread_arena",
+      // Lazy global pool construction and explicit reconfiguration.
+      "global_pool", "set_global_threads",
+      // MeanVar/GaussianVec::point — by-value point-distribution
+      // constructors used by the allocating conveniences.
+      "point",
+      // Load-time PWL packing; sessions hoist it, the legacy convenience
+      // overload pays it per call by documented design.
+      "pack_pwl",
+      // One-time kernel dispatch resolution (static init + env parse).
+      "kernel_ops",
+  };
+  return allowed.count(bare) > 0;
+}
+
+/// Call-graph roots: the zero-alloc contract holds from these downward.
+bool is_hot_path_root(const FuncDef& def) {
+  static const char* kQualifiedRoots[] = {
+      "InferenceSession::propagate",
+      "InferenceSession::propagate_f64",
+      "InferenceSession::propagate_f32",
+      "InferenceSession::propagate_i8",
+  };
+  for (const char* root : kQualifiedRoots)
+    if (def.name == root || has_suffix(def.name, std::string("::") + root))
+      return true;
+  static const char* kBareRoots[] = {
+      "moment_linear_into",
+      "moment_linear_act_into",
+      "moment_activation_batch",
+  };
+  for (const char* root : kBareRoots)
+    if (def.bare == root) return true;
+  return false;
+}
+
+void rule_hot_path_alloc(const Corpus& corpus, Emit out) {
+  // Index definitions across the src/ tree.
+  std::vector<FuncDef> defs;
+  std::vector<std::string> stripped(corpus.files.size());
+  for (std::size_t i = 0; i < corpus.files.size(); ++i) {
+    const FileEntry& f = corpus.files[i];
+    if (!f.cpp || !has_prefix(f.rel, "src/")) continue;
+    stripped[i] = strip_preprocessor(f.src.code);
+    index_functions(stripped[i], static_cast<int>(i), f.src, &defs);
+  }
+
+  std::map<std::string, std::vector<int>> by_bare;
+  for (std::size_t d = 0; d < defs.size(); ++d)
+    by_bare[defs[d].bare].push_back(static_cast<int>(d));
+
+  // BFS from the roots; parent chain retained for the report.
+  std::vector<int> parent(defs.size(), -1);
+  std::vector<char> seen(defs.size(), 0);
+  std::vector<int> queue;
+  for (std::size_t d = 0; d < defs.size(); ++d) {
+    if (!is_hot_path_root(defs[d])) continue;
+    if (alloc_file_allowlisted(corpus.files[defs[d].file].rel)) continue;
+    if (alloc_func_allowlisted(defs[d].bare)) continue;
+    seen[d] = 1;
+    queue.push_back(static_cast<int>(d));
+  }
+
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    const int d = queue[qi];
+    const FuncDef& def = defs[static_cast<std::size_t>(d)];
+    const std::string& code = stripped[static_cast<std::size_t>(def.file)];
+    const FileEntry& file = corpus.files[static_cast<std::size_t>(def.file)];
+
+    // Flag this function's allocation sites.
+    std::vector<AllocSite> sites;
+    collect_alloc_sites(code, def.body_begin, def.body_end, &sites);
+    if (!sites.empty()) {
+      std::string chain = def.name;
+      for (int p = parent[static_cast<std::size_t>(d)]; p >= 0;
+           p = parent[static_cast<std::size_t>(p)])
+        chain = defs[static_cast<std::size_t>(p)].name + " -> " + chain;
+      for (const AllocSite& site : sites)
+        emit(out, file.rel, file.src.line_of(site.offset), "hot-path-alloc",
+             site.what + " on the zero-alloc hot path (reachable via " +
+                 chain +
+                 "); plan the buffer into the session arena, or move the "
+                 "work off the steady-state path (see "
+                 "docs/STATIC_ANALYSIS.md for the allowlist)");
+    }
+
+    // Descend into callees.
+    const std::string caller_class = class_qualifier_of(def.name);
+    std::set<CallRef> callees;
+    collect_calls(code, def.body_begin, def.body_end, &callees);
+    for (const CallRef& callee : callees) {
+      const auto it = by_bare.find(callee.bare);
+      if (it == by_bare.end()) continue;
+      for (const int t : it->second) {
+        if (seen[static_cast<std::size_t>(t)]) continue;
+        const FuncDef& target = defs[static_cast<std::size_t>(t)];
+        if (!call_matches(callee, caller_class, target)) continue;
+        if (alloc_file_allowlisted(
+                corpus.files[static_cast<std::size_t>(target.file)].rel))
+          continue;
+        if (alloc_func_allowlisted(target.bare)) continue;
+        seen[static_cast<std::size_t>(t)] = 1;
+        parent[static_cast<std::size_t>(t)] = d;
+        queue.push_back(t);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
 
@@ -729,45 +1527,8 @@ struct Report {
   std::vector<Violation> violations;
   std::size_t files_scanned = 0;
   std::size_t suppressed = 0;
+  std::map<std::string, double> rule_timing_ms;
 };
-
-void scan_file(const fs::path& path, const std::string& rel, Report* report) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("cannot read " + path.string());
-  std::stringstream buf;
-  buf << is.rdbuf();
-  const std::string text = buf.str();
-
-  const bool cpp = is_cpp_file(rel);
-  const bool cmake = is_cmake_file(rel);
-  if (!cpp && !cmake) return;
-  ++report->files_scanned;
-
-  const MaskedSource src = cpp ? mask_cpp(text) : mask_cmake(text);
-  std::vector<Violation> found;
-  if (cpp) {
-    rule_no_unseeded_rng(src, rel, found);
-    rule_float_equal(src, rel, found);
-    rule_pow_square(src, rel, found);
-    rule_naked_new(src, rel, found);
-    rule_raw_io(src, rel, found);
-    rule_perf_syscall(src, rel, found);
-    rule_hot_path_thread_local(src, rel, found);
-    rule_f32_double_literal(src, rel, found);
-    rule_f32_libm_double(src, rel, found);
-  } else {
-    rule_trapping_math(src, rel, found);
-    rule_kernel_isa_flags(src, rel, found);
-  }
-
-  const Suppressions sup = parse_suppressions(src);
-  for (Violation& v : found) {
-    if (sup.allows(v.rule, v.line))
-      ++report->suppressed;
-    else
-      report->violations.push_back(std::move(v));
-  }
-}
 
 bool skip_dir(const std::string& name) {
   return name == ".git" || name == "lint_fixtures" ||
@@ -785,7 +1546,7 @@ std::string relative_to(const fs::path& p, const fs::path& root) {
   return s;
 }
 
-void scan_path(const fs::path& path, const fs::path& root, Report* report) {
+void scan_path(const fs::path& path, const fs::path& root, Corpus* corpus) {
   if (fs::is_directory(path)) {
     std::vector<fs::path> entries;
     for (const auto& entry : fs::directory_iterator(path)) {
@@ -794,12 +1555,19 @@ void scan_path(const fs::path& path, const fs::path& root, Report* report) {
       entries.push_back(entry.path());
     }
     std::sort(entries.begin(), entries.end());
-    for (const fs::path& p : entries) scan_path(p, root, report);
+    for (const fs::path& p : entries) scan_path(p, root, corpus);
     return;
   }
-  if (!fs::is_regular_file(path)) return;
   const std::string rel = relative_to(path, root);
-  if (is_cpp_file(rel) || is_cmake_file(rel)) scan_file(path, rel, report);
+  if (!is_cpp_file(rel) && !is_cmake_file(rel)) return;
+  if (!fs::is_regular_file(path)) {
+    // A lintable name that is not a readable regular file (dangling
+    // symlink, fifo, ...) must fail the scan loudly — silently skipping it
+    // would report a "clean" tree that was never fully read.
+    throw std::runtime_error("cannot read " + path.string() +
+                             " (not a regular readable file)");
+  }
+  corpus->files.push_back(load_file(path, rel));
 }
 
 std::string json_escape(const std::string& s) {
@@ -822,19 +1590,36 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: apds_lint [--json] [--root <dir>] [--list-rules] <path>...\n"
+      "       apds_lint --include-graph [--dot <file>] [--root <dir>] "
+      "<path>...\n"
       "  scans .cpp/.h/.cc/.hpp and CMakeLists.txt files (directories\n"
       "  recursively; build*/.git/lint_fixtures skipped) for apds project\n"
-      "  invariants. --root sets the prefix rule scoping is computed\n"
-      "  against (default: current directory).\n"
+      "  invariants, including the cross-TU layer-dag and hot-path-alloc\n"
+      "  rules. --root sets the prefix rule scoping is computed against\n"
+      "  (default: current directory). --include-graph prints the\n"
+      "  module-level include graph instead of linting; --dot also writes\n"
+      "  it as Graphviz.\n"
       "  exit codes: 0 clean, 1 violations, 2 usage/IO error\n");
   return 2;
+}
+
+/// Run `fn`, accumulating its wall-clock into the per-rule timing table.
+template <typename Fn>
+void timed_rule(Report* report, const char* rule, Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  report->rule_timing_ms[rule] +=
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool json = false;
+  bool include_graph = false;
   fs::path root = fs::current_path();
+  fs::path dot_path;
   std::vector<fs::path> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -843,6 +1628,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--root") {
       if (i + 1 >= argc) return usage();
       root = argv[++i];
+    } else if (arg == "--include-graph") {
+      include_graph = true;
+    } else if (arg == "--dot") {
+      if (i + 1 >= argc) return usage();
+      dot_path = argv[++i];
+      include_graph = true;  // --dot implies graph mode
     } else if (arg == "--list-rules") {
       for (const RuleInfo& r : kRules)
         std::printf("%-20s %s\n", r.id, r.description);
@@ -859,7 +1650,7 @@ int main(int argc, char** argv) {
   }
   if (paths.empty()) return usage();
 
-  Report report;
+  Corpus corpus;
   try {
     root = fs::weakly_canonical(root);
     for (const fs::path& p : paths) {
@@ -868,11 +1659,76 @@ int main(int argc, char** argv) {
                      p.string().c_str());
         return 2;
       }
-      scan_path(fs::weakly_canonical(p), root, &report);
+      scan_path(fs::weakly_canonical(p), root, &corpus);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "apds_lint: %s\n", e.what());
     return 2;
+  }
+
+  if (include_graph) {
+    const ModuleGraph graph = build_module_graph(corpus, root);
+    try {
+      if (!dot_path.empty()) write_module_graph_dot(graph, dot_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "apds_lint: %s\n", e.what());
+      return 2;
+    }
+    print_module_graph(graph);
+    return 0;
+  }
+
+  Report report;
+  report.files_scanned = corpus.files.size();
+
+  // Per-file rules (rule-major so each rule's cost is attributable).
+  struct CppRule {
+    const char* id;
+    void (*fn)(const MaskedSource&, const std::string&, Emit);
+  };
+  constexpr CppRule kCppRules[] = {
+      {"no-unseeded-rng", rule_no_unseeded_rng},
+      {"float-equal", rule_float_equal},
+      {"pow-square", rule_pow_square},
+      {"naked-new", rule_naked_new},
+      {"raw-io", rule_raw_io},
+      {"perf-syscall", rule_perf_syscall},
+      {"hot-path-thread-local", rule_hot_path_thread_local},
+      {"f32-double-literal", rule_f32_double_literal},
+      {"f32-libm-double", rule_f32_libm_double},
+  };
+  constexpr CppRule kCmakeRules[] = {
+      {"trapping-math", rule_trapping_math},
+      {"kernel-isa-flags", rule_kernel_isa_flags},
+  };
+
+  std::vector<Violation> found;
+  for (const CppRule& rule : kCppRules)
+    timed_rule(&report, rule.id, [&] {
+      for (const FileEntry& f : corpus.files)
+        if (f.cpp) rule.fn(f.src, f.rel, found);
+    });
+  for (const CppRule& rule : kCmakeRules)
+    timed_rule(&report, rule.id, [&] {
+      for (const FileEntry& f : corpus.files)
+        if (f.cmake) rule.fn(f.src, f.rel, found);
+    });
+
+  // Cross-TU rules over the whole corpus.
+  timed_rule(&report, "layer-dag",
+             [&] { rule_layer_dag(corpus, root, found); });
+  timed_rule(&report, "hot-path-alloc",
+             [&] { rule_hot_path_alloc(corpus, found); });
+
+  // Suppression filtering, keyed by each violation's file.
+  std::map<std::string, const Suppressions*> sup_by_rel;
+  for (const FileEntry& f : corpus.files) sup_by_rel[f.rel] = &f.sup;
+  for (Violation& v : found) {
+    const auto it = sup_by_rel.find(v.file);
+    if (it != sup_by_rel.end() && it->second->allows(v.rule, v.line))
+      ++report.suppressed;
+    else
+      report.violations.push_back(std::move(v));
   }
 
   std::sort(report.violations.begin(), report.violations.end(),
@@ -885,6 +1741,11 @@ int main(int argc, char** argv) {
     std::printf("{\n  \"tool\": \"apds_lint\",\n");
     std::printf("  \"files_scanned\": %zu,\n", report.files_scanned);
     std::printf("  \"suppressed\": %zu,\n", report.suppressed);
+    std::printf("  \"rule_timing_ms\": {");
+    std::size_t t = 0;
+    for (const auto& [rule, ms] : report.rule_timing_ms)
+      std::printf("%s\n    \"%s\": %.3f", t++ ? "," : "", rule.c_str(), ms);
+    std::printf("%s},\n", report.rule_timing_ms.empty() ? "" : "\n  ");
     std::printf("  \"violations\": [");
     for (std::size_t i = 0; i < report.violations.size(); ++i) {
       const Violation& v = report.violations[i];

@@ -1,0 +1,200 @@
+// apds_symcheck: binary ODR/ISA symbol audit over the built kernel objects.
+//
+//   apds_symcheck [--scan <dir>] <object>...
+//
+// The kernel tiers (kernels_scalar.cpp, kernels_avx2.cpp,
+// kernels_avx512.cpp) are the only TUs compiled with per-TU ISA flags, so
+// any symbol they export with VAGUE LINKAGE (nm type W/V/u — inline
+// functions, templates, inline variables) is an ODR hazard: the linker
+// keeps ONE copy chosen arbitrarily, and if the surviving copy came from
+// the AVX-512 TU it executes AVX-512 instructions from ordinary call
+// sites, crashing the SSE2 baseline the dispatcher promises to boot on
+// (exactly the leak class fixed in "Fix ISA leak via shared inline
+// symbols in the dispatched kernel tiers").
+//
+// The structural rule that keeps the tiers safe: every vague-linkage
+// symbol a kernel TU defines must live inside that TU's own tier
+// namespace (apds::kernels::scalar_impl:: / avx2_impl:: / avx512_impl::),
+// where each tier's copy is a distinct symbol and nothing is shared
+// across ISA boundaries. This tool enforces the rule on the BUILT
+// OBJECTS — after inlining, template instantiation and header pulls, i.e.
+// against what the linker actually sees, which no source-level lint can
+// prove.
+//
+// Objects are audited when their basename starts with "kernels_" and ends
+// in .o/.obj; --scan walks a directory (typically
+// build/src/tensor) picking those up recursively. Anything else passed
+// explicitly is rejected (unknown tier) rather than guessed. Symbols are
+// read via `nm -C --defined-only`.
+//
+// Exit codes: 0 = every audited object clean, 1 = out-of-namespace
+// vague-linkage symbol found, 2 = usage/IO error (including "no kernel
+// object audited" — a scan that finds nothing must not pass).
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string object;
+  char type = '?';
+  std::string symbol;
+};
+
+/// Tier namespace for a kernel object basename, or "" when the basename
+/// is not a kernel object at all.
+std::string tier_namespace_of(const std::string& basename) {
+  if (basename.rfind("kernels_", 0) != 0) return std::string();
+  if (basename.find("kernels_avx512") == 0) return "avx512_impl";
+  if (basename.find("kernels_avx2") == 0) return "avx2_impl";
+  if (basename.find("kernels_scalar") == 0) return "scalar_impl";
+  return std::string();
+}
+
+bool is_object_file(const std::string& basename) {
+  const auto ends = [&](const char* suffix) {
+    const std::size_t n = std::strlen(suffix);
+    return basename.size() >= n &&
+           basename.compare(basename.size() - n, n, suffix) == 0;
+  };
+  return ends(".o") || ends(".obj");
+}
+
+std::string shell_quote(const std::string& s) {
+  std::string out = "'";
+  for (const char c : s) {
+    if (c == '\'')
+      out += "'\\''";
+    else
+      out.push_back(c);
+  }
+  out += "'";
+  return out;
+}
+
+/// Audit one object. Returns false on IO failure (nm unrunnable/empty).
+bool audit_object(const fs::path& object, const std::string& tier,
+                  std::vector<Finding>* findings) {
+  const std::string cmd =
+      "nm -C --defined-only " + shell_quote(object.string()) + " 2>/dev/null";
+  FILE* pipe = ::popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return false;
+  std::string output;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), pipe)) > 0)
+    output.append(buf, n);
+  const int status = ::pclose(pipe);
+  if (status != 0 || output.empty()) return false;
+
+  const std::string required = "apds::kernels::" + tier + "::";
+  std::istringstream lines(output);
+  std::string line;
+  while (std::getline(lines, line)) {
+    // nm line: "<addr> <type> <demangled name>"; the name may hold spaces.
+    std::size_t i = line.find(' ');
+    if (i == std::string::npos || i + 2 >= line.size()) continue;
+    const char type = line[i + 1];
+    if (line[i + 2] != ' ') continue;
+    if (type != 'W' && type != 'V' && type != 'u') continue;
+    const std::string symbol = line.substr(i + 3);
+    if (symbol.rfind(required, 0) != 0)
+      findings->push_back({object.string(), type, symbol});
+  }
+  return true;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: apds_symcheck [--scan <dir>] <object>...\n"
+      "  audits built kernel objects (kernels_scalar/avx2/avx512 *.o) for\n"
+      "  vague-linkage symbols (nm W/V/u) outside their ISA tier namespace\n"
+      "  apds::kernels::<tier>_impl:: — each one is an ODR merge across\n"
+      "  ISA boundaries waiting to execute wide instructions on the\n"
+      "  baseline.\n"
+      "  --scan <dir> picks up kernel objects recursively (typically\n"
+      "  build/src/tensor). At least one kernel object must be audited.\n"
+      "  exit codes: 0 clean, 1 violations, 2 usage/IO error\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<fs::path> objects;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--scan") {
+      if (i + 1 >= argc) return usage();
+      const fs::path dir = argv[++i];
+      std::error_code ec;
+      if (!fs::is_directory(dir, ec)) {
+        std::fprintf(stderr, "apds_symcheck: no such directory: %s\n",
+                     dir.string().c_str());
+        return 2;
+      }
+      for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+        if (!entry.is_regular_file()) continue;
+        const std::string base = entry.path().filename().string();
+        if (is_object_file(base) && !tier_namespace_of(base).empty())
+          objects.push_back(entry.path());
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "apds_symcheck: unknown flag '%s'\n",
+                   arg.c_str());
+      return usage();
+    } else {
+      objects.emplace_back(arg);
+    }
+  }
+  if (objects.empty()) return usage();
+
+  std::vector<Finding> findings;
+  std::size_t audited = 0;
+  for (const fs::path& object : objects) {
+    const std::string base = object.filename().string();
+    if (!is_object_file(base)) {
+      std::fprintf(stderr, "apds_symcheck: not an object file: %s\n",
+                   object.string().c_str());
+      return 2;
+    }
+    const std::string tier = tier_namespace_of(base);
+    if (tier.empty()) {
+      std::fprintf(stderr,
+                   "apds_symcheck: %s is not a kernel tier object "
+                   "(expected kernels_scalar/avx2/avx512*)\n",
+                   object.string().c_str());
+      return 2;
+    }
+    if (!audit_object(object, tier, &findings)) {
+      std::fprintf(stderr, "apds_symcheck: cannot read symbols from %s\n",
+                   object.string().c_str());
+      return 2;
+    }
+    ++audited;
+  }
+  if (audited == 0) {
+    std::fprintf(stderr,
+                 "apds_symcheck: no kernel object audited (an empty scan "
+                 "must not pass)\n");
+    return 2;
+  }
+
+  for (const Finding& f : findings)
+    std::printf("%s: [%c] %s — vague-linkage symbol outside its tier "
+                "namespace (ODR/ISA leak)\n",
+                f.object.c_str(), f.type, f.symbol.c_str());
+  std::printf("apds_symcheck: %zu finding(s) across %zu kernel object(s)\n",
+              findings.size(), audited);
+  return findings.empty() ? 0 : 1;
+}
